@@ -1,0 +1,55 @@
+//! Criterion counterpart of **Table 1**: end-to-end runtime of the three
+//! ComPLx configurations (default, finest grid, `P_C` += DP) and the
+//! best-published stand-ins (SimPL config, RQL-like) on a small
+//! ISPD-2005-style instance. The table binary (`--bin table1`) produces the
+//! HPWL numbers; this bench tracks the runtime relationships (default
+//! fastest, `P_C`+=DP an order of magnitude slower — 26.6× in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use complx_netlist::generator::GeneratorConfig;
+use complx_place::{baselines, ComplxPlacer, PlacerConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    let design = GeneratorConfig::ispd2005_like("t1_bench", 77, 1500).generate();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("complx_default", |b| {
+        b.iter(|| {
+            black_box(
+                ComplxPlacer::new(PlacerConfig::default())
+                    .place(&design)
+                    .hpwl_legal,
+            )
+        })
+    });
+    group.bench_function("complx_finest_grid", |b| {
+        b.iter(|| {
+            black_box(
+                ComplxPlacer::new(PlacerConfig::finest_grid())
+                    .place(&design)
+                    .hpwl_legal,
+            )
+        })
+    });
+    group.bench_function("complx_pc_plus_dp", |b| {
+        b.iter(|| {
+            black_box(
+                ComplxPlacer::new(PlacerConfig::projection_with_detail())
+                    .place(&design)
+                    .hpwl_legal,
+            )
+        })
+    });
+    group.bench_function("simpl_config", |b| {
+        b.iter(|| black_box(baselines::simpl_placer().place(&design).hpwl_legal))
+    });
+    group.bench_function("rql_like", |b| {
+        b.iter(|| black_box(baselines::RqlLike::default().place(&design).hpwl_legal))
+    });
+    group.finish();
+}
+
+criterion_group!(table1, bench_table1);
+criterion_main!(table1);

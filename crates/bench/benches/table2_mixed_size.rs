@@ -1,0 +1,52 @@
+//! Criterion counterpart of **Table 2**: end-to-end runtime of ComPLx vs
+//! the baselines on a small ISPD-2006-style mixed-size instance (movable
+//! macros, γ = 0.8). The table binary (`--bin table2`) produces the scaled
+//! HPWL numbers; this bench tracks the runtime relationships (the paper
+//! reports ComPLx > 2.5× faster than RQL and ~7–8× faster than
+//! NTUPlace3/mPL6, whose role the FastPlace-like baseline plays here).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use complx_netlist::generator::GeneratorConfig;
+use complx_place::{baselines, ComplxPlacer, PlacerConfig};
+
+fn bench_table2(c: &mut Criterion) {
+    let design = GeneratorConfig::ispd2006_like("t2_bench", 78, 1200, 0.8).generate();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("complx_mixed_size", |b| {
+        b.iter(|| {
+            black_box(
+                ComplxPlacer::new(PlacerConfig::default())
+                    .place(&design)
+                    .metrics
+                    .scaled_hpwl,
+            )
+        })
+    });
+    group.bench_function("rql_like_mixed_size", |b| {
+        b.iter(|| {
+            black_box(
+                baselines::RqlLike::default()
+                    .place(&design)
+                    .metrics
+                    .scaled_hpwl,
+            )
+        })
+    });
+    group.bench_function("fastplace_like_mixed_size", |b| {
+        b.iter(|| {
+            black_box(
+                baselines::FastPlaceLike::default()
+                    .place(&design)
+                    .metrics
+                    .scaled_hpwl,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(table2, bench_table2);
+criterion_main!(table2);

@@ -1,0 +1,105 @@
+//! Regenerates **Figure 3** (and the Section S3 discussion): the final λ
+//! and the total number of ComPLx iterations against the number of nets,
+//! over all 16 benchmarks of both suites. The paper's claims: both stay
+//! bounded — no systematic growth with instance size — and per-iteration
+//! runtime is near-linear.
+//!
+//! Usage: `cargo run --release -p complx-bench --bin fig3_scalability
+//! [--scale N]`.
+
+use complx_bench::report::Table;
+use complx_bench::runs::{suite_2005, suite_2006, timed_run};
+use complx_bench::svg::xy_plot;
+use complx_bench::{artifact_dir, scale_arg};
+use complx_place::{ComplxPlacer, PlacerConfig};
+
+fn main() {
+    let scale = scale_arg();
+    let mut designs = suite_2005(scale);
+    designs.extend(suite_2006(scale));
+
+    let mut table = Table::new(vec![
+        "benchmark",
+        "nets",
+        "iterations",
+        "final lambda",
+        "global s",
+        "s per iter per knet",
+    ]);
+    let mut lambda_pts = Vec::new();
+    let mut iter_pts = Vec::new();
+    let mut secs_pts: Vec<(f64, f64)> = Vec::new();
+    let mut csv = String::from("benchmark,nets,iterations,final_lambda,global_seconds\n");
+    for design in &designs {
+        eprintln!("[fig3] placing {} ({} nets)", design.name(), design.num_nets());
+        let (summary, outcome) = timed_run(design, |d| {
+            ComplxPlacer::new(PlacerConfig::default()).place(d)
+        });
+        let nets = design.num_nets() as f64;
+        lambda_pts.push((nets, summary.final_lambda.max(1e-6)));
+        iter_pts.push((nets, summary.iterations as f64));
+        secs_pts.push((nets, outcome.global_seconds));
+        let per_unit = outcome.global_seconds
+            / summary.iterations.max(1) as f64
+            / (nets / 1000.0);
+        table.add_row(vec![
+            summary.name.clone(),
+            format!("{}", design.num_nets()),
+            format!("{}", summary.iterations),
+            format!("{:.3}", summary.final_lambda),
+            format!("{:.2}", outcome.global_seconds),
+            format!("{:.4}", per_unit),
+        ]);
+        csv.push_str(&format!(
+            "{},{},{},{:.6},{:.3}\n",
+            summary.name,
+            design.num_nets(),
+            summary.iterations,
+            summary.final_lambda,
+            outcome.global_seconds
+        ));
+    }
+
+    let rendered = table.render();
+    println!("Figure 3 / §S3 — final λ and iteration counts vs number of nets");
+    println!("{rendered}");
+    // Runtime exponent: least-squares slope of log(seconds) vs log(nets).
+    // The paper estimates FastPlace at Θ(n^1.38) and ComPLx as near-linear.
+    let pts: Vec<(f64, f64)> = iter_pts
+        .iter()
+        .zip(&secs_pts)
+        .map(|(&(n, _), &(_, s))| (n.ln(), s.max(1e-6).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    println!(
+        "runtime scaling exponent (log-log fit): n^{slope:.2}          (paper: near-linear for ComPLx; FastPlace ~n^1.38)"
+    );
+    // Bounded-growth check: iterations of the largest instance within 3x of
+    // the smallest's.
+    let min_it = iter_pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let max_it = iter_pts.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    println!(
+        "iteration range {min_it:.0}..{max_it:.0} (paper: no systematic growth with size)"
+    );
+
+    let dir = artifact_dir();
+    std::fs::write(dir.join("fig3_scalability.csv"), csv).expect("artifact write");
+    lambda_pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    iter_pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let svg = xy_plot(
+        &[
+            ("final lambda", "#cc3333", &lambda_pts),
+            ("iterations", "#3355cc", &iter_pts),
+        ],
+        "number of nets",
+        "value",
+        true,
+    );
+    std::fs::write(dir.join("fig3_scalability.svg"), svg).expect("artifact write");
+    eprintln!("[fig3] wrote fig3_scalability.{{csv,svg}} in {}", dir.display());
+}

@@ -1,0 +1,107 @@
+//! ASCII line plots for terminal-friendly figure reproduction.
+
+/// Renders one or more named series as an ASCII chart (linear x = sample
+/// index; y auto-scaled, optionally logarithmic).
+///
+/// Each series gets a distinct glyph; overlapping points show the later
+/// series' glyph.
+pub fn ascii_chart(series: &[(&str, &[f64])], height: usize, log_y: bool) -> String {
+    let width = series
+        .iter()
+        .map(|(_, v)| v.len())
+        .max()
+        .unwrap_or(0);
+    if width == 0 || height == 0 {
+        return String::new();
+    }
+    let transform = |v: f64| -> f64 {
+        if log_y {
+            v.max(1e-12).ln()
+        } else {
+            v
+        }
+    };
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, vals) in series {
+        for &v in *vals {
+            let t = transform(v);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return String::new();
+    }
+    let span = (hi - lo).max(1e-12);
+    let glyphs = ['*', '+', 'o', 'x', '#', '@'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, vals)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for (x, &v) in vals.iter().enumerate() {
+            let t = (transform(v) - lo) / span;
+            let y = ((1.0 - t) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x] = g;
+        }
+    }
+
+    let mut out = String::new();
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", glyphs[si % glyphs.len()], name));
+    }
+    let top_label = if log_y {
+        format!("{:.3e} (log scale)", hi.exp())
+    } else {
+        format!("{hi:.3e}")
+    };
+    let bottom_label = if log_y {
+        format!("{:.3e}", lo.exp())
+    } else {
+        format!("{lo:.3e}")
+    };
+    out.push_str(&format!("  ^ {top_label}\n"));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push_str(">\n");
+    out.push_str(&format!(
+        "    y: {bottom_label} .. {top_label};  x: samples 0..{}\n",
+        width.saturating_sub(1)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_series_glyphs_and_labels() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        let s = ascii_chart(&[("up", &a), ("down", &b)], 6, false);
+        assert!(s.contains("* up"));
+        assert!(s.contains("+ down"));
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn empty_series_render_nothing() {
+        assert_eq!(ascii_chart(&[], 5, false), "");
+        let e: [f64; 0] = [];
+        assert_eq!(ascii_chart(&[("e", &e)], 5, false), "");
+    }
+
+    #[test]
+    fn log_scale_handles_wide_ranges() {
+        let v = [1.0, 1e6];
+        let s = ascii_chart(&[("wide", &v)], 4, true);
+        assert!(s.contains("log scale"));
+    }
+}

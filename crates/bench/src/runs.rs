@@ -1,0 +1,108 @@
+//! Shared run helpers for the table/figure binaries.
+
+use std::time::Instant;
+
+use complx_netlist::{generator, Design};
+use complx_place::PlacementOutcome;
+
+/// One benchmark run's summary row.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Instance name.
+    pub name: String,
+    /// Number of cells (modules).
+    pub num_cells: usize,
+    /// Number of nets.
+    pub num_nets: usize,
+    /// Legal HPWL.
+    pub hpwl: f64,
+    /// Scaled HPWL (ISPD-2006 metric).
+    pub scaled_hpwl: f64,
+    /// Overflow penalty percent.
+    pub overflow_percent: f64,
+    /// Total wall-clock seconds (global + legalization/detail).
+    pub seconds: f64,
+    /// Global placement iterations.
+    pub iterations: usize,
+    /// Final λ.
+    pub final_lambda: f64,
+    /// Whether the run converged (vs. hit its iteration cap).
+    pub converged: bool,
+}
+
+impl RunSummary {
+    /// Builds a summary from a placement outcome.
+    pub fn from_outcome(design: &Design, outcome: &PlacementOutcome, seconds: f64) -> Self {
+        Self {
+            name: design.name().to_string(),
+            num_cells: design.num_cells(),
+            num_nets: design.num_nets(),
+            hpwl: outcome.metrics.hpwl,
+            scaled_hpwl: outcome.metrics.scaled_hpwl,
+            overflow_percent: outcome.metrics.overflow_percent,
+            seconds,
+            iterations: outcome.iterations,
+            final_lambda: outcome.final_lambda,
+            converged: outcome.converged,
+        }
+    }
+}
+
+/// Runs any placer closure with wall-clock timing.
+pub fn timed_run(
+    design: &Design,
+    run: impl FnOnce(&Design) -> PlacementOutcome,
+) -> (RunSummary, PlacementOutcome) {
+    let t = Instant::now();
+    let outcome = run(design);
+    let secs = t.elapsed().as_secs_f64();
+    (RunSummary::from_outcome(design, &outcome, secs), outcome)
+}
+
+/// Generates the ISPD-2005-like suite at `scale` (sizes divided by
+/// `40·scale`).
+pub fn suite_2005(scale: usize) -> Vec<Design> {
+    generator::suite::ispd2005()
+        .into_iter()
+        .map(|(mut cfg, _orig)| {
+            cfg.num_std_cells = (cfg.num_std_cells / scale.max(1)).max(200);
+            cfg.generate()
+        })
+        .collect()
+}
+
+/// Generates the ISPD-2006-like suite at `scale`.
+pub fn suite_2006(scale: usize) -> Vec<Design> {
+    generator::suite::ispd2006()
+        .into_iter()
+        .map(|(mut cfg, _orig)| {
+            cfg.num_std_cells = (cfg.num_std_cells / scale.max(1)).max(200);
+            cfg.generate()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_place::{ComplxPlacer, PlacerConfig};
+
+    #[test]
+    fn suites_scale_down() {
+        let full = suite_2005(8);
+        let tiny = suite_2005(64);
+        assert_eq!(full.len(), 8);
+        assert_eq!(tiny.len(), 8);
+        assert!(tiny[0].num_cells() < full[0].num_cells());
+    }
+
+    #[test]
+    fn timed_run_reports_time_and_metrics() {
+        let d = complx_netlist::generator::GeneratorConfig::small("tr", 1).generate();
+        let (summary, _) =
+            timed_run(&d, |d| ComplxPlacer::new(PlacerConfig::fast()).place(d));
+        assert!(summary.seconds > 0.0);
+        assert!(summary.hpwl > 0.0);
+        assert_eq!(summary.name, "tr");
+    }
+}

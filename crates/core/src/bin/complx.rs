@@ -1,0 +1,276 @@
+//! `complx` — command-line global placer for Bookshelf designs.
+//!
+//! ```text
+//! complx <design.aux> [options]
+//!
+//! options:
+//!   -o, --out <dir>        output directory for the solution bundle
+//!                          (default: alongside the input, suffix `.complx`)
+//!   --target-density <γ>   override the density target (0 < γ ≤ 1)
+//!   --max-iterations <n>   global placement iteration cap (default 100)
+//!   --finest-grid          use the finest P_C grid in all iterations
+//!   --pc-dp                run detailed placement after every projection
+//!   --simpl                use the SimPL special-case configuration
+//!   --lse [gamma_rows]     log-sum-exp interconnect model (default γ = 4)
+//!   --no-detail            skip final legalization refinement
+//!   --trace <file.csv>     write the per-iteration convergence trace
+//!   -q, --quiet            suppress progress output
+//! ```
+//!
+//! Exit status is non-zero on parse errors or failed placement.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use complx_netlist::bookshelf;
+use complx_place::{ComplxPlacer, Interconnect, PlacerConfig};
+
+struct Options {
+    aux: PathBuf,
+    out: Option<PathBuf>,
+    target_density: Option<f64>,
+    max_iterations: Option<usize>,
+    finest_grid: bool,
+    pc_dp: bool,
+    simpl: bool,
+    lse: Option<f64>,
+    no_detail: bool,
+    trace: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: complx <design.aux> [-o DIR] [--target-density G] [--max-iterations N]\n\
+     [--finest-grid] [--pc-dp] [--simpl] [--lse [GAMMA_ROWS]] [--no-detail]\n\
+     [--trace FILE.csv] [-q]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut opts = Options {
+        aux: PathBuf::new(),
+        out: None,
+        target_density: None,
+        max_iterations: None,
+        finest_grid: false,
+        pc_dp: false,
+        simpl: false,
+        lse: None,
+        no_detail: false,
+        trace: None,
+        quiet: false,
+    };
+    let mut positional = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-o" | "--out" => {
+                opts.out = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --out")?,
+                ))
+            }
+            "--target-density" => {
+                let v: f64 = args
+                    .next()
+                    .ok_or("missing value for --target-density")?
+                    .parse()
+                    .map_err(|_| "bad --target-density value")?;
+                opts.target_density = Some(v);
+            }
+            "--max-iterations" => {
+                let v: usize = args
+                    .next()
+                    .ok_or("missing value for --max-iterations")?
+                    .parse()
+                    .map_err(|_| "bad --max-iterations value")?;
+                opts.max_iterations = Some(v);
+            }
+            "--finest-grid" => opts.finest_grid = true,
+            "--pc-dp" => opts.pc_dp = true,
+            "--simpl" => opts.simpl = true,
+            "--lse" => {
+                // Optional numeric argument.
+                let gamma = match args.peek().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(g) => {
+                        args.next();
+                        g
+                    }
+                    None => 4.0,
+                };
+                opts.lse = Some(gamma);
+            }
+            "--no-detail" => opts.no_detail = true,
+            "--trace" => {
+                opts.trace = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --trace")?,
+                ))
+            }
+            "-q" | "--quiet" => opts.quiet = true,
+            "-h" | "--help" => return Err(usage().to_string()),
+            other if !other.starts_with('-') => positional.push(PathBuf::from(other)),
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    match positional.len() {
+        1 => {
+            opts.aux = positional.into_iter().next().expect("checked length");
+            Ok(opts)
+        }
+        0 => Err(format!("missing input .aux file\n{}", usage())),
+        _ => Err(format!("expected exactly one input file\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let bundle = match bookshelf::read_aux(&opts.aux) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("complx: cannot read {}: {e}", opts.aux.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut design = bundle.design;
+    if let Some(gamma) = opts.target_density {
+        // Rebuild with the overridden density (Design is immutable).
+        let mut b = complx_netlist::DesignBuilder::new(
+            design.name(),
+            design.core(),
+            design.row_height(),
+        );
+        if let Err(e) = b.set_target_density(gamma) {
+            eprintln!("complx: {e}");
+            return ExitCode::FAILURE;
+        }
+        for id in design.cell_ids() {
+            let c = design.cell(id);
+            let r = if c.is_movable() {
+                b.add_cell(c.name(), c.width(), c.height(), c.kind()).map(|_| ())
+            } else {
+                b.add_fixed_cell(
+                    c.name(),
+                    c.width(),
+                    c.height(),
+                    c.kind(),
+                    design.fixed_positions().position(id),
+                )
+                .map(|_| ())
+            };
+            if let Err(e) = r {
+                eprintln!("complx: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        for nid in design.net_ids() {
+            let n = design.net(nid);
+            if let Err(e) = b.add_net(
+                n.name(),
+                n.weight(),
+                design
+                    .net_pins(nid)
+                    .iter()
+                    .map(|p| (p.cell, p.dx, p.dy))
+                    .collect(),
+            ) {
+                eprintln!("complx: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        design = match b.build() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("complx: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let mut cfg = if opts.simpl {
+        PlacerConfig::simpl()
+    } else if opts.finest_grid {
+        PlacerConfig::finest_grid()
+    } else if opts.pc_dp {
+        PlacerConfig::projection_with_detail()
+    } else {
+        PlacerConfig::default()
+    };
+    if let Some(n) = opts.max_iterations {
+        cfg.max_iterations = n;
+    }
+    if let Some(gamma_rows) = opts.lse {
+        cfg.interconnect = Interconnect::LogSumExp { gamma_rows };
+    }
+    if opts.no_detail {
+        cfg.final_detail = false;
+    }
+
+    if !opts.quiet {
+        eprintln!(
+            "complx: placing `{}` ({} cells, {} nets, {} pins)",
+            design.name(),
+            design.num_cells(),
+            design.num_nets(),
+            design.num_pins()
+        );
+        for issue in complx_netlist::validate::validate(&design).iter().take(10) {
+            eprintln!("complx: warning: {issue}");
+        }
+    }
+    let outcome = ComplxPlacer::new(cfg).place(&design);
+    if !opts.quiet {
+        eprintln!(
+            "complx: {} iterations ({}), λ = {:.4}, global {:.1}s + detail {:.1}s",
+            outcome.iterations,
+            if outcome.converged { "converged" } else { "iteration cap" },
+            outcome.final_lambda,
+            outcome.global_seconds,
+            outcome.detail_seconds
+        );
+    }
+    println!("{}", outcome.metrics);
+    let violations = complx_place::check::verify_placement(
+        &design,
+        &outcome.legal,
+        &complx_place::check::AcceptanceCriteria::default(),
+    );
+    if violations.is_empty() {
+        if !opts.quiet {
+            eprintln!("complx: placement accepted (legal, constraints satisfied)");
+        }
+    } else {
+        for v in &violations {
+            eprintln!("complx: violation: {v}");
+        }
+    }
+
+    if let Some(trace_path) = &opts.trace {
+        if let Err(e) = std::fs::write(trace_path, outcome.trace.to_csv()) {
+            eprintln!("complx: cannot write trace {}: {e}", trace_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let out_dir = opts.out.unwrap_or_else(|| {
+        let mut d = opts.aux.clone();
+        d.set_extension("complx");
+        d
+    });
+    match bookshelf::write_bundle(&design, &outcome.legal, &out_dir) {
+        Ok(aux) => {
+            if !opts.quiet {
+                eprintln!("complx: wrote solution {}", aux.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("complx: cannot write solution: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! One-call acceptance checking for placement results.
+//!
+//! Downstream flows need a single verdict: is this placement legal, does it
+//! satisfy every constraint, and is its density acceptable? This module
+//! aggregates the checks scattered across the crates ([`complx_legalize`]'s
+//! legality report, [`complx_spread`]'s constraint predicates, the density
+//! metrics) into one structured report.
+
+use complx_legalize::legality_report;
+use complx_netlist::{Design, Placement};
+use complx_spread::regions::{alignments_satisfied, regions_satisfied};
+
+/// One acceptance violation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// Movable cells overlap each other or fixed obstacles.
+    Overlap {
+        /// Total overlapping area.
+        area: f64,
+    },
+    /// Standard cells not aligned to row boundaries.
+    OffRow {
+        /// Number of misaligned cells.
+        cells: usize,
+    },
+    /// Movable cells extending outside the core.
+    OutOfCore {
+        /// Number of offending cells.
+        cells: usize,
+    },
+    /// A hard region constraint is not satisfied.
+    RegionViolated,
+    /// An alignment constraint is not satisfied.
+    AlignmentViolated,
+    /// Density overflow beyond the allowed percentage.
+    Overflow {
+        /// Measured overflow percent.
+        percent: f64,
+        /// The configured limit.
+        limit: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Overlap { area } => write!(f, "cells overlap ({area:.1} area units)"),
+            Violation::OffRow { cells } => write!(f, "{cells} cells off row boundaries"),
+            Violation::OutOfCore { cells } => write!(f, "{cells} cells outside the core"),
+            Violation::RegionViolated => write!(f, "a region constraint is violated"),
+            Violation::AlignmentViolated => write!(f, "an alignment constraint is violated"),
+            Violation::Overflow { percent, limit } => {
+                write!(f, "density overflow {percent:.2}% exceeds limit {limit:.2}%")
+            }
+        }
+    }
+}
+
+/// Acceptance thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceptanceCriteria {
+    /// Maximum tolerated overlap area (area units).
+    pub overlap_tolerance: f64,
+    /// Maximum tolerated density-overflow percentage.
+    pub overflow_percent_limit: f64,
+    /// Alignment tolerance (length units).
+    pub alignment_tolerance: f64,
+    /// Require standard cells on row boundaries.
+    pub require_row_alignment: bool,
+}
+
+impl Default for AcceptanceCriteria {
+    fn default() -> Self {
+        Self {
+            overlap_tolerance: 1e-6,
+            overflow_percent_limit: 15.0,
+            alignment_tolerance: 1e-6,
+            require_row_alignment: true,
+        }
+    }
+}
+
+/// Checks a placement against the design's constraints and the criteria;
+/// an empty vector means the placement is accepted.
+pub fn verify_placement(
+    design: &Design,
+    placement: &Placement,
+    criteria: &AcceptanceCriteria,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    let report = legality_report(design, placement);
+    if report.overlap_area > criteria.overlap_tolerance {
+        violations.push(Violation::Overlap {
+            area: report.overlap_area,
+        });
+    }
+    if criteria.require_row_alignment && report.off_row_cells > 0 {
+        violations.push(Violation::OffRow {
+            cells: report.off_row_cells,
+        });
+    }
+    if report.out_of_core > 0 {
+        violations.push(Violation::OutOfCore {
+            cells: report.out_of_core,
+        });
+    }
+    if !regions_satisfied(design, placement) {
+        violations.push(Violation::RegionViolated);
+    }
+    if !alignments_satisfied(design, placement, criteria.alignment_tolerance) {
+        violations.push(Violation::AlignmentViolated);
+    }
+    let percent = complx_netlist::density::overflow_penalty_percent(
+        design,
+        placement,
+        crate::metrics::PlacementMetrics::METRIC_BINS,
+    );
+    if percent > criteria.overflow_percent_limit {
+        violations.push(Violation::Overflow {
+            percent,
+            limit: criteria.overflow_percent_limit,
+        });
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComplxPlacer, PlacerConfig};
+    use complx_netlist::generator::GeneratorConfig;
+
+    #[test]
+    fn placed_design_is_accepted() {
+        let d = GeneratorConfig::small("acc", 1).generate();
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let violations = verify_placement(&d, &out.legal, &AcceptanceCriteria::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn stacked_start_is_rejected() {
+        let d = GeneratorConfig::small("rej", 2).generate();
+        let p = d.initial_placement();
+        let violations = verify_placement(&d, &p, &AcceptanceCriteria::default());
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Overflow { .. })));
+        // Messages are human-readable.
+        assert!(violations[0].to_string().len() > 5);
+    }
+
+    #[test]
+    fn global_upper_bound_rejected_only_for_rows() {
+        // The upper-bound (pseudo-legal) iterate passes density but not row
+        // alignment; relaxing that criterion accepts it.
+        let d = GeneratorConfig::small("ub", 3).generate();
+        let mut cfg = PlacerConfig::fast();
+        cfg.final_detail = false;
+        let out = ComplxPlacer::new(cfg).place(&d);
+        let strict = verify_placement(&d, &out.upper, &AcceptanceCriteria::default());
+        assert!(!strict.is_empty());
+        let relaxed = AcceptanceCriteria {
+            require_row_alignment: false,
+            overlap_tolerance: f64::INFINITY,
+            ..AcceptanceCriteria::default()
+        };
+        let loose = verify_placement(&d, &out.upper, &relaxed);
+        assert!(
+            loose
+                .iter()
+                .all(|v| !matches!(v, Violation::OffRow { .. })),
+            "{loose:?}"
+        );
+    }
+}

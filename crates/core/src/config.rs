@@ -1,0 +1,305 @@
+//! Placer configuration.
+
+use complx_wirelength::NetModel;
+
+/// Which interconnect model `Φ` the placer minimizes (paper §S1: "any one
+/// of these approximations can be used in ComPLx").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Interconnect {
+    /// Linearized quadratic with the given net decomposition (the SimPL /
+    /// ComPLx default is Bound2Bound).
+    Quadratic(NetModel),
+    /// Log-sum-exp smoothing minimized by nonlinear Conjugate Gradient.
+    LogSumExp {
+        /// Smoothing parameter as a multiple of the row height.
+        gamma_rows: f64,
+    },
+    /// β-regularized linear wirelength (§S1, Alpert et al., reference \[4\]) minimized
+    /// by nonlinear Conjugate Gradient.
+    BetaRegularized {
+        /// β as a multiple of the squared row height.
+        beta_rows2: f64,
+    },
+    /// p,β-regularization of the max terms (§S1, Kennings & Markov,
+    /// reference \[21\]) minimized by nonlinear Conjugate Gradient.
+    PNorm {
+        /// The exponent `p ≥ 2`; larger is closer to true HPWL.
+        p: f64,
+    },
+}
+
+impl Default for Interconnect {
+    fn default() -> Self {
+        Interconnect::Quadratic(NetModel::Bound2Bound)
+    }
+}
+
+/// How λ evolves between iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LambdaMode {
+    /// ComPLx's Formula 12: `λ_{k+1} = min(2λ_k, λ_k + (Π_{k+1}/Π_k)·h)`.
+    Complx {
+        /// The scaling constant `h`, as a multiple of `λ_1`.
+        h_factor: f64,
+    },
+    /// SimPL's fixed arithmetic pseudonet-weight growth
+    /// (`λ_{k+1} = λ_k + step·λ_1`) — the special case of Section 5.
+    Arithmetic {
+        /// Step size as a multiple of `λ_1`.
+        step: f64,
+    },
+    /// Plain geometric growth (for ablation).
+    Geometric {
+        /// Per-iteration multiplier.
+        ratio: f64,
+    },
+}
+
+impl Default for LambdaMode {
+    fn default() -> Self {
+        // h must be large enough that the 2λ cap of Formula 12 binds during
+        // the early iterations ("a maximum increase in λ can be imposed,
+        // say 100% per iteration") — λ then doubles until it engages, after
+        // which growth is additive and modulated by the Π ratio. h = 20·λ₁
+        // was calibrated on the synthetic suite (see DESIGN.md §6).
+        LambdaMode::Complx { h_factor: 20.0 }
+    }
+}
+
+/// How the `P_C` grid resolution evolves over iterations.
+///
+/// ComPLx "gradually increases the accuracy of `P_C` as the grid-cell size
+/// decreases" and Section 6 shows coarse grids lose nothing; the *finest
+/// grid* configuration of Table 1 is the `Fixed` variant at the finest
+/// resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GridSchedule {
+    /// Start coarse and refine geometrically to the adaptive resolution
+    /// (the default configuration of Table 1).
+    CoarseToFine {
+        /// Initial resolution as a fraction of the adaptive resolution.
+        start_fraction: f64,
+        /// Per-iteration growth of the bin count.
+        growth: f64,
+    },
+    /// Use one fixed fraction of the adaptive resolution for all
+    /// iterations (`1.0` = "Finest Grid" of Table 1).
+    Fixed {
+        /// Resolution as a fraction of the adaptive resolution.
+        fraction: f64,
+    },
+}
+
+impl Default for GridSchedule {
+    fn default() -> Self {
+        GridSchedule::CoarseToFine {
+            start_fraction: 0.25,
+            growth: 1.2,
+        }
+    }
+}
+
+impl GridSchedule {
+    /// The square-grid resolution for iteration `k` given the adaptive
+    /// (finest useful) resolution.
+    pub fn bins_at(&self, k: usize, adaptive: usize) -> usize {
+        let bins = match *self {
+            GridSchedule::CoarseToFine {
+                start_fraction,
+                growth,
+            } => {
+                let start = (adaptive as f64 * start_fraction).max(2.0);
+                (start * growth.powi(k as i32)).min(adaptive as f64)
+            }
+            GridSchedule::Fixed { fraction } => (adaptive as f64 * fraction).max(2.0),
+        };
+        (bins.round() as usize).clamp(2, 2048)
+    }
+}
+
+/// Routability-driven extension (SimPLR-lite, paper Section 5): estimate
+/// congestion with a RUDY map each iteration and inflate cells in
+/// congested bins before the feasibility projection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutabilityConfig {
+    /// Routing supply per unit area (demand/supply > 1 ⇒ congested).
+    pub supply: f64,
+    /// Inflation aggressiveness: width factor = 1 + alpha·(congestion − 1).
+    pub alpha: f64,
+    /// Inflation cap.
+    pub max_inflation: f64,
+    /// Congestion grid resolution (square); 0 selects the projection grid.
+    pub grid_bins: usize,
+}
+
+impl Default for RoutabilityConfig {
+    fn default() -> Self {
+        Self {
+            supply: 1.0,
+            alpha: 0.5,
+            max_inflation: 2.0,
+            grid_bins: 0,
+        }
+    }
+}
+
+/// Full placer configuration. Start from [`PlacerConfig::default`] (the
+/// paper's "Default Config."), [`PlacerConfig::finest_grid`], or
+/// [`PlacerConfig::fast`] for tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacerConfig {
+    /// Interconnect model for `Φ`.
+    pub interconnect: Interconnect,
+    /// Maximum global placement iterations.
+    pub max_iterations: usize,
+    /// Stop when the relative duality gap `Δ_Φ/Φ(x°,y°)` falls below this.
+    pub gap_tolerance: f64,
+    /// Stop when the overflow ratio falls below this.
+    pub overflow_tolerance: f64,
+    /// λ scheduling mode.
+    pub lambda_mode: LambdaMode,
+    /// The divisor in `λ_1 = Φ/(divisor·Π)`; the paper uses 100.
+    pub lambda_init_divisor: f64,
+    /// Interpret Formula 12's Π ratio as `Π_k/Π_{k+1}` (accelerate while Π
+    /// falls) instead of `Π_{k+1}/Π_k`.
+    pub lambda_inverse_ratio: bool,
+    /// Grid-resolution schedule for `P_C`.
+    pub grid: GridSchedule,
+    /// Adaptive-resolution target (movable items per bin at the finest
+    /// grid).
+    pub cells_per_bin: f64,
+    /// Scale λ per macro by `area(macro)/mean std-cell area` (Section 5).
+    pub per_macro_lambda: bool,
+    /// Shred macros inside `P_C` (Section 5).
+    pub shred_macros: bool,
+    /// Run `P_C` result through the detailed placer *every iteration*
+    /// (the expensive `P_C += FastPlace-DP` configuration of Table 1).
+    pub detail_each_iteration: bool,
+    /// Run legalization + detailed placement after global placement.
+    pub final_detail: bool,
+    /// CG relative tolerance for the quadratic solves.
+    pub cg_tolerance: f64,
+    /// CG iteration cap per axis solve (`0` = automatic). Warm starts make
+    /// modest caps nearly free in quality while keeping per-iteration cost
+    /// linear — the approximate solves the paper's convergence theory
+    /// allows ("it is sufficient for P_C to find a solution that is
+    /// reasonably close", §4; the same holds for the primal step).
+    pub cg_max_iterations: usize,
+    /// Stop after this many iterations without an improvement of the best
+    /// feasible iterate (Section 4 reads the result off a feasible iterate,
+    /// so further iterations cannot help).
+    pub stagnation_window: usize,
+    /// Routability-driven cell inflation (SimPLR-lite); `None` disables it.
+    pub routability: Option<RoutabilityConfig>,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> Self {
+        Self {
+            interconnect: Interconnect::default(),
+            max_iterations: 100,
+            gap_tolerance: 0.1,
+            overflow_tolerance: 0.05,
+            lambda_mode: LambdaMode::default(),
+            lambda_init_divisor: 100.0,
+            // "λ increases proportionally to Π changes": calibration found
+            // the accelerate-while-Π-falls reading (Π_k/Π_{k+1}) gives
+            // better quality on the synthetic suite; see DESIGN.md §6.
+            lambda_inverse_ratio: true,
+            grid: GridSchedule::default(),
+            cells_per_bin: 3.0,
+            per_macro_lambda: true,
+            shred_macros: true,
+            detail_each_iteration: false,
+            final_detail: true,
+            cg_tolerance: 1e-5,
+            cg_max_iterations: 50,
+            stagnation_window: 12,
+            routability: None,
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// The "Finest Grid" configuration of Table 1: the finest grid in all
+    /// iterations.
+    pub fn finest_grid() -> Self {
+        Self {
+            grid: GridSchedule::Fixed { fraction: 1.0 },
+            ..Self::default()
+        }
+    }
+
+    /// The "`P_C` += FastPlace-DP" configuration of Table 1: post-process
+    /// every projection with the detailed placer.
+    pub fn projection_with_detail() -> Self {
+        Self {
+            detail_each_iteration: true,
+            ..Self::default()
+        }
+    }
+
+    /// A cheap configuration for unit tests: fewer iterations, looser
+    /// tolerances.
+    pub fn fast() -> Self {
+        Self {
+            max_iterations: 60,
+            gap_tolerance: 0.1,
+            overflow_tolerance: 0.08,
+            ..Self::default()
+        }
+    }
+
+    /// The SimPL special case (Section 5): arithmetic pseudonet-weight
+    /// growth and a coarser convergence test.
+    pub fn simpl() -> Self {
+        Self {
+            lambda_mode: LambdaMode::Arithmetic { step: 50.0 },
+            lambda_inverse_ratio: false,
+            gap_tolerance: 0.1,
+            overflow_tolerance: 0.05,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_to_fine_is_monotone_and_capped() {
+        let g = GridSchedule::default();
+        let adaptive = 64;
+        let mut prev = 0;
+        for k in 0..40 {
+            let b = g.bins_at(k, adaptive);
+            assert!(b >= prev);
+            assert!(b <= adaptive);
+            prev = b;
+        }
+        assert_eq!(g.bins_at(39, adaptive), adaptive);
+    }
+
+    #[test]
+    fn fixed_grid_is_constant() {
+        let g = GridSchedule::Fixed { fraction: 0.5 };
+        assert_eq!(g.bins_at(0, 64), g.bins_at(30, 64));
+        assert_eq!(g.bins_at(0, 64), 32);
+    }
+
+    #[test]
+    fn presets_differ_in_the_right_ways() {
+        let d = PlacerConfig::default();
+        assert!(!d.detail_each_iteration);
+        assert!(PlacerConfig::projection_with_detail().detail_each_iteration);
+        assert_eq!(
+            PlacerConfig::finest_grid().grid,
+            GridSchedule::Fixed { fraction: 1.0 }
+        );
+        assert!(matches!(
+            PlacerConfig::simpl().lambda_mode,
+            LambdaMode::Arithmetic { .. }
+        ));
+    }
+}

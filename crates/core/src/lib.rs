@@ -1,0 +1,57 @@
+//! ComPLx: a competitive primal-dual Lagrange optimization for global
+//! placement (Kim & Markov, DAC 2012) — the core placer of this
+//! reproduction.
+//!
+//! The algorithm alternates two steps until the duality gap closes
+//! (paper Sections 3–4):
+//!
+//! 1. **Primal step** — minimize the simplified Lagrangian
+//!    `L°(x, y, λ) = Φ(x, y) + λ‖(x, y) − (x°, y°)‖₁` (Formula 10) with a
+//!    pluggable interconnect model (linearized-quadratic Bound2Bound by
+//!    default, log-sum-exp optional). This produces the *lower-bound*
+//!    placement.
+//! 2. **Dual step** — project onto the feasible set with `P_C`
+//!    (look-ahead legalization) to obtain the anchors `(x°, y°)` — the
+//!    *upper-bound* placement — and raise λ per Formula 12:
+//!    `λ_{k+1} = min(2λ_k, λ_k + (Π_{k+1}/Π_k)·h)`, starting from
+//!    `λ_1 = Φ/(100·Π)`.
+//!
+//! Per Section 4, iterations stop on the relative duality gap
+//! `Δ_Φ = Φ(x°, y°) − Φ(x, y)`, and detailed placement runs on the last
+//! *feasible* iterate. Mixed-size designs get per-macro λ scaling and
+//! macro shredding inside `P_C` (Section 5); timing-driven placement
+//! weighs the penalty by cell criticality (Formula 13, Section S6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use complx_netlist::generator::GeneratorConfig;
+//! use complx_place::{ComplxPlacer, PlacerConfig};
+//!
+//! let design = GeneratorConfig::small("quick", 1).generate();
+//! let outcome = ComplxPlacer::new(PlacerConfig::fast()).place(&design);
+//! assert!(outcome.hpwl_legal > 0.0);
+//! assert!(outcome.trace.len() >= 2);
+//! ```
+//!
+//! Baselines for the paper's comparisons live in [`baselines`]: a SimPL
+//! configuration (ComPLx restricted to SimPL's schedule, Section 5's
+//! "special cases"), and FastPlace/RQL-style force-directed placers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod check;
+mod config;
+mod lambda;
+mod metrics;
+mod placer;
+pub mod timing_driven;
+mod trace;
+
+pub use config::{GridSchedule, Interconnect, LambdaMode, PlacerConfig, RoutabilityConfig};
+pub use lambda::LambdaSchedule;
+pub use metrics::PlacementMetrics;
+pub use placer::{ComplxPlacer, PlacementOutcome};
+pub use trace::{IterationRecord, Trace};

@@ -1,0 +1,102 @@
+//! End-to-end tests of the `complx` command-line placer binary.
+
+use std::process::Command;
+
+use complx_netlist::{bookshelf, generator::GeneratorConfig, hpwl};
+
+fn complx_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_complx")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("complx_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+#[test]
+fn places_a_bookshelf_bundle_end_to_end() {
+    let dir = temp_dir("e2e");
+    let design = GeneratorConfig::small("cli", 7).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+    let out_dir = dir.join("solution");
+    let trace = dir.join("trace.csv");
+
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["--max-iterations", "25", "-q"])
+        .arg("-o")
+        .arg(&out_dir)
+        .arg("--trace")
+        .arg(&trace)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("HPWL"), "stdout: {stdout}");
+
+    // The solution bundle re-reads with a sensible HPWL.
+    let sol = bookshelf::read_aux(out_dir.join("cli.aux")).expect("solution parses");
+    let h = hpwl::hpwl(&sol.design, &sol.placement);
+    assert!(h > 0.0);
+
+    // The trace CSV has a header and rows.
+    let csv = std::fs::read_to_string(&trace).expect("trace written");
+    assert!(csv.starts_with("iteration,lambda"));
+    assert!(csv.lines().count() > 2);
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn missing_input_fails_with_nonzero_exit() {
+    let output = Command::new(complx_bin())
+        .arg("/nonexistent/never.aux")
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+}
+
+#[test]
+fn unknown_flag_shows_usage() {
+    let output = Command::new(complx_bin())
+        .arg("--frobnicate")
+        .output()
+        .expect("binary runs");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+}
+
+#[test]
+fn simpl_and_lse_modes_run() {
+    let dir = temp_dir("modes");
+    let design = GeneratorConfig::small("modes", 8).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+    for extra in [vec!["--simpl"], vec!["--lse", "4"], vec!["--no-detail"]] {
+        let out_dir = dir.join(format!("out_{}", extra[0].trim_start_matches('-')));
+        let output = Command::new(complx_bin())
+            .arg(&aux)
+            .args(["-q", "--max-iterations", "15"])
+            .args(&extra)
+            .arg("-o")
+            .arg(&out_dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            output.status.success(),
+            "mode {extra:?} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -1,0 +1,295 @@
+//! Abacus row-based least-displacement legalization
+//! (Spindler et al., "Abacus: fast legalization of standard cell circuits
+//! with minimal movement").
+
+use complx_netlist::{CellKind, Design, Placement, Point};
+
+use crate::rows::RowLayout;
+
+/// One placed cell inside a segment, in packing order.
+#[derive(Debug, Clone, Copy)]
+struct SegCell {
+    id: u32,
+    /// Desired left edge.
+    want_lx: f64,
+    width: f64,
+}
+
+/// A cluster of abutting cells with the classic Abacus aggregates.
+#[derive(Debug, Clone, Copy)]
+struct Cluster {
+    /// First cell index (into the segment's cell list).
+    first: usize,
+    /// One-past-last cell index.
+    last: usize,
+    /// Total weight (one per cell here).
+    e: f64,
+    /// Weighted optimal-position numerator.
+    q: f64,
+    /// Total width.
+    w: f64,
+    /// Current left edge.
+    x: f64,
+}
+
+/// The state of one segment: cells in packing order plus the cluster stack.
+#[derive(Debug, Clone, Default)]
+struct SegmentState {
+    cells: Vec<SegCell>,
+    clusters: Vec<Cluster>,
+}
+
+impl SegmentState {
+    /// Appends a cell and re-clusters; returns the cell's final left edge.
+    fn place(&mut self, cell: SegCell, seg_lx: f64, seg_hx: f64) -> f64 {
+        let idx = self.cells.len();
+        self.cells.push(cell);
+        let mut c = Cluster {
+            first: idx,
+            last: idx + 1,
+            e: 1.0,
+            q: cell.want_lx,
+            w: cell.width,
+            x: 0.0,
+        };
+        // Collapse: clamp into segment, then merge with predecessor while
+        // overlapping.
+        loop {
+            c.x = (c.q / c.e).clamp(seg_lx, (seg_hx - c.w).max(seg_lx));
+            match self.clusters.last() {
+                Some(prev) if prev.x + prev.w > c.x + 1e-12 => {
+                    let prev = self.clusters.pop().expect("checked non-empty");
+                    // Merge prev ++ c.
+                    let merged = Cluster {
+                        first: prev.first,
+                        last: c.last,
+                        e: prev.e + c.e,
+                        q: prev.q + (c.q - c.e * prev.w),
+                        w: prev.w + c.w,
+                        x: 0.0,
+                    };
+                    c = merged;
+                }
+                _ => break,
+            }
+        }
+        self.clusters.push(c);
+        // Final left edge of the appended cell.
+        let c = self.clusters.last().expect("just pushed");
+        let mut x = c.x;
+        for k in c.first..c.last {
+            if k == idx {
+                return x;
+            }
+            x += self.cells[k].width;
+        }
+        unreachable!("appended cell must be in the last cluster");
+    }
+
+    /// Total width currently placed.
+    fn used(&self) -> f64 {
+        self.cells.iter().map(|c| c.width).sum()
+    }
+
+    /// Final left edges of all cells.
+    fn positions(&self) -> Vec<(u32, f64)> {
+        let mut out = Vec::with_capacity(self.cells.len());
+        for c in &self.clusters {
+            let mut x = c.x;
+            for k in c.first..c.last {
+                out.push((self.cells[k].id, x));
+                x += self.cells[k].width;
+            }
+        }
+        out
+    }
+}
+
+/// Legalizes movable standard cells with the Abacus algorithm: cells are
+/// processed in x order; each is trial-inserted into nearby rows and
+/// committed to the row minimizing its resulting displacement. Cluster
+/// merging shifts earlier cells as needed, which is what gives Abacus its
+/// least-squares-displacement behavior.
+///
+/// Returns the number of unplaceable cells (0 on success).
+pub fn abacus_legalize(design: &Design, rows: &RowLayout, placement: &mut Placement) -> usize {
+    let num_rows = rows.num_rows();
+    let mut states: Vec<Vec<SegmentState>> = (0..num_rows)
+        .map(|r| vec![SegmentState::default(); rows.segments(r).len()])
+        .collect();
+
+    let mut order: Vec<_> = design
+        .movable_cells()
+        .iter()
+        .copied()
+        .filter(|&id| design.cell(id).kind() == CellKind::Movable)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let la = placement.position(a).x - 0.5 * design.cell(a).width();
+        let lb = placement.position(b).x - 0.5 * design.cell(b).width();
+        la.partial_cmp(&lb).expect("finite coords")
+    });
+
+    let mut failures = 0;
+    for id in order {
+        let cell = design.cell(id);
+        let w = cell.width();
+        let p = placement.position(id);
+        let want_lx = p.x - 0.5 * w;
+        let pref_row = rows.nearest_row(p.y);
+
+        let mut best: Option<(f64, usize, usize)> = None; // (cost, row, seg)
+        for d in 0..num_rows as isize {
+            for sign in [1isize, -1] {
+                if d == 0 && sign < 0 {
+                    continue;
+                }
+                let r = pref_row as isize + sign * d;
+                if r < 0 || r >= num_rows as isize {
+                    continue;
+                }
+                let r = r as usize;
+                let dy = (rows.row_center(r) - p.y).abs();
+                if let Some((cost, ..)) = best {
+                    if dy >= cost {
+                        continue;
+                    }
+                }
+                for (si, seg) in rows.segments(r).iter().enumerate() {
+                    let st = &mut states[r][si];
+                    if st.used() + w > seg.width() + 1e-9 {
+                        continue;
+                    }
+                    // Trial insert on a clone of the cluster stack.
+                    let mut trial = st.clone();
+                    let lx = trial.place(
+                        SegCell {
+                            id: id.index() as u32,
+                            want_lx,
+                            width: w,
+                        },
+                        seg.lx,
+                        seg.hx,
+                    );
+                    let cost = (lx - want_lx).abs() + dy;
+                    if best.is_none() || cost < best.expect("checked").0 {
+                        best = Some((cost, r, si));
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((_, r, si)) => {
+                let seg = rows.segments(r)[si];
+                states[r][si].place(
+                    SegCell {
+                        id: id.index() as u32,
+                        want_lx,
+                        width: w,
+                    },
+                    seg.lx,
+                    seg.hx,
+                );
+            }
+            None => failures += 1,
+        }
+    }
+
+    // Write back final positions.
+    for r in 0..num_rows {
+        let yc = rows.row_center(r);
+        for st in &states[r] {
+            for (raw, lx) in st.positions() {
+                let id = complx_netlist::CellId::from_index(raw as usize);
+                let w = design.cell(id).width();
+                placement.set_position(id, Point::new(lx + 0.5 * w, yc));
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tetris::tetris_legalize;
+    use crate::verify::is_legal;
+    use complx_netlist::generator::GeneratorConfig;
+
+    #[test]
+    fn abacus_produces_legal_placement() {
+        let d = GeneratorConfig::small("a", 21).generate();
+        let rows = RowLayout::new(&d, &[]);
+        let mut p = d.initial_placement();
+        let failures = abacus_legalize(&d, &rows, &mut p);
+        assert_eq!(failures, 0);
+        assert!(is_legal(&d, &p, 1e-6));
+    }
+
+    #[test]
+    fn abacus_no_worse_than_tetris_on_displacement() {
+        let d = GeneratorConfig::small("a2", 22).generate();
+        let rows = RowLayout::new(&d, &[]);
+        // Mildly spread start (realistic for post-global placement).
+        let core = d.core();
+        let mut start = d.initial_placement();
+        for (i, &id) in d.movable_cells().iter().enumerate() {
+            let fx = (i as f64 * 0.61803) % 1.0;
+            let fy = (i as f64 * 0.31415) % 1.0;
+            start.set_position(
+                id,
+                Point::new(core.lx + fx * core.width(), core.ly + fy * core.height()),
+            );
+        }
+        let mut ab = start.clone();
+        abacus_legalize(&d, &rows, &mut ab);
+        let mut tt = start.clone();
+        tetris_legalize(&d, &rows, &mut tt);
+        let d_ab = start.l1_distance(&ab);
+        let d_tt = start.l1_distance(&tt);
+        assert!(
+            d_ab <= d_tt * 1.2,
+            "abacus displacement {d_ab} vs tetris {d_tt}"
+        );
+    }
+
+    #[test]
+    fn cluster_merging_resolves_collisions() {
+        // Two cells wanting the same spot must end up abutting, centered
+        // around the contested position.
+        use complx_netlist::{CellKind, DesignBuilder, Rect};
+        let mut b = DesignBuilder::new("c", Rect::new(0.0, 0.0, 20.0, 1.0), 1.0);
+        let c1 = b.add_cell("c1", 4.0, 1.0, CellKind::Movable).unwrap();
+        let c2 = b.add_cell("c2", 4.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(c1, 0.0, 0.0), (c2, 0.0, 0.0)])
+            .unwrap();
+        let d = b.build().unwrap();
+        let mut p = d.initial_placement();
+        p.set_position(c1, Point::new(10.0, 0.5));
+        p.set_position(c2, Point::new(10.0, 0.5));
+        let rows = RowLayout::new(&d, &[]);
+        let failures = abacus_legalize(&d, &rows, &mut p);
+        assert_eq!(failures, 0);
+        let x1 = p.position(c1).x;
+        let x2 = p.position(c2).x;
+        assert!((x1 - x2).abs() >= 4.0 - 1e-9, "cells overlap: {x1} {x2}");
+        // Centered: mean of centers ≈ contested position.
+        assert!((0.5 * (x1 + x2) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_segment_rejects_cells() {
+        use complx_netlist::{CellKind, DesignBuilder, Rect};
+        let mut b = DesignBuilder::new("f", Rect::new(0.0, 0.0, 4.0, 1.0), 1.0);
+        let c1 = b.add_cell("c1", 3.0, 1.0, CellKind::Movable).unwrap();
+        let c2 = b.add_cell("c2", 3.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(c1, 0.0, 0.0), (c2, 0.0, 0.0)])
+            .unwrap();
+        let d = b.build().unwrap();
+        let rows = RowLayout::new(&d, &[]);
+        let mut p = d.initial_placement();
+        let failures = abacus_legalize(&d, &rows, &mut p);
+        assert_eq!(failures, 1, "only one 3-wide cell fits in a 4-wide row");
+    }
+}

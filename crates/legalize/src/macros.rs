@@ -1,0 +1,178 @@
+//! Greedy legalization of movable macros.
+//!
+//! ComPLx's `P_C` "may leave small overlaps between macros … even if slight
+//! overlaps remain at the end of global placement, they can be fixed by the
+//! detailed placer" (paper Section 5). This pass removes those residual
+//! overlaps: macros are processed in decreasing area order; each is placed
+//! at the position nearest its global location that does not overlap fixed
+//! obstacles, previously placed macros, or the core boundary, found by a
+//! breadth-first spiral search on a row-height lattice.
+
+use complx_netlist::{CellKind, Design, Placement, Point, Rect};
+
+/// Legalizes movable macros in place; returns the rectangles of their final
+/// footprints (to be carved out of [`crate::RowLayout`] as blockages for
+/// standard-cell legalization).
+///
+/// Macros that cannot be placed without overlap stay at their clamped input
+/// location (counted in the returned tuple's second element).
+pub fn legalize_macros(design: &Design, placement: &mut Placement) -> (Vec<Rect>, usize) {
+    let core = design.core();
+    let step = design.row_height();
+
+    // Fixed obstacles are immovable blockages.
+    let mut placed: Vec<Rect> = design
+        .cell_ids()
+        .filter(|&id| design.cell(id).kind() == CellKind::Fixed)
+        .map(|id| {
+            let c = design.cell(id);
+            design
+                .fixed_positions()
+                .cell_rect(id, c.width(), c.height())
+        })
+        .collect();
+    let num_fixed = placed.len();
+
+    let mut macros: Vec<_> = design
+        .movable_cells()
+        .iter()
+        .copied()
+        .filter(|&id| design.cell(id).kind() == CellKind::MovableMacro)
+        .collect();
+    macros.sort_by(|&a, &b| {
+        design
+            .cell(b)
+            .area()
+            .partial_cmp(&design.cell(a).area())
+            .expect("finite areas")
+    });
+
+    let mut unplaced = 0;
+    for id in macros {
+        let cell = design.cell(id);
+        let (w, h) = (cell.width(), cell.height());
+        let p = placement.position(id);
+        // Clamp center so the footprint fits the core.
+        let cx = p.x.clamp(core.lx + 0.5 * w, (core.hx - 0.5 * w).max(core.lx + 0.5 * w));
+        let cy = p.y.clamp(core.ly + 0.5 * h, (core.hy - 0.5 * h).max(core.ly + 0.5 * h));
+        // Snap the bottom edge to a row boundary for cleaner row carving.
+        let snap_y = |y: f64| -> f64 {
+            let bottom = y - 0.5 * h - core.ly;
+            core.ly + (bottom / step).round() * step + 0.5 * h
+        };
+
+        let overlaps = |r: &Rect| placed.iter().any(|o| o.overlap_area(r) > 1e-9);
+        let rect_at = |x: f64, y: f64| Rect::new(x - 0.5 * w, y - 0.5 * h, x + 0.5 * w, y + 0.5 * h);
+
+        let mut found = None;
+        'search: for radius in 0..200 {
+            let r = radius as f64 * step;
+            // Ring of candidate centers at L∞ radius `r`.
+            let steps = (2 * radius).max(1);
+            for i in 0..=steps {
+                let t = i as f64 / steps as f64;
+                let candidates = if radius == 0 {
+                    vec![(cx, cy)]
+                } else {
+                    vec![
+                        (cx - r + 2.0 * r * t, cy - r),
+                        (cx - r + 2.0 * r * t, cy + r),
+                        (cx - r, cy - r + 2.0 * r * t),
+                        (cx + r, cy - r + 2.0 * r * t),
+                    ]
+                };
+                for (x, y) in candidates {
+                    let x = x.clamp(core.lx + 0.5 * w, (core.hx - 0.5 * w).max(core.lx + 0.5 * w));
+                    let y = snap_y(y.clamp(
+                        core.ly + 0.5 * h,
+                        (core.hy - 0.5 * h).max(core.ly + 0.5 * h),
+                    ));
+                    let rect = rect_at(x, y);
+                    if rect.lx >= core.lx - 1e-9
+                        && rect.hx <= core.hx + 1e-9
+                        && rect.ly >= core.ly - 1e-9
+                        && rect.hy <= core.hy + 1e-9
+                        && !overlaps(&rect)
+                    {
+                        found = Some((x, y, rect));
+                        break 'search;
+                    }
+                }
+            }
+        }
+
+        match found {
+            Some((x, y, rect)) => {
+                placement.set_position(id, Point::new(x, y));
+                placed.push(rect);
+            }
+            None => {
+                unplaced += 1;
+                placement.set_position(id, Point::new(cx, snap_y(cy)));
+                placed.push(rect_at(cx, snap_y(cy)));
+            }
+        }
+    }
+
+    (placed.split_off(num_fixed), unplaced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::generator::GeneratorConfig;
+
+    #[test]
+    fn macros_end_up_disjoint() {
+        let d = GeneratorConfig::ispd2006_like("m", 31, 400, 0.7).generate();
+        let mut p = d.initial_placement(); // all macros stacked at center
+        let (rects, unplaced) = legalize_macros(&d, &mut p);
+        assert_eq!(unplaced, 0);
+        for i in 0..rects.len() {
+            for j in i + 1..rects.len() {
+                assert!(
+                    rects[i].overlap_area(&rects[j]) < 1e-6,
+                    "macros {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn macros_avoid_fixed_obstacles_and_core_bounds() {
+        let d = GeneratorConfig::ispd2006_like("m2", 32, 400, 0.7).generate();
+        let mut p = d.initial_placement();
+        let (rects, _) = legalize_macros(&d, &mut p);
+        let core = d.core();
+        let obstacles: Vec<Rect> = d
+            .cell_ids()
+            .filter(|&id| d.cell(id).kind() == CellKind::Fixed)
+            .map(|id| {
+                let c = d.cell(id);
+                d.fixed_positions().cell_rect(id, c.width(), c.height())
+            })
+            .collect();
+        for r in &rects {
+            assert!(r.lx >= core.lx - 1e-6 && r.hx <= core.hx + 1e-6);
+            assert!(r.ly >= core.ly - 1e-6 && r.hy <= core.hy + 1e-6);
+            for o in &obstacles {
+                assert!(r.overlap_area(o) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn already_legal_macros_barely_move() {
+        let d = GeneratorConfig::ispd2006_like("m3", 33, 400, 0.7).generate();
+        let mut p = d.initial_placement();
+        legalize_macros(&d, &mut p); // first pass: make legal
+        let before = p.clone();
+        let (_, unplaced) = legalize_macros(&d, &mut p); // second pass
+        assert_eq!(unplaced, 0);
+        let moved = before.l1_distance(&p);
+        assert!(
+            moved < d.row_height() * d.movable_cells().len() as f64 * 0.01 + 1.0,
+            "second legalization moved macros by {moved}"
+        );
+    }
+}

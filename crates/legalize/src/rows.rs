@@ -1,0 +1,201 @@
+//! Standard-cell rows and their free segments.
+
+use complx_netlist::{CellKind, Design, Rect};
+
+/// A maximal obstacle-free interval of one row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Left end of the segment.
+    pub lx: f64,
+    /// Right end of the segment.
+    pub hx: f64,
+}
+
+impl Segment {
+    /// The segment's width.
+    pub fn width(&self) -> f64 {
+        self.hx - self.lx
+    }
+}
+
+/// The row structure of a design: uniform rows spanning the core, each
+/// split into segments by fixed obstacles (and any extra blockages passed
+/// in, e.g. legalized macros).
+#[derive(Debug, Clone)]
+pub struct RowLayout {
+    row_height: f64,
+    core: Rect,
+    /// Row bottom y coordinates, ascending.
+    row_y: Vec<f64>,
+    /// Free segments per row, sorted by `lx`.
+    segments: Vec<Vec<Segment>>,
+}
+
+impl RowLayout {
+    /// Builds rows for a design, subtracting fixed obstacles plus
+    /// `extra_blockages` (rectangles, e.g. already-legalized macros).
+    pub fn new(design: &Design, extra_blockages: &[Rect]) -> Self {
+        let core = design.core();
+        let rh = design.row_height();
+        let num_rows = ((core.height() / rh).floor() as usize).max(1);
+        let mut row_y = Vec::with_capacity(num_rows);
+        for r in 0..num_rows {
+            row_y.push(core.ly + r as f64 * rh);
+        }
+
+        // Collect blockage rects: fixed obstacles + extra.
+        let mut blockages: Vec<Rect> = design
+            .cell_ids()
+            .filter(|&id| design.cell(id).kind() == CellKind::Fixed)
+            .map(|id| {
+                let c = design.cell(id);
+                design
+                    .fixed_positions()
+                    .cell_rect(id, c.width(), c.height())
+            })
+            .collect();
+        blockages.extend_from_slice(extra_blockages);
+
+        let mut segments = Vec::with_capacity(num_rows);
+        for &y in &row_y {
+            let y_hi = y + rh;
+            // Blockage x-intervals overlapping this row.
+            let mut cuts: Vec<(f64, f64)> = blockages
+                .iter()
+                .filter(|b| b.ly < y_hi - 1e-9 && b.hy > y + 1e-9)
+                .map(|b| (b.lx.max(core.lx), b.hx.min(core.hx)))
+                .filter(|(l, h)| h > l)
+                .collect();
+            cuts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            let mut segs = Vec::new();
+            let mut cursor = core.lx;
+            for (l, h) in cuts {
+                if l > cursor {
+                    segs.push(Segment { lx: cursor, hx: l });
+                }
+                cursor = cursor.max(h);
+            }
+            if cursor < core.hx {
+                segs.push(Segment {
+                    lx: cursor,
+                    hx: core.hx,
+                });
+            }
+            segments.push(segs);
+        }
+
+        Self {
+            row_height: rh,
+            core,
+            row_y,
+            segments,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.row_y.len()
+    }
+
+    /// The row height.
+    pub fn row_height(&self) -> f64 {
+        self.row_height
+    }
+
+    /// Bottom y coordinate of row `r`.
+    pub fn row_bottom(&self, r: usize) -> f64 {
+        self.row_y[r]
+    }
+
+    /// Center y coordinate of row `r`.
+    pub fn row_center(&self, r: usize) -> f64 {
+        self.row_y[r] + 0.5 * self.row_height
+    }
+
+    /// Free segments of row `r`, sorted by x.
+    pub fn segments(&self, r: usize) -> &[Segment] {
+        &self.segments[r]
+    }
+
+    /// The row whose center is nearest to `y` (clamped to valid rows).
+    pub fn nearest_row(&self, y: f64) -> usize {
+        if self.row_y.is_empty() {
+            return 0;
+        }
+        let r = ((y - self.core.ly - 0.5 * self.row_height) / self.row_height).round();
+        (r.max(0.0) as usize).min(self.row_y.len() - 1)
+    }
+
+    /// Total free width over all rows.
+    pub fn total_free_width(&self) -> f64 {
+        self.segments
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(Segment::width)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{CellKind, DesignBuilder, Point};
+
+    fn design(side: f64, rh: f64) -> Design {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, side, side), rh);
+        let a = b.add_cell("a", 1.0, rh, CellKind::Movable).unwrap();
+        let f = b
+            .add_fixed_cell("f", 4.0, 2.0 * rh, CellKind::Fixed, Point::new(side / 2.0, rh))
+            .unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f, 0.0, 0.0)])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn row_count_and_coordinates() {
+        let d = design(16.0, 2.0);
+        let rows = RowLayout::new(&d, &[]);
+        assert_eq!(rows.num_rows(), 8);
+        assert_eq!(rows.row_bottom(0), 0.0);
+        assert_eq!(rows.row_center(1), 3.0);
+    }
+
+    #[test]
+    fn obstacle_splits_rows() {
+        let d = design(16.0, 2.0);
+        let rows = RowLayout::new(&d, &[]);
+        // Obstacle spans y ∈ [0, 4] → rows 0 and 1 are split; row 2 is not.
+        assert_eq!(rows.segments(0).len(), 2);
+        assert_eq!(rows.segments(1).len(), 2);
+        assert_eq!(rows.segments(2).len(), 1);
+        let s = rows.segments(0);
+        assert_eq!(s[0].hx, 6.0);
+        assert_eq!(s[1].lx, 10.0);
+    }
+
+    #[test]
+    fn extra_blockages_respected() {
+        let d = design(16.0, 2.0);
+        let rows = RowLayout::new(&d, &[Rect::new(0.0, 14.0, 16.0, 16.0)]);
+        // Last row fully blocked.
+        assert!(rows.segments(7).is_empty());
+    }
+
+    #[test]
+    fn nearest_row_clamps() {
+        let d = design(16.0, 2.0);
+        let rows = RowLayout::new(&d, &[]);
+        assert_eq!(rows.nearest_row(-10.0), 0);
+        assert_eq!(rows.nearest_row(100.0), 7);
+        assert_eq!(rows.nearest_row(3.0), 1);
+    }
+
+    #[test]
+    fn total_free_width_subtracts_obstacles() {
+        let d = design(16.0, 2.0);
+        let rows = RowLayout::new(&d, &[]);
+        // 8 rows × 16 − obstacle occupying 4 width in 2 rows.
+        assert!((rows.total_free_width() - (8.0 * 16.0 - 2.0 * 4.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,222 @@
+//! Greedy ("Tetris") legalization.
+
+use complx_netlist::{CellKind, Design, Placement, Point};
+
+use crate::rows::RowLayout;
+
+/// Legalizes the movable standard cells of `placement` onto `rows` with the
+/// classic greedy sweep: cells are processed in order of their left edge;
+/// each is placed at the feasible position minimizing its displacement,
+/// packing rows left to right. Cells the sweep cannot fit (fragmentation)
+/// get a second, gap-aware pass that places them into the nearest remaining
+/// free gap. Macros are not handled here (see [`crate::legalize_macros`]);
+/// their row blockages must already be carved into `rows`.
+///
+/// Like every Tetris-style legalizer, this works best on a *pre-spread*
+/// input (e.g. a ComPLx upper-bound placement); heavily stacked inputs
+/// waste row space and displace cells further. Use
+/// [`crate::abacus_legalize`] (the default) when displacement matters.
+///
+/// Returns the number of cells that could not be placed at all (0 unless
+/// the free space is truly exhausted).
+pub fn tetris_legalize(design: &Design, rows: &RowLayout, placement: &mut Placement) -> usize {
+    // Placed intervals per row/segment, kept sorted by construction (the
+    // cursor only moves right) and by sorted insertion in the fallback.
+    let mut placed: Vec<Vec<Vec<(f64, f64)>>> = (0..rows.num_rows())
+        .map(|r| vec![Vec::new(); rows.segments(r).len()])
+        .collect();
+    let mut cursors: Vec<Vec<f64>> = (0..rows.num_rows())
+        .map(|r| rows.segments(r).iter().map(|s| s.lx).collect())
+        .collect();
+
+    let mut order: Vec<_> = design
+        .movable_cells()
+        .iter()
+        .copied()
+        .filter(|&id| design.cell(id).kind() == CellKind::Movable)
+        .collect();
+    order.sort_by(|&a, &b| {
+        let la = placement.position(a).x - 0.5 * design.cell(a).width();
+        let lb = placement.position(b).x - 0.5 * design.cell(b).width();
+        la.partial_cmp(&lb).expect("finite coords")
+    });
+
+    let mut deferred = Vec::new();
+    for id in order {
+        let cell = design.cell(id);
+        let w = cell.width();
+        let p = placement.position(id);
+        let want_lx = p.x - 0.5 * w;
+        let pref_row = rows.nearest_row(p.y);
+
+        let mut best: Option<(f64, usize, usize, f64)> = None; // (cost, row, seg, lx)
+        for off in row_offsets(rows.num_rows()) {
+            let r = pref_row as isize + off;
+            if r < 0 || r >= rows.num_rows() as isize {
+                continue;
+            }
+            let r = r as usize;
+            let dy = (rows.row_center(r) - p.y).abs();
+            if let Some((cost, ..)) = best {
+                if dy >= cost {
+                    continue;
+                }
+            }
+            for (si, seg) in rows.segments(r).iter().enumerate() {
+                let cursor = cursors[r][si];
+                if cursor + w > seg.hx + 1e-9 {
+                    continue;
+                }
+                // Clamp leftward when the desired position lies beyond the
+                // segment end (cells may move left of their target).
+                let lx = want_lx.max(cursor).min(seg.hx - w);
+                let cost = (lx - want_lx).abs() + dy;
+                if best.is_none() || cost < best.expect("checked").0 {
+                    best = Some((cost, r, si, lx));
+                }
+            }
+        }
+
+        match best {
+            Some((_, r, si, lx)) => {
+                cursors[r][si] = lx + w;
+                placed[r][si].push((lx, lx + w));
+                placement.set_position(id, Point::new(lx + 0.5 * w, rows.row_center(r)));
+            }
+            None => deferred.push(id),
+        }
+    }
+
+    // Gap-aware fallback for cells the monotone sweep could not fit.
+    let mut failures = 0;
+    for id in deferred {
+        let cell = design.cell(id);
+        let w = cell.width();
+        let p = placement.position(id);
+        let want_lx = p.x - 0.5 * w;
+        let pref_row = rows.nearest_row(p.y);
+
+        let mut best: Option<(f64, usize, usize, usize, f64)> = None; // (cost, row, seg, insert_at, lx)
+        for off in row_offsets(rows.num_rows()) {
+            let r = pref_row as isize + off;
+            if r < 0 || r >= rows.num_rows() as isize {
+                continue;
+            }
+            let r = r as usize;
+            let dy = (rows.row_center(r) - p.y).abs();
+            if let Some((cost, ..)) = best {
+                if dy >= cost {
+                    continue;
+                }
+            }
+            for (si, seg) in rows.segments(r).iter().enumerate() {
+                let ints = &placed[r][si];
+                let mut prev_end = seg.lx;
+                for (k, &(ilx, ihx)) in ints
+                    .iter()
+                    .chain(std::iter::once(&(seg.hx, seg.hx)))
+                    .enumerate()
+                {
+                    if ilx - prev_end >= w - 1e-9 {
+                        let lx = want_lx.clamp(prev_end, ilx - w);
+                        let cost = (lx - want_lx).abs() + dy;
+                        if best.is_none() || cost < best.expect("checked").0 {
+                            best = Some((cost, r, si, k, lx));
+                        }
+                    }
+                    prev_end = prev_end.max(ihx);
+                }
+            }
+        }
+        match best {
+            Some((_, r, si, k, lx)) => {
+                placed[r][si].insert(k, (lx, lx + w));
+                placement.set_position(id, Point::new(lx + 0.5 * w, rows.row_center(r)));
+            }
+            None => failures += 1,
+        }
+    }
+    failures
+}
+
+/// Row search order: 0, +1, −1, +2, −2, …
+fn row_offsets(num_rows: usize) -> impl Iterator<Item = isize> {
+    (0..num_rows as isize).flat_map(|d| {
+        if d == 0 {
+            vec![0]
+        } else {
+            vec![d, -d]
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_legal;
+    use complx_netlist::generator::GeneratorConfig;
+
+    /// A deterministic pre-spread placement (what Tetris is designed for).
+    fn spread_start(d: &complx_netlist::Design) -> complx_netlist::Placement {
+        let core = d.core();
+        let mut p = d.initial_placement();
+        for (i, &id) in d.movable_cells().iter().enumerate() {
+            let fx = (i as f64 * 0.61803) % 1.0;
+            let fy = (i as f64 * 0.31415) % 1.0;
+            p.set_position(
+                id,
+                Point::new(core.lx + fx * core.width(), core.ly + fy * core.height()),
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn tetris_produces_legal_rows() {
+        let d = GeneratorConfig::small("t", 11).generate();
+        let rows = RowLayout::new(&d, &[]);
+        let mut p = spread_start(&d);
+        let failures = tetris_legalize(&d, &rows, &mut p);
+        assert_eq!(failures, 0);
+        assert!(is_legal(&d, &p, 1e-6));
+    }
+
+    #[test]
+    fn tetris_handles_stacked_input_via_fallback() {
+        let d = GeneratorConfig::small("ts", 14).generate();
+        let rows = RowLayout::new(&d, &[]);
+        let mut p = d.initial_placement(); // everything at the core center
+        let failures = tetris_legalize(&d, &rows, &mut p);
+        assert_eq!(failures, 0);
+        assert!(is_legal(&d, &p, 1e-6));
+    }
+
+    #[test]
+    fn tetris_is_deterministic() {
+        let d = GeneratorConfig::small("t2", 12).generate();
+        let rows = RowLayout::new(&d, &[]);
+        let mut a = spread_start(&d);
+        let mut b = spread_start(&d);
+        tetris_legalize(&d, &rows, &mut a);
+        tetris_legalize(&d, &rows, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spread_input_moves_less_than_stacked_input() {
+        let d = GeneratorConfig::small("t3", 13).generate();
+        let rows = RowLayout::new(&d, &[]);
+        let stacked = d.initial_placement();
+        let mut stacked_out = stacked.clone();
+        tetris_legalize(&d, &rows, &mut stacked_out);
+        let disp_stacked = stacked.l1_distance(&stacked_out);
+        let spreadish = spread_start(&d);
+        let mut spread_out = spreadish.clone();
+        tetris_legalize(&d, &rows, &mut spread_out);
+        let disp_spread = spreadish.l1_distance(&spread_out);
+        assert!(
+            disp_spread < disp_stacked,
+            "spread {disp_spread} vs stacked {disp_stacked}"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Legality checking.
+
+use complx_netlist::{CellKind, Design, Placement, Rect};
+
+/// Detailed legality diagnostics for a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LegalityReport {
+    /// Total pairwise overlap area among movable cells (and against fixed
+    /// obstacles).
+    pub overlap_area: f64,
+    /// Number of standard cells not aligned to a row center.
+    pub off_row_cells: usize,
+    /// Number of movable cells extending outside the core.
+    pub out_of_core: usize,
+}
+
+impl LegalityReport {
+    /// Whether the report indicates a legal placement under tolerance `tol`
+    /// (area units for overlap, length units for alignment).
+    pub fn is_legal(&self, tol: f64) -> bool {
+        self.overlap_area <= tol && self.off_row_cells == 0 && self.out_of_core == 0
+    }
+}
+
+/// Computes a [`LegalityReport`] with a sweep over a uniform hash grid
+/// (O(n·k) for k local neighbors rather than O(n²)).
+pub fn legality_report(design: &Design, placement: &Placement) -> LegalityReport {
+    let core = design.core();
+    let rh = design.row_height();
+
+    // Gather movable rects and fixed obstacle rects.
+    let mut rects: Vec<(usize, Rect, bool)> = Vec::new(); // (cell, rect, movable)
+    for id in design.cell_ids() {
+        let cell = design.cell(id);
+        match cell.kind() {
+            CellKind::Movable | CellKind::MovableMacro => {
+                let r = placement.cell_rect(id, cell.width(), cell.height());
+                rects.push((id.index(), r, true));
+            }
+            CellKind::Fixed => {
+                let r = design
+                    .fixed_positions()
+                    .cell_rect(id, cell.width(), cell.height());
+                rects.push((id.index(), r, false));
+            }
+            CellKind::Terminal => {}
+        }
+    }
+
+    let mut report = LegalityReport::default();
+
+    // Row alignment + core containment for movables.
+    for &(idx, r, movable) in &rects {
+        if !movable {
+            continue;
+        }
+        let id = complx_netlist::CellId::from_index(idx);
+        let cell = design.cell(id);
+        if r.lx < core.lx - 1e-6
+            || r.hx > core.hx + 1e-6
+            || r.ly < core.ly - 1e-6
+            || r.hy > core.hy + 1e-6
+        {
+            report.out_of_core += 1;
+        }
+        if cell.kind() == CellKind::Movable {
+            // Bottom edge must sit on a row boundary.
+            let offset = (r.ly - core.ly) / rh;
+            if (offset - offset.round()).abs() > 1e-6 {
+                report.off_row_cells += 1;
+            }
+        }
+    }
+
+    // Pairwise overlap via a uniform grid of buckets.
+    let cell_count = rects.len().max(1);
+    let buckets = ((cell_count as f64).sqrt().ceil() as usize).clamp(1, 1024);
+    let bw = core.width() / buckets as f64;
+    let bh = core.height() / buckets as f64;
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); buckets * buckets];
+    let clamp_bin = |v: f64, lo: f64, extent: f64| -> usize {
+        (((v - lo) / extent).floor() as isize).clamp(0, buckets as isize - 1) as usize
+    };
+    for (k, &(_, r, _)) in rects.iter().enumerate() {
+        let x0 = clamp_bin(r.lx, core.lx, bw);
+        let x1 = clamp_bin(r.hx, core.lx, bw);
+        let y0 = clamp_bin(r.ly, core.ly, bh);
+        let y1 = clamp_bin(r.hy, core.ly, bh);
+        for iy in y0..=y1 {
+            for ix in x0..=x1 {
+                grid[iy * buckets + ix].push(k as u32);
+            }
+        }
+    }
+    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for bucket in &grid {
+        for i in 0..bucket.len() {
+            for j in i + 1..bucket.len() {
+                let (a, b) = (bucket[i].min(bucket[j]), bucket[i].max(bucket[j]));
+                if !seen.insert((a, b)) {
+                    continue;
+                }
+                let (_, ra, ma) = rects[a as usize];
+                let (_, rb, mb) = rects[b as usize];
+                if !ma && !mb {
+                    continue; // fixed-fixed overlap is the design's business
+                }
+                report.overlap_area += ra.overlap_area(&rb);
+            }
+        }
+    }
+    report
+}
+
+/// Convenience wrapper: `true` when the placement is overlap-free (within
+/// `tol` area units), row-aligned, and inside the core.
+pub fn is_legal(design: &Design, placement: &Placement, tol: f64) -> bool {
+    legality_report(design, placement).is_legal(tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{CellKind, DesignBuilder, Point};
+
+    fn design() -> Design {
+        let mut b = DesignBuilder::new("v", Rect::new(0.0, 0.0, 10.0, 4.0), 1.0);
+        let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn legal_placement_passes() {
+        let d = design();
+        let mut p = d.initial_placement();
+        p.set_position(d.find_cell("a").unwrap(), Point::new(1.0, 0.5));
+        p.set_position(d.find_cell("b").unwrap(), Point::new(4.0, 1.5));
+        assert!(is_legal(&d, &p, 1e-9));
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let d = design();
+        let mut p = d.initial_placement();
+        p.set_position(d.find_cell("a").unwrap(), Point::new(1.0, 0.5));
+        p.set_position(d.find_cell("b").unwrap(), Point::new(2.0, 0.5));
+        let rep = legality_report(&d, &p);
+        assert!((rep.overlap_area - 1.0).abs() < 1e-9);
+        assert!(!rep.is_legal(1e-9));
+    }
+
+    #[test]
+    fn off_row_detected() {
+        let d = design();
+        let mut p = d.initial_placement();
+        p.set_position(d.find_cell("a").unwrap(), Point::new(1.0, 0.75));
+        p.set_position(d.find_cell("b").unwrap(), Point::new(5.0, 1.5));
+        let rep = legality_report(&d, &p);
+        assert_eq!(rep.off_row_cells, 1);
+    }
+
+    #[test]
+    fn out_of_core_detected() {
+        let d = design();
+        let mut p = d.initial_placement();
+        p.set_position(d.find_cell("a").unwrap(), Point::new(-1.0, 0.5));
+        p.set_position(d.find_cell("b").unwrap(), Point::new(5.0, 1.5));
+        let rep = legality_report(&d, &p);
+        assert_eq!(rep.out_of_core, 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cells: standard cells, macros, fixed blocks, and terminal pads.
+
+use std::fmt;
+
+/// Opaque index of a cell within a [`crate::Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// The raw index, usable to address per-cell arrays such as
+    /// [`crate::Placement`] coordinates.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `CellId` from a raw index.
+    ///
+    /// Callers are responsible for the index referring to a real cell of the
+    /// design the id is used with; methods taking a `CellId` panic on
+    /// out-of-range ids.
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// How a cell participates in placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// A movable standard cell (height equals the row height).
+    Movable,
+    /// A movable macro block (taller than one row). Mixed-size placement
+    /// handles these through macro shredding (paper Section 5).
+    MovableMacro,
+    /// A fixed block inside the core: an obstacle that consumes placement
+    /// capacity.
+    Fixed,
+    /// A fixed terminal (I/O pad) that does not consume core capacity —
+    /// Bookshelf's "terminal_NI".
+    Terminal,
+}
+
+impl CellKind {
+    /// Whether the placer may move this cell.
+    pub fn is_movable(self) -> bool {
+        matches!(self, CellKind::Movable | CellKind::MovableMacro)
+    }
+
+    /// Whether the cell blocks placement capacity in the density grid.
+    pub fn blocks_capacity(self) -> bool {
+        matches!(self, CellKind::Fixed)
+    }
+}
+
+/// A placeable or fixed object in the netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    pub(crate) name: String,
+    pub(crate) width: f64,
+    pub(crate) height: f64,
+    pub(crate) kind: CellKind,
+}
+
+impl Cell {
+    /// Creates a cell. Prefer [`crate::DesignBuilder`], which also assigns
+    /// ids and validates dimensions.
+    pub fn new(name: impl Into<String>, width: f64, height: f64, kind: CellKind) -> Self {
+        Self {
+            name: name.into(),
+            width,
+            height,
+            kind,
+        }
+    }
+
+    /// The cell's name (unique within a design).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Cell height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Cell area.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// The cell's placement role.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Whether the placer may move this cell.
+    pub fn is_movable(&self) -> bool {
+        self.kind.is_movable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_id_round_trip() {
+        let id = CellId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "c42");
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(CellKind::Movable.is_movable());
+        assert!(CellKind::MovableMacro.is_movable());
+        assert!(!CellKind::Fixed.is_movable());
+        assert!(!CellKind::Terminal.is_movable());
+        assert!(CellKind::Fixed.blocks_capacity());
+        assert!(!CellKind::Terminal.blocks_capacity());
+    }
+
+    #[test]
+    fn cell_area() {
+        let c = Cell::new("a", 2.0, 12.0, CellKind::MovableMacro);
+        assert_eq!(c.area(), 24.0);
+        assert_eq!(c.name(), "a");
+    }
+}

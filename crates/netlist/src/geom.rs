@@ -1,0 +1,158 @@
+//! Planar geometry primitives shared across the placer.
+
+/// A point in the layout plane, in database units (abstract length units —
+/// the paper measures both costs and penalties "in meters" so that the
+/// Lagrange multiplier λ is dimensionless; any consistent unit works).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// L1 (Manhattan) distance to another point.
+    pub fn l1_distance(&self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+/// An axis-aligned rectangle `[lx, hx] × [ly, hy]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub lx: f64,
+    /// Bottom edge.
+    pub ly: f64,
+    /// Right edge.
+    pub hx: f64,
+    /// Top edge.
+    pub hy: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lx > hx` or `ly > hy`.
+    pub fn new(lx: f64, ly: f64, hx: f64, hy: f64) -> Self {
+        assert!(lx <= hx && ly <= hy, "degenerate rectangle {lx},{ly},{hx},{hy}");
+        Self { lx, ly, hx, hy }
+    }
+
+    /// Rectangle width.
+    pub fn width(&self) -> f64 {
+        self.hx - self.lx
+    }
+
+    /// Rectangle height.
+    pub fn height(&self) -> f64 {
+        self.hy - self.ly
+    }
+
+    /// Rectangle area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(0.5 * (self.lx + self.hx), 0.5 * (self.ly + self.hy))
+    }
+
+    /// Whether `p` lies inside (or on the boundary of) the rectangle.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.lx && p.x <= self.hx && p.y >= self.ly && p.y <= self.hy
+    }
+
+    /// Area of overlap with another rectangle (0 when disjoint).
+    pub fn overlap_area(&self, other: &Rect) -> f64 {
+        let w = (self.hx.min(other.hx) - self.lx.max(other.lx)).max(0.0);
+        let h = (self.hy.min(other.hy) - self.ly.max(other.ly)).max(0.0);
+        w * h
+    }
+
+    /// Clamps a point into the rectangle.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(self.lx, self.hx), p.y.clamp(self.ly, self.hy))
+    }
+
+    /// The smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            lx: self.lx.min(other.lx),
+            ly: self.ly.min(other.ly),
+            hx: self.hx.max(other.hx),
+            hy: self.hy.max(other.hy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_l1_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, -4.0);
+        assert_eq!(a.l1_distance(b), 7.0);
+        assert_eq!(b.l1_distance(a), 7.0);
+    }
+
+    #[test]
+    fn rect_dimensions() {
+        let r = Rect::new(1.0, 2.0, 4.0, 8.0);
+        assert_eq!(r.width(), 3.0);
+        assert_eq!(r.height(), 6.0);
+        assert_eq!(r.area(), 18.0);
+        assert_eq!(r.center(), Point::new(2.5, 5.0));
+    }
+
+    #[test]
+    fn rect_contains_boundary() {
+        let r = Rect::new(0.0, 0.0, 1.0, 1.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn overlap_area_disjoint_and_nested() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(3.0, 3.0, 4.0, 4.0);
+        assert_eq!(a.overlap_area(&b), 0.0);
+        let c = Rect::new(0.5, 0.5, 1.5, 1.5);
+        assert_eq!(a.overlap_area(&c), 1.0);
+        let d = Rect::new(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.overlap_area(&d), 1.0);
+    }
+
+    #[test]
+    fn clamp_into_rect() {
+        let r = Rect::new(0.0, 0.0, 10.0, 5.0);
+        assert_eq!(r.clamp(Point::new(-2.0, 7.0)), Point::new(0.0, 5.0));
+        assert_eq!(r.clamp(Point::new(3.0, 3.0)), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let b = Rect::new(2.0, -1.0, 3.0, 0.5);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, -1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_rect_panics() {
+        Rect::new(1.0, 0.0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Half-perimeter wirelength (HPWL) and the weighted variant of Formula 1.
+
+use crate::design::Design;
+use crate::net::NetId;
+use crate::placement::Placement;
+
+/// The bounding box of one net under a placement, as
+/// `(min_x, min_y, max_x, max_y)` over pin locations (cell center + offset).
+///
+/// Returns `None` for nets whose pins all coincide in a degenerate way is not
+/// possible — every net has ≥ 2 pins — so the box always exists.
+pub fn net_bbox(design: &Design, placement: &Placement, net: NetId) -> (f64, f64, f64, f64) {
+    let mut min_x = f64::INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for pin in design.net_pins(net) {
+        let p = placement.position(pin.cell);
+        let px = p.x + pin.dx;
+        let py = p.y + pin.dy;
+        min_x = min_x.min(px);
+        min_y = min_y.min(py);
+        max_x = max_x.max(px);
+        max_y = max_y.max(py);
+    }
+    (min_x, min_y, max_x, max_y)
+}
+
+/// HPWL of a single net (unweighted).
+pub fn net_hpwl(design: &Design, placement: &Placement, net: NetId) -> f64 {
+    let (min_x, min_y, max_x, max_y) = net_bbox(design, placement, net);
+    (max_x - min_x) + (max_y - min_y)
+}
+
+/// Total unweighted HPWL: `Σ_e [max x − min x] + [max y − min y]`.
+pub fn hpwl(design: &Design, placement: &Placement) -> f64 {
+    design
+        .net_ids()
+        .map(|n| net_hpwl(design, placement, n))
+        .sum()
+}
+
+/// Total weighted HPWL per Formula 1: `Σ_e w_e ([Δx] + [Δy])`.
+pub fn weighted_hpwl(design: &Design, placement: &Placement) -> f64 {
+    design
+        .net_ids()
+        .map(|n| design.net(n).weight() * net_hpwl(design, placement, n))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use crate::design::DesignBuilder;
+    use crate::geom::{Point, Rect};
+
+    fn two_cell_design() -> (Design, crate::CellId, crate::CellId) {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 2.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
+        (b.build().unwrap(), a, c)
+    }
+
+    #[test]
+    fn two_pin_hpwl_is_manhattan_distance() {
+        let (d, a, c) = two_cell_design();
+        let mut p = Placement::zeros(2);
+        p.set_position(a, Point::new(1.0, 2.0));
+        p.set_position(c, Point::new(4.0, 6.0));
+        assert_eq!(hpwl(&d, &p), 7.0);
+        assert_eq!(weighted_hpwl(&d, &p), 14.0);
+    }
+
+    #[test]
+    fn pin_offsets_shift_bbox() {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+        let a = b.add_cell("a", 10.0, 10.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 5.0, -5.0), (c, 0.0, 0.0)])
+            .unwrap();
+        let d = b.build().unwrap();
+        let mut p = Placement::zeros(2);
+        p.set_position(a, Point::new(0.0, 0.0));
+        p.set_position(c, Point::new(0.0, 0.0));
+        // Pin of a is at (5, -5); pin of c at (0, 0) → HPWL = 5 + 5.
+        assert_eq!(hpwl(&d, &p), 10.0);
+    }
+
+    #[test]
+    fn hpwl_translation_invariant() {
+        let (d, a, c) = two_cell_design();
+        let mut p = Placement::zeros(2);
+        p.set_position(a, Point::new(1.0, 2.0));
+        p.set_position(c, Point::new(4.0, 6.0));
+        let base = hpwl(&d, &p);
+        p.set_position(a, Point::new(11.0, 22.0));
+        p.set_position(c, Point::new(14.0, 26.0));
+        assert!((hpwl(&d, &p) - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_pin_bbox() {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::Movable)
+                    .unwrap()
+            })
+            .collect();
+        b.add_net(
+            "n",
+            1.0,
+            ids.iter().map(|&c| (c, 0.0, 0.0)).collect(),
+        )
+        .unwrap();
+        let d = b.build().unwrap();
+        let mut p = Placement::zeros(4);
+        p.set_position(ids[0], Point::new(0.0, 0.0));
+        p.set_position(ids[1], Point::new(10.0, 1.0));
+        p.set_position(ids[2], Point::new(5.0, 8.0));
+        p.set_position(ids[3], Point::new(2.0, 3.0));
+        let (lx, ly, hx, hy) = net_bbox(&d, &p, d.net_ids().next().unwrap());
+        assert_eq!((lx, ly, hx, hy), (0.0, 0.0, 10.0, 8.0));
+        assert_eq!(hpwl(&d, &p), 18.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Nets and pins.
+
+use std::fmt;
+
+use crate::cell::CellId;
+
+/// Opaque index of a net within a [`crate::Design`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NetId` from a raw index (see [`crate::CellId::from_index`]
+    /// for the safety contract).
+    pub fn from_index(index: usize) -> Self {
+        Self(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A pin: a connection point of a net on a cell, with an offset from the
+/// cell's **center**. Pin offsets matter for macros, where they can be large
+/// (paper Section 5: "mixed-size placement requires careful accounting for
+/// pin offsets during quadratic optimization").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pin {
+    /// The cell this pin belongs to.
+    pub cell: CellId,
+    /// Horizontal offset from the cell center.
+    pub dx: f64,
+    /// Vertical offset from the cell center.
+    pub dy: f64,
+}
+
+impl Pin {
+    /// Creates a pin on `cell` at offset `(dx, dy)` from the cell center.
+    pub fn new(cell: CellId, dx: f64, dy: f64) -> Self {
+        Self { cell, dx, dy }
+    }
+}
+
+/// A weighted multi-pin net. Pin storage lives in the design's flat pin
+/// array; the net holds a range into it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    pub(crate) name: String,
+    pub(crate) weight: f64,
+    pub(crate) pin_start: u32,
+    pub(crate) pin_end: u32,
+}
+
+impl Net {
+    /// The net's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net weight `w_e` in the weighted-HPWL objective (Formula 1).
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Number of pins on the net.
+    pub fn degree(&self) -> usize {
+        (self.pin_end - self.pin_start) as usize
+    }
+
+    pub(crate) fn pin_range(&self) -> std::ops::Range<usize> {
+        self.pin_start as usize..self.pin_end as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_id_round_trip() {
+        let id = NetId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn net_degree() {
+        let n = Net {
+            name: "x".into(),
+            weight: 1.0,
+            pin_start: 3,
+            pin_end: 8,
+        };
+        assert_eq!(n.degree(), 5);
+        assert_eq!(n.pin_range(), 3..8);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cell locations.
+
+use crate::cell::CellId;
+use crate::geom::{Point, Rect};
+
+/// A placement: one center coordinate pair per cell, indexed by
+/// [`CellId::index`]. Fixed cells carry their (immutable) locations too, so
+/// a `Placement` is always a complete snapshot of the layout.
+///
+/// Coordinates refer to **cell centers**; Bookshelf I/O converts to/from the
+/// lower-left convention at the boundary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Placement {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Placement {
+    /// Creates a placement with all cells at the origin.
+    pub fn zeros(num_cells: usize) -> Self {
+        Self {
+            xs: vec![0.0; num_cells],
+            ys: vec![0.0; num_cells],
+        }
+    }
+
+    /// Creates a placement from parallel coordinate vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length.
+    pub fn from_coords(xs: Vec<f64>, ys: Vec<f64>) -> Self {
+        assert_eq!(xs.len(), ys.len(), "coordinate vectors must match");
+        Self { xs, ys }
+    }
+
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the placement covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The center location of `cell`.
+    pub fn position(&self, cell: CellId) -> Point {
+        Point::new(self.xs[cell.index()], self.ys[cell.index()])
+    }
+
+    /// Moves `cell` to center location `p`.
+    pub fn set_position(&mut self, cell: CellId, p: Point) {
+        self.xs[cell.index()] = p.x;
+        self.ys[cell.index()] = p.y;
+    }
+
+    /// All x coordinates (indexed by cell id).
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// All y coordinates (indexed by cell id).
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Mutable x coordinates.
+    pub fn xs_mut(&mut self) -> &mut [f64] {
+        &mut self.xs
+    }
+
+    /// Mutable y coordinates.
+    pub fn ys_mut(&mut self) -> &mut [f64] {
+        &mut self.ys
+    }
+
+    /// Total L1 distance to another placement:
+    /// `Σ_i |x_i − x'_i| + |y_i − y'_i|`. This is exactly the penalty norm
+    /// `‖(x,y) − (x°,y°)‖₁` of the simplified Lagrangian (Formula 10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placements cover different numbers of cells.
+    pub fn l1_distance(&self, other: &Placement) -> f64 {
+        assert_eq!(self.len(), other.len());
+        let dx: f64 = self
+            .xs
+            .iter()
+            .zip(&other.xs)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let dy: f64 = self
+            .ys
+            .iter()
+            .zip(&other.ys)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        dx + dy
+    }
+
+    /// The bounding box of a cell with dimensions `w × h` centered at this
+    /// placement's location for `cell`.
+    pub fn cell_rect(&self, cell: CellId, w: f64, h: f64) -> Rect {
+        let p = self.position(cell);
+        Rect::new(p.x - 0.5 * w, p.y - 0.5 * h, p.x + 0.5 * w, p.y + 0.5 * h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut p = Placement::zeros(3);
+        p.set_position(CellId::from_index(1), Point::new(2.0, 3.0));
+        assert_eq!(p.position(CellId::from_index(1)), Point::new(2.0, 3.0));
+        assert_eq!(p.position(CellId::from_index(0)), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn l1_distance_symmetry() {
+        let a = Placement::from_coords(vec![0.0, 1.0], vec![0.0, 1.0]);
+        let b = Placement::from_coords(vec![3.0, 1.0], vec![0.0, 5.0]);
+        assert_eq!(a.l1_distance(&b), 7.0);
+        assert_eq!(b.l1_distance(&a), 7.0);
+        assert_eq!(a.l1_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn cell_rect_centered() {
+        let mut p = Placement::zeros(1);
+        p.set_position(CellId::from_index(0), Point::new(10.0, 20.0));
+        let r = p.cell_rect(CellId::from_index(0), 4.0, 2.0);
+        assert_eq!(r, Rect::new(8.0, 19.0, 12.0, 21.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn l1_distance_mismatched_lengths() {
+        let a = Placement::zeros(2);
+        let b = Placement::zeros(3);
+        a.l1_distance(&b);
+    }
+}

@@ -1,0 +1,118 @@
+//! Hard region constraints (paper Section S5).
+//!
+//! A region constraint pins a subset of cells inside a rectangle. ComPLx
+//! enforces these inside the feasibility projection: after density spreading,
+//! each constrained cell is snapped back into its region, and the snapped
+//! locations act as anchors for the next analytic iteration.
+
+use crate::cell::CellId;
+use crate::geom::Rect;
+
+/// A hard region constraint: every listed cell must be placed inside `rect`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionConstraint {
+    name: String,
+    rect: Rect,
+    cells: Vec<CellId>,
+}
+
+impl RegionConstraint {
+    /// Creates a region constraint.
+    pub fn new(name: impl Into<String>, rect: Rect, cells: Vec<CellId>) -> Self {
+        Self {
+            name: name.into(),
+            rect,
+            cells,
+        }
+    }
+
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constraining rectangle.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// The constrained cells.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+}
+
+/// The axis cells are aligned along.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlignmentAxis {
+    /// All cells share one y coordinate (a datapath row).
+    Horizontal,
+    /// All cells share one x coordinate (a column of registers).
+    Vertical,
+}
+
+/// An alignment constraint (paper §S5 mentions alignment among the
+/// constraint types `P_C` can absorb): the listed cells must share a
+/// coordinate on the given axis. Enforced by snapping to the group mean
+/// after density spreading, like region constraints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentConstraint {
+    name: String,
+    axis: AlignmentAxis,
+    cells: Vec<CellId>,
+}
+
+impl AlignmentConstraint {
+    /// Creates an alignment constraint.
+    pub fn new(name: impl Into<String>, axis: AlignmentAxis, cells: Vec<CellId>) -> Self {
+        Self {
+            name: name.into(),
+            axis,
+            cells,
+        }
+    }
+
+    /// The constraint's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The aligned axis.
+    pub fn axis(&self) -> AlignmentAxis {
+        self.axis
+    }
+
+    /// The constrained cells.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_accessors() {
+        let a = AlignmentConstraint::new(
+            "dp0",
+            AlignmentAxis::Horizontal,
+            vec![CellId::from_index(3)],
+        );
+        assert_eq!(a.name(), "dp0");
+        assert_eq!(a.axis(), AlignmentAxis::Horizontal);
+        assert_eq!(a.cells().len(), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = RegionConstraint::new(
+            "clk_domain",
+            Rect::new(0.0, 0.0, 5.0, 5.0),
+            vec![CellId::from_index(1), CellId::from_index(2)],
+        );
+        assert_eq!(r.name(), "clk_domain");
+        assert_eq!(r.rect().area(), 25.0);
+        assert_eq!(r.cells().len(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Summary statistics for a design, useful in reports and sanity checks.
+
+use crate::cell::CellKind;
+use crate::design::Design;
+
+/// Aggregate statistics of a [`Design`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignStats {
+    /// Total number of cells.
+    pub num_cells: usize,
+    /// Number of movable standard cells.
+    pub num_std_cells: usize,
+    /// Number of movable macros.
+    pub num_movable_macros: usize,
+    /// Number of fixed, capacity-blocking obstacles.
+    pub num_fixed: usize,
+    /// Number of terminals (pads).
+    pub num_terminals: usize,
+    /// Number of nets.
+    pub num_nets: usize,
+    /// Number of pins.
+    pub num_pins: usize,
+    /// Average net degree.
+    pub avg_net_degree: f64,
+    /// Maximum net degree.
+    pub max_net_degree: usize,
+    /// Total movable area.
+    pub movable_area: f64,
+    /// Obstacle area inside the core.
+    pub obstacle_area: f64,
+    /// `movable_area / (core_area − obstacle_area)` — the design utilization.
+    pub utilization: f64,
+}
+
+impl DesignStats {
+    /// Net-degree histogram buckets: 2, 3, 4, 5–8, 9–16, 17+ pins —
+    /// the shape real ISPD netlists exhibit (mostly 2–4-pin nets with a
+    /// heavy tail), which the synthetic generator mirrors.
+    pub fn degree_histogram(design: &Design) -> [usize; 6] {
+        let mut h = [0usize; 6];
+        for n in design.net_ids() {
+            let d = design.net(n).degree();
+            let bucket = match d {
+                0..=2 => 0,
+                3 => 1,
+                4 => 2,
+                5..=8 => 3,
+                9..=16 => 4,
+                _ => 5,
+            };
+            h[bucket] += 1;
+        }
+        h
+    }
+
+    /// Computes statistics for a design.
+    pub fn for_design(design: &Design) -> Self {
+        let mut num_std_cells = 0;
+        let mut num_movable_macros = 0;
+        let mut num_fixed = 0;
+        let mut num_terminals = 0;
+        for id in design.cell_ids() {
+            match design.cell(id).kind() {
+                CellKind::Movable => num_std_cells += 1,
+                CellKind::MovableMacro => num_movable_macros += 1,
+                CellKind::Fixed => num_fixed += 1,
+                CellKind::Terminal => num_terminals += 1,
+            }
+        }
+        let max_net_degree = design
+            .net_ids()
+            .map(|n| design.net(n).degree())
+            .max()
+            .unwrap_or(0);
+        let movable_area = design.movable_area();
+        let obstacle_area = design.obstacle_area();
+        let free = (design.core().area() - obstacle_area).max(f64::MIN_POSITIVE);
+        DesignStats {
+            num_cells: design.num_cells(),
+            num_std_cells,
+            num_movable_macros,
+            num_fixed,
+            num_terminals,
+            num_nets: design.num_nets(),
+            num_pins: design.num_pins(),
+            avg_net_degree: if design.num_nets() == 0 {
+                0.0
+            } else {
+                design.num_pins() as f64 / design.num_nets() as f64
+            },
+            max_net_degree,
+            movable_area,
+            obstacle_area,
+            utilization: movable_area / free,
+        }
+    }
+}
+
+impl std::fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cells: {} (std {}, macro {}, fixed {}, pad {})",
+            self.num_cells,
+            self.num_std_cells,
+            self.num_movable_macros,
+            self.num_fixed,
+            self.num_terminals
+        )?;
+        writeln!(
+            f,
+            "nets: {} (pins {}, avg degree {:.2}, max degree {})",
+            self.num_nets, self.num_pins, self.avg_net_degree, self.max_net_degree
+        )?;
+        write!(f, "utilization: {:.1}%", 100.0 * self.utilization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::geom::{Point, Rect};
+
+    #[test]
+    fn degree_histogram_matches_generator_distribution() {
+        let d = crate::generator::GeneratorConfig::small("h", 5).generate();
+        let h = DesignStats::degree_histogram(&d);
+        let total: usize = h.iter().sum();
+        assert_eq!(total, d.num_nets());
+        // Two-pin nets dominate; the tail exists but is small.
+        assert!(h[0] > total / 2, "2-pin fraction too low: {h:?}");
+        assert!(h[5] < total / 10, "17+-pin tail too fat: {h:?}");
+    }
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, 10.0, 10.0), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let m = b.add_cell("m", 2.0, 2.0, CellKind::MovableMacro).unwrap();
+        b.add_fixed_cell("f", 2.0, 2.0, CellKind::Fixed, Point::new(5.0, 5.0))
+            .unwrap();
+        b.add_fixed_cell("p", 1.0, 1.0, CellKind::Terminal, Point::new(0.0, 0.0))
+            .unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (m, 0.0, 0.0)]).unwrap();
+        let d = b.build().unwrap();
+        let s = DesignStats::for_design(&d);
+        assert_eq!(s.num_std_cells, 1);
+        assert_eq!(s.num_movable_macros, 1);
+        assert_eq!(s.num_fixed, 1);
+        assert_eq!(s.num_terminals, 1);
+        assert_eq!(s.num_pins, 2);
+        assert_eq!(s.max_net_degree, 2);
+        assert!((s.movable_area - 5.0).abs() < 1e-12);
+        assert!((s.utilization - 5.0 / 96.0).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("cells: 4"));
+    }
+}

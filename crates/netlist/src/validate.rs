@@ -1,0 +1,245 @@
+//! Semantic validation of parsed designs.
+//!
+//! The [`DesignBuilder`](crate::DesignBuilder) enforces structural rules
+//! (unique names, positive dimensions, ≥2-pin nets); this module checks the
+//! *semantic* properties that real-world Bookshelf files occasionally
+//! violate and that placers should warn about rather than crash on.
+
+use crate::cell::CellKind;
+use crate::design::Design;
+
+/// A validation finding (warning-level; none of these prevent placement).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ValidationIssue {
+    /// A fixed cell's footprint lies (partly) outside the core region.
+    FixedCellOutsideCore {
+        /// Cell name.
+        cell: String,
+    },
+    /// Two fixed obstacles overlap each other.
+    OverlappingObstacles {
+        /// First cell name.
+        a: String,
+        /// Second cell name.
+        b: String,
+    },
+    /// A movable cell participates in no net (it will be placed by
+    /// regularization only).
+    DisconnectedCell {
+        /// Cell name.
+        cell: String,
+    },
+    /// Total movable area exceeds the free core area — the design cannot be
+    /// legalized.
+    Overfull {
+        /// Movable area.
+        movable: f64,
+        /// Free area (core minus obstacles).
+        free: f64,
+    },
+    /// A movable cell is wider than the core (cannot fit any row segment).
+    CellWiderThanCore {
+        /// Cell name.
+        cell: String,
+    },
+    /// A pin offset places the pin outside its cell's bounding box.
+    PinOutsideCell {
+        /// Cell name.
+        cell: String,
+        /// Net name.
+        net: String,
+    },
+}
+
+impl std::fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationIssue::FixedCellOutsideCore { cell } => {
+                write!(f, "fixed cell `{cell}` extends outside the core")
+            }
+            ValidationIssue::OverlappingObstacles { a, b } => {
+                write!(f, "fixed obstacles `{a}` and `{b}` overlap")
+            }
+            ValidationIssue::DisconnectedCell { cell } => {
+                write!(f, "movable cell `{cell}` has no nets")
+            }
+            ValidationIssue::Overfull { movable, free } => {
+                write!(f, "movable area {movable:.0} exceeds free area {free:.0}")
+            }
+            ValidationIssue::CellWiderThanCore { cell } => {
+                write!(f, "cell `{cell}` is wider than the core")
+            }
+            ValidationIssue::PinOutsideCell { cell, net } => {
+                write!(f, "net `{net}` has a pin outside cell `{cell}`")
+            }
+        }
+    }
+}
+
+/// Runs all semantic checks; the result is empty for a clean design.
+pub fn validate(design: &Design) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let core = design.core();
+
+    // Fixed-cell containment and pairwise obstacle overlap.
+    let obstacles: Vec<(usize, crate::Rect)> = design
+        .cell_ids()
+        .filter(|&id| design.cell(id).kind() == CellKind::Fixed)
+        .map(|id| {
+            let c = design.cell(id);
+            (
+                id.index(),
+                design
+                    .fixed_positions()
+                    .cell_rect(id, c.width(), c.height()),
+            )
+        })
+        .collect();
+    for &(idx, r) in &obstacles {
+        if r.lx < core.lx - 1e-9
+            || r.hx > core.hx + 1e-9
+            || r.ly < core.ly - 1e-9
+            || r.hy > core.hy + 1e-9
+        {
+            issues.push(ValidationIssue::FixedCellOutsideCore {
+                cell: design
+                    .cell(crate::CellId::from_index(idx))
+                    .name()
+                    .to_string(),
+            });
+        }
+    }
+    for i in 0..obstacles.len() {
+        for j in i + 1..obstacles.len() {
+            if obstacles[i].1.overlap_area(&obstacles[j].1) > 1e-9 {
+                issues.push(ValidationIssue::OverlappingObstacles {
+                    a: design
+                        .cell(crate::CellId::from_index(obstacles[i].0))
+                        .name()
+                        .to_string(),
+                    b: design
+                        .cell(crate::CellId::from_index(obstacles[j].0))
+                        .name()
+                        .to_string(),
+                });
+            }
+        }
+    }
+
+    // Disconnected movable cells; over-wide cells.
+    for &id in design.movable_cells() {
+        let cell = design.cell(id);
+        if design.cell_nets(id).is_empty() {
+            issues.push(ValidationIssue::DisconnectedCell {
+                cell: cell.name().to_string(),
+            });
+        }
+        if cell.width() > core.width() + 1e-9 {
+            issues.push(ValidationIssue::CellWiderThanCore {
+                cell: cell.name().to_string(),
+            });
+        }
+    }
+
+    // Capacity feasibility.
+    let movable = design.movable_area();
+    let free = core.area() - design.obstacle_area();
+    if movable > free {
+        issues.push(ValidationIssue::Overfull { movable, free });
+    }
+
+    // Pin offsets within cell bounding boxes (with a small tolerance —
+    // some generators put pins exactly on the boundary).
+    for nid in design.net_ids() {
+        for pin in design.net_pins(nid) {
+            let c = design.cell(pin.cell);
+            if pin.dx.abs() > 0.5 * c.width() + 1e-6 || pin.dy.abs() > 0.5 * c.height() + 1e-6
+            {
+                issues.push(ValidationIssue::PinOutsideCell {
+                    cell: c.name().to_string(),
+                    net: design.net(nid).name().to_string(),
+                });
+            }
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::geom::{Point, Rect};
+
+    fn core() -> Rect {
+        Rect::new(0.0, 0.0, 20.0, 20.0)
+    }
+
+    #[test]
+    fn clean_design_validates_clean() {
+        let d = crate::generator::GeneratorConfig::small("v", 1).generate();
+        assert!(validate(&d).is_empty(), "{:?}", validate(&d));
+    }
+
+    #[test]
+    fn detects_fixed_cell_outside_core() {
+        let mut b = DesignBuilder::new("v", core(), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let f = b
+            .add_fixed_cell("f", 4.0, 4.0, CellKind::Fixed, Point::new(0.0, 0.0))
+            .unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f, 0.0, 0.0)]).unwrap();
+        let issues = validate(&b.build().unwrap());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::FixedCellOutsideCore { .. })));
+    }
+
+    #[test]
+    fn detects_overlapping_obstacles() {
+        let mut b = DesignBuilder::new("v", core(), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let f1 = b
+            .add_fixed_cell("f1", 4.0, 4.0, CellKind::Fixed, Point::new(10.0, 10.0))
+            .unwrap();
+        b.add_fixed_cell("f2", 4.0, 4.0, CellKind::Fixed, Point::new(11.0, 11.0))
+            .unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f1, 0.0, 0.0)]).unwrap();
+        let issues = validate(&b.build().unwrap());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::OverlappingObstacles { .. })));
+    }
+
+    #[test]
+    fn detects_disconnected_cells_and_overfull() {
+        let mut b = DesignBuilder::new("v", core(), 1.0);
+        let a = b.add_cell("a", 19.0, 19.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 19.0, 19.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        b.add_cell("lonely", 1.0, 1.0, CellKind::Movable).unwrap();
+        let issues = validate(&b.build().unwrap());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::DisconnectedCell { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::Overfull { .. })));
+    }
+
+    #[test]
+    fn detects_pin_outside_cell() {
+        let mut b = DesignBuilder::new("v", core(), 1.0);
+        let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 5.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        let issues = validate(&b.build().unwrap());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::PinOutsideCell { .. })));
+        // Display formatting is informative.
+        assert!(issues.iter().any(|i| i.to_string().contains("pin")));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for netlist metrics and the generator.
+
+use complx_netlist::{
+    density::DensityGrid, generator::GeneratorConfig, hpwl, CellKind, DesignBuilder, Placement,
+    Point, Rect,
+};
+use proptest::prelude::*;
+
+/// Builds a random small design plus a random placement of its cells.
+fn design_and_placement() -> impl Strategy<Value = (complx_netlist::Design, Placement)> {
+    let n_cells = 2usize..12;
+    n_cells
+        .prop_flat_map(|n| {
+            let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
+            let nets = proptest::collection::vec(
+                proptest::collection::vec(0..n, 2..=n.min(5)),
+                1..8,
+            );
+            (Just(n), coords, nets)
+        })
+        .prop_map(|(n, coords, nets)| {
+            let mut b = DesignBuilder::new("prop", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::Movable)
+                        .expect("valid cell")
+                })
+                .collect();
+            for (k, members) in nets.into_iter().enumerate() {
+                let mut members = members;
+                members.sort_unstable();
+                members.dedup();
+                if members.len() < 2 {
+                    continue;
+                }
+                b.add_net(
+                    format!("n{k}"),
+                    1.0,
+                    members.iter().map(|&m| (ids[m], 0.0, 0.0)).collect(),
+                )
+                .expect("valid net");
+            }
+            // Ensure at least one net exists.
+            if b.clone().build().expect("valid design").num_nets() == 0 {
+                b.add_net("nz", 1.0, vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)])
+                    .expect("valid net");
+            }
+            let d = b.build().expect("valid design");
+            let mut p = Placement::zeros(n);
+            for (i, (x, y)) in coords.into_iter().enumerate() {
+                p.set_position(complx_netlist::CellId::from_index(i), Point::new(x, y));
+            }
+            (d, p)
+        })
+}
+
+proptest! {
+    #[test]
+    fn hpwl_is_translation_invariant((d, p) in design_and_placement(), dx in -50.0f64..50.0, dy in -50.0f64..50.0) {
+        let base = hpwl::hpwl(&d, &p);
+        let mut shifted = p.clone();
+        for v in shifted.xs_mut() { *v += dx; }
+        for v in shifted.ys_mut() { *v += dy; }
+        prop_assert!((hpwl::hpwl(&d, &shifted) - base).abs() < 1e-9 * base.max(1.0));
+    }
+
+    #[test]
+    fn hpwl_scales_linearly((d, p) in design_and_placement(), s in 0.1f64..10.0) {
+        let base = hpwl::hpwl(&d, &p);
+        let mut scaled = p.clone();
+        for v in scaled.xs_mut() { *v *= s; }
+        for v in scaled.ys_mut() { *v *= s; }
+        prop_assert!((hpwl::hpwl(&d, &scaled) - s * base).abs() < 1e-9 * (s * base).max(1.0));
+    }
+
+    #[test]
+    fn hpwl_nonnegative_and_zero_iff_coincident((d, p) in design_and_placement()) {
+        prop_assert!(hpwl::hpwl(&d, &p) >= 0.0);
+        let collapsed = Placement::from_coords(vec![5.0; p.len()], vec![5.0; p.len()]);
+        prop_assert!(hpwl::hpwl(&d, &collapsed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_usage_conserves_area((d, p) in design_and_placement(), bins in 1usize..12) {
+        // Clamp placement into the core so all area lands on the grid.
+        let mut q = p.clone();
+        for v in q.xs_mut() { *v = v.clamp(1.0, 99.0); }
+        for v in q.ys_mut() { *v = v.clamp(1.0, 99.0); }
+        let g = DensityGrid::build(&d, &q, bins, bins);
+        let total: f64 = (0..bins)
+            .flat_map(|iy| (0..bins).map(move |ix| (ix, iy)))
+            .map(|(ix, iy)| g.usage(ix, iy))
+            .sum();
+        prop_assert!((total - d.movable_area()).abs() < 1e-6 * d.movable_area().max(1.0));
+    }
+
+    #[test]
+    fn l1_distance_is_a_metric((d, p) in design_and_placement(), (d2, q) in design_and_placement()) {
+        let _ = (d, d2);
+        if p.len() == q.len() {
+            prop_assert!((p.l1_distance(&q) - q.l1_distance(&p)).abs() < 1e-9);
+            prop_assert!(p.l1_distance(&p) == 0.0);
+        }
+    }
+
+    #[test]
+    fn generator_seeds_are_reproducible(seed in 0u64..1000) {
+        let mut cfg = GeneratorConfig::small("s", seed);
+        cfg.num_std_cells = 60;
+        cfg.num_pads = 12;
+        let a = cfg.generate();
+        let b = cfg.generate();
+        prop_assert_eq!(a.num_nets(), b.num_nets());
+        prop_assert_eq!(a.num_pins(), b.num_pins());
+        prop_assert_eq!(a.core(), b.core());
+    }
+}

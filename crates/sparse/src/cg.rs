@@ -1,0 +1,276 @@
+//! Jacobi-preconditioned Conjugate Gradient.
+
+use crate::csr::CsrMatrix;
+use crate::vector::{axpy, dot, norm2, xpby};
+
+/// Convergence report returned by [`CgSolver::solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Number of CG iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Ax‖₂ / ‖b‖₂`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+}
+
+/// A Jacobi-preconditioned Conjugate Gradient solver for SPD systems.
+///
+/// Placement matrices are diagonally dominant Laplacians plus positive
+/// diagonal terms from fixed connections and anchors, so Jacobi (diagonal)
+/// preconditioning is cheap and effective — this mirrors the solver choices
+/// in SimPL and ComPLx (Section S4 notes ComPLx uses *linear* CG).
+///
+/// The solver is warm-start friendly: `x` is used as the initial guess,
+/// which global placement exploits by passing the previous iterate.
+///
+/// # Example
+///
+/// ```
+/// use complx_sparse::{CgSolver, TripletMatrix};
+///
+/// let mut t = TripletMatrix::new(2);
+/// t.add(0, 0, 2.0);
+/// t.add(1, 1, 8.0);
+/// let a = t.to_csr();
+/// let mut x = vec![0.0; 2];
+/// let stats = CgSolver::new().with_tolerance(1e-12).solve(&a, &[2.0, 8.0], &mut x);
+/// assert!(stats.converged);
+/// assert!((x[0] - 1.0).abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgSolver {
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl Default for CgSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CgSolver {
+    /// Creates a solver with relative tolerance `1e-6` and a limit of
+    /// `10·n + 100` iterations (resolved at solve time).
+    pub fn new() -> Self {
+        Self {
+            tolerance: 1e-6,
+            max_iterations: 0, // 0 = auto
+        }
+    }
+
+    /// Sets the relative residual tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Sets an explicit iteration limit (`0` selects the automatic limit).
+    #[must_use]
+    pub fn with_max_iterations(mut self, limit: usize) -> Self {
+        self.max_iterations = limit;
+        self
+    }
+
+    /// The configured relative tolerance.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Solves `A·x = b`, using the incoming `x` as warm start.
+    ///
+    /// `A` must be symmetric positive-definite for convergence guarantees;
+    /// this is not checked (it would cost more than the solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` have length different from `a.dim()`, or if any
+    /// diagonal entry of `A` is non-positive (the Jacobi preconditioner
+    /// requires a strictly positive diagonal).
+    pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> SolveStats {
+        let n = a.dim();
+        assert_eq!(b.len(), n);
+        assert_eq!(x.len(), n);
+        if n == 0 {
+            return SolveStats {
+                iterations: 0,
+                relative_residual: 0.0,
+                converged: true,
+            };
+        }
+
+        let diag = a.diagonal();
+        let inv_diag: Vec<f64> = diag
+            .iter()
+            .map(|&d| {
+                assert!(d > 0.0, "Jacobi preconditioner needs positive diagonal");
+                1.0 / d
+            })
+            .collect();
+
+        let max_iter = if self.max_iterations == 0 {
+            10 * n + 100
+        } else {
+            self.max_iterations
+        };
+
+        let b_norm = norm2(b);
+        if b_norm == 0.0 {
+            x.fill(0.0);
+            return SolveStats {
+                iterations: 0,
+                relative_residual: 0.0,
+                converged: true,
+            };
+        }
+
+        // r = b − A·x
+        let mut r = vec![0.0; n];
+        a.mul_vec(x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+
+        // z = M⁻¹ r ; p = z
+        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
+        let mut p = z.clone();
+        let mut rz = dot(&r, &z);
+        let mut ap = vec![0.0; n];
+
+        let mut iterations = 0;
+        let mut res = norm2(&r) / b_norm;
+        while res > self.tolerance && iterations < max_iter {
+            a.mul_vec(&p, &mut ap);
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 {
+                // Matrix is not SPD along p (or we hit round-off); bail out.
+                break;
+            }
+            let alpha = rz / pap;
+            axpy(alpha, &p, x);
+            axpy(-alpha, &ap, &mut r);
+            for i in 0..n {
+                z[i] = r[i] * inv_diag[i];
+            }
+            let rz_new = dot(&r, &z);
+            let beta = rz_new / rz;
+            rz = rz_new;
+            xpby(&z, beta, &mut p);
+            iterations += 1;
+            res = norm2(&r) / b_norm;
+        }
+
+        SolveStats {
+            iterations,
+            relative_residual: res,
+            converged: res <= self.tolerance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    /// Builds the (SPD) 1-D Poisson matrix of size n with Dirichlet anchors.
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n {
+            t.add(i, i, 2.0);
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut t = TripletMatrix::new(3);
+        for i in 0..3 {
+            t.add(i, i, 1.0);
+        }
+        let a = t.to_csr();
+        let mut x = vec![0.0; 3];
+        let stats = CgSolver::new().solve(&a, &[1.0, 2.0, 3.0], &mut x);
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, 1);
+        for (xi, bi) in x.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solves_poisson_to_tolerance() {
+        let n = 200;
+        let a = poisson(n);
+        // Manufacture the solution x* = i/n and compute b = A x*.
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let mut b = vec![0.0; n];
+        a.mul_vec(&xs, &mut b);
+        let mut x = vec![0.0; n];
+        let stats = CgSolver::new().with_tolerance(1e-10).solve(&a, &b, &mut x);
+        assert!(stats.converged, "stats: {stats:?}");
+        for (xi, xsi) in x.iter().zip(&xs) {
+            assert!((xi - xsi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let n = 50;
+        let a = poisson(n);
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.mul_vec(&xs, &mut b);
+        let mut x = xs.clone();
+        let stats = CgSolver::new().solve(&a, &b, &mut x);
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = poisson(10);
+        let mut x = vec![5.0; 10];
+        let stats = CgSolver::new().solve(&a, &[0.0; 10], &mut x);
+        assert!(stats.converged);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_system() {
+        let a = TripletMatrix::new(0).to_csr();
+        let mut x: Vec<f64> = vec![];
+        let stats = CgSolver::new().solve(&a, &[], &mut x);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn iteration_limit_respected() {
+        let a = poisson(500);
+        let b = vec![1.0; 500];
+        let mut x = vec![0.0; 500];
+        let stats = CgSolver::new()
+            .with_tolerance(1e-14)
+            .with_max_iterations(3)
+            .solve(&a, &b, &mut x);
+        assert_eq!(stats.iterations, 3);
+        assert!(!stats.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive diagonal")]
+    fn zero_diagonal_panics() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        // (1,1) left structurally zero.
+        let a = t.to_csr();
+        let mut x = vec![0.0; 2];
+        CgSolver::new().solve(&a, &[1.0, 1.0], &mut x);
+    }
+}

@@ -1,0 +1,252 @@
+//! Compressed sparse row storage.
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Rows are stored contiguously; within each row, column indices are strictly
+/// increasing. The matrix is not required to be symmetric, but the placement
+/// systems built on top of it always are, and [`CsrMatrix::is_symmetric`]
+/// lets tests assert it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from parallel triplet arrays, summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or contain out-of-bounds
+    /// indices.
+    pub fn from_triplets(n: usize, rows: &[u32], cols: &[u32], vals: &[f64]) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+
+        // Count entries per row.
+        let mut counts = vec![0usize; n + 1];
+        for &r in rows {
+            assert!((r as usize) < n, "row index out of bounds");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr_raw = counts.clone();
+
+        // Scatter into row-grouped arrays.
+        let mut cursor = row_ptr_raw.clone();
+        let mut col_raw = vec![0u32; rows.len()];
+        let mut val_raw = vec![0.0f64; rows.len()];
+        for k in 0..rows.len() {
+            assert!((cols[k] as usize) < n, "col index out of bounds");
+            let r = rows[k] as usize;
+            let dst = cursor[r];
+            col_raw[dst] = cols[k];
+            val_raw[dst] = vals[k];
+            cursor[r] += 1;
+        }
+
+        // Sort each row by column and merge duplicates.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(rows.len());
+        let mut values = Vec::with_capacity(rows.len());
+        row_ptr.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..n {
+            scratch.clear();
+            scratch.extend(
+                col_raw[row_ptr_raw[r]..row_ptr_raw[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(val_raw[row_ptr_raw[r]..row_ptr_raw[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+                i = j;
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The matrix dimension (the matrix is square).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)`, or `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n);
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&(col as u32)) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Computes `out = A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `out` have length different from [`CsrMatrix::dim`].
+    pub fn mul_vec(&self, v: &[f64], out: &mut [f64]) {
+        assert_eq!(v.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        for (r, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * v[self.col_idx[k] as usize];
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Returns the diagonal as a dense vector (zeros for missing entries).
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Computes the quadratic form `vᵀAv`.
+    pub fn quadratic_form(&self, v: &[f64]) -> f64 {
+        assert_eq!(v.len(), self.n);
+        let mut acc = 0.0;
+        for r in 0..self.n {
+            let mut row_acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                row_acc += self.values[k] * v[self.col_idx[k] as usize];
+            }
+            acc += v[r] * row_acc;
+        }
+        acc
+    }
+
+    /// Checks symmetry up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for r in 0..self.n {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k] as usize;
+                if (self.values[k] - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over the stored entries of row `r` as `(col, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .map(|&c| c as usize)
+            .zip(self.values[lo..hi].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn sample() -> CsrMatrix {
+        let mut t = TripletMatrix::new(3);
+        t.add(0, 0, 2.0);
+        t.add(0, 1, -1.0);
+        t.add(1, 0, -1.0);
+        t.add(1, 1, 2.0);
+        t.add(1, 2, -1.0);
+        t.add(2, 1, -1.0);
+        t.add(2, 2, 2.0);
+        t.to_csr()
+    }
+
+    #[test]
+    fn get_and_nnz() {
+        let a = sample();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.get(2, 1), -1.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let a = sample();
+        let v = [1.0, 2.0, 3.0];
+        let mut out = vec![0.0; 3];
+        a.mul_vec(&v, &mut out);
+        assert_eq!(out, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = sample();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn quadratic_form_positive_definite() {
+        let a = sample();
+        // Tridiagonal Toeplitz [2,-1] is SPD.
+        for v in [[1.0, 0.0, 0.0], [1.0, 1.0, 1.0], [-1.0, 2.0, -1.0]] {
+            assert!(a.quadratic_form(&v) > 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let a = sample();
+        assert!(a.is_symmetric(1e-12));
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 1, 1.0);
+        assert!(!t.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn row_iterator_sorted() {
+        let a = sample();
+        let row1: Vec<_> = a.row(1).collect();
+        assert_eq!(row1, vec![(0, -1.0), (1, 2.0), (2, -1.0)]);
+    }
+
+    #[test]
+    fn duplicate_cancellation_drops_entry() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 1, 1.0);
+        t.add(0, 1, -1.0);
+        let a = t.to_csr();
+        assert_eq!(a.nnz(), 0);
+    }
+}

@@ -1,0 +1,363 @@
+//! Top-down geometric partitioning with order-preserving 1-D spreading —
+//! the inner loop of `P_C` (paper Sections 5 and S2).
+//!
+//! A region is recursively cut perpendicular to its longer side at a
+//! *capacity median* (the bin boundary where free capacity halves, so fixed
+//! obstacles shift the cut). Items, sorted along the cut axis, are assigned
+//! to the two sides in order, splitting their total area in proportion to
+//! the sides' free capacities — this preserves the relative order of cells,
+//! which Section S2 uses to argue convexity of the per-pass subproblem.
+//! Small leaves finish with cumulative-area 1-D spreading in x and y.
+
+use complx_netlist::Rect;
+
+use crate::capacity::CapacityMap;
+use crate::items::Item;
+
+/// Spreads `items` inside `rect` so that density is (approximately) evened
+/// out, preserving per-axis relative order. Positions are updated in place.
+///
+/// `rect` should have enough free capacity for the items (the region
+/// expansion in [`crate::cluster`] guarantees this); if it does not, items
+/// are still spread as evenly as the space allows.
+pub fn spread_in_rect(caps: &CapacityMap, items: &mut [Item], rect: Rect) {
+    if items.is_empty() {
+        return;
+    }
+    let mut idx: Vec<u32> = (0..items.len() as u32).collect();
+    recurse(caps, items, &mut idx, rect, 0);
+}
+
+fn recurse(caps: &CapacityMap, items: &mut [Item], idx: &mut [u32], rect: Rect, depth: usize) {
+    const MAX_DEPTH: usize = 64;
+    const LEAF_ITEMS: usize = 4;
+    if idx.len() <= LEAF_ITEMS
+        || depth >= MAX_DEPTH
+        || (rect.width() <= caps.bin_width() * 1.001 && rect.height() <= caps.bin_height() * 1.001)
+    {
+        leaf_spread(caps, items, idx, rect);
+        return;
+    }
+
+    // Cut perpendicular to the longer side.
+    let cut_x = rect.width() >= rect.height();
+    let Some((left_rect, right_rect)) = capacity_median_cut(caps, rect, cut_x) else {
+        leaf_spread(caps, items, idx, rect);
+        return;
+    };
+    let cap_left = caps.free_in_rect(&left_rect);
+    let cap_right = caps.free_in_rect(&right_rect);
+    let cap_total = cap_left + cap_right;
+    if cap_total <= 0.0 {
+        leaf_spread(caps, items, idx, rect);
+        return;
+    }
+
+    // Sort along the cut axis (stable to keep determinism on ties).
+    if cut_x {
+        idx.sort_by(|&a, &b| {
+            items[a as usize]
+                .x
+                .partial_cmp(&items[b as usize].x)
+                .expect("finite coords")
+        });
+    } else {
+        idx.sort_by(|&a, &b| {
+            items[a as usize]
+                .y
+                .partial_cmp(&items[b as usize].y)
+                .expect("finite coords")
+        });
+    }
+
+    // Split the sorted items so area proportion matches capacity proportion.
+    let total_area: f64 = idx.iter().map(|&i| items[i as usize].area()).sum();
+    let target_left = total_area * cap_left / cap_total;
+    let mut acc = 0.0;
+    let mut k = 0;
+    while k < idx.len() {
+        let a = items[idx[k] as usize].area();
+        if acc + 0.5 * a > target_left {
+            break;
+        }
+        acc += a;
+        k += 1;
+    }
+    // Keep both sides non-empty when possible so recursion always shrinks.
+    if k == 0 && cap_left > 0.0 && idx.len() > 1 {
+        k = 1;
+    }
+    if k == idx.len() && cap_right > 0.0 && idx.len() > 1 {
+        k = idx.len() - 1;
+    }
+    if k == 0 || k == idx.len() {
+        // One side has no capacity at all; recurse into the other side only.
+        let (target, _empty) = if k == 0 {
+            (right_rect, left_rect)
+        } else {
+            (left_rect, right_rect)
+        };
+        // Shrink the rect to the side with capacity and try again.
+        recurse(caps, items, idx, target, depth + 1);
+        return;
+    }
+
+    let (left_idx, right_idx) = idx.split_at_mut(k);
+    recurse(caps, items, left_idx, left_rect, depth + 1);
+    recurse(caps, items, right_idx, right_rect, depth + 1);
+}
+
+/// Cuts `rect` at the bin boundary where free capacity is halved; falls back
+/// to the geometric middle when the rect spans fewer than two bins on the
+/// cut axis. Returns `None` for degenerate rects.
+fn capacity_median_cut(caps: &CapacityMap, rect: Rect, cut_x: bool) -> Option<(Rect, Rect)> {
+    let (lo, hi) = if cut_x {
+        (rect.lx, rect.hx)
+    } else {
+        (rect.ly, rect.hy)
+    };
+    if hi - lo <= 0.0 {
+        return None;
+    }
+    let bin = if cut_x {
+        caps.bin_width()
+    } else {
+        caps.bin_height()
+    };
+    let origin = if cut_x { caps.core().lx } else { caps.core().ly };
+
+    // Candidate bin boundaries strictly inside (lo, hi).
+    let first = ((lo - origin) / bin).floor() as i64 + 1;
+    let last = ((hi - origin) / bin).ceil() as i64 - 1;
+    let total = caps.free_in_rect(&rect);
+    let mut best: Option<(f64, f64)> = None; // (imbalance, cut coordinate)
+    for b in first..=last {
+        let c = origin + b as f64 * bin;
+        if c <= lo + 1e-9 || c >= hi - 1e-9 {
+            continue;
+        }
+        let left = if cut_x {
+            Rect::new(rect.lx, rect.ly, c, rect.hy)
+        } else {
+            Rect::new(rect.lx, rect.ly, rect.hx, c)
+        };
+        let cl = caps.free_in_rect(&left);
+        let imbalance = (cl - 0.5 * total).abs();
+        if best.is_none_or(|(bi, _)| imbalance < bi) {
+            best = Some((imbalance, c));
+        }
+    }
+    let cut = best.map(|(_, c)| c).unwrap_or(0.5 * (lo + hi));
+    Some(if cut_x {
+        (
+            Rect::new(rect.lx, rect.ly, cut, rect.hy),
+            Rect::new(cut, rect.ly, rect.hx, rect.hy),
+        )
+    } else {
+        (
+            Rect::new(rect.lx, rect.ly, rect.hx, cut),
+            Rect::new(rect.lx, cut, rect.hx, rect.hy),
+        )
+    })
+}
+
+/// Order-preserving, capacity-weighted 1-D spreading of a leaf: along each
+/// axis independently, items keep their sorted order and receive positions
+/// such that cumulative item area tracks cumulative *free capacity* -- so
+/// blocked slices of the leaf receive no items. This is the piecewise-linear
+/// scaling of SimPL's one-dimensional spreading (paper Section S2).
+fn leaf_spread(caps: &CapacityMap, items: &mut [Item], idx: &mut [u32], rect: Rect) {
+    if idx.is_empty() {
+        return;
+    }
+    let total_area: f64 = idx.iter().map(|&i| items[i as usize].area()).sum();
+    if total_area <= 0.0 || caps.free_in_rect(&rect) <= 0.0 {
+        for &i in idx.iter() {
+            let it = &mut items[i as usize];
+            it.x = 0.5 * (rect.lx + rect.hx);
+            it.y = 0.5 * (rect.ly + rect.hy);
+        }
+        return;
+    }
+    for pass_x in [true, false] {
+        // Slice boundaries: bin grid lines intersected with the rect.
+        let (lo, hi, bin, origin) = if pass_x {
+            (rect.lx, rect.hx, caps.bin_width(), caps.core().lx)
+        } else {
+            (rect.ly, rect.hy, caps.bin_height(), caps.core().ly)
+        };
+        let mut bounds = vec![lo];
+        let first = ((lo - origin) / bin).floor() as i64 + 1;
+        let last = ((hi - origin) / bin).ceil() as i64 - 1;
+        for b in first..=last {
+            let c = origin + b as f64 * bin;
+            if c > lo + 1e-12 && c < hi - 1e-12 {
+                bounds.push(c);
+            }
+        }
+        bounds.push(hi);
+        // Cumulative free capacity over the slices.
+        let mut cum = vec![0.0f64];
+        for w in bounds.windows(2) {
+            let slice = if pass_x {
+                Rect::new(w[0], rect.ly, w[1], rect.hy)
+            } else {
+                Rect::new(rect.lx, w[0], rect.hx, w[1])
+            };
+            cum.push(cum.last().expect("non-empty") + caps.free_in_rect(&slice));
+        }
+        let total_cap = *cum.last().expect("non-empty");
+        if total_cap <= 0.0 {
+            continue;
+        }
+        idx.sort_by(|&a, &b| {
+            let (ca, cb) = if pass_x {
+                (items[a as usize].x, items[b as usize].x)
+            } else {
+                (items[a as usize].y, items[b as usize].y)
+            };
+            ca.partial_cmp(&cb).expect("finite coords")
+        });
+        let mut acc = 0.0;
+        for &i in idx.iter() {
+            let it = &mut items[i as usize];
+            let a = it.area();
+            let target_cap = (acc + 0.5 * a) / total_area * total_cap;
+            acc += a;
+            // Invert the piecewise-linear cumulative capacity.
+            let k = cum
+                .windows(2)
+                .position(|w| target_cap <= w[1] + 1e-12)
+                .unwrap_or(bounds.len() - 2);
+            let seg_cap = cum[k + 1] - cum[k];
+            let frac = if seg_cap > 0.0 {
+                ((target_cap - cum[k]) / seg_cap).clamp(0.0, 1.0)
+            } else {
+                0.5
+            };
+            let pos = bounds[k] + frac * (bounds[k + 1] - bounds[k]);
+            if pass_x {
+                it.x = pos;
+            } else {
+                it.y = pos;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{CellKind, DesignBuilder, Point};
+
+    fn open_caps(side: f64, bins: usize) -> CapacityMap {
+        let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, side, side), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
+        CapacityMap::new(&b.build().unwrap(), bins, bins)
+    }
+
+    fn stacked_items(n: usize, at: (f64, f64), area: f64) -> Vec<Item> {
+        (0..n)
+            .map(|i| Item {
+                x: at.0 + (i as f64) * 1e-7, // deterministic tie-break order
+                y: at.1 + (i as f64) * 1e-7,
+                width: area.sqrt(),
+                height: area.sqrt(),
+                owner: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spreading_reduces_max_bin_density() {
+        let caps = open_caps(32.0, 16);
+        let mut items = stacked_items(64, (16.0, 16.0), 2.0);
+        let rect = caps.core();
+        spread_in_rect(&caps, &mut items, rect);
+        // Count usage per bin.
+        let mut usage = vec![0.0; 16 * 16];
+        for it in &items {
+            let (ix, iy) = caps.bin_of(it.x, it.y);
+            usage[iy * 16 + ix] += it.area();
+        }
+        let max = usage.iter().cloned().fold(0.0f64, f64::max);
+        let bin_area = caps.bin_width() * caps.bin_height();
+        assert!(
+            max <= 2.5 * bin_area,
+            "max bin usage {max} vs bin area {bin_area}"
+        );
+    }
+
+    #[test]
+    fn items_stay_in_rect() {
+        let caps = open_caps(20.0, 10);
+        let mut items = stacked_items(30, (3.0, 17.0), 1.0);
+        let rect = Rect::new(0.0, 10.0, 10.0, 20.0);
+        spread_in_rect(&caps, &mut items, rect);
+        for it in &items {
+            assert!(rect.contains(Point::new(it.x, it.y)), "{it:?}");
+        }
+    }
+
+    #[test]
+    fn order_preserved_in_leaf() {
+        let caps = open_caps(8.0, 2);
+        let mut items: Vec<Item> = (0..4)
+            .map(|i| Item {
+                x: i as f64,
+                y: 3.0 - i as f64,
+                width: 1.0,
+                height: 1.0,
+                owner: i,
+            })
+            .collect();
+        let rect = caps.core();
+        spread_in_rect(&caps, &mut items, rect);
+        // x order must still be 0 < 1 < 2 < 3; y order reversed.
+        for i in 0..3 {
+            assert!(items[i].x < items[i + 1].x);
+            assert!(items[i].y > items[i + 1].y);
+        }
+    }
+
+    #[test]
+    fn obstacle_shifts_cut() {
+        // Left half fully blocked: all items must end up on the right.
+        let mut b = DesignBuilder::new("o", Rect::new(0.0, 0.0, 10.0, 10.0), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let f = b
+            .add_fixed_cell("f", 5.0, 10.0, CellKind::Fixed, Point::new(2.5, 5.0))
+            .unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f, 0.0, 0.0)])
+            .unwrap();
+        let caps = CapacityMap::new(&b.build().unwrap(), 10, 10);
+        let mut items = stacked_items(10, (1.0, 5.0), 2.0);
+        spread_in_rect(&caps, &mut items, caps.core());
+        for it in &items {
+            assert!(it.x > 5.0, "item in blocked half: {it:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_cases() {
+        let caps = open_caps(4.0, 2);
+        let mut none: Vec<Item> = vec![];
+        spread_in_rect(&caps, &mut none, caps.core());
+        let mut one = stacked_items(1, (1.0, 1.0), 1.0);
+        spread_in_rect(&caps, &mut one, caps.core());
+        assert!(caps.core().contains(Point::new(one[0].x, one[0].y)));
+    }
+
+    #[test]
+    fn spread_is_deterministic() {
+        let caps = open_caps(32.0, 16);
+        let mut a = stacked_items(50, (16.0, 16.0), 1.5);
+        let mut b = a.clone();
+        spread_in_rect(&caps, &mut a, caps.core());
+        spread_in_rect(&caps, &mut b, caps.core());
+        assert_eq!(a, b);
+    }
+}

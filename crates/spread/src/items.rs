@@ -1,0 +1,45 @@
+//! The unit of spreading: a rectangle with an area and a mutable center.
+//!
+//! `P_C` operates on *items* rather than cells directly so that macro
+//! shredding (Section 5) can feed macro fragments and standard cells through
+//! the same machinery.
+
+/// One spreadable rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Item {
+    /// Current center x.
+    pub x: f64,
+    /// Current center y.
+    pub y: f64,
+    /// Width used for capacity accounting.
+    pub width: f64,
+    /// Height used for capacity accounting.
+    pub height: f64,
+    /// Opaque owner tag: the cell index this item belongs to (several shreds
+    /// may share one owner).
+    pub owner: u32,
+}
+
+impl Item {
+    /// The item's area.
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area() {
+        let it = Item {
+            x: 0.0,
+            y: 0.0,
+            width: 3.0,
+            height: 4.0,
+            owner: 7,
+        };
+        assert_eq!(it.area(), 12.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! The complete feasibility projection `P_C`.
+
+use complx_netlist::{density::DensityGrid, Design, Placement};
+
+use crate::bisect::spread_in_rect;
+use crate::capacity::CapacityMap;
+use crate::cluster::cluster;
+use crate::items::Item;
+use crate::regions::{snap_to_alignments, snap_to_regions};
+use crate::shred::{apply_items, build_items_inflated};
+
+/// Configuration and entry point for the feasibility projection.
+///
+/// The default configuration shreds macros, enforces region constraints and
+/// picks the grid resolution adaptively (about [`Self::cells_per_bin`]
+/// movable items per bin). ComPLx coarsens the grid in early iterations and
+/// refines later; the placer drives that schedule through
+/// [`FeasibilityProjection::project_with_bins`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeasibilityProjection {
+    /// Overrides the design's target density γ when set.
+    pub target_density: Option<f64>,
+    /// Explicit square grid resolution; `None` selects adaptively.
+    pub bins: Option<usize>,
+    /// Adaptive resolution target: average movable items per bin.
+    pub cells_per_bin: f64,
+    /// Shred movable macros (Section 5). Disable only for ablation.
+    pub shred_macros: bool,
+    /// Snap region-constrained cells after density spreading (Section S5).
+    pub enforce_regions: bool,
+}
+
+impl Default for FeasibilityProjection {
+    fn default() -> Self {
+        Self {
+            target_density: None,
+            bins: None,
+            cells_per_bin: 3.0,
+            shred_macros: true,
+            enforce_regions: true,
+        }
+    }
+}
+
+/// Output of one projection: the pseudo-legal placement plus diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionResult {
+    /// The `C`-feasible (approximately) placement `(x°, y°)`.
+    pub placement: Placement,
+    /// `Π = ‖(x,y) − (x°,y°)‖₁` over movable cells — the penalty value the
+    /// Lagrangian uses (Formula 3).
+    pub distance_l1: f64,
+    /// Bin-overflow ratio of the *input* placement at the grid used.
+    pub overflow_before: f64,
+    /// Bin-overflow ratio of the output placement at the same grid.
+    pub overflow_after: f64,
+    /// Number of spreading regions processed.
+    pub num_regions: usize,
+    /// Grid resolution used (square grid side, in bins).
+    pub bins_used: usize,
+}
+
+impl FeasibilityProjection {
+    /// Creates the default projection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Projects `placement` onto (an approximation of) the feasible set.
+    pub fn project(&self, design: &Design, placement: &Placement) -> ProjectionResult {
+        let bins = self.bins.unwrap_or_else(|| self.adaptive_bins(design));
+        self.project_with_bins(design, placement, bins)
+    }
+
+    /// Projects with an explicit square grid resolution (the placer uses
+    /// this to coarsen early iterations and refine late ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the placement length mismatches the design.
+    pub fn project_with_bins(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        bins: usize,
+    ) -> ProjectionResult {
+        self.project_with_bins_inflated(design, placement, bins, None)
+    }
+
+    /// Projects with explicit grid resolution and optional per-cell width
+    /// inflation factors (SimPLR's routability preprocessing; see
+    /// [`crate::rudy::CongestionMap::inflation_factors`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, the placement length mismatches the design,
+    /// or the inflation vector has the wrong length.
+    pub fn project_with_bins_inflated(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        bins: usize,
+        inflation: Option<&[f64]>,
+    ) -> ProjectionResult {
+        assert!(bins > 0, "grid must have at least one bin");
+        assert_eq!(placement.len(), design.num_cells());
+        let gamma = self
+            .target_density
+            .unwrap_or_else(|| design.target_density());
+
+        let mut items =
+            build_items_inflated(design, placement, self.shred_macros, inflation);
+        let caps = CapacityMap::new(design, bins, bins);
+        let regions = cluster(&caps, &items, gamma);
+
+        // Spread each region's items independently.
+        let mut scratch: Vec<Item> = Vec::new();
+        let mut scratch_ids: Vec<usize> = Vec::new();
+        for region in &regions {
+            let rect = region.rect(&caps);
+            scratch.clear();
+            scratch_ids.clear();
+            for (i, it) in items.iter().enumerate() {
+                if it.x >= rect.lx && it.x < rect.hx && it.y >= rect.ly && it.y < rect.hy {
+                    scratch.push(*it);
+                    scratch_ids.push(i);
+                }
+            }
+            spread_in_rect(&caps, &mut scratch, rect);
+            for (k, &i) in scratch_ids.iter().enumerate() {
+                items[i] = scratch[k];
+            }
+        }
+
+        let mut out = placement.clone();
+        apply_items(design, placement, &items, &mut out);
+        if self.enforce_regions {
+            snap_to_regions(design, &mut out);
+            snap_to_alignments(design, &mut out);
+        }
+
+        // Diagnostics at the same grid resolution.
+        let overflow_before = DensityGrid::build(design, placement, bins, bins)
+            .overflow_ratio(gamma);
+        let overflow_after =
+            DensityGrid::build(design, &out, bins, bins).overflow_ratio(gamma);
+        let distance_l1 = placement.l1_distance(&out);
+
+        ProjectionResult {
+            placement: out,
+            distance_l1,
+            overflow_before,
+            overflow_after,
+            num_regions: regions.len(),
+            bins_used: bins,
+        }
+    }
+
+    /// The adaptive square-grid resolution for a design.
+    pub fn adaptive_bins(&self, design: &Design) -> usize {
+        let n = design.movable_cells().len().max(1) as f64;
+        ((n / self.cells_per_bin).sqrt().ceil() as usize).clamp(2, 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::generator::GeneratorConfig;
+
+    #[test]
+    fn projection_reduces_overflow_dramatically() {
+        let d = GeneratorConfig::small("p", 1).generate();
+        let p = d.initial_placement(); // everything at the center
+        let proj = FeasibilityProjection::default();
+        let r = proj.project(&d, &p);
+        assert!(r.overflow_before > 0.5, "stacked start should overflow");
+        assert!(
+            r.overflow_after < 0.25 * r.overflow_before,
+            "overflow {} -> {}",
+            r.overflow_before,
+            r.overflow_after
+        );
+        assert!(r.num_regions >= 1);
+        assert!(r.distance_l1 > 0.0);
+    }
+
+    #[test]
+    fn projection_is_idempotent_when_feasible() {
+        let d = GeneratorConfig::small("idem", 2).generate();
+        let p = d.initial_placement();
+        let proj = FeasibilityProjection::default();
+        let once = proj.project(&d, &p);
+        let twice = proj.project(&d, &once.placement);
+        // A feasible input should barely move: P_C(P_C(x)) ≈ P_C(x).
+        assert!(
+            twice.distance_l1 < 0.1 * once.distance_l1 + 1e-9,
+            "second projection moved {} vs first {}",
+            twice.distance_l1,
+            once.distance_l1
+        );
+    }
+
+    #[test]
+    fn feasible_input_returns_nearly_unchanged() {
+        // "P_C should return its input when the input is C-feasible" (§4).
+        let d = GeneratorConfig::small("f", 3).generate();
+        let p = d.initial_placement();
+        let proj = FeasibilityProjection::default();
+        let spread = proj.project(&d, &p).placement;
+        let again = proj.project(&d, &spread);
+        let per_cell = again.distance_l1 / d.movable_cells().len() as f64;
+        assert!(
+            per_cell < 0.5 * d.row_height(),
+            "per-cell displacement {per_cell}"
+        );
+    }
+
+    #[test]
+    fn coarse_and_fine_grids_both_work() {
+        let d = GeneratorConfig::small("g", 4).generate();
+        let p = d.initial_placement();
+        let proj = FeasibilityProjection::default();
+        for bins in [4, 8, 16, 32] {
+            let r = proj.project_with_bins(&d, &p, bins);
+            assert!(
+                r.overflow_after < r.overflow_before,
+                "bins {bins}: {} -> {}",
+                r.overflow_before,
+                r.overflow_after
+            );
+        }
+    }
+
+    #[test]
+    fn density_target_respected_on_mixed_design() {
+        // Section 5: mixed-size P_C "may leave small overlaps between
+        // macros. Rather than force complete legalization, we let multiple
+        // global placement iterations (including P_C) gradually decrease
+        // these overlaps." Iterating the projection must therefore drive
+        // overflow down monotonically and substantially.
+        let d = GeneratorConfig::ispd2006_like("m", 5, 600, 0.6).generate();
+        let proj = FeasibilityProjection::default();
+        let mut p = d.initial_placement();
+        let initial = proj.project(&d, &p).overflow_before;
+        let mut last = initial;
+        for _ in 0..3 {
+            let r = proj.project(&d, &p);
+            assert!(
+                r.overflow_after < last + 1e-9,
+                "overflow went up: {last} -> {}",
+                r.overflow_after
+            );
+            last = r.overflow_after;
+            p = r.placement;
+        }
+        assert!(
+            last < 0.3 * initial.max(1e-9),
+            "after 3 projections: {initial} -> {last}"
+        );
+    }
+
+    #[test]
+    fn projection_deterministic() {
+        let d = GeneratorConfig::small("det", 6).generate();
+        let p = d.initial_placement();
+        let proj = FeasibilityProjection::default();
+        let a = proj.project(&d, &p);
+        let b = proj.project(&d, &p);
+        assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn adaptive_bins_scale_with_size() {
+        let small = GeneratorConfig::small("s1", 7).generate();
+        let proj = FeasibilityProjection::default();
+        let b_small = proj.adaptive_bins(&small);
+        let mut cfg = GeneratorConfig::small("s2", 7);
+        cfg.num_std_cells = 5000;
+        let large = cfg.generate();
+        assert!(proj.adaptive_bins(&large) > b_small);
+    }
+}

@@ -1,0 +1,210 @@
+//! Hard region-constraint enforcement inside `P_C` (paper Section S5).
+//!
+//! "ComPLx allows for a more straightforward and robust implementation of
+//! region constraints by enforcing them as part of the feasibility
+//! projection at every global placement iteration — each cell is snapped to
+//! the constraining region after feasibility projection for density
+//! constraints." The snapped locations then act as anchors for the next
+//! analytic iteration.
+
+use complx_netlist::{AlignmentAxis, Design, Placement, Point};
+
+/// Snaps every region-constrained cell into its region rectangle (shrunk by
+/// half the cell's dimensions so the whole cell fits). Returns the number of
+/// cells that had to move.
+pub fn snap_to_regions(design: &Design, placement: &mut Placement) -> usize {
+    let mut moved = 0;
+    for region in design.regions() {
+        let r = region.rect();
+        for &id in region.cells() {
+            let cell = design.cell(id);
+            let hw = (0.5 * cell.width()).min(0.5 * r.width());
+            let hh = (0.5 * cell.height()).min(0.5 * r.height());
+            let p = placement.position(id);
+            let snapped = Point::new(
+                p.x.clamp(r.lx + hw, r.hx - hw),
+                p.y.clamp(r.ly + hh, r.hy - hh),
+            );
+            if snapped != p {
+                placement.set_position(id, snapped);
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+/// Snaps every alignment group to its mean coordinate on the constrained
+/// axis (§S5: alignment is another constraint type the projection absorbs).
+/// Returns the number of cells moved.
+pub fn snap_to_alignments(design: &Design, placement: &mut Placement) -> usize {
+    let mut moved = 0;
+    for a in design.alignments() {
+        if a.cells().is_empty() {
+            continue;
+        }
+        let mean: f64 = a
+            .cells()
+            .iter()
+            .map(|&id| {
+                let p = placement.position(id);
+                match a.axis() {
+                    AlignmentAxis::Horizontal => p.y,
+                    AlignmentAxis::Vertical => p.x,
+                }
+            })
+            .sum::<f64>()
+            / a.cells().len() as f64;
+        let core = design.core();
+        for &id in a.cells() {
+            let cell = design.cell(id);
+            let p = placement.position(id);
+            let snapped = match a.axis() {
+                AlignmentAxis::Horizontal => {
+                    let hh = 0.5 * cell.height();
+                    Point::new(p.x, mean.clamp(core.ly + hh, core.hy - hh))
+                }
+                AlignmentAxis::Vertical => {
+                    let hw = 0.5 * cell.width();
+                    Point::new(mean.clamp(core.lx + hw, core.hx - hw), p.y)
+                }
+            };
+            if snapped != p {
+                placement.set_position(id, snapped);
+                moved += 1;
+            }
+        }
+    }
+    moved
+}
+
+/// Checks whether a placement satisfies every alignment constraint within
+/// tolerance `tol`.
+pub fn alignments_satisfied(design: &Design, placement: &Placement, tol: f64) -> bool {
+    design.alignments().iter().all(|a| {
+        let coords: Vec<f64> = a
+            .cells()
+            .iter()
+            .map(|&id| {
+                let p = placement.position(id);
+                match a.axis() {
+                    AlignmentAxis::Horizontal => p.y,
+                    AlignmentAxis::Vertical => p.x,
+                }
+            })
+            .collect();
+        match (
+            coords.iter().cloned().fold(f64::INFINITY, f64::min),
+            coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        ) {
+            (lo, hi) if coords.is_empty() => {
+                let _ = (lo, hi);
+                true
+            }
+            (lo, hi) => hi - lo <= tol,
+        }
+    })
+}
+
+/// Checks whether a placement satisfies every region constraint.
+pub fn regions_satisfied(design: &Design, placement: &Placement) -> bool {
+    design.regions().iter().all(|region| {
+        region.cells().iter().all(|&id| {
+            let cell = design.cell(id);
+            let p = placement.position(id);
+            let r = region.rect();
+            let hw = (0.5 * cell.width()).min(0.5 * r.width());
+            let hh = (0.5 * cell.height()).min(0.5 * r.height());
+            p.x >= r.lx + hw - 1e-9
+                && p.x <= r.hx - hw + 1e-9
+                && p.y >= r.ly + hh - 1e-9
+                && p.y <= r.hy - hh + 1e-9
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{CellKind, DesignBuilder, Rect, RegionConstraint};
+
+    fn design_with_region() -> Design {
+        let mut b = DesignBuilder::new("r", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+        let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
+        b.add_region(RegionConstraint::new(
+            "clk",
+            Rect::new(10.0, 10.0, 20.0, 20.0),
+            vec![a],
+        ));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn snap_moves_outside_cells_in() {
+        let d = design_with_region();
+        let mut p = d.initial_placement(); // center (50, 50): outside region
+        assert!(!regions_satisfied(&d, &p));
+        let moved = snap_to_regions(&d, &mut p);
+        assert_eq!(moved, 1);
+        assert!(regions_satisfied(&d, &p));
+        let a = d.find_cell("a").unwrap();
+        // Snapped to the nearest region boundary point (accounting for size).
+        assert_eq!(p.position(a), Point::new(19.0, 19.5));
+    }
+
+    #[test]
+    fn snap_is_idempotent() {
+        let d = design_with_region();
+        let mut p = d.initial_placement();
+        snap_to_regions(&d, &mut p);
+        let q = p.clone();
+        let moved = snap_to_regions(&d, &mut p);
+        assert_eq!(moved, 0);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn alignment_snap_levels_a_group() {
+        use complx_netlist::{AlignmentAxis, AlignmentConstraint};
+        let mut b = DesignBuilder::new("al", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+        let ids: Vec<_> = (0..4)
+            .map(|i| {
+                b.add_cell(format!("c{i}"), 2.0, 1.0, CellKind::Movable)
+                    .unwrap()
+            })
+            .collect();
+        b.add_net("n", 1.0, vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)])
+            .unwrap();
+        b.add_alignment(AlignmentConstraint::new(
+            "dp",
+            AlignmentAxis::Horizontal,
+            ids.clone(),
+        ));
+        let d = b.build().unwrap();
+        let mut p = d.initial_placement();
+        for (k, &id) in ids.iter().enumerate() {
+            p.set_position(id, Point::new(10.0 * k as f64 + 5.0, 20.0 + 3.0 * k as f64));
+        }
+        assert!(!alignments_satisfied(&d, &p, 1e-9));
+        let moved = snap_to_alignments(&d, &mut p);
+        assert!(moved > 0);
+        assert!(alignments_satisfied(&d, &p, 1e-9));
+        // The shared y is the group mean (20 + 3·1.5 = 24.5).
+        assert!((p.position(ids[0]).y - 24.5).abs() < 1e-9);
+        // x coordinates untouched.
+        assert!((p.position(ids[2]).x - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_cells_untouched() {
+        let d = design_with_region();
+        let mut p = d.initial_placement();
+        let b_id = d.find_cell("b").unwrap();
+        let before = p.position(b_id);
+        snap_to_regions(&d, &mut p);
+        assert_eq!(p.position(b_id), before);
+    }
+}

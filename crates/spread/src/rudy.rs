@@ -1,0 +1,266 @@
+//! RUDY congestion estimation and routability-driven cell inflation —
+//! the SimPLR mechanism the paper describes in Section 5: "SimPLR
+//! preprocesses `P_C` by temporarily increasing the dimensions of some
+//! movable objects, so as to enhance geometric separation between them."
+//!
+//! RUDY (Rectangular Uniform wire DensitY, Spindler & Johannes) spreads
+//! each net's expected wire volume uniformly over its bounding box:
+//! a net with bbox `w × h` contributes demand density
+//! `w_e · (w + h) / (w · h)` to every point of the box, i.e. its HPWL
+//! divided by its area. Bins whose accumulated demand exceeds the supply
+//! (routing capacity per unit area) are congested; cells inside them are
+//! inflated before spreading so `P_C` pulls them apart.
+
+use complx_netlist::{hpwl, Design, Placement, Rect};
+
+/// A RUDY congestion map over a uniform bin grid.
+#[derive(Debug, Clone)]
+pub struct CongestionMap {
+    core: Rect,
+    nx: usize,
+    ny: usize,
+    bin_w: f64,
+    bin_h: f64,
+    /// Total wire demand density per bin.
+    demand: Vec<f64>,
+    /// Horizontal-wire demand component (Ripple distinguishes congestion
+    /// maps for horizontal and vertical wiring, paper §5).
+    demand_h: Vec<f64>,
+    /// Vertical-wire demand component.
+    demand_v: Vec<f64>,
+    /// Routing supply per unit area (tracks per length × layers, abstract).
+    supply: f64,
+}
+
+impl CongestionMap {
+    /// Builds an `nx × ny` RUDY map for a placement. `supply` is the
+    /// routing capacity per unit area; demand/supply > 1 means congestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx`/`ny` is zero or `supply` is not positive.
+    pub fn build(
+        design: &Design,
+        placement: &Placement,
+        nx: usize,
+        ny: usize,
+        supply: f64,
+    ) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one bin");
+        assert!(supply > 0.0, "supply must be positive");
+        let core = design.core();
+        let bin_w = core.width() / nx as f64;
+        let bin_h = core.height() / ny as f64;
+        let mut demand = vec![0.0f64; nx * ny];
+        let mut demand_h = vec![0.0f64; nx * ny];
+        let mut demand_v = vec![0.0f64; nx * ny];
+        for nid in design.net_ids() {
+            let (lx, ly, hx, hy) = hpwl::net_bbox(design, placement, nid);
+            let w = (hx - lx).max(1e-9);
+            let h = (hy - ly).max(1e-9);
+            // RUDY density: expected wirelength (HPWL) smeared over the box.
+            // The horizontal wire (length w) and vertical wire (length h)
+            // contribute separately, as in Ripple's per-direction maps.
+            let weight = design.net(nid).weight();
+            let density_h = weight * w / (w * h);
+            let density_v = weight * h / (w * h);
+            let density = density_h + density_v;
+            let bbox = Rect::new(lx, ly, lx + w, ly + h);
+            let x0 = (((bbox.lx - core.lx) / bin_w).floor().max(0.0)) as usize;
+            let y0 = (((bbox.ly - core.ly) / bin_h).floor().max(0.0)) as usize;
+            let x1 = ((((bbox.hx - core.lx) / bin_w).ceil()) as usize).min(nx);
+            let y1 = ((((bbox.hy - core.ly) / bin_h).ceil()) as usize).min(ny);
+            for iy in y0..y1 {
+                for ix in x0..x1 {
+                    let bin = Rect::new(
+                        core.lx + ix as f64 * bin_w,
+                        core.ly + iy as f64 * bin_h,
+                        core.lx + (ix + 1) as f64 * bin_w,
+                        core.ly + (iy + 1) as f64 * bin_h,
+                    );
+                    let ov = bin.overlap_area(&bbox);
+                    if ov > 0.0 {
+                        let frac = ov / bin.area();
+                        demand[iy * nx + ix] += density * frac;
+                        demand_h[iy * nx + ix] += density_h * frac;
+                        demand_v[iy * nx + ix] += density_v * frac;
+                    }
+                }
+            }
+        }
+        Self {
+            core,
+            nx,
+            ny,
+            bin_w,
+            bin_h,
+            demand,
+            demand_h,
+            demand_v,
+            supply,
+        }
+    }
+
+    fn bin_at(&self, x: f64, y: f64) -> usize {
+        let ix = (((x - self.core.lx) / self.bin_w).floor() as isize)
+            .clamp(0, self.nx as isize - 1) as usize;
+        let iy = (((y - self.core.ly) / self.bin_h).floor() as isize)
+            .clamp(0, self.ny as isize - 1) as usize;
+        iy * self.nx + ix
+    }
+
+    /// Horizontal-wiring congestion at a point (Ripple's per-direction view).
+    pub fn horizontal_congestion_at(&self, x: f64, y: f64) -> f64 {
+        // Each direction gets half the total supply, as on a 2-layer grid.
+        self.demand_h[self.bin_at(x, y)] / (0.5 * self.supply)
+    }
+
+    /// Vertical-wiring congestion at a point.
+    pub fn vertical_congestion_at(&self, x: f64, y: f64) -> f64 {
+        self.demand_v[self.bin_at(x, y)] / (0.5 * self.supply)
+    }
+
+    /// Congestion (demand/supply) at a point; ≥ 1 means over capacity.
+    pub fn congestion_at(&self, x: f64, y: f64) -> f64 {
+        self.demand[self.bin_at(x, y)] / self.supply
+    }
+
+    /// Maximum congestion over all bins.
+    pub fn max_congestion(&self) -> f64 {
+        self.demand.iter().cloned().fold(0.0f64, f64::max) / self.supply
+    }
+
+    /// Total congestion overflow: `Σ_bins max(0, demand/supply − 1)` — a
+    /// smoother congestion quality metric than the single-bin peak.
+    pub fn total_overflow(&self) -> f64 {
+        self.demand
+            .iter()
+            .map(|&d| (d / self.supply - 1.0).max(0.0))
+            .sum()
+    }
+
+    /// Fraction of bins over capacity.
+    pub fn overflowed_fraction(&self) -> f64 {
+        let over = self.demand.iter().filter(|&&d| d > self.supply).count();
+        over as f64 / self.demand.len() as f64
+    }
+
+    /// Per-cell inflation factors for SimPLR-style `P_C` preprocessing:
+    /// cells in bins with congestion `c > 1` get their spreading width
+    /// multiplied by `min(1 + alpha·(c − 1), max_inflation)`; others stay
+    /// at 1. Indexed by cell id.
+    pub fn inflation_factors(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        alpha: f64,
+        max_inflation: f64,
+    ) -> Vec<f64> {
+        let mut f = vec![1.0; design.num_cells()];
+        for &id in design.movable_cells() {
+            let p = placement.position(id);
+            let c = self.congestion_at(p.x, p.y);
+            if c > 1.0 {
+                f[id.index()] = (1.0 + alpha * (c - 1.0)).min(max_inflation);
+            }
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{generator::GeneratorConfig, Point};
+
+    fn placed_design() -> (Design, Placement) {
+        let d = GeneratorConfig::small("rudy", 5).generate();
+        let p = d.initial_placement();
+        (d, p)
+    }
+
+    #[test]
+    fn stacked_placement_concentrates_demand() {
+        let (d, p) = placed_design(); // all cells at the center
+        let m = CongestionMap::build(&d, &p, 8, 8, 1.0);
+        let center = d.core().center();
+        let edge = Point::new(d.core().lx + 1.0, d.core().ly + 1.0);
+        assert!(
+            m.congestion_at(center.x, center.y) > m.congestion_at(edge.x, edge.y),
+            "center must be more congested than the corner"
+        );
+        assert!(m.max_congestion() > 0.0);
+    }
+
+    #[test]
+    fn integrated_demand_equals_weighted_hpwl() {
+        // ∫ density dA over a net's bbox = w_e·(w + h) = its weighted HPWL
+        // (up to the degenerate-bbox floor), so the bin-integrated demand
+        // reproduces total weighted HPWL — RUDY's defining property.
+        let (d, p) = placed_design();
+        let spread = crate::FeasibilityProjection::default()
+            .project(&d, &p)
+            .placement;
+        let m = CongestionMap::build(&d, &spread, 16, 16, 1.0);
+        let bin_area = m.bin_w * m.bin_h;
+        let integrated: f64 = m.demand.iter().map(|&dd| dd * bin_area).sum();
+        let expected = complx_netlist::hpwl::weighted_hpwl(&d, &spread);
+        // Boundary bins clip bboxes that stick out past the core and the
+        // 1e-9 floors add slack for degenerate boxes; allow 15%.
+        assert!(
+            (integrated - expected).abs() < 0.15 * expected,
+            "integrated {integrated} vs weighted HPWL {expected}"
+        );
+    }
+
+    #[test]
+    fn inflation_targets_congested_cells_only() {
+        let (d, p) = placed_design();
+        // Pick supply so the stacked center is congested but corners not.
+        let m = CongestionMap::build(&d, &p, 8, 8, 1.0);
+        let factors = m.inflation_factors(&d, &p, 0.5, 2.0);
+        // Movable cells are all at the congested center → inflated.
+        for &id in d.movable_cells() {
+            assert!(factors[id.index()] > 1.0);
+            assert!(factors[id.index()] <= 2.0);
+        }
+        // Fixed cells never inflate.
+        for id in d.cell_ids() {
+            if !d.cell(id).is_movable() {
+                assert_eq!(factors[id.index()], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn directional_demand_distinguishes_wide_from_tall_nets() {
+        // One wide flat net: horizontal demand must dominate vertical.
+        use complx_netlist::{CellKind, DesignBuilder, Rect};
+        let mut b = DesignBuilder::new("dir", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        let d = b.build().unwrap();
+        let mut p = d.initial_placement();
+        p.set_position(a, Point::new(10.0, 50.0));
+        p.set_position(c, Point::new(90.0, 50.0));
+        let m = CongestionMap::build(&d, &p, 10, 10, 1.0);
+        let h = m.horizontal_congestion_at(50.0, 50.0);
+        let v = m.vertical_congestion_at(50.0, 50.0);
+        assert!(h > 10.0 * v, "horizontal {h} vs vertical {v}");
+        // Combined congestion equals the sum of the components (scaled by
+        // the half-supply convention).
+        let total = m.congestion_at(50.0, 50.0);
+        assert!((0.5 * (h + v) - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_supply_means_no_congestion() {
+        let (d, p) = placed_design();
+        let m = CongestionMap::build(&d, &p, 8, 8, 1e12);
+        assert!(m.max_congestion() < 1.0);
+        assert_eq!(m.overflowed_fraction(), 0.0);
+        let factors = m.inflation_factors(&d, &p, 0.5, 2.0);
+        assert!(factors.iter().all(|&f| f == 1.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! Macro shredding for mixed-size feasibility projection (paper Section 5).
+//!
+//! Movable macros are divided into equal-sized shreds of roughly
+//! `2×2 standard-cell-height`; ComPLx does **not** connect shreds with fake
+//! nets (the linear systems are untouched) — the shreds exist only inside
+//! `P_C`. After spreading, the macro's displacement is interpolated as the
+//! *average displacement of its shreds*. Because `P_C` inserts whitespace to
+//! meet the target density γ, shred widths and heights are pre-multiplied by
+//! `√γ` so the spread shred array does not outgrow the macro footprint
+//! ("creating a halo around the macro", Section 5).
+
+use complx_netlist::{CellKind, Design, Placement};
+
+use crate::items::Item;
+
+/// Builds the spreading items for a placement: one item per movable standard
+/// cell, and (when `shred_macros` is set) a grid of shreds per movable
+/// macro. Returns the items; `Item::owner` is the owning cell's index.
+pub fn build_items(design: &Design, placement: &Placement, shred_macros: bool) -> Vec<Item> {
+    build_items_inflated(design, placement, shred_macros, None)
+}
+
+/// Like [`build_items`] but with optional per-cell width-inflation factors
+/// (indexed by cell id) — SimPLR's routability preprocessing, which
+/// "temporarily increases the dimensions of some movable objects"
+/// (paper Section 5). Inflation applies to standard cells only; shredded
+/// macros keep their geometry.
+pub fn build_items_inflated(
+    design: &Design,
+    placement: &Placement,
+    shred_macros: bool,
+    inflation: Option<&[f64]>,
+) -> Vec<Item> {
+    if let Some(f) = inflation {
+        assert_eq!(f.len(), design.num_cells(), "one factor per cell");
+    }
+    let gamma = design.target_density();
+    let shrink = gamma.sqrt();
+    let shred_side = 2.0 * design.row_height();
+    let mut items = Vec::with_capacity(design.movable_cells().len());
+    for &id in design.movable_cells() {
+        let cell = design.cell(id);
+        let p = placement.position(id);
+        if shred_macros && cell.kind() == CellKind::MovableMacro {
+            let nx = (cell.width() / shred_side).ceil().max(1.0) as usize;
+            let ny = (cell.height() / shred_side).ceil().max(1.0) as usize;
+            let sw = cell.width() / nx as f64;
+            let sh = cell.height() / ny as f64;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    items.push(Item {
+                        x: p.x - 0.5 * cell.width() + (ix as f64 + 0.5) * sw,
+                        y: p.y - 0.5 * cell.height() + (iy as f64 + 0.5) * sh,
+                        width: sw * shrink,
+                        height: sh * shrink,
+                        owner: id.index() as u32,
+                    });
+                }
+            }
+        } else {
+            let factor = inflation.map_or(1.0, |f| f[id.index()]);
+            items.push(Item {
+                x: p.x,
+                y: p.y,
+                width: cell.width() * factor,
+                height: cell.height(),
+                owner: id.index() as u32,
+            });
+        }
+    }
+    items
+}
+
+/// Applies spread item positions back onto a placement: standard cells take
+/// their item's position directly; each macro moves by the **average
+/// displacement** of its shreds relative to their pre-spread offsets.
+///
+/// `original` must be the placement `build_items` was called with.
+pub fn apply_items(
+    design: &Design,
+    original: &Placement,
+    items: &[Item],
+    out: &mut Placement,
+) {
+    // Accumulate displacement sums per owner.
+    let n = design.num_cells();
+    let mut sum_dx = vec![0.0f64; n];
+    let mut sum_dy = vec![0.0f64; n];
+    let mut count = vec![0u32; n];
+
+    // Recompute original item centers to measure displacement: walk the
+    // same construction order as `build_items`.
+    let reference = build_items(design, original, true);
+    // If shredding was off in the caller, item counts differ; fall back to
+    // per-item matching by owner order below.
+    let same_layout = reference.len() == items.len()
+        && reference
+            .iter()
+            .zip(items)
+            .all(|(a, b)| a.owner == b.owner);
+
+    if same_layout {
+        for (orig, new) in reference.iter().zip(items) {
+            let o = orig.owner as usize;
+            sum_dx[o] += new.x - orig.x;
+            sum_dy[o] += new.y - orig.y;
+            count[o] += 1;
+        }
+    } else {
+        // Non-shredded layout: every item is its own cell.
+        for it in items {
+            let o = it.owner as usize;
+            let p = original.position(complx_netlist::CellId::from_index(o));
+            sum_dx[o] += it.x - p.x;
+            sum_dy[o] += it.y - p.y;
+            count[o] += 1;
+        }
+    }
+
+    let core = design.core();
+    for &id in design.movable_cells() {
+        let i = id.index();
+        if count[i] == 0 {
+            continue;
+        }
+        let cell = design.cell(id);
+        let p = original.position(id);
+        let hw = (0.5 * cell.width()).min(0.5 * core.width());
+        let hh = (0.5 * cell.height()).min(0.5 * core.height());
+        let nx = (p.x + sum_dx[i] / count[i] as f64).clamp(core.lx + hw, core.hx - hw);
+        let ny = (p.y + sum_dy[i] / count[i] as f64).clamp(core.ly + hh, core.hy - hh);
+        out.set_position(id, complx_netlist::Point::new(nx, ny));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{generator::GeneratorConfig, CellId, Point};
+
+    fn mixed_design() -> Design {
+        GeneratorConfig::ispd2006_like("shred", 1, 800, 0.8).generate()
+    }
+
+    #[test]
+    fn macros_produce_multiple_shreds() {
+        let d = mixed_design();
+        let p = d.initial_placement();
+        let items = build_items(&d, &p, true);
+        let mut shreds_per_macro = std::collections::HashMap::new();
+        for it in &items {
+            let id = CellId::from_index(it.owner as usize);
+            if d.cell(id).kind() == CellKind::MovableMacro {
+                *shreds_per_macro.entry(it.owner).or_insert(0usize) += 1;
+            }
+        }
+        assert!(!shreds_per_macro.is_empty());
+        assert!(shreds_per_macro.values().all(|&c| c >= 4));
+    }
+
+    #[test]
+    fn shreds_cover_macro_footprint_scaled_by_sqrt_gamma() {
+        let d = mixed_design();
+        let p = d.initial_placement();
+        let items = build_items(&d, &p, true);
+        let gamma = d.target_density();
+        for &id in d.movable_cells() {
+            let cell = d.cell(id);
+            if cell.kind() != CellKind::MovableMacro {
+                continue;
+            }
+            let total: f64 = items
+                .iter()
+                .filter(|it| it.owner as usize == id.index())
+                .map(Item::area)
+                .sum();
+            let expect = cell.area() * gamma;
+            assert!(
+                (total - expect).abs() < 1e-6 * expect,
+                "shred area {total} vs γ·area {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_shredding_one_item_per_cell() {
+        let d = mixed_design();
+        let p = d.initial_placement();
+        let items = build_items(&d, &p, false);
+        assert_eq!(items.len(), d.movable_cells().len());
+    }
+
+    #[test]
+    fn uniform_shred_translation_moves_macro_exactly() {
+        let d = mixed_design();
+        let p = d.initial_placement();
+        let mut items = build_items(&d, &p, true);
+        for it in &mut items {
+            it.x += 7.0;
+            it.y -= 3.0;
+        }
+        let mut out = p.clone();
+        apply_items(&d, &p, &items, &mut out);
+        for &id in d.movable_cells() {
+            let before = p.position(id);
+            let after = out.position(id);
+            // Clamping at the core boundary may reduce the step.
+            let dx = after.x - before.x;
+            let dy = after.y - before.y;
+            assert!((0.0..=7.0 + 1e-9).contains(&dx), "dx {dx}");
+            assert!((-3.0 - 1e-9..=0.0).contains(&dy), "dy {dy}");
+        }
+    }
+
+    #[test]
+    fn apply_keeps_cells_inside_core() {
+        let d = mixed_design();
+        let p = d.initial_placement();
+        let mut items = build_items(&d, &p, true);
+        for it in &mut items {
+            it.x += 1e6; // absurd move
+        }
+        let mut out = p.clone();
+        apply_items(&d, &p, &items, &mut out);
+        for &id in d.movable_cells() {
+            assert!(d.core().contains(out.position(id)));
+        }
+    }
+
+    #[test]
+    fn fixed_cells_untouched_by_apply() {
+        let d = mixed_design();
+        let p = d.initial_placement();
+        let items = build_items(&d, &p, true);
+        let mut out = p.clone();
+        apply_items(&d, &p, &items, &mut out);
+        for id in d.cell_ids() {
+            if !d.cell(id).is_movable() {
+                assert_eq!(out.position(id), p.position(id));
+            }
+        }
+        let _ = Point::new(0.0, 0.0);
+    }
+}

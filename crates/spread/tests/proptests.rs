@@ -1,0 +1,119 @@
+//! Property-based tests for the feasibility projection.
+
+use complx_netlist::{generator::GeneratorConfig, CellKind, DesignBuilder, Point, Rect};
+use complx_spread::{spread_in_rect, CapacityMap, FeasibilityProjection, Item};
+use proptest::prelude::*;
+
+fn open_design(side: f64) -> complx_netlist::Design {
+    let mut b = DesignBuilder::new("p", Rect::new(0.0, 0.0, side, side), 1.0);
+    let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).expect("valid");
+    let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).expect("valid");
+    b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .expect("valid");
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Spreading never pushes items outside the target rectangle.
+    #[test]
+    fn spreading_confined_to_rect(
+        coords in proptest::collection::vec((0.0f64..32.0, 0.0f64..32.0), 1..60),
+        area in 0.2f64..3.0,
+    ) {
+        let d = open_design(32.0);
+        let caps = CapacityMap::new(&d, 16, 16);
+        let mut items: Vec<Item> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item {
+                x,
+                y,
+                width: area.sqrt(),
+                height: area.sqrt(),
+                owner: i as u32,
+            })
+            .collect();
+        let rect = Rect::new(0.0, 0.0, 32.0, 32.0);
+        spread_in_rect(&caps, &mut items, rect);
+        for it in &items {
+            prop_assert!(rect.contains(Point::new(it.x, it.y)), "{it:?}");
+        }
+    }
+
+    /// Spreading preserves total item count and areas (no item vanishes or
+    /// changes size).
+    #[test]
+    fn spreading_preserves_items(
+        coords in proptest::collection::vec((0.0f64..32.0, 0.0f64..32.0), 1..40),
+    ) {
+        let d = open_design(32.0);
+        let caps = CapacityMap::new(&d, 8, 8);
+        let mut items: Vec<Item> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Item { x, y, width: 1.0, height: 1.0, owner: i as u32 })
+            .collect();
+        let before: Vec<(u32, f64)> = items.iter().map(|it| (it.owner, it.area())).collect();
+        spread_in_rect(&caps, &mut items, caps.core());
+        let after: Vec<(u32, f64)> = items.iter().map(|it| (it.owner, it.area())).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// The projection reduces (or preserves) bin overflow for any seeded
+    /// design and any starting placement inside the core.
+    #[test]
+    fn projection_never_increases_overflow(seed in 0u64..60, stack in 0usize..3) {
+        let mut cfg = GeneratorConfig::small("po", seed);
+        cfg.num_std_cells = 120;
+        cfg.num_pads = 8;
+        let d = cfg.generate();
+        let core = d.core();
+        let mut p = d.initial_placement();
+        // Three families of starts: stacked center, corner pile, scattered.
+        for (i, &id) in d.movable_cells().iter().enumerate() {
+            let pos = match stack {
+                0 => core.center(),
+                1 => Point::new(core.lx + 1.0, core.ly + 1.0),
+                _ => Point::new(
+                    core.lx + ((i * 37) % 97) as f64 / 97.0 * core.width(),
+                    core.ly + ((i * 61) % 89) as f64 / 89.0 * core.height(),
+                ),
+            };
+            p.set_position(id, pos);
+        }
+        let proj = FeasibilityProjection::default();
+        let r = proj.project(&d, &p);
+        prop_assert!(r.overflow_after <= r.overflow_before + 1e-9,
+            "overflow {} -> {}", r.overflow_before, r.overflow_after);
+    }
+
+    /// Projection output always stays inside the core.
+    #[test]
+    fn projection_output_inside_core(seed in 0u64..40) {
+        let mut cfg = GeneratorConfig::small("pc", seed);
+        cfg.num_std_cells = 100;
+        cfg.num_pads = 8;
+        let d = cfg.generate();
+        let r = FeasibilityProjection::default().project(&d, &d.initial_placement());
+        for &id in d.movable_cells() {
+            prop_assert!(d.core().contains(r.placement.position(id)));
+        }
+    }
+
+    /// Fixed cells are never moved by the projection.
+    #[test]
+    fn projection_never_moves_fixed(seed in 0u64..40) {
+        let mut cfg = GeneratorConfig::small("pf", seed);
+        cfg.num_std_cells = 80;
+        let d = cfg.generate();
+        let p = d.initial_placement();
+        let r = FeasibilityProjection::default().project(&d, &p);
+        for id in d.cell_ids() {
+            if !d.cell(id).is_movable() {
+                prop_assert_eq!(r.placement.position(id), p.position(id));
+            }
+        }
+    }
+}

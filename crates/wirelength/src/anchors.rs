@@ -1,0 +1,155 @@
+//! Anchor pseudonets: the linearized `L1` penalty of Formula 10.
+
+use complx_netlist::{CellId, Design, Placement};
+
+/// The penalty term `λ‖(x,y) − (x°,y°)‖₁` of the simplified Lagrangian,
+/// with per-cell multipliers.
+///
+/// ComPLx keeps one global λ but scales it per cell in two situations
+/// (paper Section 5):
+///
+/// * **macros** get `λ_i = λ · area(macro)/mean-std-cell-area` to stabilize
+///   them early, and
+/// * **timing/power-critical cells** get `λ_i = λ · γ_i` where `γ_i` is the
+///   cell's criticality (Formula 13).
+///
+/// The quadratic models linearize each term as a pseudonet of weight
+/// `w_i = λ_i / (|x_i − x_i°| + ε)` against the last iterate, with
+/// `ε = 1.5 × row height` by default (Section 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anchors {
+    targets: Placement,
+    lambda: Vec<f64>,
+    epsilon: f64,
+}
+
+impl Anchors {
+    /// Creates anchors toward `targets` with a uniform multiplier `lambda`
+    /// for every movable cell and `ε = 1.5 × row height`.
+    pub fn uniform(design: &Design, targets: Placement, lambda: f64) -> Self {
+        assert_eq!(targets.len(), design.num_cells());
+        let mut l = vec![0.0; design.num_cells()];
+        for &id in design.movable_cells() {
+            l[id.index()] = lambda;
+        }
+        Self {
+            targets,
+            lambda: l,
+            epsilon: 1.5 * design.row_height(),
+        }
+    }
+
+    /// Creates anchors with explicit per-cell multipliers (entries for fixed
+    /// cells are ignored by the models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths disagree with the design or `epsilon ≤ 0`.
+    pub fn per_cell(design: &Design, targets: Placement, lambda: Vec<f64>, epsilon: f64) -> Self {
+        assert_eq!(targets.len(), design.num_cells());
+        assert_eq!(lambda.len(), design.num_cells());
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        Self {
+            targets,
+            lambda,
+            epsilon,
+        }
+    }
+
+    /// The anchor target placement `(x°, y°)`.
+    pub fn targets(&self) -> &Placement {
+        &self.targets
+    }
+
+    /// The multiplier for one cell.
+    pub fn lambda(&self, cell: CellId) -> f64 {
+        self.lambda[cell.index()]
+    }
+
+    /// The linearization constant ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Overrides ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The linearized pseudonet weight for `cell` on the x axis, given the
+    /// cell's current x coordinate.
+    pub fn weight_x(&self, cell: CellId, current_x: f64) -> f64 {
+        let t = self.targets.xs()[cell.index()];
+        self.lambda[cell.index()] / ((current_x - t).abs() + self.epsilon)
+    }
+
+    /// The linearized pseudonet weight for `cell` on the y axis.
+    pub fn weight_y(&self, cell: CellId, current_y: f64) -> f64 {
+        let t = self.targets.ys()[cell.index()];
+        self.lambda[cell.index()] / ((current_y - t).abs() + self.epsilon)
+    }
+
+    /// The exact (unlinearized) penalty value
+    /// `Σ_i λ_i (|x_i − x_i°| + |y_i − y_i°|)` at `placement`.
+    pub fn penalty(&self, placement: &Placement) -> f64 {
+        assert_eq!(placement.len(), self.targets.len());
+        let mut acc = 0.0;
+        for i in 0..placement.len() {
+            let dx = (placement.xs()[i] - self.targets.xs()[i]).abs();
+            let dy = (placement.ys()[i] - self.targets.ys()[i]).abs();
+            acc += self.lambda[i] * (dx + dy);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{generator::GeneratorConfig, Point};
+
+    #[test]
+    fn uniform_anchors_cover_movables_only() {
+        let d = GeneratorConfig::small("a", 3).generate();
+        let t = d.initial_placement();
+        let a = Anchors::uniform(&d, t, 0.5);
+        for id in d.cell_ids() {
+            if d.cell(id).is_movable() {
+                assert_eq!(a.lambda(id), 0.5);
+            } else {
+                assert_eq!(a.lambda(id), 0.0);
+            }
+        }
+        assert!((a.epsilon() - 1.5 * d.row_height()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_decreases_with_distance() {
+        let d = GeneratorConfig::small("a", 3).generate();
+        let t = d.initial_placement();
+        let id = d.movable_cells()[0];
+        let tx = t.xs()[id.index()];
+        let a = Anchors::uniform(&d, t, 1.0);
+        let near = a.weight_x(id, tx + 1.0);
+        let far = a.weight_x(id, tx + 100.0);
+        assert!(near > far);
+        // At zero distance the weight is λ/ε, not infinite.
+        assert!((a.weight_x(id, tx) - 1.0 / a.epsilon()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn penalty_is_weighted_l1() {
+        let d = GeneratorConfig::small("a", 4).generate();
+        let t = d.initial_placement();
+        let a = Anchors::uniform(&d, t.clone(), 2.0);
+        assert_eq!(a.penalty(&t), 0.0);
+        let mut moved = t.clone();
+        let id = d.movable_cells()[0];
+        let p = moved.position(id);
+        moved.set_position(id, Point::new(p.x + 3.0, p.y - 4.0));
+        assert!((a.penalty(&moved) - 2.0 * 7.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,369 @@
+//! The β-regularization interconnect model (paper Section S1, citing
+//! Alpert et al. [4]): each two-pin term of a net decomposition contributes
+//! the smoothed absolute distance `√((x_i − x_j)² + β)`, which approaches
+//! `|x_i − x_j|` as β → 0. Sums of these terms approximate *linear*
+//! wirelength (the GORDIAN-L objective); with the Bound2Bound
+//! decomposition's boundary structure the per-net sum tracks the span.
+//!
+//! Minimized by the shared nonlinear Conjugate Gradient ([`crate::nlcg`]);
+//! anchors use the same smoothed-L1 penalty as [`crate::LseModel`].
+
+use complx_netlist::{Design, Placement, Point};
+
+use crate::anchors::Anchors;
+use crate::b2b::{decompose, Edge, NetModel};
+use crate::model::{InterconnectModel, MinimizeStats};
+use crate::nlcg::{self, SmoothObjective};
+use crate::system::VarIndex;
+
+/// β-regularized linear-wirelength model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BetaRegModel {
+    /// The regularization constant β, in squared length units, as a
+    /// multiple of the squared row height.
+    beta_rows2: f64,
+    /// Net decomposition used to produce two-pin terms.
+    net_model: NetModel,
+    /// Maximum NLCG iterations per axis.
+    max_iterations: usize,
+    /// Relative gradient-norm stopping tolerance.
+    tolerance: f64,
+}
+
+impl Default for BetaRegModel {
+    fn default() -> Self {
+        Self {
+            beta_rows2: 1.0,
+            net_model: NetModel::Clique,
+            max_iterations: 150,
+            tolerance: 1e-4,
+        }
+    }
+}
+
+impl BetaRegModel {
+    /// Creates the model with β = (row height)² and clique decomposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets β as a multiple of the squared row height.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta_rows2 > 0`.
+    #[must_use]
+    pub fn with_beta_rows2(mut self, beta_rows2: f64) -> Self {
+        assert!(beta_rows2 > 0.0);
+        self.beta_rows2 = beta_rows2;
+        self
+    }
+
+    /// Sets the net decomposition (clique and hybrid are sensible;
+    /// Bound2Bound's weights assume the quadratic form and are rescaled to
+    /// plain distance terms here).
+    #[must_use]
+    pub fn with_net_model(mut self, net_model: NetModel) -> Self {
+        self.net_model = net_model;
+        self
+    }
+
+    fn beta(&self, design: &Design) -> f64 {
+        self.beta_rows2 * design.row_height() * design.row_height()
+    }
+}
+
+/// One axis: flattened two-pin terms `w·√((u − v)² + β)`.
+struct AxisTerms<'a> {
+    index: &'a VarIndex,
+    beta: f64,
+    is_x: bool,
+    anchors: Option<&'a Anchors>,
+    /// For each term: endpoints as (var or usize::MAX, constant part).
+    terms: Vec<(usize, f64, usize, f64, f64)>, // (va, ca, vb, cb, w)
+}
+
+impl<'a> AxisTerms<'a> {
+    fn new(
+        design: &'a Design,
+        index: &'a VarIndex,
+        placement: &Placement,
+        anchors: Option<&'a Anchors>,
+        net_model: NetModel,
+        beta: f64,
+        is_x: bool,
+    ) -> Self {
+        let coord = |cell: complx_netlist::CellId| -> f64 {
+            if is_x {
+                placement.xs()[cell.index()]
+            } else {
+                placement.ys()[cell.index()]
+            }
+        };
+        let mut terms = Vec::new();
+        let mut coords: Vec<f64> = Vec::new();
+        let mut edges: Vec<Edge> = Vec::new();
+        for nid in design.net_ids() {
+            let pins = design.net_pins(nid);
+            let w_net = design.net(nid).weight();
+            coords.clear();
+            coords.extend(pins.iter().map(|p| {
+                coord(p.cell) + if is_x { p.dx } else { p.dy }
+            }));
+            decompose(net_model, w_net, &coords, 1.0, &mut edges);
+            for e in &edges {
+                if e.a == Edge::STAR || e.b == Edge::STAR {
+                    // Star variables are a quadratic-model construct; the
+                    // smooth models use clique/B2B decompositions only.
+                    continue;
+                }
+                let resolve = |end: usize| -> (usize, f64) {
+                    let pin = &pins[end];
+                    let off = if is_x { pin.dx } else { pin.dy };
+                    match index.var(pin.cell) {
+                        Some(v) => (v, off),
+                        None => (usize::MAX, coord(pin.cell) + off),
+                    }
+                };
+                let (va, ca) = resolve(e.a);
+                let (vb, cb) = resolve(e.b);
+                if va == usize::MAX && vb == usize::MAX {
+                    continue;
+                }
+                if va == vb {
+                    continue;
+                }
+                terms.push((va, ca, vb, cb, e.weight));
+            }
+        }
+        Self {
+            index,
+            beta,
+            is_x,
+            anchors,
+            terms,
+        }
+    }
+}
+
+impl SmoothObjective for AxisTerms<'_> {
+    fn eval(&self, z: &[f64], grad: &mut [f64]) -> f64 {
+        grad.fill(0.0);
+        let mut total = 0.0;
+        for &(va, ca, vb, cb, w) in &self.terms {
+            let u = if va == usize::MAX { ca } else { z[va] + ca };
+            let v = if vb == usize::MAX { cb } else { z[vb] + cb };
+            let d = u - v;
+            let smooth = (d * d + self.beta).sqrt();
+            total += w * smooth;
+            let g = w * d / smooth;
+            if va != usize::MAX {
+                grad[va] += g;
+            }
+            if vb != usize::MAX {
+                grad[vb] -= g;
+            }
+        }
+        if let Some(a) = self.anchors {
+            let eps = a.epsilon();
+            for v in 0..self.index.num_vars() {
+                let cell = self.index.cell(v);
+                let lam = a.lambda(cell);
+                if lam == 0.0 {
+                    continue;
+                }
+                let target = if self.is_x {
+                    a.targets().xs()[cell.index()]
+                } else {
+                    a.targets().ys()[cell.index()]
+                };
+                let d = z[v] - target;
+                let smooth = (d * d + eps * eps).sqrt();
+                total += lam * smooth;
+                grad[v] += lam * d / smooth;
+            }
+        }
+        total
+    }
+
+    fn step_scale(&self) -> f64 {
+        self.beta.sqrt()
+    }
+}
+
+impl InterconnectModel for BetaRegModel {
+    fn name(&self) -> &'static str {
+        "beta-regularization"
+    }
+
+    fn wirelength(&self, design: &Design, placement: &Placement) -> f64 {
+        let index = VarIndex::new(design);
+        let beta = self.beta(design);
+        let mut value = 0.0;
+        for is_x in [true, false] {
+            let prob = AxisTerms::new(
+                design,
+                &index,
+                placement,
+                None,
+                self.net_model,
+                beta,
+                is_x,
+            );
+            let z: Vec<f64> = (0..index.num_vars())
+                .map(|v| {
+                    let c = index.cell(v);
+                    if is_x {
+                        placement.xs()[c.index()]
+                    } else {
+                        placement.ys()[c.index()]
+                    }
+                })
+                .collect();
+            let mut grad = vec![0.0; z.len()];
+            value += prob.eval(&z, &mut grad);
+        }
+        value
+    }
+
+    fn minimize(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+    ) -> MinimizeStats {
+        let index = VarIndex::new(design);
+        let beta = self.beta(design);
+        let mut iters = [0usize; 2];
+        for (k, is_x) in [true, false].into_iter().enumerate() {
+            let prob = AxisTerms::new(
+                design,
+                &index,
+                placement,
+                anchors,
+                self.net_model,
+                beta,
+                is_x,
+            );
+            let mut z: Vec<f64> = (0..index.num_vars())
+                .map(|v| {
+                    let c = index.cell(v);
+                    if is_x {
+                        placement.xs()[c.index()]
+                    } else {
+                        placement.ys()[c.index()]
+                    }
+                })
+                .collect();
+            let stats = nlcg::minimize(&prob, &mut z, self.max_iterations, self.tolerance);
+            iters[k] = stats.iterations;
+            for (v, &zi) in z.iter().enumerate() {
+                let cell = index.cell(v);
+                if is_x {
+                    placement.xs_mut()[cell.index()] = zi;
+                } else {
+                    placement.ys_mut()[cell.index()] = zi;
+                }
+            }
+        }
+        let core = design.core();
+        for &id in design.movable_cells() {
+            let c = design.cell(id);
+            let hw = (0.5 * c.width()).min(0.5 * core.width());
+            let hh = (0.5 * c.height()).min(0.5 * core.height());
+            let p = placement.position(id);
+            placement.set_position(
+                id,
+                Point::new(
+                    p.x.clamp(core.lx + hw, core.hx - hw),
+                    p.y.clamp(core.ly + hh, core.hy - hh),
+                ),
+            );
+        }
+        MinimizeStats {
+            iterations_x: iters[0],
+            iterations_y: iters[1],
+            converged: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{generator::GeneratorConfig, hpwl};
+
+    #[test]
+    fn beta_value_approaches_linear_wirelength() {
+        // For two-pin nets (clique of size 2), Σ√(d²+β) → Σ|d| as β → 0.
+        let d = GeneratorConfig::small("br", 1).generate();
+        let p = d.initial_placement();
+        let tight = BetaRegModel::new().with_beta_rows2(1e-6).wirelength(&d, &p);
+        let loose = BetaRegModel::new().with_beta_rows2(100.0).wirelength(&d, &p);
+        let real = hpwl::weighted_hpwl(&d, &p);
+        // Clique decomposition over-counts multi-pin nets relative to HPWL,
+        // but both smoothing levels upper-bound it and tighten with β.
+        assert!(tight >= real - 1e-6);
+        assert!(loose > tight);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let d = GeneratorConfig::small("brg", 2).generate();
+        let p = d.initial_placement();
+        let index = VarIndex::new(&d);
+        let prob = AxisTerms::new(&d, &index, &p, None, NetModel::Clique, 4.0, true);
+        let mut z: Vec<f64> = (0..index.num_vars())
+            .map(|v| p.xs()[index.cell(v).index()] + (v as f64 * 0.31) % 3.0)
+            .collect();
+        let mut grad = vec![0.0; z.len()];
+        let f0 = prob.eval(&z, &mut grad);
+        let h = 1e-5;
+        for v in (0..z.len()).step_by(z.len() / 8 + 1) {
+            let orig = z[v];
+            z[v] = orig + h;
+            let mut tmp = vec![0.0; z.len()];
+            let f1 = prob.eval(&z, &mut tmp);
+            z[v] = orig;
+            let fd = (f1 - f0) / h;
+            assert!(
+                (fd - grad[v]).abs() < 1e-3 * (1.0 + grad[v].abs()),
+                "var {v}: fd {fd} vs analytic {}",
+                grad[v]
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_reduces_wirelength_and_respects_core() {
+        let d = GeneratorConfig::small("brm", 3).generate();
+        let model = BetaRegModel::new();
+        let mut p = d.initial_placement();
+        for (i, v) in p.xs_mut().iter_mut().enumerate() {
+            *v += ((i * 13) % 37) as f64 - 18.0;
+        }
+        let before = hpwl::hpwl(&d, &p);
+        model.minimize(&d, &mut p, None);
+        let after = hpwl::hpwl(&d, &p);
+        assert!(after < before, "{before} -> {after}");
+        for &id in d.movable_cells() {
+            assert!(d.core().contains(p.position(id)));
+        }
+    }
+
+    #[test]
+    fn anchors_pull_beta_model_too() {
+        let d = GeneratorConfig::small("bra", 4).generate();
+        let model = BetaRegModel::new();
+        let mut free = d.initial_placement();
+        model.minimize(&d, &mut free, None);
+        let mut targets = free.clone();
+        for &id in d.movable_cells() {
+            targets.set_position(id, Point::new(d.core().lx + 1.0, d.core().ly + 1.0));
+        }
+        let anchors = Anchors::uniform(&d, targets, 50.0);
+        let mut pulled = free.clone();
+        model.minimize(&d, &mut pulled, Some(&anchors));
+        assert!(anchors.penalty(&pulled) < anchors.penalty(&free));
+    }
+}

@@ -1,0 +1,51 @@
+//! Interconnect models for analytic placement.
+//!
+//! The ComPLx framework is "compatible with a variety of interconnect
+//! models, including linearized quadratic, log-sum-exp, etc." (paper
+//! Section 1). This crate provides those models behind one trait:
+//!
+//! * [`InterconnectModel`] — minimize `Φ(x, y) + anchor penalty` given the
+//!   previous iterate and an optional set of anchor pseudonets.
+//! * [`QuadraticModel`] — linearized quadratic Φ with a pluggable
+//!   [`NetModel`] (Bound2Bound of Kraftwerk2, clique, star, or a hybrid),
+//!   solved by Jacobi-preconditioned Conjugate Gradient (paper Sections 2, 5).
+//! * [`LseModel`] — the log-sum-exp smoothing of HPWL (paper Section S1)
+//!   minimized by nonlinear Conjugate Gradient.
+//! * [`Anchors`] — the linearized `L1` penalty term of the simplified
+//!   Lagrangian (Formula 10): each movable cell is pulled toward its anchor
+//!   `(x°, y°)` with weight `λ_i / (|x_i − x_i°| + ε)`.
+//!
+//! # Example
+//!
+//! ```
+//! use complx_netlist::generator::GeneratorConfig;
+//! use complx_wirelength::{InterconnectModel, QuadraticModel};
+//!
+//! let design = GeneratorConfig::small("demo", 1).generate();
+//! let mut placement = design.initial_placement();
+//! let model = QuadraticModel::default();
+//! // Unconstrained quadratic optimum (the first ComPLx iterate, λ = 0):
+//! model.minimize(&design, &mut placement, None);
+//! assert!(complx_netlist::hpwl::hpwl(&design, &placement) > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anchors;
+mod b2b;
+mod betareg;
+mod lse;
+mod model;
+mod nlcg;
+mod pnorm;
+mod system;
+
+pub use anchors::Anchors;
+pub use b2b::{decompose as decompose_net, Edge, NetModel};
+pub use betareg::BetaRegModel;
+pub use lse::LseModel;
+pub use nlcg::{NlcgStats, SmoothObjective};
+pub use pnorm::PNormModel;
+pub use model::{InterconnectModel, MinimizeStats};
+pub use system::{QuadraticModel, VarIndex};

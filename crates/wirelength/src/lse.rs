@@ -1,0 +1,375 @@
+//! The log-sum-exp interconnect model (paper Section S1) minimized by
+//! nonlinear Conjugate Gradient.
+//!
+//! For smoothing parameter γ → 0 the per-net, per-axis expression
+//! `γ·(log Σ_k exp(x_k/γ) + log Σ_k exp(−x_k/γ))` approaches the net's span
+//! `max x − min x`, so the sum over nets approaches HPWL. Unlike the
+//! quadratic models this objective needs no per-iteration linearization;
+//! the anchor penalty is handled with a smoothed absolute value
+//! `λ_i·√((x−x°)² + ε²)`.
+
+use complx_netlist::{Design, Placement, Point};
+
+use crate::anchors::Anchors;
+use crate::model::{InterconnectModel, MinimizeStats};
+use crate::nlcg::{self, SmoothObjective};
+use crate::system::VarIndex;
+
+/// Log-sum-exp wirelength model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LseModel {
+    /// Smoothing parameter as a multiple of the design's row height.
+    gamma_rows: f64,
+    /// Maximum NLCG iterations per axis per minimize call.
+    max_iterations: usize,
+    /// Relative gradient-norm stopping tolerance.
+    tolerance: f64,
+}
+
+impl Default for LseModel {
+    fn default() -> Self {
+        Self {
+            gamma_rows: 4.0,
+            max_iterations: 150,
+            tolerance: 1e-4,
+        }
+    }
+}
+
+impl LseModel {
+    /// Creates the model with default smoothing (γ = 4 row heights).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the smoothing parameter as a multiple of row height. Smaller is
+    /// closer to true HPWL but harder to optimize.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `gamma_rows > 0`.
+    #[must_use]
+    pub fn with_gamma_rows(mut self, gamma_rows: f64) -> Self {
+        assert!(gamma_rows > 0.0);
+        self.gamma_rows = gamma_rows;
+        self
+    }
+
+    /// Sets the per-axis iteration cap.
+    #[must_use]
+    pub fn with_max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+
+    fn gamma(&self, design: &Design) -> f64 {
+        self.gamma_rows * design.row_height()
+    }
+}
+
+/// One axis of the problem, captured as flat arrays for fast evaluation.
+struct AxisProblem<'a> {
+    design: &'a Design,
+    index: &'a VarIndex,
+    gamma: f64,
+    is_x: bool,
+    anchors: Option<&'a Anchors>,
+    /// Constant coordinate (fixed pin) or offset (movable pin), per pin.
+    pin_const: Vec<f64>,
+    /// Variable index per pin (usize::MAX for fixed pins).
+    pin_var: Vec<usize>,
+    /// Net boundaries into the pin arrays.
+    net_ptr: Vec<usize>,
+    /// Net weights.
+    net_w: Vec<f64>,
+}
+
+impl<'a> AxisProblem<'a> {
+    fn new(
+        design: &'a Design,
+        index: &'a VarIndex,
+        placement: &Placement,
+        anchors: Option<&'a Anchors>,
+        gamma: f64,
+        is_x: bool,
+    ) -> Self {
+        let mut pin_const = Vec::with_capacity(design.num_pins());
+        let mut pin_var = Vec::with_capacity(design.num_pins());
+        let mut net_ptr = vec![0usize];
+        let mut net_w = Vec::with_capacity(design.num_nets());
+        for nid in design.net_ids() {
+            for pin in design.net_pins(nid) {
+                let off = if is_x { pin.dx } else { pin.dy };
+                match index.var(pin.cell) {
+                    Some(v) => {
+                        pin_var.push(v);
+                        pin_const.push(off);
+                    }
+                    None => {
+                        pin_var.push(usize::MAX);
+                        let base = if is_x {
+                            placement.xs()[pin.cell.index()]
+                        } else {
+                            placement.ys()[pin.cell.index()]
+                        };
+                        pin_const.push(base + off);
+                    }
+                }
+            }
+            net_ptr.push(pin_const.len());
+            net_w.push(design.net(nid).weight());
+        }
+        Self {
+            design,
+            index,
+            gamma,
+            is_x,
+            anchors,
+            pin_const,
+            pin_var,
+            net_ptr,
+            net_w,
+        }
+    }
+
+    /// Objective value and gradient at variable vector `z`.
+    fn eval(&self, z: &[f64], grad: &mut [f64]) -> f64 {
+        grad.fill(0.0);
+        let g = self.gamma;
+        let mut total = 0.0;
+        let mut coords: Vec<f64> = Vec::new();
+        for ni in 0..self.net_w.len() {
+            let lo = self.net_ptr[ni];
+            let hi = self.net_ptr[ni + 1];
+            coords.clear();
+            for k in lo..hi {
+                let v = self.pin_var[k];
+                let c = if v == usize::MAX {
+                    self.pin_const[k]
+                } else {
+                    z[v] + self.pin_const[k]
+                };
+                coords.push(c);
+            }
+            // Stable log-sum-exp for +x and −x.
+            let cmax = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let cmin = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mut s_pos = 0.0;
+            let mut s_neg = 0.0;
+            for &c in &coords {
+                s_pos += ((c - cmax) / g).exp();
+                s_neg += ((cmin - c) / g).exp();
+            }
+            let w = self.net_w[ni];
+            total += w * (g * s_pos.ln() + cmax + g * s_neg.ln() - cmin);
+            // Gradient: w·(softmax⁺_k − softmax⁻_k)
+            for (k, &c) in coords.iter().enumerate() {
+                let v = self.pin_var[lo + k];
+                if v == usize::MAX {
+                    continue;
+                }
+                let p_pos = ((c - cmax) / g).exp() / s_pos;
+                let p_neg = ((cmin - c) / g).exp() / s_neg;
+                grad[v] += w * (p_pos - p_neg);
+            }
+        }
+        // Smoothed anchor penalty.
+        if let Some(a) = self.anchors {
+            let eps = a.epsilon();
+            for v in 0..self.index.num_vars() {
+                let cell = self.index.cell(v);
+                let lam = a.lambda(cell);
+                if lam == 0.0 {
+                    continue;
+                }
+                let target = if self.is_x {
+                    a.targets().xs()[cell.index()]
+                } else {
+                    a.targets().ys()[cell.index()]
+                };
+                let d = z[v] - target;
+                let smooth = (d * d + eps * eps).sqrt();
+                total += lam * smooth;
+                grad[v] += lam * d / smooth;
+            }
+        }
+        let _ = self.design;
+        total
+    }
+}
+
+impl SmoothObjective for AxisProblem<'_> {
+    fn eval(&self, z: &[f64], grad: &mut [f64]) -> f64 {
+        AxisProblem::eval(self, z, grad)
+    }
+
+    fn step_scale(&self) -> f64 {
+        self.gamma
+    }
+}
+
+impl InterconnectModel for LseModel {
+    fn name(&self) -> &'static str {
+        "log-sum-exp"
+    }
+
+    fn wirelength(&self, design: &Design, placement: &Placement) -> f64 {
+        let index = VarIndex::new(design);
+        let gamma = self.gamma(design);
+        let mut value = 0.0;
+        for is_x in [true, false] {
+            let prob = AxisProblem::new(design, &index, placement, None, gamma, is_x);
+            let z: Vec<f64> = (0..index.num_vars())
+                .map(|v| {
+                    let c = index.cell(v);
+                    if is_x {
+                        placement.xs()[c.index()]
+                    } else {
+                        placement.ys()[c.index()]
+                    }
+                })
+                .collect();
+            let mut grad = vec![0.0; z.len()];
+            value += prob.eval(&z, &mut grad);
+        }
+        value
+    }
+
+    fn minimize(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+    ) -> MinimizeStats {
+        let index = VarIndex::new(design);
+        let gamma = self.gamma(design);
+        let mut iters = [0usize; 2];
+        for (k, is_x) in [true, false].into_iter().enumerate() {
+            let prob = AxisProblem::new(design, &index, placement, anchors, gamma, is_x);
+            let mut z: Vec<f64> = (0..index.num_vars())
+                .map(|v| {
+                    let c = index.cell(v);
+                    if is_x {
+                        placement.xs()[c.index()]
+                    } else {
+                        placement.ys()[c.index()]
+                    }
+                })
+                .collect();
+            let stats = nlcg::minimize(&prob, &mut z, self.max_iterations, self.tolerance);
+            iters[k] = stats.iterations;
+            for (v, &zi) in z.iter().enumerate() {
+                let cell = index.cell(v);
+                if is_x {
+                    placement.xs_mut()[cell.index()] = zi;
+                } else {
+                    placement.ys_mut()[cell.index()] = zi;
+                }
+            }
+        }
+        // Clamp into the core.
+        let core = design.core();
+        for &id in design.movable_cells() {
+            let c = design.cell(id);
+            let hw = (0.5 * c.width()).min(0.5 * core.width());
+            let hh = (0.5 * c.height()).min(0.5 * core.height());
+            let p = placement.position(id);
+            placement.set_position(
+                id,
+                Point::new(
+                    p.x.clamp(core.lx + hw, core.hx - hw),
+                    p.y.clamp(core.ly + hh, core.hy - hh),
+                ),
+            );
+        }
+        MinimizeStats {
+            iterations_x: iters[0],
+            iterations_y: iters[1],
+            converged: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{generator::GeneratorConfig, hpwl};
+
+    #[test]
+    fn lse_upper_bounds_hpwl_and_converges_with_gamma() {
+        let d = GeneratorConfig::small("lse", 1).generate();
+        let p = d.initial_placement();
+        let real = hpwl::weighted_hpwl(&d, &p);
+        let loose = LseModel::new().with_gamma_rows(8.0).wirelength(&d, &p);
+        let tight = LseModel::new().with_gamma_rows(0.5).wirelength(&d, &p);
+        // LSE over-estimates HPWL and tightens as γ shrinks.
+        assert!(loose >= real - 1e-6);
+        assert!(tight >= real - 1e-6);
+        assert!((tight - real).abs() < (loose - real).abs());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let d = GeneratorConfig::small("grad", 2).generate();
+        let p = d.initial_placement();
+        let index = VarIndex::new(&d);
+        let prob = AxisProblem::new(&d, &index, &p, None, 10.0, true);
+        let mut z: Vec<f64> = (0..index.num_vars())
+            .map(|v| p.xs()[index.cell(v).index()] + (v as f64 * 0.37) % 5.0)
+            .collect();
+        let mut grad = vec![0.0; z.len()];
+        let f0 = prob.eval(&z, &mut grad);
+        let h = 1e-5;
+        for v in (0..z.len()).step_by(z.len() / 10 + 1) {
+            let orig = z[v];
+            z[v] = orig + h;
+            let mut tmp = vec![0.0; z.len()];
+            let f1 = prob.eval(&z, &mut tmp);
+            z[v] = orig;
+            let fd = (f1 - f0) / h;
+            assert!(
+                (fd - grad[v]).abs() < 1e-3 * (1.0 + grad[v].abs()),
+                "var {v}: fd {fd} vs analytic {}",
+                grad[v]
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_reduces_wirelength() {
+        let d = GeneratorConfig::small("lmin", 3).generate();
+        let model = LseModel::new();
+        let mut p = d.initial_placement();
+        // Perturb from center so there is something to optimize.
+        for (i, v) in p.xs_mut().iter_mut().enumerate() {
+            *v += ((i * 17) % 41) as f64 - 20.0;
+        }
+        let before = hpwl::hpwl(&d, &p);
+        model.minimize(&d, &mut p, None);
+        let after = hpwl::hpwl(&d, &p);
+        assert!(after < before, "{before} -> {after}");
+        // All cells inside core.
+        for &id in d.movable_cells() {
+            assert!(d.core().contains(p.position(id)));
+        }
+    }
+
+    #[test]
+    fn anchors_respected_by_lse() {
+        let d = GeneratorConfig::small("lan", 4).generate();
+        let model = LseModel::new();
+        let mut free = d.initial_placement();
+        model.minimize(&d, &mut free, None);
+        let mut targets = free.clone();
+        for &id in d.movable_cells() {
+            targets.set_position(
+                id,
+                complx_netlist::Point::new(d.core().hx - 1.0, d.core().hy - 1.0),
+            );
+        }
+        let anchors = Anchors::uniform(&d, targets, 100.0);
+        let mut pulled = free.clone();
+        model.minimize(&d, &mut pulled, Some(&anchors));
+        assert!(anchors.penalty(&pulled) < anchors.penalty(&free));
+    }
+}

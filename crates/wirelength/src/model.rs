@@ -1,0 +1,42 @@
+//! The pluggable interconnect-model trait.
+
+use complx_netlist::{Design, Placement};
+
+use crate::anchors::Anchors;
+
+/// Report from one [`InterconnectModel::minimize`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MinimizeStats {
+    /// Solver iterations spent on the x axis.
+    pub iterations_x: usize,
+    /// Solver iterations spent on the y axis.
+    pub iterations_y: usize,
+    /// Whether both axis solves converged to tolerance.
+    pub converged: bool,
+}
+
+/// A convex, differentiable approximation `Φ` of weighted HPWL that can be
+/// minimized together with the anchor penalty term of the simplified
+/// Lagrangian `L°(x, y, λ) = Φ(x, y) + λ‖(x, y) − (x°, y°)‖₁` (Formula 10).
+///
+/// Implementations linearize against the incoming `placement` (the last
+/// iterate) and overwrite it with the new minimizer; fixed cells never move.
+/// Passing `anchors: None` minimizes plain `Φ` — the λ = 0 bootstrap
+/// iteration of ComPLx.
+pub trait InterconnectModel {
+    /// Short human-readable model name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// The model's surrogate wirelength at `placement` (same length units
+    /// as HPWL, but generally an approximation of it).
+    fn wirelength(&self, design: &Design, placement: &Placement) -> f64;
+
+    /// Minimizes `Φ + penalty(anchors)` starting from (and linearizing at)
+    /// `placement`, writing the minimizer back into `placement`.
+    fn minimize(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+    ) -> MinimizeStats;
+}

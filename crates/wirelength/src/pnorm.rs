@@ -1,0 +1,372 @@
+//! The p,β-regularization interconnect model (paper Section S1, citing
+//! Kennings & Markov [21]): per net and axis,
+//! `(Σ_{i,j∈e} |x_i − x_j|^p + β)^{1/p} → max_{i,j∈e} |x_i − x_j|` as
+//! `p → ∞` — a smooth overestimate of the net's span that tightens with
+//! larger `p`. The absolute values inside are themselves β-smoothed so the
+//! objective is differentiable everywhere.
+//!
+//! Minimized by the shared nonlinear CG ([`crate::nlcg`]); anchors use the
+//! smoothed-L1 penalty shared with the other nonlinear models.
+
+use complx_netlist::{Design, Placement, Point};
+
+use crate::anchors::Anchors;
+use crate::model::{InterconnectModel, MinimizeStats};
+use crate::nlcg::{self, SmoothObjective};
+use crate::system::VarIndex;
+
+/// p,β-regularized max-term smoothing of HPWL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PNormModel {
+    /// The exponent `p`; larger is closer to the true max (and stiffer).
+    p: f64,
+    /// Smoothing constant β (length units, as a multiple of row height).
+    beta_rows: f64,
+    /// Maximum NLCG iterations per axis.
+    max_iterations: usize,
+    /// Relative gradient-norm stopping tolerance.
+    tolerance: f64,
+}
+
+impl Default for PNormModel {
+    fn default() -> Self {
+        Self {
+            p: 8.0,
+            beta_rows: 1.0,
+            max_iterations: 150,
+            tolerance: 1e-4,
+        }
+    }
+}
+
+impl PNormModel {
+    /// Creates the model with `p = 8` and β = one row height.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the exponent `p ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 2`.
+    #[must_use]
+    pub fn with_p(mut self, p: f64) -> Self {
+        assert!(p >= 2.0, "p must be at least 2");
+        self.p = p;
+        self
+    }
+
+    /// Sets β as a multiple of the row height.
+    #[must_use]
+    pub fn with_beta_rows(mut self, beta_rows: f64) -> Self {
+        assert!(beta_rows > 0.0);
+        self.beta_rows = beta_rows;
+        self
+    }
+}
+
+/// One axis: nets as pin lists with p-norm evaluation.
+struct AxisPins<'a> {
+    index: &'a VarIndex,
+    p: f64,
+    /// |d| smoothing: √(d² + eps²).
+    eps: f64,
+    is_x: bool,
+    anchors: Option<&'a Anchors>,
+    pin_const: Vec<f64>,
+    pin_var: Vec<usize>,
+    net_ptr: Vec<usize>,
+    net_w: Vec<f64>,
+}
+
+impl<'a> AxisPins<'a> {
+    fn new(
+        design: &'a Design,
+        index: &'a VarIndex,
+        placement: &Placement,
+        anchors: Option<&'a Anchors>,
+        p: f64,
+        eps: f64,
+        is_x: bool,
+    ) -> Self {
+        let mut pin_const = Vec::with_capacity(design.num_pins());
+        let mut pin_var = Vec::with_capacity(design.num_pins());
+        let mut net_ptr = vec![0usize];
+        let mut net_w = Vec::with_capacity(design.num_nets());
+        for nid in design.net_ids() {
+            for pin in design.net_pins(nid) {
+                let off = if is_x { pin.dx } else { pin.dy };
+                match index.var(pin.cell) {
+                    Some(v) => {
+                        pin_var.push(v);
+                        pin_const.push(off);
+                    }
+                    None => {
+                        pin_var.push(usize::MAX);
+                        let base = if is_x {
+                            placement.xs()[pin.cell.index()]
+                        } else {
+                            placement.ys()[pin.cell.index()]
+                        };
+                        pin_const.push(base + off);
+                    }
+                }
+            }
+            net_ptr.push(pin_const.len());
+            net_w.push(design.net(nid).weight());
+        }
+        Self {
+            index,
+            p,
+            eps,
+            is_x,
+            anchors,
+            pin_const,
+            pin_var,
+            net_ptr,
+            net_w,
+        }
+    }
+}
+
+impl SmoothObjective for AxisPins<'_> {
+    fn eval(&self, z: &[f64], grad: &mut [f64]) -> f64 {
+        grad.fill(0.0);
+        let p = self.p;
+        let mut total = 0.0;
+        let mut coords: Vec<f64> = Vec::new();
+        for ni in 0..self.net_w.len() {
+            let lo = self.net_ptr[ni];
+            let hi = self.net_ptr[ni + 1];
+            coords.clear();
+            for k in lo..hi {
+                let v = self.pin_var[k];
+                coords.push(if v == usize::MAX {
+                    self.pin_const[k]
+                } else {
+                    z[v] + self.pin_const[k]
+                });
+            }
+            // s = Σ_{i<j} m_ij^p with m_ij = √((c_i−c_j)² + eps²);
+            // value = s^(1/p); gradient flows through every pair. Scale m by
+            // the span estimate for numerical stability at large p.
+            let np = coords.len();
+            let scale = {
+                let mx = coords.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mn = coords.iter().cloned().fold(f64::INFINITY, f64::min);
+                (mx - mn).max(self.eps)
+            };
+            let mut s = 0.0;
+            for i in 0..np {
+                for j in i + 1..np {
+                    let d = coords[i] - coords[j];
+                    let m = (d * d + self.eps * self.eps).sqrt() / scale;
+                    s += m.powf(p);
+                }
+            }
+            let w = self.net_w[ni];
+            let value = scale * s.powf(1.0 / p);
+            total += w * value;
+            // d value / d c_i = scale^{… } — carry through the chain rule:
+            // value = scale·s^{1/p}, ds/dm_ij = p·m^{p−1}/scale … combined:
+            // dv/dd_ij = s^{1/p − 1} · m^{p−1} · (d/m̂) where m̂ = m·scale.
+            if s > 0.0 {
+                let s_pow = s.powf(1.0 / p - 1.0);
+                for i in 0..np {
+                    for j in i + 1..np {
+                        let d = coords[i] - coords[j];
+                        let m_hat = (d * d + self.eps * self.eps).sqrt();
+                        let m = m_hat / scale;
+                        let dv_dd = s_pow * m.powf(p - 1.0) * (d / m_hat);
+                        let vi = self.pin_var[lo + i];
+                        let vj = self.pin_var[lo + j];
+                        if vi != usize::MAX {
+                            grad[vi] += w * dv_dd;
+                        }
+                        if vj != usize::MAX {
+                            grad[vj] -= w * dv_dd;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(a) = self.anchors {
+            let eps = a.epsilon();
+            for v in 0..self.index.num_vars() {
+                let cell = self.index.cell(v);
+                let lam = a.lambda(cell);
+                if lam == 0.0 {
+                    continue;
+                }
+                let target = if self.is_x {
+                    a.targets().xs()[cell.index()]
+                } else {
+                    a.targets().ys()[cell.index()]
+                };
+                let d = z[v] - target;
+                let smooth = (d * d + eps * eps).sqrt();
+                total += lam * smooth;
+                grad[v] += lam * d / smooth;
+            }
+        }
+        total
+    }
+
+    fn step_scale(&self) -> f64 {
+        self.eps
+    }
+}
+
+impl InterconnectModel for PNormModel {
+    fn name(&self) -> &'static str {
+        "p-beta-regularization"
+    }
+
+    fn wirelength(&self, design: &Design, placement: &Placement) -> f64 {
+        let index = VarIndex::new(design);
+        let eps = self.beta_rows * design.row_height();
+        let mut value = 0.0;
+        for is_x in [true, false] {
+            let prob = AxisPins::new(design, &index, placement, None, self.p, eps, is_x);
+            let z: Vec<f64> = (0..index.num_vars())
+                .map(|v| {
+                    let c = index.cell(v);
+                    if is_x {
+                        placement.xs()[c.index()]
+                    } else {
+                        placement.ys()[c.index()]
+                    }
+                })
+                .collect();
+            let mut grad = vec![0.0; z.len()];
+            value += prob.eval(&z, &mut grad);
+        }
+        value
+    }
+
+    fn minimize(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+    ) -> MinimizeStats {
+        let index = VarIndex::new(design);
+        let eps = self.beta_rows * design.row_height();
+        let mut iters = [0usize; 2];
+        for (k, is_x) in [true, false].into_iter().enumerate() {
+            let prob = AxisPins::new(design, &index, placement, anchors, self.p, eps, is_x);
+            let mut z: Vec<f64> = (0..index.num_vars())
+                .map(|v| {
+                    let c = index.cell(v);
+                    if is_x {
+                        placement.xs()[c.index()]
+                    } else {
+                        placement.ys()[c.index()]
+                    }
+                })
+                .collect();
+            let stats = nlcg::minimize(&prob, &mut z, self.max_iterations, self.tolerance);
+            iters[k] = stats.iterations;
+            for (v, &zi) in z.iter().enumerate() {
+                let cell = index.cell(v);
+                if is_x {
+                    placement.xs_mut()[cell.index()] = zi;
+                } else {
+                    placement.ys_mut()[cell.index()] = zi;
+                }
+            }
+        }
+        let core = design.core();
+        for &id in design.movable_cells() {
+            let c = design.cell(id);
+            let hw = (0.5 * c.width()).min(0.5 * core.width());
+            let hh = (0.5 * c.height()).min(0.5 * core.height());
+            let p = placement.position(id);
+            placement.set_position(
+                id,
+                Point::new(
+                    p.x.clamp(core.lx + hw, core.hx - hw),
+                    p.y.clamp(core.ly + hh, core.hy - hh),
+                ),
+            );
+        }
+        MinimizeStats {
+            iterations_x: iters[0],
+            iterations_y: iters[1],
+            converged: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{generator::GeneratorConfig, hpwl};
+
+    #[test]
+    fn pnorm_upper_bounds_hpwl_and_tightens_with_p() {
+        let mut cfg = GeneratorConfig::small("pn", 1);
+        cfg.num_std_cells = 80;
+        let d = cfg.generate();
+        let mut p = d.initial_placement();
+        for (i, v) in p.xs_mut().iter_mut().enumerate() {
+            *v += ((i * 29) % 41) as f64;
+        }
+        let real = hpwl::weighted_hpwl(&d, &p);
+        let loose = PNormModel::new().with_p(2.0).wirelength(&d, &p);
+        let tight = PNormModel::new().with_p(16.0).wirelength(&d, &p);
+        assert!(loose >= real * 0.99, "p=2: {loose} vs {real}");
+        assert!(tight >= real * 0.99, "p=16: {tight} vs {real}");
+        assert!(tight < loose, "larger p must tighten: {tight} vs {loose}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut cfg = GeneratorConfig::small("png", 2);
+        cfg.num_std_cells = 30;
+        cfg.num_pads = 6;
+        let d = cfg.generate();
+        let p = d.initial_placement();
+        let index = VarIndex::new(&d);
+        let prob = AxisPins::new(&d, &index, &p, None, 8.0, 4.0, true);
+        let mut z: Vec<f64> = (0..index.num_vars())
+            .map(|v| p.xs()[index.cell(v).index()] + (v as f64 * 0.73) % 7.0)
+            .collect();
+        let mut grad = vec![0.0; z.len()];
+        let f0 = prob.eval(&z, &mut grad);
+        let h = 1e-5;
+        for v in (0..z.len()).step_by(z.len() / 6 + 1) {
+            let orig = z[v];
+            z[v] = orig + h;
+            let mut tmp = vec![0.0; z.len()];
+            let f1 = prob.eval(&z, &mut tmp);
+            z[v] = orig;
+            let fd = (f1 - f0) / h;
+            assert!(
+                (fd - grad[v]).abs() < 2e-3 * (1.0 + grad[v].abs()),
+                "var {v}: fd {fd} vs analytic {}",
+                grad[v]
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_reduces_wirelength() {
+        let mut cfg = GeneratorConfig::small("pnm", 3);
+        cfg.num_std_cells = 60;
+        let d = cfg.generate();
+        let model = PNormModel::new();
+        let mut p = d.initial_placement();
+        for (i, v) in p.xs_mut().iter_mut().enumerate() {
+            *v += ((i * 17) % 31) as f64 - 15.0;
+        }
+        let before = hpwl::hpwl(&d, &p);
+        model.minimize(&d, &mut p, None);
+        let after = hpwl::hpwl(&d, &p);
+        assert!(after < before, "{before} -> {after}");
+        for &id in d.movable_cells() {
+            assert!(d.core().contains(p.position(id)));
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Assembly and solution of the quadratic placement systems
+//! `Φ_Q(x) = xᵀQ_x x + 2 f_xᵀ x + const` (paper Formula 2), one per axis.
+
+use complx_netlist::{CellId, Design, Placement, Point};
+use complx_sparse::{CgSolver, TripletMatrix};
+
+use crate::anchors::Anchors;
+use crate::b2b::{decompose, Edge, NetModel};
+use crate::model::{InterconnectModel, MinimizeStats};
+
+/// Maps movable cells to solver-variable indices (and back).
+///
+/// Fixed cells and terminals have no variable; star variables (if the net
+/// model uses them) are appended after the cell variables per solve.
+#[derive(Debug, Clone)]
+pub struct VarIndex {
+    var_of_cell: Vec<Option<u32>>,
+    cell_of_var: Vec<CellId>,
+}
+
+impl VarIndex {
+    /// Builds the index for a design's movable cells.
+    pub fn new(design: &Design) -> Self {
+        let mut var_of_cell = vec![None; design.num_cells()];
+        let mut cell_of_var = Vec::with_capacity(design.movable_cells().len());
+        for &id in design.movable_cells() {
+            var_of_cell[id.index()] = Some(cell_of_var.len() as u32);
+            cell_of_var.push(id);
+        }
+        Self {
+            var_of_cell,
+            cell_of_var,
+        }
+    }
+
+    /// Number of movable-cell variables.
+    pub fn num_vars(&self) -> usize {
+        self.cell_of_var.len()
+    }
+
+    /// The variable for a cell, or `None` if the cell is fixed.
+    pub fn var(&self, cell: CellId) -> Option<usize> {
+        self.var_of_cell[cell.index()].map(|v| v as usize)
+    }
+
+    /// The cell owning variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is a star variable or out of range.
+    pub fn cell(&self, v: usize) -> CellId {
+        self.cell_of_var[v]
+    }
+}
+
+/// Which axis a system describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    X,
+    Y,
+}
+
+/// The linearized-quadratic interconnect model used by SimPL and ComPLx.
+///
+/// Each [`InterconnectModel::minimize`] call:
+///
+/// 1. decomposes every net with the configured [`NetModel`], linearizing
+///    Bound2Bound weights against the incoming placement,
+/// 2. stamps anchor pseudonets with weight `λ_i/(|x_i − x_i°| + ε)`,
+/// 3. solves the two independent SPD systems with Jacobi-PCG (warm-started
+///    from the incoming placement), and
+/// 4. clamps results into the core region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticModel {
+    net_model: NetModel,
+    /// Lower bound for linearization denominators (distance units).
+    dist_eps: f64,
+    solver: CgSolver,
+}
+
+impl Default for QuadraticModel {
+    fn default() -> Self {
+        Self::new(NetModel::Bound2Bound)
+    }
+}
+
+impl QuadraticModel {
+    /// Creates the model with a given net decomposition; the CG tolerance
+    /// defaults to `1e-6`.
+    pub fn new(net_model: NetModel) -> Self {
+        Self {
+            net_model,
+            dist_eps: 1.0,
+            solver: CgSolver::new(),
+        }
+    }
+
+    /// Overrides the CG solver configuration.
+    #[must_use]
+    pub fn with_solver(mut self, solver: CgSolver) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Overrides the linearization distance floor.
+    #[must_use]
+    pub fn with_distance_epsilon(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0);
+        self.dist_eps = eps;
+        self
+    }
+
+    /// The configured net model.
+    pub fn net_model(&self) -> NetModel {
+        self.net_model
+    }
+
+    /// Assembles and solves one axis; returns solver iterations.
+    fn solve_axis(
+        &self,
+        design: &Design,
+        index: &VarIndex,
+        placement: &Placement,
+        anchors: Option<&Anchors>,
+        axis: Axis,
+    ) -> (Vec<f64>, usize, bool) {
+        let n_cells = index.num_vars();
+
+        // Count star variables first so the matrix dimension is known.
+        let mut star_of_net: Vec<Option<u32>> = vec![None; design.num_nets()];
+        let mut n_star = 0usize;
+        for nid in design.net_ids() {
+            let p = design.net(nid).degree();
+            if self.net_model.uses_star_var(p) {
+                star_of_net[nid.index()] = Some((n_cells + n_star) as u32);
+                n_star += 1;
+            }
+        }
+        let n = n_cells + n_star;
+
+        let coord = |cell: CellId| -> f64 {
+            match axis {
+                Axis::X => placement.xs()[cell.index()],
+                Axis::Y => placement.ys()[cell.index()],
+            }
+        };
+        let offset = |pin: &complx_netlist::Pin| -> f64 {
+            match axis {
+                Axis::X => pin.dx,
+                Axis::Y => pin.dy,
+            }
+        };
+
+        let mut q = TripletMatrix::with_capacity(n, design.num_pins() * 4);
+        let mut f = vec![0.0f64; n];
+        let mut coords: Vec<f64> = Vec::new();
+        let mut edges: Vec<Edge> = Vec::new();
+
+        for nid in design.net_ids() {
+            let pins = design.net_pins(nid);
+            let w = design.net(nid).weight();
+            coords.clear();
+            coords.extend(pins.iter().map(|p| coord(p.cell) + offset(p)));
+            decompose(self.net_model, w, &coords, self.dist_eps, &mut edges);
+            let star = star_of_net[nid.index()].map(|v| v as usize);
+            for e in &edges {
+                // Resolve endpoints: (variable index or fixed coordinate, offset).
+                let resolve = |end: usize| -> (Option<usize>, f64) {
+                    if end == Edge::STAR {
+                        (star, 0.0)
+                    } else {
+                        let pin = &pins[end];
+                        match index.var(pin.cell) {
+                            Some(v) => (Some(v), offset(pin)),
+                            None => (None, coord(pin.cell) + offset(pin)),
+                        }
+                    }
+                };
+                let (va, ca) = resolve(e.a);
+                let (vb, cb) = resolve(e.b);
+                match (va, vb) {
+                    (Some(i), Some(j)) => {
+                        if i == j {
+                            continue; // both pins on one cell: constant term
+                        }
+                        q.add_connection(i, j, e.weight);
+                        // (x_i + ca − x_j − cb)² cross terms go to f.
+                        f[i] += e.weight * (ca - cb);
+                        f[j] += e.weight * (cb - ca);
+                    }
+                    (Some(i), None) => {
+                        q.add_diagonal(i, e.weight);
+                        f[i] += e.weight * (ca - cb);
+                    }
+                    (None, Some(j)) => {
+                        q.add_diagonal(j, e.weight);
+                        f[j] += e.weight * (cb - ca);
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+
+        // Anchor pseudonets.
+        if let Some(a) = anchors {
+            for v in 0..n_cells {
+                let cell = index.cell(v);
+                let c = coord(cell);
+                let w = match axis {
+                    Axis::X => a.weight_x(cell, c),
+                    Axis::Y => a.weight_y(cell, c),
+                };
+                if w > 0.0 {
+                    let target = match axis {
+                        Axis::X => a.targets().xs()[cell.index()],
+                        Axis::Y => a.targets().ys()[cell.index()],
+                    };
+                    q.add_diagonal(v, w);
+                    f[v] -= w * target;
+                }
+            }
+        }
+
+        // Regularize disconnected variables so the system stays SPD: pull
+        // them gently toward their current location.
+        let csr_probe = q.to_csr();
+        let diag = csr_probe.diagonal();
+        const REG: f64 = 1e-8;
+        for (v, &d) in diag.iter().enumerate() {
+            if d <= 0.0 {
+                let cur = if v < n_cells {
+                    coord(index.cell(v))
+                } else {
+                    // Star variable of a net whose pins are all fixed.
+                    0.0
+                };
+                q.add_diagonal(v, REG);
+                f[v] -= REG * cur;
+            }
+        }
+
+        let a_mat = q.to_csr();
+        debug_assert!(a_mat.is_symmetric(1e-9));
+        let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
+
+        // Warm start from the current coordinates (star vars at net centroid).
+        let mut x = vec![0.0; n];
+        for (v, xi) in x.iter_mut().enumerate().take(n_cells) {
+            *xi = coord(index.cell(v));
+        }
+        for nid in design.net_ids() {
+            if let Some(s) = star_of_net[nid.index()] {
+                let pins = design.net_pins(nid);
+                let c: f64 = pins.iter().map(|p| coord(p.cell) + offset(p)).sum::<f64>()
+                    / pins.len() as f64;
+                x[s as usize] = c;
+            }
+        }
+
+        let stats = self.solver.solve(&a_mat, &rhs, &mut x);
+        x.truncate(n_cells);
+        (x, stats.iterations, stats.converged)
+    }
+}
+
+impl InterconnectModel for QuadraticModel {
+    fn name(&self) -> &'static str {
+        match self.net_model {
+            NetModel::Bound2Bound => "quadratic-b2b",
+            NetModel::Clique => "quadratic-clique",
+            NetModel::Star => "quadratic-star",
+            NetModel::HybridCliqueStar => "quadratic-hybrid",
+        }
+    }
+
+    fn wirelength(&self, design: &Design, placement: &Placement) -> f64 {
+        // At the linearization point B2B equals HPWL, so HPWL is the honest
+        // surrogate value for every net model here.
+        complx_netlist::hpwl::weighted_hpwl(design, placement)
+    }
+
+    fn minimize(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+    ) -> MinimizeStats {
+        let index = VarIndex::new(design);
+        let (xs, it_x, ok_x) = self.solve_axis(design, &index, placement, anchors, Axis::X);
+        let (ys, it_y, ok_y) = self.solve_axis(design, &index, placement, anchors, Axis::Y);
+        let core = design.core();
+        for v in 0..index.num_vars() {
+            let cell = index.cell(v);
+            let c = design.cell(cell);
+            let hw = (0.5 * c.width()).min(0.5 * core.width());
+            let hh = (0.5 * c.height()).min(0.5 * core.height());
+            let p = Point::new(
+                xs[v].clamp(core.lx + hw, core.hx - hw),
+                ys[v].clamp(core.ly + hh, core.hy - hh),
+            );
+            placement.set_position(cell, p);
+        }
+        MinimizeStats {
+            iterations_x: it_x,
+            iterations_y: it_y,
+            converged: ok_x && ok_y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::{generator::GeneratorConfig, hpwl, CellKind, DesignBuilder, Rect};
+
+    #[test]
+    fn var_index_skips_fixed() {
+        let d = GeneratorConfig::small("v", 1).generate();
+        let idx = VarIndex::new(&d);
+        assert_eq!(idx.num_vars(), d.movable_cells().len());
+        for &id in d.movable_cells() {
+            let v = idx.var(id).unwrap();
+            assert_eq!(idx.cell(v), id);
+        }
+        for id in d.cell_ids() {
+            if !d.cell(id).is_movable() {
+                assert!(idx.var(id).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn two_cells_between_fixed_pads_land_at_thirds() {
+        // pad(0) -- a -- b -- pad(30): quadratic optimum is equidistant.
+        let mut b = DesignBuilder::new("line", Rect::new(0.0, 0.0, 30.0, 30.0), 1.0);
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
+        let p0 = b
+            .add_fixed_cell("p0", 1.0, 1.0, CellKind::Terminal, Point::new(0.0, 15.0))
+            .unwrap();
+        let p1 = b
+            .add_fixed_cell("p1", 1.0, 1.0, CellKind::Terminal, Point::new(30.0, 15.0))
+            .unwrap();
+        b.add_net("n0", 1.0, vec![(p0, 0.0, 0.0), (a, 0.0, 0.0)]).unwrap();
+        b.add_net("n1", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        b.add_net("n2", 1.0, vec![(c, 0.0, 0.0), (p1, 0.0, 0.0)]).unwrap();
+        let d = b.build().unwrap();
+        let mut pl = d.initial_placement();
+        let model = QuadraticModel::new(NetModel::Clique); // no linearization
+        let stats = model.minimize(&d, &mut pl, None);
+        assert!(stats.converged);
+        assert!((pl.position(a).x - 10.0).abs() < 1e-4, "{:?}", pl.position(a));
+        assert!((pl.position(c).x - 20.0).abs() < 1e-4, "{:?}", pl.position(c));
+        assert!((pl.position(a).y - 15.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimize_reduces_hpwl_from_random() {
+        let d = GeneratorConfig::small("m", 2).generate();
+        // Start from a spread-out random-ish placement: use fixed positions
+        // plus per-cell perturbation.
+        let mut pl = d.initial_placement();
+        for (i, v) in pl.xs_mut().iter_mut().enumerate() {
+            *v += ((i * 37) % 100) as f64 - 50.0;
+        }
+        for (i, v) in pl.ys_mut().iter_mut().enumerate() {
+            *v += ((i * 61) % 100) as f64 - 50.0;
+        }
+        let before = hpwl::hpwl(&d, &pl);
+        let model = QuadraticModel::default();
+        model.minimize(&d, &mut pl, None);
+        let after = hpwl::hpwl(&d, &pl);
+        assert!(after < before, "hpwl {before} -> {after}");
+    }
+
+    #[test]
+    fn b2b_iterations_converge_toward_lower_hpwl() {
+        // Repeated linearized solves should (weakly) improve HPWL.
+        let d = GeneratorConfig::small("it", 3).generate();
+        let model = QuadraticModel::default();
+        let mut pl = d.initial_placement();
+        model.minimize(&d, &mut pl, None);
+        let first = hpwl::hpwl(&d, &pl);
+        for _ in 0..5 {
+            model.minimize(&d, &mut pl, None);
+        }
+        let refined = hpwl::hpwl(&d, &pl);
+        assert!(
+            refined <= first * 1.05,
+            "B2B refinement diverged: {first} -> {refined}"
+        );
+    }
+
+    #[test]
+    fn anchors_pull_cells_toward_targets() {
+        let d = GeneratorConfig::small("an", 4).generate();
+        let model = QuadraticModel::default();
+        let mut free = d.initial_placement();
+        model.minimize(&d, &mut free, None);
+
+        // Anchor every cell at the core corner with a large λ.
+        let mut targets = free.clone();
+        for &id in d.movable_cells() {
+            targets.set_position(id, Point::new(d.core().lx + 1.0, d.core().ly + 1.0));
+        }
+        let anchors = Anchors::uniform(&d, targets.clone(), 1000.0);
+        let mut anchored = free.clone();
+        model.minimize(&d, &mut anchored, Some(&anchors));
+        let before = anchors.penalty(&free);
+        let after = anchors.penalty(&anchored);
+        assert!(after < before * 0.5, "penalty {before} -> {after}");
+    }
+
+    #[test]
+    fn fixed_cells_never_move() {
+        let d = GeneratorConfig::small("fx", 5).generate();
+        let model = QuadraticModel::default();
+        let mut pl = d.initial_placement();
+        let fixed: Vec<_> = d
+            .cell_ids()
+            .filter(|&id| !d.cell(id).is_movable())
+            .map(|id| (id, pl.position(id)))
+            .collect();
+        model.minimize(&d, &mut pl, None);
+        for (id, p) in fixed {
+            assert_eq!(pl.position(id), p);
+        }
+    }
+
+    #[test]
+    fn results_inside_core() {
+        let d = GeneratorConfig::small("core", 6).generate();
+        for model in [
+            QuadraticModel::new(NetModel::Bound2Bound),
+            QuadraticModel::new(NetModel::Clique),
+            QuadraticModel::new(NetModel::Star),
+            QuadraticModel::new(NetModel::HybridCliqueStar),
+        ] {
+            let mut pl = d.initial_placement();
+            model.minimize(&d, &mut pl, None);
+            let core = d.core();
+            for &id in d.movable_cells() {
+                let p = pl.position(id);
+                assert!(core.contains(p), "{} at {p:?} via {}", id, model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn net_models_give_similar_optima() {
+        let d = GeneratorConfig::small("cmp", 7).generate();
+        let mut results = Vec::new();
+        for model in [
+            QuadraticModel::new(NetModel::Bound2Bound),
+            QuadraticModel::new(NetModel::Clique),
+            QuadraticModel::new(NetModel::HybridCliqueStar),
+        ] {
+            let mut pl = d.initial_placement();
+            for _ in 0..3 {
+                model.minimize(&d, &mut pl, None);
+            }
+            results.push(hpwl::hpwl(&d, &pl));
+        }
+        // All models should land within 2x of each other on an easy design.
+        let min = results.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = results.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max < 2.0 * min, "{results:?}");
+    }
+}

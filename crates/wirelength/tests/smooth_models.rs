@@ -1,0 +1,108 @@
+//! Property-based tests shared by the smooth (nonlinear) interconnect
+//! models: log-sum-exp, β-regularization and p,β-regularization all
+//! overestimate HPWL and respond to anchors.
+
+use complx_netlist::{generator::GeneratorConfig, hpwl, Placement};
+use complx_wirelength::{
+    Anchors, BetaRegModel, InterconnectModel, LseModel, PNormModel,
+};
+use proptest::prelude::*;
+
+fn scattered(design: &complx_netlist::Design, seed: u64) -> Placement {
+    let core = design.core();
+    let mut p = design.initial_placement();
+    for (i, &id) in design.movable_cells().iter().enumerate() {
+        let k = i as u64 + seed;
+        let fx = ((k.wrapping_mul(2654435761)) % 1000) as f64 / 1000.0;
+        let fy = ((k.wrapping_mul(40503)) % 1000) as f64 / 1000.0;
+        p.set_position(
+            id,
+            complx_netlist::Point::new(
+                core.lx + fx * core.width(),
+                core.ly + fy * core.height(),
+            ),
+        );
+    }
+    p
+}
+
+fn models() -> Vec<Box<dyn InterconnectModel>> {
+    vec![
+        Box::new(LseModel::new()),
+        Box::new(BetaRegModel::new()),
+        Box::new(PNormModel::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every smooth model's surrogate value upper-bounds the weighted HPWL
+    /// (their defining property as HPWL regularizations).
+    #[test]
+    fn smooth_models_upper_bound_hpwl(seed in 0u64..200) {
+        let mut cfg = GeneratorConfig::small("sm", seed);
+        cfg.num_std_cells = 40;
+        cfg.num_pads = 8;
+        let d = cfg.generate();
+        let p = scattered(&d, seed);
+        let real = hpwl::weighted_hpwl(&d, &p);
+        for m in models() {
+            let v = m.wirelength(&d, &p);
+            prop_assert!(
+                v >= real * 0.999,
+                "{} value {v} below HPWL {real}",
+                m.name()
+            );
+        }
+    }
+
+    /// Minimizing any smooth model from a perturbed start reduces its own
+    /// surrogate value (descent property of the shared NLCG).
+    #[test]
+    fn smooth_models_descend(seed in 0u64..100) {
+        let mut cfg = GeneratorConfig::small("sd", seed);
+        cfg.num_std_cells = 30;
+        cfg.num_pads = 6;
+        let d = cfg.generate();
+        let start = scattered(&d, seed);
+        for m in models() {
+            let before = m.wirelength(&d, &start);
+            let mut p = start.clone();
+            m.minimize(&d, &mut p, None);
+            let after = m.wirelength(&d, &p);
+            prop_assert!(
+                after <= before * 1.001,
+                "{} did not descend: {before} -> {after}",
+                m.name()
+            );
+        }
+    }
+
+    /// Anchors reduce the distance to their targets under every model.
+    #[test]
+    fn smooth_models_respect_anchors(seed in 0u64..60) {
+        let mut cfg = GeneratorConfig::small("sa", seed);
+        cfg.num_std_cells = 25;
+        cfg.num_pads = 6;
+        let d = cfg.generate();
+        let start = scattered(&d, seed);
+        let mut targets = start.clone();
+        for &id in d.movable_cells() {
+            targets.set_position(
+                id,
+                complx_netlist::Point::new(d.core().lx + 2.0, d.core().ly + 2.0),
+            );
+        }
+        let anchors = Anchors::uniform(&d, targets.clone(), 100.0);
+        for m in models() {
+            let mut p = start.clone();
+            m.minimize(&d, &mut p, Some(&anchors));
+            prop_assert!(
+                anchors.penalty(&p) < anchors.penalty(&start),
+                "{} ignored anchors",
+                m.name()
+            );
+        }
+    }
+}

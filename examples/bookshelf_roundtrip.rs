@@ -1,0 +1,55 @@
+//! Bookshelf interoperability: write a design as an ISPD-contest-format
+//! bundle, read it back, place it, and emit the solution `.pl`. Point
+//! [`complx_netlist::bookshelf::read_aux`] at a real ISPD 2005/2006 `.aux`
+//! file to run the placer on the original benchmarks.
+//!
+//! ```text
+//! cargo run --release --example bookshelf_roundtrip
+//! ```
+
+use complx_netlist::{bookshelf, generator::GeneratorConfig, hpwl};
+use complx_place::{ComplxPlacer, PlacerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("complx_bookshelf_example");
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. Generate and export a design.
+    let design = GeneratorConfig::small("roundtrip", 3).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)?;
+    println!("wrote Bookshelf bundle: {}", aux.display());
+    for ext in ["nodes", "nets", "pl", "scl", "wts"] {
+        let p = dir.join(format!("roundtrip.{ext}"));
+        println!("  {} ({} bytes)", p.display(), std::fs::metadata(&p)?.len());
+    }
+
+    // 2. Read it back — this is the same entry point real ISPD benchmarks
+    //    use.
+    let bundle = bookshelf::read_aux(&aux)?;
+    println!(
+        "\nparsed: {} cells, {} nets, {} pins, core {:?}",
+        bundle.design.num_cells(),
+        bundle.design.num_nets(),
+        bundle.design.num_pins(),
+        bundle.design.core()
+    );
+    assert_eq!(bundle.design.num_cells(), design.num_cells());
+
+    // 3. Place the parsed design and write the solution placement.
+    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&bundle.design);
+    println!(
+        "\nplaced: HPWL {:.4e} (initial was {:.4e})",
+        outcome.hpwl_legal,
+        hpwl::hpwl(&bundle.design, &bundle.placement)
+    );
+    let sol_dir = dir.join("solution");
+    let sol = bookshelf::write_bundle(&bundle.design, &outcome.legal, &sol_dir)?;
+    println!("wrote solution bundle: {}", sol.display());
+
+    // 4. Round-trip check: re-reading the solution reproduces the HPWL.
+    let verify = bookshelf::read_aux(&sol)?;
+    let h = hpwl::hpwl(&verify.design, &verify.placement);
+    println!("re-read solution HPWL: {h:.4e}");
+    assert!((h - outcome.hpwl_legal).abs() < 1e-6 * outcome.hpwl_legal);
+    Ok(())
+}

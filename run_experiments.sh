@@ -1,0 +1,9 @@
+#!/bin/bash
+# Regenerates every paper artifact at full synthetic scale.
+set -x
+cd /root/repo
+for b in table1 table2 fig1_convergence fig2_shredding fig3_scalability fig4_regions fig5_timing s2_self_consistency s4_cog_comparison ablation_grid ablation_lambda ablation_netmodel; do
+  echo "=== $b ==="
+  cargo run --release -p complx-bench --bin $b
+done
+echo ALL_DONE

@@ -1,0 +1,20 @@
+//! Workspace umbrella crate for the ComPLx reproduction.
+//!
+//! This crate exists so that workspace-level `examples/` and `tests/` can
+//! depend on every member crate. The real functionality lives in:
+//!
+//! * [`complx_netlist`] — netlist model, Bookshelf I/O, benchmark generator
+//! * [`complx_sparse`] — sparse matrices and conjugate-gradient solvers
+//! * [`complx_wirelength`] — interconnect models (B2B, star, clique, LSE)
+//! * [`complx_spread`] — the feasibility projection `P_C`
+//! * [`complx_legalize`] — legalization and detailed placement
+//! * [`complx_timing`] — lightweight static timing analysis
+//! * [`complx_place`] — the ComPLx placer itself and baseline placers
+
+pub use complx_legalize as legalize;
+pub use complx_netlist as netlist;
+pub use complx_place as place;
+pub use complx_sparse as sparse;
+pub use complx_spread as spread;
+pub use complx_timing as timing;
+pub use complx_wirelength as wirelength;

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the full pipeline
+//! generate → place → project → legalize → detail, plus placer-vs-baseline
+//! quality gates.
+
+use complx_repro::legalize::{is_legal, legality_report};
+use complx_repro::netlist::{generator::GeneratorConfig, hpwl};
+use complx_repro::place::{baselines, ComplxPlacer, PlacerConfig};
+
+#[test]
+fn full_pipeline_produces_legal_quality_placement() {
+    let design = GeneratorConfig::small("e2e", 1).generate();
+    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+
+    // Legal output.
+    let report = legality_report(&design, &outcome.legal);
+    assert!(report.is_legal(1e-6), "{report:?}");
+
+    // Quality gate: clearly better than projecting the stacked start once.
+    let naive = {
+        let proj = complx_repro::spread::FeasibilityProjection::default()
+            .project(&design, &design.initial_placement());
+        let legal = complx_repro::legalize::Legalizer::default()
+            .legalize(&design, &proj.placement)
+            .placement;
+        hpwl::hpwl(&design, &legal)
+    };
+    assert!(
+        outcome.hpwl_legal < 0.8 * naive,
+        "placer {} vs naive {naive}",
+        outcome.hpwl_legal
+    );
+
+    // Final density is acceptable.
+    assert!(
+        outcome.metrics.overflow_percent < 10.0,
+        "overflow {}%",
+        outcome.metrics.overflow_percent
+    );
+}
+
+#[test]
+fn complx_beats_or_matches_every_baseline() {
+    let design = GeneratorConfig::ispd2005_like("cmp", 3, 2000).generate();
+    let cx = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    let simpl = baselines::simpl_placer().place(&design);
+    let fp = baselines::FastPlaceLike::default().place(&design);
+
+    // The paper's headline: ComPLx outperforms SimPL (by ~1%) and the
+    // force-directed placers. Allow a small tolerance for suite noise.
+    assert!(
+        cx.hpwl_legal <= simpl.hpwl_legal * 1.03,
+        "complx {} vs simpl {}",
+        cx.hpwl_legal,
+        simpl.hpwl_legal
+    );
+    assert!(
+        cx.hpwl_legal < fp.hpwl_legal,
+        "complx {} vs fastplace-like {}",
+        cx.hpwl_legal,
+        fp.hpwl_legal
+    );
+}
+
+#[test]
+fn all_placers_produce_legal_placements_on_mixed_design() {
+    let design = GeneratorConfig::ispd2006_like("legal6", 5, 900, 0.7).generate();
+    let runs = [
+        ComplxPlacer::new(PlacerConfig::fast()).place(&design),
+        baselines::simpl_placer().place(&design),
+        baselines::FastPlaceLike {
+            max_iterations: 30,
+            ..Default::default()
+        }
+        .place(&design),
+        baselines::RqlLike {
+            max_iterations: 30,
+            ..Default::default()
+        }
+        .place(&design),
+    ];
+    for (i, out) in runs.iter().enumerate() {
+        assert!(is_legal(&design, &out.legal, 1e-6), "placer #{i} illegal");
+    }
+}
+
+#[test]
+fn placement_quality_is_stable_across_seeds() {
+    // The placer should never catastrophically regress on any seed.
+    let mut ratios = Vec::new();
+    for seed in [11u64, 22, 33] {
+        let design = GeneratorConfig::small("seed", seed).generate();
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&design);
+        let naive = {
+            let proj = complx_repro::spread::FeasibilityProjection::default()
+                .project(&design, &design.initial_placement());
+            let legal = complx_repro::legalize::Legalizer::default()
+                .legalize(&design, &proj.placement)
+                .placement;
+            hpwl::hpwl(&design, &legal)
+        };
+        ratios.push(out.hpwl_legal / naive);
+    }
+    for r in &ratios {
+        assert!(*r < 0.85, "ratios {ratios:?}");
+    }
+}
+
+#[test]
+fn three_table1_configurations_all_work() {
+    let design = GeneratorConfig::small("cfg3", 8).generate();
+    for cfg in [
+        PlacerConfig::default(),
+        PlacerConfig::finest_grid(),
+        PlacerConfig::projection_with_detail(),
+    ] {
+        let out = ComplxPlacer::new(cfg).place(&design);
+        assert!(is_legal(&design, &out.legal, 1e-6));
+        assert!(out.hpwl_legal > 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Golden regression gates: pinned quality levels for fixed seeds.
+//!
+//! These are deliberately *loose* bounds (±15% headroom over measured
+//! values) so routine refactors pass, while algorithmic regressions — a
+//! broken λ schedule, a degraded projection, a legalizer that scrambles
+//! cells — fail loudly. If an intentional algorithm improvement moves a
+//! number, update the bound and note it in CHANGELOG.md.
+
+use complx_repro::netlist::generator::GeneratorConfig;
+use complx_repro::place::{ComplxPlacer, PlacerConfig};
+
+/// Measured 2026-07: hpwl_legal ≈ 56.0e3 on this seed with the default
+/// configuration (after the connected-generator fix).
+#[test]
+fn quickstart_scale_quality_gate() {
+    let design = GeneratorConfig::small("gate600", 42).generate();
+    let out = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    assert!(
+        out.hpwl_legal < 65_000.0,
+        "quality regression: HPWL {} (expected ≈56k)",
+        out.hpwl_legal
+    );
+    assert!(
+        out.iterations <= 100 && out.converged,
+        "convergence regression: {} iterations, converged={}",
+        out.iterations,
+        out.converged
+    );
+}
+
+/// Measured 2026-07: ≈ 5.1e5 on this 3k-cell instance.
+#[test]
+fn mid_scale_quality_gate() {
+    let design = GeneratorConfig::ispd2005_like("gate3k", 5, 3000).generate();
+    let out = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    assert!(
+        out.hpwl_legal < 6.0e5,
+        "quality regression: HPWL {:.3e} (expected ≈5.1e5)",
+        out.hpwl_legal
+    );
+    assert!(
+        out.metrics.overflow_percent < 8.0,
+        "density regression: overflow {}%",
+        out.metrics.overflow_percent
+    );
+}
+
+/// Mixed-size gate: scaled HPWL stays bounded and macros legal.
+#[test]
+fn mixed_size_quality_gate() {
+    let design = GeneratorConfig::ispd2006_like("gate6", 3, 2000, 0.8).generate();
+    let out = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    assert!(complx_repro::legalize::is_legal(&design, &out.legal, 1e-6));
+    assert!(
+        out.metrics.overflow_percent < 12.0,
+        "mixed-size density regression: {}%",
+        out.metrics.overflow_percent
+    );
+}

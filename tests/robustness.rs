@@ -1,0 +1,160 @@
+//! Robustness tests: degenerate and extreme designs must not panic and
+//! must produce sensible results.
+
+use complx_repro::legalize::is_legal;
+use complx_repro::netlist::{generator::GeneratorConfig, CellKind, DesignBuilder, Point, Rect};
+use complx_repro::place::{ComplxPlacer, PlacerConfig};
+
+#[test]
+fn single_movable_cell() {
+    let mut b = DesignBuilder::new("one", Rect::new(0.0, 0.0, 20.0, 20.0), 1.0);
+    let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+    let p = b
+        .add_fixed_cell("p", 1.0, 1.0, CellKind::Terminal, Point::new(0.0, 10.0))
+        .unwrap();
+    b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (p, 0.0, 0.0)]).unwrap();
+    let d = b.build().unwrap();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    assert!(is_legal(&d, &out.legal, 1e-6));
+    // The cell should gravitate toward the pad.
+    assert!(out.legal.position(a).x < 10.0);
+}
+
+#[test]
+fn all_cells_fixed() {
+    let mut b = DesignBuilder::new("fixed", Rect::new(0.0, 0.0, 20.0, 20.0), 1.0);
+    let f1 = b
+        .add_fixed_cell("f1", 2.0, 2.0, CellKind::Fixed, Point::new(5.0, 5.0))
+        .unwrap();
+    let f2 = b
+        .add_fixed_cell("f2", 2.0, 2.0, CellKind::Fixed, Point::new(15.0, 15.0))
+        .unwrap();
+    b.add_net("n", 1.0, vec![(f1, 0.0, 0.0), (f2, 0.0, 0.0)]).unwrap();
+    let d = b.build().unwrap();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    // Nothing to move; HPWL is the fixed-net length.
+    assert!((out.hpwl_legal - 20.0).abs() < 1e-9);
+    assert_eq!(out.iterations, 0);
+}
+
+#[test]
+fn net_with_repeated_cell_pins() {
+    // Two pins of the same net on one cell (common in real netlists).
+    let mut b = DesignBuilder::new("rep", Rect::new(0.0, 0.0, 20.0, 20.0), 1.0);
+    let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+    let c = b.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+    b.add_net("n", 1.0, vec![(a, -0.5, 0.0), (a, 0.5, 0.0), (c, 0.0, 0.0)])
+        .unwrap();
+    let d = b.build().unwrap();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    assert!(is_legal(&d, &out.legal, 1e-6));
+}
+
+#[test]
+fn already_feasible_design_converges_immediately() {
+    // A tiny utilization design whose cells are pre-spread: the bootstrap
+    // projection should find no overflow and skip the λ loop entirely.
+    let mut cfg = GeneratorConfig::small("feas", 3);
+    cfg.num_std_cells = 40;
+    cfg.utilization = 0.05;
+    let d = cfg.generate();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    assert!(out.converged);
+    assert!(is_legal(&d, &out.legal, 1e-6));
+}
+
+#[test]
+fn very_tight_utilization_still_legalizes() {
+    let mut cfg = GeneratorConfig::small("tight", 4);
+    cfg.num_std_cells = 400;
+    cfg.utilization = 0.93;
+    cfg.num_fixed_macros = 0;
+    let d = cfg.generate();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    assert!(is_legal(&d, &out.legal, 1e-6), "93% utilization must legalize");
+}
+
+#[test]
+fn huge_net_degree_handled() {
+    // One net touching a third of the design (clock-like).
+    let mut b = DesignBuilder::new("clk", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
+    let ids: Vec<_> = (0..90)
+        .map(|i| {
+            b.add_cell(format!("c{i}"), 2.0, 1.0, CellKind::Movable)
+                .unwrap()
+        })
+        .collect();
+    for w in ids.windows(2) {
+        b.add_net(format!("n{}", w[0]), 1.0, vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0)])
+            .unwrap();
+    }
+    b.add_net(
+        "clk",
+        1.0,
+        ids.iter().take(30).map(|&c| (c, 0.0, 0.0)).collect(),
+    )
+    .unwrap();
+    let d = b.build().unwrap();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    assert!(is_legal(&d, &out.legal, 1e-6));
+}
+
+#[test]
+fn zero_weight_free_design_is_rejected_cleanly() {
+    // Nets must have positive weight — the builder, not the placer,
+    // enforces this.
+    let mut b = DesignBuilder::new("w", Rect::new(0.0, 0.0, 10.0, 10.0), 1.0);
+    let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
+    let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
+    assert!(b.add_net("n", 0.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).is_err());
+    assert!(b.add_net("n", -1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).is_err());
+}
+
+#[test]
+fn long_thin_core_aspect_ratio() {
+    // 20:1 aspect ratio core; everything must still work.
+    let mut b = DesignBuilder::new("thin", Rect::new(0.0, 0.0, 400.0, 20.0), 1.0);
+    let ids: Vec<_> = (0..120)
+        .map(|i| {
+            b.add_cell(format!("c{i}"), 2.0, 1.0, CellKind::Movable)
+                .unwrap()
+        })
+        .collect();
+    for w in ids.windows(3) {
+        b.add_net(
+            format!("n{}", w[0]),
+            1.0,
+            vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0), (w[2], 0.0, 0.0)],
+        )
+        .unwrap();
+    }
+    let d = b.build().unwrap();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    assert!(is_legal(&d, &out.legal, 1e-6));
+}
+
+#[test]
+fn macro_only_design() {
+    // Movable macros with no standard cells at all.
+    let mut b = DesignBuilder::new("mac", Rect::new(0.0, 0.0, 200.0, 200.0), 8.0);
+    let ids: Vec<_> = (0..5)
+        .map(|i| {
+            b.add_cell(format!("m{i}"), 40.0, 40.0, CellKind::MovableMacro)
+                .unwrap()
+        })
+        .collect();
+    for w in ids.windows(2) {
+        b.add_net(format!("n{}", w[0]), 1.0, vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0)])
+            .unwrap();
+    }
+    let d = b.build().unwrap();
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    // Macros must end up pairwise disjoint.
+    for i in 0..ids.len() {
+        for j in i + 1..ids.len() {
+            let a = out.legal.cell_rect(ids[i], 40.0, 40.0);
+            let c = out.legal.cell_rect(ids[j], 40.0, 40.0);
+            assert!(a.overlap_area(&c) < 1e-6, "macros {i}/{j} overlap");
+        }
+    }
+}
