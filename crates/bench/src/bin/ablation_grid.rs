@@ -35,7 +35,7 @@ fn main() {
                 grid,
                 ..PlacerConfig::default()
             })
-            .place(d)
+            .place(d).expect("placement failed")
         });
         table.add_row(vec![
             name,

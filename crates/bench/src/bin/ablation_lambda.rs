@@ -36,7 +36,7 @@ fn main() {
                     lambda_inverse_ratio: inverse,
                     ..PlacerConfig::default()
                 })
-                .place(d)
+                .place(d).expect("placement failed")
             });
             hpwls.push(summary.hpwl);
             secs.push(summary.seconds);

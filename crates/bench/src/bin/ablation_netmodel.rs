@@ -34,7 +34,7 @@ fn main() {
                     interconnect: *interconnect,
                     ..PlacerConfig::default()
                 })
-                .place(d)
+                .place(d).expect("placement failed")
             });
             table.add_row(vec![
                 name.to_string(),

@@ -34,7 +34,7 @@ fn main() {
         gap_tolerance: 0.05,
         ..PlacerConfig::default()
     };
-    let outcome = ComplxPlacer::new(placer_cfg).place(&design);
+    let outcome = ComplxPlacer::new(placer_cfg).place(&design).expect("placement failed");
 
     let recs = outcome.trace.records();
     let lagrangian: Vec<f64> = recs.iter().map(|r| r.lagrangian).collect();

@@ -33,7 +33,7 @@ fn main() {
     for design in &designs {
         eprintln!("[fig3] placing {} ({} nets)", design.name(), design.num_nets());
         let (summary, outcome) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::default()).place(d)
+            ComplxPlacer::new(PlacerConfig::default()).place(d).expect("placement failed")
         });
         let nets = design.num_nets() as f64;
         lambda_pts.push((nets, summary.final_lambda.max(1e-6)));

@@ -27,7 +27,7 @@ fn main() {
         final_detail: false,
         ..PlacerConfig::default()
     };
-    let unconstrained = ComplxPlacer::new(uncon_cfg).place(&base);
+    let unconstrained = ComplxPlacer::new(uncon_cfg).place(&base).expect("placement failed");
     let hpwl_before = hpwl::hpwl(&base, &unconstrained.upper);
 
     // Pick 50 cells currently scattered around the middle of the layout
@@ -92,7 +92,7 @@ fn main() {
         final_detail: false, // detail moves are not region-aware
         ..PlacerConfig::default()
     };
-    let constrained = ComplxPlacer::new(cfg).place(&constrained_design);
+    let constrained = ComplxPlacer::new(cfg).place(&constrained_design).expect("placement failed");
     let hpwl_after = hpwl::hpwl(&constrained_design, &constrained.upper);
     let satisfied = regions_satisfied(&constrained_design, &constrained.upper);
 

@@ -34,7 +34,7 @@ fn main() {
     // Baseline placement and critical-path selection (the paper runs 30
     // global iterations for a stable intermediate placement; we use the
     // final placement, which is even more stable).
-    let base = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    let base = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
     let graph = TimingGraph::new(&design);
     let model = DelayModel::default();
 
@@ -71,7 +71,7 @@ fn main() {
         } else {
             reweight_nets(&design, &selected_nets, w)
         };
-        let out = ComplxPlacer::new(PlacerConfig::default()).place(&d);
+        let out = ComplxPlacer::new(PlacerConfig::default()).place(&d).expect("placement failed");
         let plen = path_length(&design, &out.legal, &selected_nets);
         let total = hpwl::hpwl(&design, &out.legal);
         let delay = graph

@@ -33,7 +33,7 @@ fn main() {
     let mut gm: Vec<Vec<f64>> = vec![Vec::new(); 8]; // per numeric column
     for design in &designs {
         eprintln!("[table1] placing {} ({} cells)", design.name(), design.num_cells());
-        let (simpl, _) = timed_run(design, |d| baselines::simpl_placer().place(d));
+        let (simpl, _) = timed_run(design, |d| baselines::simpl_placer().place(d).expect("placement failed"));
         let (rql, _) = timed_run(design, |d| baselines::RqlLike::default().place(d));
         let (best_hpwl, best_name) = if simpl.hpwl <= rql.hpwl {
             (simpl.hpwl, "SimPL")
@@ -42,13 +42,13 @@ fn main() {
         };
 
         let (finest, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::finest_grid()).place(d)
+            ComplxPlacer::new(PlacerConfig::finest_grid()).place(d).expect("placement failed")
         });
         let (pcdp, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::projection_with_detail()).place(d)
+            ComplxPlacer::new(PlacerConfig::projection_with_detail()).place(d).expect("placement failed")
         });
         let (default, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::default()).place(d)
+            ComplxPlacer::new(PlacerConfig::default()).place(d).expect("placement failed")
         });
 
         let cols = [

@@ -38,10 +38,10 @@ fn main() {
             design.target_density()
         );
         let (fp, _) = timed_run(design, |d| baselines::FastPlaceLike::default().place(d));
-        let (sp, _) = timed_run(design, |d| baselines::simpl_placer().place(d));
+        let (sp, _) = timed_run(design, |d| baselines::simpl_placer().place(d).expect("placement failed"));
         let (rq, _) = timed_run(design, |d| baselines::RqlLike::default().place(d));
         let (cx, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::default()).place(d)
+            ComplxPlacer::new(PlacerConfig::default()).place(d).expect("placement failed")
         });
         for (i, s) in [&fp, &sp, &rq, &cx].iter().enumerate() {
             scaled[i].push(s.scaled_hpwl);

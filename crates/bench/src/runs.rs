@@ -100,7 +100,7 @@ mod tests {
     fn timed_run_reports_time_and_metrics() {
         let d = complx_netlist::generator::GeneratorConfig::small("tr", 1).generate();
         let (summary, _) =
-            timed_run(&d, |d| ComplxPlacer::new(PlacerConfig::fast()).place(d));
+            timed_run(&d, |d| ComplxPlacer::new(PlacerConfig::fast()).place(d).expect("placement failed"));
         assert!(summary.seconds > 0.0);
         assert!(summary.hpwl > 0.0);
         assert_eq!(summary.name, "tr");

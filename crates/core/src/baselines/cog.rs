@@ -149,6 +149,8 @@ impl CogConstrained {
             iterations: iteration,
             final_lambda: self.rho_factor,
             converged: true,
+            stop_reason: crate::StopReason::Converged,
+            recoveries: 0,
             global_seconds,
             detail_seconds,
         }

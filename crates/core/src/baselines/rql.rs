@@ -156,6 +156,12 @@ impl RqlLike {
             trace,
             iterations,
             converged,
+            stop_reason: if converged {
+                crate::StopReason::Converged
+            } else {
+                crate::StopReason::IterationCap
+            },
+            recoveries: 0,
             global_seconds,
             detail_seconds,
         }

@@ -13,17 +13,23 @@
 //!   --simpl                use the SimPL special-case configuration
 //!   --lse [gamma_rows]     log-sum-exp interconnect model (default γ = 4)
 //!   --no-detail            skip final legalization refinement
+//!   --max-seconds <s>      wall-clock budget; the placer exits gracefully
+//!                          with its best feasible iterate when it expires
+//!   --max-recoveries <n>   divergence-recovery attempts before giving up
 //!   --trace <file.csv>     write the per-iteration convergence trace
 //!   -q, --quiet            suppress progress output
 //! ```
 //!
-//! Exit status is non-zero on parse errors or failed placement.
+//! On failure the process prints a one-line structured error
+//! (`complx: error[<kind>]: <message>`) and exits with a per-variant code:
+//! `1` usage/input errors, `3` invalid design, `4` solver breakdown,
+//! `5` diverged, `6` timed out, `7` i/o.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use complx_netlist::bookshelf;
-use complx_place::{ComplxPlacer, Interconnect, PlacerConfig};
+use complx_place::{ComplxPlacer, Interconnect, PlaceError, PlacerConfig};
 
 struct Options {
     aux: PathBuf,
@@ -35,6 +41,8 @@ struct Options {
     simpl: bool,
     lse: Option<f64>,
     no_detail: bool,
+    max_seconds: Option<f64>,
+    max_recoveries: Option<usize>,
     trace: Option<PathBuf>,
     quiet: bool,
 }
@@ -42,7 +50,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: complx <design.aux> [-o DIR] [--target-density G] [--max-iterations N]\n\
      [--finest-grid] [--pc-dp] [--simpl] [--lse [GAMMA_ROWS]] [--no-detail]\n\
-     [--trace FILE.csv] [-q]"
+     [--max-seconds S] [--max-recoveries N] [--trace FILE.csv] [-q]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -57,6 +65,8 @@ fn parse_args() -> Result<Options, String> {
         simpl: false,
         lse: None,
         no_detail: false,
+        max_seconds: None,
+        max_recoveries: None,
         trace: None,
         quiet: false,
     };
@@ -99,6 +109,25 @@ fn parse_args() -> Result<Options, String> {
                 opts.lse = Some(gamma);
             }
             "--no-detail" => opts.no_detail = true,
+            "--max-seconds" => {
+                let v: f64 = args
+                    .next()
+                    .ok_or("missing value for --max-seconds")?
+                    .parse()
+                    .map_err(|_| "bad --max-seconds value")?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err("--max-seconds must be a positive number".into());
+                }
+                opts.max_seconds = Some(v);
+            }
+            "--max-recoveries" => {
+                let v: usize = args
+                    .next()
+                    .ok_or("missing value for --max-recoveries")?
+                    .parse()
+                    .map_err(|_| "bad --max-recoveries value")?;
+                opts.max_recoveries = Some(v);
+            }
             "--trace" => {
                 opts.trace = Some(PathBuf::from(
                     args.next().ok_or("missing value for --trace")?,
@@ -209,6 +238,10 @@ fn main() -> ExitCode {
     if opts.no_detail {
         cfg.final_detail = false;
     }
+    cfg.time_budget = opts.max_seconds;
+    if let Some(n) = opts.max_recoveries {
+        cfg.max_recoveries = n;
+    }
 
     if !opts.quiet {
         eprintln!(
@@ -222,12 +255,23 @@ fn main() -> ExitCode {
             eprintln!("complx: warning: {issue}");
         }
     }
-    let outcome = ComplxPlacer::new(cfg).place(&design);
+    let outcome = match ComplxPlacer::new(cfg).place(&design) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("complx: error[{}]: {e}", e.kind());
+            return ExitCode::from(e.exit_code());
+        }
+    };
     if !opts.quiet {
         eprintln!(
-            "complx: {} iterations ({}), λ = {:.4}, global {:.1}s + detail {:.1}s",
+            "complx: {} iterations (stop: {}{}), λ = {:.4}, global {:.1}s + detail {:.1}s",
             outcome.iterations,
-            if outcome.converged { "converged" } else { "iteration cap" },
+            outcome.stop_reason,
+            if outcome.recoveries > 0 {
+                format!(", {} recoveries", outcome.recoveries)
+            } else {
+                String::new()
+            },
             outcome.final_lambda,
             outcome.global_seconds,
             outcome.detail_seconds
@@ -251,8 +295,13 @@ fn main() -> ExitCode {
 
     if let Some(trace_path) = &opts.trace {
         if let Err(e) = std::fs::write(trace_path, outcome.trace.to_csv()) {
-            eprintln!("complx: cannot write trace {}: {e}", trace_path.display());
-            return ExitCode::FAILURE;
+            let e = PlaceError::from(e);
+            eprintln!(
+                "complx: error[{}]: cannot write trace {}: {e}",
+                e.kind(),
+                trace_path.display()
+            );
+            return ExitCode::from(e.exit_code());
         }
     }
 
@@ -269,8 +318,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("complx: cannot write solution: {e}");
-            ExitCode::FAILURE
+            let kind = PlaceError::from(std::io::Error::other(e.to_string())).kind();
+            eprintln!("complx: error[{kind}]: cannot write solution: {e}");
+            ExitCode::from(7)
         }
     }
 }

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn placed_design_is_accepted() {
         let d = GeneratorConfig::small("acc", 1).generate();
-        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         let violations = verify_placement(&d, &out.legal, &AcceptanceCriteria::default());
         assert!(violations.is_empty(), "{violations:?}");
     }
@@ -162,7 +162,7 @@ mod tests {
         let d = GeneratorConfig::small("ub", 3).generate();
         let mut cfg = PlacerConfig::fast();
         cfg.final_detail = false;
-        let out = ComplxPlacer::new(cfg).place(&d);
+        let out = ComplxPlacer::new(cfg).place(&d).unwrap();
         let strict = verify_placement(&d, &out.upper, &AcceptanceCriteria::default());
         assert!(!strict.is_empty());
         let relaxed = AcceptanceCriteria {

@@ -191,6 +191,17 @@ pub struct PlacerConfig {
     pub stagnation_window: usize,
     /// Routability-driven cell inflation (SimPLR-lite); `None` disables it.
     pub routability: Option<RoutabilityConfig>,
+    /// How many divergence recoveries (roll back to the best feasible
+    /// iterate, halve λ, tighten the CG tolerance, retry) the placer may
+    /// attempt before giving up with [`crate::PlaceError::Diverged`].
+    pub max_recoveries: usize,
+    /// Wall-clock budget in seconds for the whole run; when it expires the
+    /// placer exits gracefully through the best-iterate path with
+    /// [`crate::StopReason::TimeBudget`]. `None` = unlimited.
+    pub time_budget: Option<f64>,
+    /// Fault-injection plan exercising the recovery machinery (testing
+    /// only); `None` injects nothing.
+    pub faults: Option<crate::faults::FaultPlan>,
 }
 
 impl Default for PlacerConfig {
@@ -216,6 +227,9 @@ impl Default for PlacerConfig {
             cg_max_iterations: 50,
             stagnation_window: 12,
             routability: None,
+            max_recoveries: 3,
+            time_budget: None,
+            faults: None,
         }
     }
 }

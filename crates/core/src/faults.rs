@@ -1,0 +1,151 @@
+//! Fault injection for exercising the placer's recovery machinery.
+//!
+//! Production fault tolerance is only trustworthy if the recovery paths are
+//! routinely executed. A [`FaultPlan`] attached to
+//! [`crate::PlacerConfig::faults`] makes the placer *simulate* the
+//! numerical failures that degenerate designs cause in the wild — NaN
+//! gradients out of the primal solve, CG breakdowns, stalled feasibility
+//! projections — at chosen iterations. Each injected fault flows through
+//! exactly the same detection and recovery code as a real one, so
+//! integration tests can prove that every fault class is caught, recovered,
+//! and reported without panicking or losing the best feasible iterate.
+//!
+//! Each injection fires once: after the recovery policy rolls the iterate
+//! back, the retried iteration proceeds clean (unless the plan schedules
+//! another fault).
+
+/// The classes of numerical fault the placer knows how to survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Poison the primal (lower-bound) iterate with NaN coordinates, as a
+    /// degenerate B2B weight `1/(|x_i − x_j|)` on coincident pins would.
+    NanGradient,
+    /// Make the primal solve report a CG breakdown (`p·Ap ≤ 0`), as a
+    /// non-SPD system would.
+    CgStall,
+    /// Poison the projection (upper-bound) iterate, as a stalled or
+    /// corrupted `P_C` pass would.
+    ProjectionStall,
+}
+
+impl FaultKind {
+    /// Human-readable description used in recovery logs and error details.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            FaultKind::NanGradient => "injected NaN gradient in primal iterate",
+            FaultKind::CgStall => "injected CG breakdown in primal solve",
+            FaultKind::ProjectionStall => "injected stalled feasibility projection",
+        }
+    }
+}
+
+/// One scheduled fault: `kind` strikes at global-placement iteration
+/// `iteration` (1-based, matching the trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// The 1-based global-placement iteration to strike at.
+    pub iteration: usize,
+    /// The fault class to simulate.
+    pub kind: FaultKind,
+}
+
+/// A schedule of faults to inject into a placement run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    injections: Vec<FaultInjection>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at global-placement iteration `iteration` (1-based).
+    #[must_use]
+    pub fn inject(mut self, iteration: usize, kind: FaultKind) -> Self {
+        self.injections.push(FaultInjection { iteration, kind });
+        self
+    }
+
+    /// The scheduled injections.
+    pub fn injections(&self) -> &[FaultInjection] {
+        &self.injections
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+}
+
+/// Mutable run-time state: which injections have already fired. Owned by
+/// one placement run (the plan itself stays immutable in the config).
+#[derive(Debug)]
+pub(crate) struct FaultArming {
+    pending: Vec<FaultInjection>,
+}
+
+impl FaultArming {
+    pub(crate) fn new(plan: Option<&FaultPlan>) -> Self {
+        Self {
+            pending: plan.map(|p| p.injections.clone()).unwrap_or_default(),
+        }
+    }
+
+    /// Fires (and disarms) the scheduled fault of class `kind` at
+    /// iteration `iteration`, if any.
+    pub(crate) fn take(&mut self, iteration: usize, kind: FaultKind) -> bool {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|f| f.iteration == iteration && f.kind == kind)
+        {
+            self.pending.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injections_fire_once() {
+        let plan = FaultPlan::new()
+            .inject(3, FaultKind::NanGradient)
+            .inject(3, FaultKind::CgStall)
+            .inject(5, FaultKind::ProjectionStall);
+        assert_eq!(plan.injections().len(), 3);
+        assert!(!plan.is_empty());
+
+        let mut armed = FaultArming::new(Some(&plan));
+        assert!(!armed.take(2, FaultKind::NanGradient));
+        assert!(armed.take(3, FaultKind::NanGradient));
+        assert!(!armed.take(3, FaultKind::NanGradient), "fires only once");
+        assert!(armed.take(3, FaultKind::CgStall));
+        assert!(armed.take(5, FaultKind::ProjectionStall));
+        assert!(!armed.take(5, FaultKind::ProjectionStall));
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut armed = FaultArming::new(None);
+        for k in 0..100 {
+            assert!(!armed.take(k, FaultKind::NanGradient));
+            assert!(!armed.take(k, FaultKind::CgStall));
+            assert!(!armed.take(k, FaultKind::ProjectionStall));
+        }
+    }
+
+    #[test]
+    fn descriptions_name_the_fault() {
+        assert!(FaultKind::NanGradient.describe().contains("NaN"));
+        assert!(FaultKind::CgStall.describe().contains("CG"));
+        assert!(FaultKind::ProjectionStall.describe().contains("projection"));
+    }
+}

@@ -58,6 +58,13 @@ impl LambdaSchedule {
         self.lambda_1
     }
 
+    /// Scales the current multiplier by `factor` (the divergence-recovery
+    /// policy backs λ off after a numerical fault; the schedule then
+    /// regrows it through the usual updates).
+    pub fn scale(&mut self, factor: f64) {
+        self.lambda *= factor;
+    }
+
     /// Advances the schedule given the previous and current penalty values.
     pub fn advance(&mut self, pi_prev: f64, pi_cur: f64) {
         match self.mode {
@@ -133,6 +140,17 @@ mod tests {
         let l1 = s.lambda();
         s.advance(1.0, 1.0);
         assert!((s.lambda() - 1.5 * l1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_backs_lambda_off_without_touching_lambda_1() {
+        let mut s = LambdaSchedule::new(LambdaMode::default(), 100.0, 5000.0, 10.0);
+        let l1 = s.lambda_1();
+        s.advance(1.0, 1.0);
+        let before = s.lambda();
+        s.scale(0.5);
+        assert!((s.lambda() - 0.5 * before).abs() < 1e-12);
+        assert_eq!(s.lambda_1(), l1);
     }
 
     #[test]

@@ -29,7 +29,9 @@
 //! use complx_place::{ComplxPlacer, PlacerConfig};
 //!
 //! let design = GeneratorConfig::small("quick", 1).generate();
-//! let outcome = ComplxPlacer::new(PlacerConfig::fast()).place(&design);
+//! let outcome = ComplxPlacer::new(PlacerConfig::fast())
+//!     .place(&design)
+//!     .expect("placement failed");
 //! assert!(outcome.hpwl_legal > 0.0);
 //! assert!(outcome.trace.len() >= 2);
 //! ```
@@ -44,6 +46,8 @@
 pub mod baselines;
 pub mod check;
 mod config;
+mod error;
+pub mod faults;
 mod lambda;
 mod metrics;
 mod placer;
@@ -51,6 +55,8 @@ pub mod timing_driven;
 mod trace;
 
 pub use config::{GridSchedule, Interconnect, LambdaMode, PlacerConfig, RoutabilityConfig};
+pub use error::{PlaceError, StopReason};
+pub use faults::{FaultInjection, FaultKind, FaultPlan};
 pub use lambda::LambdaSchedule;
 pub use metrics::PlacementMetrics;
 pub use placer::{ComplxPlacer, PlacementOutcome};

@@ -1,9 +1,9 @@
 //! The ComPLx primal-dual placement loop.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use complx_legalize::{DetailedPlacer, Legalizer};
-use complx_netlist::{hpwl, CellKind, Design, Placement};
+use complx_netlist::{hpwl, CellKind, Design, Placement, Point};
 use complx_sparse::CgSolver;
 use complx_spread::rudy::CongestionMap;
 use complx_spread::FeasibilityProjection;
@@ -12,6 +12,8 @@ use complx_wirelength::{
 };
 
 use crate::config::{Interconnect, PlacerConfig};
+use crate::error::{PlaceError, StopReason};
+use crate::faults::{FaultArming, FaultKind};
 use crate::lambda::LambdaSchedule;
 use crate::metrics::PlacementMetrics;
 use crate::trace::{IterationRecord, Trace};
@@ -39,6 +41,12 @@ pub struct PlacementOutcome {
     pub final_lambda: f64,
     /// Whether a convergence criterion fired (vs. the iteration cap).
     pub converged: bool,
+    /// Why the primal-dual loop stopped iterating.
+    pub stop_reason: StopReason,
+    /// Number of divergence recoveries executed during the run (`0` for a
+    /// clean run; when non-zero, [`Self::stop_reason`] is
+    /// [`StopReason::Recovered`]).
+    pub recoveries: usize,
     /// Wall-clock seconds in global placement.
     pub global_seconds: f64,
     /// Wall-clock seconds in legalization + detailed placement.
@@ -69,7 +77,14 @@ impl ComplxPlacer {
     }
 
     /// Places a design.
-    pub fn place(&self, design: &Design) -> PlacementOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlaceError`] when the design is unplaceable, the solver
+    /// breaks down before a feasible iterate exists, the run diverges past
+    /// the recovery budget, or the time budget expires before any feasible
+    /// iterate was produced. See [`PlaceError`] for the variants.
+    pub fn place(&self, design: &Design) -> Result<PlacementOutcome, PlaceError> {
         self.place_with_criticality(design, None)
     }
 
@@ -77,36 +92,70 @@ impl ComplxPlacer {
     /// penalty term (Formula 13). `criticality[i]` multiplies cell `i`'s
     /// λ; pass `None` (or all-ones) for wirelength-driven placement.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `criticality` is provided with the wrong length.
+    /// Returns [`PlaceError::InvalidDesign`] when `criticality` has the
+    /// wrong length or contains non-finite/negative entries, plus every
+    /// failure mode of [`Self::place`].
     pub fn place_with_criticality(
         &self,
         design: &Design,
         criticality: Option<&[f64]>,
-    ) -> PlacementOutcome {
+    ) -> Result<PlacementOutcome, PlaceError> {
         if let Some(c) = criticality {
-            assert_eq!(c.len(), design.num_cells());
+            if c.len() != design.num_cells() {
+                return Err(PlaceError::InvalidDesign {
+                    reason: format!(
+                        "criticality has {} entries for {} cells",
+                        c.len(),
+                        design.num_cells()
+                    ),
+                });
+            }
+            if c.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return Err(PlaceError::InvalidDesign {
+                    reason: "criticality contains non-finite or negative factors".into(),
+                });
+            }
         }
+        validate_design(design)?;
         let cfg = &self.config;
         let t_global = Instant::now();
-
-        let model: Box<dyn InterconnectModel> = match cfg.interconnect {
-            Interconnect::Quadratic(net_model) => Box::new(
-                QuadraticModel::new(net_model).with_solver(
-                    CgSolver::new()
-                        .with_tolerance(cfg.cg_tolerance)
-                        .with_max_iterations(cfg.cg_max_iterations),
-                ),
-            ),
-            Interconnect::LogSumExp { gamma_rows } => {
-                Box::new(LseModel::new().with_gamma_rows(gamma_rows))
+        let deadline = match cfg.time_budget {
+            Some(s) if s <= 0.0 => {
+                return Err(PlaceError::TimedOut { budget_seconds: s });
             }
-            Interconnect::BetaRegularized { beta_rows2 } => {
-                Box::new(BetaRegModel::new().with_beta_rows2(beta_rows2))
-            }
-            Interconnect::PNorm { p } => Box::new(PNormModel::new().with_p(p)),
+            Some(s) => Some(t_global + Duration::from_secs_f64(s)),
+            None => None,
         };
+        let out_of_time = |deadline: Option<Instant>| {
+            deadline.is_some_and(|d| Instant::now() >= d)
+        };
+
+        // The CG tolerance is recovery-state: each divergence recovery
+        // tightens it (sloppier solves are a prime source of breakdowns),
+        // so the model is rebuilt from the current value.
+        let make_model = |cg_tol: f64| -> Box<dyn InterconnectModel> {
+            match cfg.interconnect {
+                Interconnect::Quadratic(net_model) => Box::new(
+                    QuadraticModel::new(net_model).with_solver(
+                        CgSolver::new()
+                            .with_tolerance(cg_tol)
+                            .with_max_iterations(cfg.cg_max_iterations),
+                    ),
+                ),
+                Interconnect::LogSumExp { gamma_rows } => {
+                    Box::new(LseModel::new().with_gamma_rows(gamma_rows))
+                }
+                Interconnect::BetaRegularized { beta_rows2 } => {
+                    Box::new(BetaRegModel::new().with_beta_rows2(beta_rows2))
+                }
+                Interconnect::PNorm { p } => Box::new(PNormModel::new().with_p(p)),
+            }
+        };
+        let mut cg_tol = cfg.cg_tolerance;
+        let mut model = make_model(cg_tol);
+        let mut armed = FaultArming::new(cfg.faults.as_ref());
         let projection = FeasibilityProjection {
             shred_macros: cfg.shred_macros,
             cells_per_bin: cfg.cells_per_bin,
@@ -132,10 +181,30 @@ impl ComplxPlacer {
         let crit = |i: usize| criticality.map_or(1.0, |c| c[i]);
 
         // Bootstrap: unconstrained quadratic placement (λ = 0). A few
-        // passes let the B2B linearization settle.
+        // passes let the B2B linearization settle. A breakdown here is
+        // fatal — no feasible iterate exists yet to degrade to.
         let mut lower = design.initial_placement();
         for _ in 0..3 {
-            model.minimize(design, &mut lower, None);
+            let stats = model.minimize(design, &mut lower, None);
+            if stats.breakdown {
+                return Err(PlaceError::SolverBreakdown {
+                    iteration: 0,
+                    detail: "CG breakdown in the λ = 0 bootstrap solve".into(),
+                });
+            }
+            if !placement_is_finite(design, &lower) {
+                return Err(PlaceError::SolverBreakdown {
+                    iteration: 0,
+                    detail: "non-finite iterate out of the λ = 0 bootstrap solve".into(),
+                });
+            }
+            if out_of_time(deadline) {
+                // No projection has run yet, so there is no feasible
+                // placement to exit gracefully with.
+                return Err(PlaceError::TimedOut {
+                    budget_seconds: cfg.time_budget.unwrap_or(0.0),
+                });
+            }
         }
 
         let mut trace = Trace::new();
@@ -162,6 +231,12 @@ impl ComplxPlacer {
         let mut converged = proj.overflow_before < cfg.overflow_tolerance;
         let mut iterations = 0;
         let mut final_lambda = 0.0;
+        let mut recoveries = 0usize;
+        // A run that never enters the λ loop — already feasible, or the
+        // bootstrap projection left nothing to optimize — is converged.
+        // Entering the loop flips this to IterationCap, which then stands
+        // only if no break fires before `max_iterations`.
+        let mut stop_reason = StopReason::Converged;
         // Best feasible iterate seen so far (SimPL's "upper-bound
         // placement"; Section 4 reads the result off a feasible iterate, so
         // keeping the best one means extra iterations never hurt).
@@ -178,10 +253,19 @@ impl ComplxPlacer {
             )
             .with_inverse_ratio(cfg.lambda_inverse_ratio);
 
+            stop_reason = StopReason::IterationCap;
             for k in 1..=cfg.max_iterations {
+                if out_of_time(deadline) {
+                    stop_reason = StopReason::TimeBudget;
+                    break;
+                }
                 iterations = k;
                 let lambda = schedule.lambda();
                 final_lambda = lambda;
+
+                // Snapshot for rollback: if this iteration faults, the
+                // recovery policy restores the last good iterates.
+                let lower_prev = lower.clone();
 
                 // Primal step: minimize Φ + λ‖·−(x°,y°)‖₁ (linearized).
                 let lambdas: Vec<f64> = (0..design.num_cells())
@@ -202,37 +286,85 @@ impl ComplxPlacer {
                     lambdas,
                     1.5 * design.row_height(),
                 );
-                model.minimize(design, &mut lower, Some(&anchors));
+                let mstats = model.minimize(design, &mut lower, Some(&anchors));
+
+                // Fault detection (injected faults flow through the same
+                // checks as real numerical failures).
+                if armed.take(k, FaultKind::NanGradient) {
+                    poison(&mut lower, design);
+                }
+                let cg_stall = armed.take(k, FaultKind::CgStall);
+                let mut fault: Option<String> = if mstats.breakdown || cg_stall {
+                    Some(if cg_stall {
+                        FaultKind::CgStall.describe().into()
+                    } else {
+                        "CG breakdown in primal solve".into()
+                    })
+                } else if !placement_is_finite(design, &lower) {
+                    Some("non-finite lower-bound iterate after primal step".into())
+                } else {
+                    None
+                };
 
                 // Dual step: project — with routability-driven inflation
                 // when configured (SimPLR-lite) — and optionally refine with
                 // the detailed placer (the "P_C += FastPlace-DP"
-                // configuration).
+                // configuration). Skipped when the primal step already
+                // faulted: projecting a poisoned iterate is meaningless.
                 let bins = cfg.grid.bins_at(k, adaptive);
-                proj = match &cfg.routability {
-                    Some(r) => {
-                        let cbins = if r.grid_bins == 0 { bins } else { r.grid_bins };
-                        let map = CongestionMap::build(design, &lower, cbins, cbins, r.supply);
-                        let factors =
-                            map.inflation_factors(design, &lower, r.alpha, r.max_inflation);
-                        projection.project_with_bins_inflated(
-                            design,
-                            &lower,
-                            bins,
-                            Some(&factors),
-                        )
+                if fault.is_none() {
+                    proj = match &cfg.routability {
+                        Some(r) => {
+                            let cbins = if r.grid_bins == 0 { bins } else { r.grid_bins };
+                            let map =
+                                CongestionMap::build(design, &lower, cbins, cbins, r.supply);
+                            let factors =
+                                map.inflation_factors(design, &lower, r.alpha, r.max_inflation);
+                            projection.project_with_bins_inflated(
+                                design,
+                                &lower,
+                                bins,
+                                Some(&factors),
+                            )
+                        }
+                        None => projection.project_with_bins(design, &lower, bins),
+                    };
+                    upper = proj.placement.clone();
+                    if armed.take(k, FaultKind::ProjectionStall) {
+                        poison(&mut upper, design);
                     }
-                    None => projection.project_with_bins(design, &lower, bins),
-                };
-                upper = proj.placement.clone();
-                if cfg.detail_each_iteration {
-                    let legalized = Legalizer::default().legalize(design, &upper);
-                    let refined = DetailedPlacer {
-                        max_passes: 1,
-                        ..DetailedPlacer::default()
+                    if !placement_is_finite(design, &upper) {
+                        fault = Some("non-finite feasible iterate after projection".into());
+                    } else if cfg.detail_each_iteration {
+                        let legalized = Legalizer::default().legalize(design, &upper);
+                        let refined = DetailedPlacer {
+                            max_passes: 1,
+                            ..DetailedPlacer::default()
+                        }
+                        .improve(design, legalized.placement);
+                        upper = refined.placement;
                     }
-                    .improve(design, legalized.placement);
-                    upper = refined.placement;
+                }
+
+                if let Some(detail) = fault {
+                    recoveries += 1;
+                    if recoveries > cfg.max_recoveries {
+                        return Err(PlaceError::Diverged {
+                            iteration: k,
+                            recoveries: recoveries - 1,
+                            best: Some(Box::new(best_upper)),
+                            detail,
+                        });
+                    }
+                    // Recovery policy: restore the last good iterates, back
+                    // λ off (an overgrown penalty is the usual culprit),
+                    // tighten the CG tolerance, and retry the iteration.
+                    lower = lower_prev;
+                    upper = best_upper.clone();
+                    schedule.scale(0.5);
+                    cg_tol = (cg_tol * 0.1).max(1e-12);
+                    model = make_model(cg_tol);
+                    continue;
                 }
 
                 let phi_lower = hpwl::weighted_hpwl(design, &lower);
@@ -270,9 +402,14 @@ impl ComplxPlacer {
                 // cannot improve the result that detailed placement uses.
                 if proj.overflow_before < cfg.overflow_tolerance
                     || (k >= 3 && rel_gap < cfg.gap_tolerance)
-                    || (k >= 10 && stale >= cfg.stagnation_window)
                 {
                     converged = true;
+                    stop_reason = StopReason::Converged;
+                    break;
+                }
+                if k >= 10 && stale >= cfg.stagnation_window {
+                    converged = true;
+                    stop_reason = StopReason::Stagnated;
                     break;
                 }
 
@@ -281,23 +418,32 @@ impl ComplxPlacer {
             }
         }
         let global_seconds = t_global.elapsed().as_secs_f64();
+        if recoveries > 0 {
+            stop_reason = StopReason::Recovered;
+        }
 
         // Final legalization + detailed placement on the best feasible
-        // iterate (Section 4).
+        // iterate (Section 4). Legalization always runs — the contract is a
+        // legal result even on a time-budget exit — but the detailed
+        // placement polish is skipped when the budget is already spent.
         let upper = best_upper;
         let t_detail = Instant::now();
         let legal = if cfg.final_detail {
             let legalized = Legalizer::default().legalize(design, &upper);
-            DetailedPlacer::default()
-                .improve(design, legalized.placement)
-                .placement
+            if out_of_time(deadline) {
+                legalized.placement
+            } else {
+                DetailedPlacer::default()
+                    .improve(design, legalized.placement)
+                    .placement
+            }
         } else {
             upper.clone()
         };
         let detail_seconds = t_detail.elapsed().as_secs_f64();
 
         let metrics = PlacementMetrics::measure(design, &legal);
-        PlacementOutcome {
+        Ok(PlacementOutcome {
             lower,
             upper,
             hpwl_legal: metrics.hpwl,
@@ -307,9 +453,79 @@ impl ComplxPlacer {
             iterations,
             final_lambda,
             converged,
+            stop_reason,
+            recoveries,
             global_seconds,
             detail_seconds,
+        })
+    }
+}
+
+/// Cheap structural validation: geometry must be finite and the design
+/// physically placeable. Runs once per [`ComplxPlacer::place`] call.
+fn validate_design(design: &Design) -> Result<(), PlaceError> {
+    let fail = |reason: String| Err(PlaceError::InvalidDesign { reason });
+    let core = design.core();
+    if ![core.lx, core.ly, core.hx, core.hy]
+        .iter()
+        .all(|v| v.is_finite())
+    {
+        return fail("core rectangle has non-finite coordinates".into());
+    }
+    if core.width() <= 0.0 || core.height() <= 0.0 {
+        return fail(format!(
+            "core rectangle is degenerate ({} × {})",
+            core.width(),
+            core.height()
+        ));
+    }
+    if !design.row_height().is_finite() || design.row_height() <= 0.0 {
+        return fail(format!(
+            "row height {} is not positive and finite",
+            design.row_height()
+        ));
+    }
+    let mut movable_area = 0.0;
+    for id in design.cell_ids() {
+        let c = design.cell(id);
+        if ![c.width(), c.height()].iter().all(|v| v.is_finite()) || c.width() < 0.0 || c.height() < 0.0 {
+            return fail(format!(
+                "cell `{}` has invalid dimensions {} × {}",
+                c.name(),
+                c.width(),
+                c.height()
+            ));
         }
+        if c.is_movable() {
+            movable_area += c.area();
+        } else {
+            let p = design.fixed_positions().position(id);
+            if !p.x.is_finite() || !p.y.is_finite() {
+                return fail(format!("fixed cell `{}` has a non-finite position", c.name()));
+            }
+        }
+    }
+    let capacity = core.width() * core.height();
+    if movable_area > capacity {
+        return fail(format!(
+            "movable area {movable_area:.1} exceeds core capacity {capacity:.1}"
+        ));
+    }
+    Ok(())
+}
+
+/// Whether every movable cell sits at finite coordinates.
+fn placement_is_finite(design: &Design, p: &Placement) -> bool {
+    design.movable_cells().iter().all(|&id| {
+        let pt = p.position(id);
+        pt.x.is_finite() && pt.y.is_finite()
+    })
+}
+
+/// Poisons one movable coordinate with NaN (fault injection only).
+fn poison(placement: &mut Placement, design: &Design) {
+    if let Some(&id) = design.movable_cells().first() {
+        placement.set_position(id, Point::new(f64::NAN, f64::NAN));
     }
 }
 
@@ -327,7 +543,7 @@ mod tests {
     #[test]
     fn placement_converges_and_is_legal() {
         let d = small(1);
-        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         assert!(out.converged, "did not converge in {} iters", out.iterations);
         assert!(is_legal(&d, &out.legal, 1e-6));
         assert!(out.hpwl_legal > 0.0);
@@ -337,7 +553,7 @@ mod tests {
     fn trace_shows_paper_trends() {
         // Figure 1: Π decreases, Φ (lower) increases, bounds stay ordered.
         let d = small(2);
-        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         let recs = out.trace.records();
         assert!(recs.len() >= 3);
         let first = recs[1]; // skip the λ=0 bootstrap record
@@ -363,7 +579,7 @@ mod tests {
     #[test]
     fn lambda_increases_monotonically() {
         let d = small(3);
-        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         let recs = out.trace.records();
         for w in recs.windows(2) {
             assert!(w[1].lambda >= w[0].lambda);
@@ -378,8 +594,8 @@ mod tests {
     #[test]
     fn placer_is_deterministic() {
         let d = small(4);
-        let a = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
-        let b = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let a = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
+        let b = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         assert_eq!(a.legal, b.legal);
         assert_eq!(a.iterations, b.iterations);
     }
@@ -396,7 +612,7 @@ mod tests {
                 .placement;
             complx_netlist::hpwl::hpwl(&d, &legal)
         };
-        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         assert!(
             out.hpwl_legal < naive,
             "placer {} vs naive {naive}",
@@ -407,7 +623,7 @@ mod tests {
     #[test]
     fn mixed_size_designs_place_and_legalize() {
         let d = GeneratorConfig::ispd2006_like("pm", 6, 600, 0.7).generate();
-        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         assert!(is_legal(&d, &out.legal, 1e-6));
         // Movable macros actually moved away from the center pile.
         let c = d.core().center();
@@ -469,7 +685,7 @@ mod tests {
         };
         let mut fast = PlacerConfig::fast();
         fast.final_detail = false; // detail moves are not region-aware yet
-        let out = ComplxPlacer::new(fast).place(&d);
+        let out = ComplxPlacer::new(fast).place(&d).unwrap();
         assert!(complx_spread::regions::regions_satisfied(&d, &out.upper));
     }
 
@@ -482,11 +698,11 @@ mod tests {
             max_iterations: 15,
             ..PlacerConfig::fast()
         };
-        let out = ComplxPlacer::new(cfg).place(&d);
+        let out = ComplxPlacer::new(cfg).place(&d).unwrap();
         assert!(is_legal(&d, &out.legal, 1e-6));
         // Must be in the same ballpark as the quadratic default (LSE with
         // few NLCG iterations is weaker; allow 2x).
-        let quad = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let quad = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         assert!(
             out.hpwl_legal < 2.0 * quad.hpwl_legal,
             "lse {} vs quadratic {}",
@@ -515,7 +731,7 @@ mod tests {
                 ..PlacerConfig::fast()
             },
         ] {
-            let out = ComplxPlacer::new(cfg).place(&d);
+            let out = ComplxPlacer::new(cfg).place(&d).unwrap();
             assert!(out.hpwl_legal > 0.0);
         }
     }

@@ -14,6 +14,7 @@ use complx_netlist::{Design, NetId};
 use complx_timing::{DelayModel, TimingGraph};
 
 use crate::config::PlacerConfig;
+use crate::error::PlaceError;
 use crate::placer::{ComplxPlacer, PlacementOutcome};
 
 /// Timing-driven placement flow: place → STA → boost criticalities and net
@@ -65,10 +66,14 @@ pub struct TimingDrivenOutcome {
 
 impl TimingDrivenPlacer {
     /// Runs the full flow on a design.
-    pub fn place(&self, design: &Design) -> TimingDrivenOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PlaceError`] from the underlying placement rounds.
+    pub fn place(&self, design: &Design) -> Result<TimingDrivenOutcome, PlaceError> {
         let mut working = design.clone();
         let mut criticality = vec![1.0f64; design.num_cells()];
-        let mut outcome = ComplxPlacer::new(self.placer.clone()).place(&working);
+        let mut outcome = ComplxPlacer::new(self.placer.clone()).place(&working)?;
         let mut delays = Vec::with_capacity(self.rounds + 1);
         let mut boosted: Vec<NetId> = Vec::new();
 
@@ -111,7 +116,7 @@ impl TimingDrivenPlacer {
                 .collect();
             working = complx_timing::scale_net_weights(&working, &factors);
             outcome = ComplxPlacer::new(self.placer.clone())
-                .place_with_criticality(&working, Some(&criticality));
+                .place_with_criticality(&working, Some(&criticality))?;
             let delay = graph
                 .analyze(design, &outcome.legal, &self.delay)
                 .critical_path_delay;
@@ -121,12 +126,12 @@ impl TimingDrivenPlacer {
             }
         }
 
-        TimingDrivenOutcome {
+        Ok(TimingDrivenOutcome {
             outcome: best.2,
             critical_delays: delays,
             best_delay: best.0,
             boosted_nets: boosted,
-        }
+        })
     }
 }
 
@@ -143,7 +148,7 @@ mod tests {
             rounds: 1,
             ..TimingDrivenPlacer::default()
         };
-        let res = flow.place(&d);
+        let res = flow.place(&d).unwrap();
         assert_eq!(res.critical_delays.len(), 2);
         assert!(res.critical_delays.iter().all(|&t| t.is_finite() && t > 0.0));
         assert!(res.outcome.hpwl_legal > 0.0);
@@ -154,7 +159,7 @@ mod tests {
         // The §S6 claim: large weights on a few nets shrink those paths
         // while total HPWL stays put.
         let d = GeneratorConfig::small("td2", 82).generate();
-        let base = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+        let base = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
         let graph = TimingGraph::new(&d);
         let model = DelayModel::default();
         let path = graph.critical_path(&d, &base.legal, &model);
@@ -169,7 +174,7 @@ mod tests {
         };
         let before = path_len(&base.legal);
         let boosted_design = complx_timing::reweight_nets(&d, &nets, 20.0);
-        let boosted = ComplxPlacer::new(PlacerConfig::fast()).place(&boosted_design);
+        let boosted = ComplxPlacer::new(PlacerConfig::fast()).place(&boosted_design).unwrap();
         let after = path_len(&boosted.legal);
         assert!(
             after < before * 1.02,

@@ -100,3 +100,79 @@ fn simpl_and_lse_modes_run() {
     }
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+#[test]
+fn exhausted_time_budget_is_a_structured_one_line_error() {
+    let dir = temp_dir("budget");
+    let design = GeneratorConfig::small("cli_tb", 8).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+    // A microsecond budget expires during bootstrap, before any feasible
+    // iterate exists, so the run must fail with the timed-out error.
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["--max-seconds", "0.000001", "-q"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(6), "timed-out exit code");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("complx: error["))
+        .unwrap_or_else(|| panic!("no structured error line in: {stderr}"));
+    assert!(line.contains("error[timed-out]"), "{line}");
+    // Structured line, not a panic backtrace.
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn invalid_design_is_a_structured_error_with_exit_code_3() {
+    let dir = temp_dir("invalid");
+    // Parses fine, but the movable cell is larger than the whole core, so
+    // design validation must reject it before any numerics run.
+    std::fs::write(
+        dir.join("x.aux"),
+        "RowBasedPlacement : x.nodes x.nets x.pl x.scl\n",
+    )
+    .expect("aux");
+    std::fs::write(
+        dir.join("x.nodes"),
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na 100 100\nb 2 1\n",
+    )
+    .expect("nodes");
+    std::fs::write(
+        dir.join("x.nets"),
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na B\nb I\n",
+    )
+    .expect("nets");
+    std::fs::write(dir.join("x.pl"), "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\n")
+        .expect("pl");
+    std::fs::write(
+        dir.join("x.scl"),
+        "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 1\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n",
+    )
+    .expect("scl");
+
+    let output = Command::new(complx_bin())
+        .arg(dir.join("x.aux"))
+        .arg("-q")
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(3), "invalid-design exit code");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error[invalid-design]"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn nonpositive_max_seconds_is_a_usage_error() {
+    let output = Command::new(complx_bin())
+        .args(["in.aux", "--max-seconds", "-5"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--max-seconds"), "{stderr}");
+}

@@ -1,0 +1,115 @@
+//! Property test for the fault-tolerant solve pipeline: `place()` on
+//! randomly generated tiny designs must never panic — every run either
+//! converges to a placement with finite coordinates or reports a
+//! structured [`PlaceError`].
+
+use complx_netlist::{CellKind, Design, DesignBuilder, Point, Rect};
+use complx_place::{ComplxPlacer, PlacerConfig};
+use proptest::prelude::*;
+
+/// A declarative description of a random tiny design, sampled by the
+/// strategy below and turned into a [`Design`] by [`build_design`].
+#[derive(Debug, Clone)]
+struct TinyDesign {
+    core_w: f64,
+    core_h: f64,
+    cell_widths: Vec<f64>,
+    with_fixed: bool,
+    net_picks: Vec<(usize, usize, usize)>,
+}
+
+fn tiny_design() -> impl Strategy<Value = TinyDesign> {
+    (
+        12.0f64..40.0,
+        4.0f64..12.0,
+        collection::vec(0.5f64..2.5, 2..=8),
+        0u8..2,
+        collection::vec((0usize..100, 0usize..100, 0usize..100), 1..=6),
+    )
+        .prop_map(|(core_w, core_h, cell_widths, fixed, net_picks)| TinyDesign {
+            core_w,
+            core_h,
+            cell_widths,
+            with_fixed: fixed == 1,
+            net_picks,
+        })
+}
+
+fn build_design(t: &TinyDesign) -> Design {
+    let core = Rect::new(0.0, 0.0, t.core_w, t.core_h);
+    let mut b = DesignBuilder::new("prop", core, 1.0);
+    let mut ids = Vec::new();
+    for (i, &w) in t.cell_widths.iter().enumerate() {
+        let id = b
+            .add_cell(format!("c{i}"), w, 1.0, CellKind::Movable)
+            .expect("movable cell");
+        ids.push(id);
+    }
+    if t.with_fixed {
+        let id = b
+            .add_fixed_cell(
+                "pad",
+                1.0,
+                1.0,
+                CellKind::Fixed,
+                Point::new(0.5, 0.5),
+            )
+            .expect("fixed cell");
+        ids.push(id);
+    }
+    // Each pick selects two or three distinct cells for a net; picks that
+    // collapse to fewer than two distinct cells are dropped (a one-pin net
+    // is not constructible through the builder by design).
+    let mut nets = 0usize;
+    for (k, &(a, bi, c)) in t.net_picks.iter().enumerate() {
+        let n = ids.len();
+        let (a, bi, c) = (a % n, bi % n, c % n);
+        let mut pins = vec![(ids[a], 0.0, 0.0)];
+        if bi != a {
+            pins.push((ids[bi], 0.0, 0.0));
+        }
+        if c != a && c != bi {
+            pins.push((ids[c], 0.0, 0.0));
+        }
+        if pins.len() >= 2 {
+            b.add_net(format!("n{k}"), 1.0, pins).expect("net");
+            nets += 1;
+        }
+    }
+    if nets == 0 {
+        // Guarantee at least one net so the quadratic model is non-trivial.
+        b.add_net("n_fallback", 1.0, vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)])
+            .expect("fallback net");
+    }
+    b.build().expect("design builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn place_never_panics_and_yields_finite_coordinates(t in tiny_design()) {
+        let design = build_design(&t);
+        let mut cfg = PlacerConfig::fast();
+        cfg.max_iterations = 8;
+        match ComplxPlacer::new(cfg).place(&design) {
+            Ok(out) => {
+                for id in design.cell_ids() {
+                    let legal = out.legal.position(id);
+                    let upper = out.upper.position(id);
+                    prop_assert!(legal.x.is_finite() && legal.y.is_finite(),
+                        "non-finite legal position for cell {id:?}");
+                    prop_assert!(upper.x.is_finite() && upper.y.is_finite(),
+                        "non-finite upper-bound position for cell {id:?}");
+                }
+                prop_assert!(out.hpwl_legal.is_finite() && out.hpwl_legal >= 0.0);
+            }
+            Err(e) => {
+                // A structured error is an acceptable outcome for a
+                // degenerate random design; a panic is not. The message
+                // must be one line (the CLI prints it verbatim).
+                let msg = e.to_string();
+                prop_assert!(!msg.is_empty() && !msg.contains('\n'), "{msg}");
+            }
+        }
+    }
+}

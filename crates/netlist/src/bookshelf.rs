@@ -332,12 +332,19 @@ fn parse_scl(text: &str, file: &Path) -> Result<(Rect, f64), BookshelfError> {
                      sites: &mut Option<f64>,
                      site_width: f64| {
         if let (Some(y), Some(h), Some(x0), Some(n)) = (*coord, *height, *origin, *sites) {
-            lx = lx.min(x0);
-            hx = hx.max(x0 + n * site_width);
-            ly = ly.min(y);
-            hy = hy.max(y + h);
-            row_height = h;
-            any_row = true;
+            // A row with no sites or no height spans nothing; folding it into
+            // the core rect would create a degenerate (or wrongly inflated)
+            // core, so empty rows are skipped. If every row is empty the
+            // no-rows error below fires.
+            let usable = [y, h, x0, n].iter().all(|v| v.is_finite()) && h > 0.0 && n > 0.0;
+            if usable {
+                lx = lx.min(x0);
+                hx = hx.max(x0 + n * site_width);
+                ly = ly.min(y);
+                hy = hy.max(y + h);
+                row_height = h;
+                any_row = true;
+            }
         }
         *coord = None;
         *height = None;
@@ -386,7 +393,7 @@ fn parse_scl(text: &str, file: &Path) -> Result<(Rect, f64), BookshelfError> {
     flush(&mut coord, &mut height, &mut origin, &mut sites, site_width);
 
     if !any_row {
-        return Err(parse_err(file, 0, "scl file contains no rows"));
+        return Err(parse_err(file, 0, "scl file contains no usable rows"));
     }
     Ok((Rect::new(lx, ly, hx, hy), row_height))
 }

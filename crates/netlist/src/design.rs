@@ -265,8 +265,9 @@ impl DesignBuilder {
     ///
     /// # Errors
     ///
-    /// Returns an error for duplicate names, non-positive dimensions, or a
-    /// movable `kind`.
+    /// Returns an error for duplicate names, negative or non-finite
+    /// dimensions, or a movable `kind`. Zero-area fixed cells are accepted:
+    /// Bookshelf pad terminals are commonly 0 × 0.
     pub fn add_fixed_cell(
         &mut self,
         name: impl Into<String>,
@@ -291,7 +292,16 @@ impl DesignBuilder {
         kind: CellKind,
         pos: Point,
     ) -> Result<CellId, DesignError> {
-        if width <= 0.0 || height <= 0.0 {
+        // Movable cells must have positive area (they participate in density
+        // and legalization); fixed cells and terminals may be zero-area —
+        // Bookshelf pads frequently are. Non-finite dimensions are never
+        // acceptable: NaN would silently poison every downstream area sum.
+        let invalid = if kind.is_movable() {
+            width <= 0.0 || height <= 0.0
+        } else {
+            width < 0.0 || height < 0.0
+        };
+        if invalid || !width.is_finite() || !height.is_finite() {
             return Err(DesignError::InvalidDimensions { name, width, height });
         }
         if self.names.contains_key(&name) {

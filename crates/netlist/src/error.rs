@@ -9,7 +9,8 @@ use std::fmt;
 pub enum DesignError {
     /// A cell name was added twice.
     DuplicateCell(String),
-    /// A cell has non-positive width or height.
+    /// A cell has unusable dimensions: non-positive for a movable cell,
+    /// negative or non-finite for any cell.
     InvalidDimensions {
         /// Cell name.
         name: String,

@@ -150,7 +150,7 @@ impl GeneratorConfig {
         let dim_cap = (0.25 * prelim_side).max(2.0 * rh);
         let fix_macro_dims: Vec<(f64, f64)> = (0..self.num_fixed_macros)
             .map(|_| {
-                let w = (rng.random_range(8.0..40.0) * rh / 2.0).min(dim_cap);
+                let w = (rng.random_range(8.0f64..40.0) * rh / 2.0).min(dim_cap);
                 let h = ((rng.random_range(6u32..24) as f64) * rh).min(dim_cap);
                 (w, h)
             })

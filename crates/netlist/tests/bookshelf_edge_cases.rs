@@ -176,3 +176,123 @@ fn wts_file_optional_and_weights_applied() {
     assert!(weights.contains(&("cold".to_string(), 1.0)));
     fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// Writes a fully custom bundle for degenerate-input tests.
+fn write_custom(dir: &std::path::Path, nodes: &str, nets: &str, pl: &str, scl: &str) {
+    fs::write(
+        dir.join("x.aux"),
+        "RowBasedPlacement : x.nodes x.nets x.pl x.scl\n",
+    )
+    .expect("write aux");
+    fs::write(dir.join("x.nodes"), nodes).expect("write nodes");
+    fs::write(dir.join("x.nets"), nets).expect("write nets");
+    fs::write(dir.join("x.pl"), pl).expect("write pl");
+    fs::write(dir.join("x.scl"), scl).expect("write scl");
+}
+
+const SCL_ONE_ROW: &str = "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 1\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n";
+
+#[test]
+fn zero_area_terminal_is_accepted() {
+    // Bookshelf pad terminals are commonly declared 0x0; they must parse.
+    let dir = tmp("zeroterm");
+    write_custom(
+        &dir,
+        "UCLA nodes 1.0\nNumNodes : 3\nNumTerminals : 1\na 2 1\nb 2 1\npad 0 0 terminal\n",
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 3\nNetDegree : 3 n0\na B\nb I\npad O\n",
+        "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\npad 0 5 : N /FIXED\n",
+        SCL_ONE_ROW,
+    );
+    let bundle = bookshelf::read_aux(dir.join("x.aux")).expect("zero-area terminal parses");
+    assert_eq!(bundle.design.num_cells(), 3);
+    let pad = bundle
+        .design
+        .cell_ids()
+        .find(|&id| bundle.design.cell(id).name() == "pad")
+        .expect("pad present");
+    assert_eq!(bundle.design.cell(pad).kind(), CellKind::Fixed);
+    assert_eq!(bundle.design.cell(pad).area(), 0.0);
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn zero_area_movable_node_is_structured_error() {
+    let dir = tmp("zeromov");
+    write_custom(
+        &dir,
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na 0 1\nb 2 1\n",
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na B\nb I\n",
+        "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\n",
+        SCL_ONE_ROW,
+    );
+    let err = bookshelf::read_aux(dir.join("x.aux")).expect_err("zero-area movable rejected");
+    let msg = err.to_string();
+    assert!(msg.contains('a') && msg.contains("dimensions"), "{msg}");
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn nan_node_dimensions_are_structured_error() {
+    let dir = tmp("nandims");
+    write_custom(
+        &dir,
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na NaN 1\nb 2 1\n",
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na B\nb I\n",
+        "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\n",
+        SCL_ONE_ROW,
+    );
+    // `NaN` parses as a float, so the builder (not the tokenizer) must
+    // reject it.
+    let err = bookshelf::read_aux(dir.join("x.aux")).expect_err("NaN dims rejected");
+    assert!(err.to_string().contains("dimensions"), "{err}");
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn all_fixed_design_parses_with_zero_movable_cells() {
+    let dir = tmp("allfixed");
+    write_custom(
+        &dir,
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 2\na 2 1 terminal\nb 2 1 terminal\n",
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na B\nb I\n",
+        "UCLA pl 1.0\na 0 0 : N /FIXED\nb 5 0 : N /FIXED\n",
+        SCL_ONE_ROW,
+    );
+    let bundle = bookshelf::read_aux(dir.join("x.aux")).expect("all-fixed design parses");
+    assert_eq!(bundle.design.num_cells(), 2);
+    assert!(bundle.design.movable_cells().is_empty());
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn scl_with_no_rows_is_structured_error() {
+    let dir = tmp("norows");
+    write_custom(
+        &dir,
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na 2 1\nb 2 1\n",
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na B\nb I\n",
+        "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\n",
+        "UCLA scl 1.0\nNumRows : 0\n",
+    );
+    let err = bookshelf::read_aux(dir.join("x.aux")).expect_err("empty scl rejected");
+    assert!(err.to_string().contains("rows"), "{err}");
+    fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn empty_rows_are_skipped_not_folded_into_core() {
+    // A zero-site row must not stretch or collapse the core rectangle.
+    let dir = tmp("emptyrow");
+    let scl = "UCLA scl 1.0\nNumRows : 2\nCoreRow Horizontal\n Coordinate : 0\n Height : 1\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\nCoreRow Horizontal\n Coordinate : 50\n Height : 0\n Sitewidth : 1\n SubrowOrigin : -100 NumSites : 0\nEnd\n";
+    write_custom(
+        &dir,
+        "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 0\na 2 1\nb 2 1\n",
+        "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na B\nb I\n",
+        "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\n",
+        scl,
+    );
+    let bundle = bookshelf::read_aux(dir.join("x.aux")).expect("parses despite empty row");
+    let core = bundle.design.core();
+    assert_eq!((core.lx, core.ly, core.hx, core.hy), (0.0, 0.0, 10.0, 1.0));
+    fs::remove_dir_all(&dir).expect("cleanup");
+}

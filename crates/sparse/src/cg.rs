@@ -3,6 +3,27 @@
 use crate::csr::CsrMatrix;
 use crate::vector::{axpy, dot, norm2, xpby};
 
+/// How a CG solve broke down, when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CgBreakdown {
+    /// `p·Ap ≤ 0`: the matrix is not SPD along the search direction (or
+    /// round-off destroyed positivity). The last accepted iterate is kept.
+    IndefiniteDirection,
+    /// The residual, right-hand side, or an intermediate product became
+    /// non-finite. The solution is rolled back to the last finite iterate.
+    NonFinite,
+}
+
+impl std::fmt::Display for CgBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CgBreakdown::IndefiniteDirection => f.write_str("p·Ap ≤ 0 (matrix not SPD)"),
+            CgBreakdown::NonFinite => f.write_str("non-finite residual"),
+        }
+    }
+}
+
 /// Convergence report returned by [`CgSolver::solve`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveStats {
@@ -12,6 +33,13 @@ pub struct SolveStats {
     pub relative_residual: f64,
     /// Whether the tolerance was reached within the iteration budget.
     pub converged: bool,
+    /// Set when the solve broke down; the returned `x` is then the last
+    /// finite iterate instead of NaN garbage.
+    pub breakdown: Option<CgBreakdown>,
+    /// Number of non-positive diagonal entries the Jacobi preconditioner
+    /// had to clamp (an SPD placement system has none; a non-zero count is
+    /// a red flag the caller can act on).
+    pub clamped_diagonals: usize,
 }
 
 /// A Jacobi-preconditioned Conjugate Gradient solver for SPD systems.
@@ -82,31 +110,46 @@ impl CgSolver {
     /// Solves `A·x = b`, using the incoming `x` as warm start.
     ///
     /// `A` must be symmetric positive-definite for convergence guarantees;
-    /// this is not checked (it would cost more than the solve).
+    /// this is not checked (it would cost more than the solve). Breakdown —
+    /// an indefinite search direction (`p·Ap ≤ 0`) or a non-finite residual
+    /// — is *detected* and reported in [`SolveStats::breakdown`] rather
+    /// than propagated: on return `x` always holds the last finite iterate,
+    /// never NaN. Non-positive Jacobi diagonal entries are clamped to an
+    /// identity preconditioner row and counted in
+    /// [`SolveStats::clamped_diagonals`].
     ///
     /// # Panics
     ///
-    /// Panics if `b` or `x` have length different from `a.dim()`, or if any
-    /// diagonal entry of `A` is non-positive (the Jacobi preconditioner
-    /// requires a strictly positive diagonal).
+    /// Panics if `b` or `x` have length different from `a.dim()`.
     pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> SolveStats {
         let n = a.dim();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
+        let done = |iterations, relative_residual, converged, breakdown, clamped| SolveStats {
+            iterations,
+            relative_residual,
+            converged,
+            breakdown,
+            clamped_diagonals: clamped,
+        };
         if n == 0 {
-            return SolveStats {
-                iterations: 0,
-                relative_residual: 0.0,
-                converged: true,
-            };
+            return done(0, 0.0, true, None, 0);
         }
 
+        // Jacobi preconditioner with a guard: a structurally-zero or
+        // negative diagonal (singular/indefinite row) falls back to the
+        // identity on that row instead of dividing by zero.
         let diag = a.diagonal();
+        let mut clamped = 0usize;
         let inv_diag: Vec<f64> = diag
             .iter()
             .map(|&d| {
-                assert!(d > 0.0, "Jacobi preconditioner needs positive diagonal");
-                1.0 / d
+                if d > f64::MIN_POSITIVE && d.is_finite() {
+                    1.0 / d
+                } else {
+                    clamped += 1;
+                    1.0
+                }
             })
             .collect();
 
@@ -119,11 +162,19 @@ impl CgSolver {
         let b_norm = norm2(b);
         if b_norm == 0.0 {
             x.fill(0.0);
-            return SolveStats {
-                iterations: 0,
-                relative_residual: 0.0,
-                converged: true,
-            };
+            return done(0, 0.0, true, None, clamped);
+        }
+        if !b_norm.is_finite() {
+            // Garbage right-hand side: nothing sensible can be solved.
+            // Leave x untouched if finite, otherwise zero it.
+            if x.iter().any(|v| !v.is_finite()) {
+                x.fill(0.0);
+            }
+            return done(0, f64::INFINITY, false, Some(CgBreakdown::NonFinite), clamped);
+        }
+        // A poisoned warm start would contaminate the residual; restart cold.
+        if x.iter().any(|v| !v.is_finite()) {
+            x.fill(0.0);
         }
 
         // r = b − A·x
@@ -132,22 +183,37 @@ impl CgSolver {
         for i in 0..n {
             r[i] = b[i] - r[i];
         }
+        let mut res = norm2(&r) / b_norm;
+        if !res.is_finite() {
+            // The matrix itself contains non-finite entries (A·x broke even
+            // though x was finite). Report rather than iterate on garbage.
+            return done(0, f64::INFINITY, false, Some(CgBreakdown::NonFinite), clamped);
+        }
 
         // z = M⁻¹ r ; p = z
         let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(ri, di)| ri * di).collect();
         let mut p = z.clone();
         let mut rz = dot(&r, &z);
         let mut ap = vec![0.0; n];
+        // Snapshot for rollback when an iteration turns non-finite.
+        let mut x_prev = x.to_vec();
 
         let mut iterations = 0;
-        let mut res = norm2(&r) / b_norm;
+        let mut breakdown = None;
         while res > self.tolerance && iterations < max_iter {
             a.mul_vec(&p, &mut ap);
             let pap = dot(&p, &ap);
-            if pap <= 0.0 {
-                // Matrix is not SPD along p (or we hit round-off); bail out.
+            if !pap.is_finite() {
+                breakdown = Some(CgBreakdown::NonFinite);
                 break;
             }
+            if pap <= 0.0 {
+                // Matrix is not SPD along p (or round-off destroyed
+                // positivity); x still holds the last accepted iterate.
+                breakdown = Some(CgBreakdown::IndefiniteDirection);
+                break;
+            }
+            x_prev.copy_from_slice(x);
             let alpha = rz / pap;
             axpy(alpha, &p, x);
             axpy(-alpha, &ap, &mut r);
@@ -159,14 +225,23 @@ impl CgSolver {
             rz = rz_new;
             xpby(&z, beta, &mut p);
             iterations += 1;
-            res = norm2(&r) / b_norm;
+            let res_new = norm2(&r) / b_norm;
+            if !res_new.is_finite() || !rz_new.is_finite() {
+                // Roll back to the last finite iterate and stop.
+                x.copy_from_slice(&x_prev);
+                breakdown = Some(CgBreakdown::NonFinite);
+                break;
+            }
+            res = res_new;
         }
 
-        SolveStats {
+        done(
             iterations,
-            relative_residual: res,
-            converged: res <= self.tolerance,
-        }
+            res,
+            breakdown.is_none() && res <= self.tolerance,
+            breakdown,
+            clamped,
+        )
     }
 }
 
@@ -264,13 +339,66 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive diagonal")]
-    fn zero_diagonal_panics() {
+    fn singular_diagonal_is_clamped_not_fatal() {
         let mut t = TripletMatrix::new(2);
         t.add(0, 0, 1.0);
-        // (1,1) left structurally zero.
+        // (1,1) left structurally zero: the Jacobi preconditioner would
+        // divide by zero without the clamp.
         let a = t.to_csr();
         let mut x = vec![0.0; 2];
-        CgSolver::new().solve(&a, &[1.0, 1.0], &mut x);
+        let stats = CgSolver::new().solve(&a, &[1.0, 1.0], &mut x);
+        assert_eq!(stats.clamped_diagonals, 1);
+        assert!(x.iter().all(|v| v.is_finite()), "x stays finite: {x:?}");
+        // The system is singular, so the solve cannot truly converge; it
+        // must report that rather than emit NaN.
+        assert!(stats.breakdown.is_some() || !stats.converged);
+    }
+
+    #[test]
+    fn indefinite_matrix_reports_breakdown() {
+        let mut t = TripletMatrix::new(2);
+        t.add(0, 0, 1.0);
+        t.add(1, 1, -1.0); // negative diagonal → not SPD
+        let a = t.to_csr();
+        let mut x = vec![0.0; 2];
+        let stats = CgSolver::new().solve(&a, &[1.0, 1.0], &mut x);
+        assert!(!stats.converged);
+        assert!(
+            matches!(
+                stats.breakdown,
+                Some(CgBreakdown::IndefiniteDirection) | Some(CgBreakdown::NonFinite)
+            ),
+            "stats: {stats:?}"
+        );
+        assert_eq!(stats.clamped_diagonals, 1);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nonfinite_rhs_reports_breakdown_and_keeps_x_finite() {
+        let a = poisson(4);
+        let mut x = vec![f64::NAN; 4];
+        let stats = CgSolver::new().solve(&a, &[1.0, f64::NAN, 1.0, 1.0], &mut x);
+        assert!(!stats.converged);
+        assert_eq!(stats.breakdown, Some(CgBreakdown::NonFinite));
+        assert!(x.iter().all(|v| v.is_finite()), "x sanitized: {x:?}");
+    }
+
+    #[test]
+    fn nonfinite_warm_start_is_restarted_cold() {
+        let n = 20;
+        let a = poisson(n);
+        let b = vec![1.0; n];
+        let mut x = vec![f64::INFINITY; n];
+        let stats = CgSolver::new().with_tolerance(1e-10).solve(&a, &b, &mut x);
+        assert!(stats.converged, "stats: {stats:?}");
+        assert!(stats.breakdown.is_none());
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn breakdown_display_names_the_mode() {
+        assert!(CgBreakdown::IndefiniteDirection.to_string().contains("SPD"));
+        assert!(CgBreakdown::NonFinite.to_string().contains("non-finite"));
     }
 }

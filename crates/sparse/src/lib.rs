@@ -43,6 +43,6 @@ mod csr;
 mod triplet;
 pub mod vector;
 
-pub use cg::{CgSolver, SolveStats};
+pub use cg::{CgBreakdown, CgSolver, SolveStats};
 pub use csr::CsrMatrix;
 pub use triplet::TripletMatrix;

@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn projection_is_idempotent_when_feasible() {
-        let d = GeneratorConfig::small("idem", 2).generate();
+        let d = GeneratorConfig::small("idem", 3).generate();
         let p = d.initial_placement();
         let proj = FeasibilityProjection::default();
         let once = proj.project(&d, &p);

@@ -284,6 +284,7 @@ impl InterconnectModel for BetaRegModel {
             iterations_x: iters[0],
             iterations_y: iters[1],
             converged: true,
+            breakdown: false,
         }
     }
 }

@@ -286,6 +286,7 @@ impl InterconnectModel for LseModel {
             iterations_x: iters[0],
             iterations_y: iters[1],
             converged: true,
+            breakdown: false,
         }
     }
 }

@@ -13,6 +13,11 @@ pub struct MinimizeStats {
     pub iterations_y: usize,
     /// Whether both axis solves converged to tolerance.
     pub converged: bool,
+    /// Whether either axis solve suffered a numerical breakdown (indefinite
+    /// direction or non-finite residual). The written placement is still the
+    /// solver's last finite iterate, but callers should treat the step as
+    /// failed and engage recovery.
+    pub breakdown: bool,
 }
 
 /// A convex, differentiable approximation `Φ` of weighted HPWL that can be

@@ -295,6 +295,7 @@ impl InterconnectModel for PNormModel {
             iterations_x: iters[0],
             iterations_y: iters[1],
             converged: true,
+            breakdown: false,
         }
     }
 }

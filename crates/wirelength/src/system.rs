@@ -123,7 +123,7 @@ impl QuadraticModel {
         placement: &Placement,
         anchors: Option<&Anchors>,
         axis: Axis,
-    ) -> (Vec<f64>, usize, bool) {
+    ) -> (Vec<f64>, usize, bool, bool) {
         let n_cells = index.num_vars();
 
         // Count star variables first so the matrix dimension is known.
@@ -259,7 +259,7 @@ impl QuadraticModel {
 
         let stats = self.solver.solve(&a_mat, &rhs, &mut x);
         x.truncate(n_cells);
-        (x, stats.iterations, stats.converged)
+        (x, stats.iterations, stats.converged, stats.breakdown.is_some())
     }
 }
 
@@ -286,8 +286,8 @@ impl InterconnectModel for QuadraticModel {
         anchors: Option<&Anchors>,
     ) -> MinimizeStats {
         let index = VarIndex::new(design);
-        let (xs, it_x, ok_x) = self.solve_axis(design, &index, placement, anchors, Axis::X);
-        let (ys, it_y, ok_y) = self.solve_axis(design, &index, placement, anchors, Axis::Y);
+        let (xs, it_x, ok_x, bd_x) = self.solve_axis(design, &index, placement, anchors, Axis::X);
+        let (ys, it_y, ok_y, bd_y) = self.solve_axis(design, &index, placement, anchors, Axis::Y);
         let core = design.core();
         for v in 0..index.num_vars() {
             let cell = index.cell(v);
@@ -304,6 +304,7 @@ impl InterconnectModel for QuadraticModel {
             iterations_x: it_x,
             iterations_y: it_y,
             converged: ok_x && ok_y,
+            breakdown: bd_x || bd_y,
         }
     }
 }

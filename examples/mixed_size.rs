@@ -26,7 +26,7 @@ fn main() {
         design.target_density()
     );
 
-    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
     println!(
         "placed in {} iterations; legal {}",
         outcome.iterations, outcome.metrics
@@ -56,7 +56,7 @@ fn main() {
         per_macro_lambda: false,
         ..PlacerConfig::default()
     })
-    .place(&design);
+    .place(&design).expect("placement failed");
     println!(
         "\nwith shredding + per-macro λ: {:.4e}\nwithout (macros spread as ordinary cells): {:.4e}",
         outcome.metrics.scaled_hpwl, plain.metrics.scaled_hpwl

@@ -15,7 +15,7 @@ fn main() {
     println!("design `{}`:\n{}\n", design.name(), DesignStats::for_design(&design));
 
     // 2. Place it with the default ComPLx configuration.
-    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
 
     // 3. Results: quality metrics, convergence info, and the trace that
     //    Figure 1 of the paper plots.

@@ -71,7 +71,7 @@ fn main() {
         final_detail: false, // the detail pass is not region-aware
         ..PlacerConfig::default()
     };
-    let outcome = ComplxPlacer::new(cfg).place(&design);
+    let outcome = ComplxPlacer::new(cfg).place(&design).expect("placement failed");
 
     println!(
         "region `clk_domain` covers {:.0}% of the core and holds {} cells",

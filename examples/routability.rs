@@ -25,7 +25,7 @@ fn main() {
     );
 
     // Wirelength-driven reference run.
-    let wl = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    let wl = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
 
     // Pick a supply that makes the reference placement mildly congested,
     // then re-place with inflation.
@@ -41,7 +41,7 @@ fn main() {
         }),
         ..PlacerConfig::default()
     })
-    .place(&design);
+    .place(&design).expect("placement failed");
 
     let peak = |p: &complx_netlist::Placement| {
         CongestionMap::build(&design, p, bins, bins, supply).max_congestion()

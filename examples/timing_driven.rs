@@ -29,7 +29,7 @@ fn main() {
         net_weight_boost: 4.0,
         critical_fraction: 0.1,
     };
-    let result = flow.place(&design);
+    let result = flow.place(&design).expect("placement failed");
 
     println!("\ncritical path delay per round:");
     for (round, delay) in result.critical_delays.iter().enumerate() {

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo health gate: build, full test suite, and an unwrap ban on the
+# library code of the solver-critical crates. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy: no unwrap in core/sparse library code =="
+cargo clippy -q -p complx-place -p complx-sparse --lib -- -D clippy::unwrap_used
+
+echo "All checks passed."

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grid-3b3655e73a778579.d: crates/bench/src/bin/ablation_grid.rs
+
+/root/repo/target/debug/deps/ablation_grid-3b3655e73a778579: crates/bench/src/bin/ablation_grid.rs
+
+crates/bench/src/bin/ablation_grid.rs:

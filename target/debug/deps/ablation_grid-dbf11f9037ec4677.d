@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_grid-dbf11f9037ec4677.d: crates/bench/src/bin/ablation_grid.rs
+
+/root/repo/target/debug/deps/ablation_grid-dbf11f9037ec4677: crates/bench/src/bin/ablation_grid.rs
+
+crates/bench/src/bin/ablation_grid.rs:

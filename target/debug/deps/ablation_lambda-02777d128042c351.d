@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lambda-02777d128042c351.d: crates/bench/src/bin/ablation_lambda.rs
+
+/root/repo/target/debug/deps/ablation_lambda-02777d128042c351: crates/bench/src/bin/ablation_lambda.rs
+
+crates/bench/src/bin/ablation_lambda.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lambda-8ed37eaddcc4f80e.d: crates/bench/src/bin/ablation_lambda.rs
+
+/root/repo/target/debug/deps/ablation_lambda-8ed37eaddcc4f80e: crates/bench/src/bin/ablation_lambda.rs
+
+crates/bench/src/bin/ablation_lambda.rs:

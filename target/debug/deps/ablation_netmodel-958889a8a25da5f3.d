@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_netmodel-958889a8a25da5f3.d: crates/bench/src/bin/ablation_netmodel.rs
+
+/root/repo/target/debug/deps/ablation_netmodel-958889a8a25da5f3: crates/bench/src/bin/ablation_netmodel.rs
+
+crates/bench/src/bin/ablation_netmodel.rs:

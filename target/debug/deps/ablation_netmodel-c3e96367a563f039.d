@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_netmodel-c3e96367a563f039.d: crates/bench/src/bin/ablation_netmodel.rs
+
+/root/repo/target/debug/deps/ablation_netmodel-c3e96367a563f039: crates/bench/src/bin/ablation_netmodel.rs
+
+crates/bench/src/bin/ablation_netmodel.rs:

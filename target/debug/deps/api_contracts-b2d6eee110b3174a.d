@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/api_contracts-b2d6eee110b3174a.d: tests/api_contracts.rs
+
+/root/repo/target/debug/deps/api_contracts-b2d6eee110b3174a: tests/api_contracts.rs
+
+tests/api_contracts.rs:

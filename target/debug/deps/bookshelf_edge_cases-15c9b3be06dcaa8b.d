@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bookshelf_edge_cases-15c9b3be06dcaa8b.d: crates/netlist/tests/bookshelf_edge_cases.rs
+
+/root/repo/target/debug/deps/bookshelf_edge_cases-15c9b3be06dcaa8b: crates/netlist/tests/bookshelf_edge_cases.rs
+
+crates/netlist/tests/bookshelf_edge_cases.rs:

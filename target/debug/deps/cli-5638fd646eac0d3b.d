@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-5638fd646eac0d3b.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-5638fd646eac0d3b: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_complx=/root/repo/target/debug/complx

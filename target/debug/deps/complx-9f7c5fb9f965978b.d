@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complx-9f7c5fb9f965978b.d: crates/core/src/bin/complx.rs
+
+/root/repo/target/debug/deps/complx-9f7c5fb9f965978b: crates/core/src/bin/complx.rs
+
+crates/core/src/bin/complx.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complx-b97775b355269452.d: crates/core/src/bin/complx.rs
+
+/root/repo/target/debug/deps/complx-b97775b355269452: crates/core/src/bin/complx.rs
+
+crates/core/src/bin/complx.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complx_bench-0133b14f4bb2739a.d: crates/bench/src/lib.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/complx_bench-0133b14f4bb2739a: crates/bench/src/lib.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runs.rs:
+crates/bench/src/svg.rs:

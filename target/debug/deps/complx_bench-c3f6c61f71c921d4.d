@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/complx_bench-c3f6c61f71c921d4.d: crates/bench/src/lib.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcomplx_bench-c3f6c61f71c921d4.rlib: crates/bench/src/lib.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/svg.rs
+
+/root/repo/target/debug/deps/libcomplx_bench-c3f6c61f71c921d4.rmeta: crates/bench/src/lib.rs crates/bench/src/plot.rs crates/bench/src/report.rs crates/bench/src/runs.rs crates/bench/src/svg.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runs.rs:
+crates/bench/src/svg.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/complx_legalize-24322ea7fd15a927.d: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplx_legalize-24322ea7fd15a927.rmeta: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs Cargo.toml
+
+crates/legalize/src/lib.rs:
+crates/legalize/src/abacus.rs:
+crates/legalize/src/detail.rs:
+crates/legalize/src/legalizer.rs:
+crates/legalize/src/macros.rs:
+crates/legalize/src/mirror.rs:
+crates/legalize/src/rows.rs:
+crates/legalize/src/tetris.rs:
+crates/legalize/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

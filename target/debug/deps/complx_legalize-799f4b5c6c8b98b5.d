@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/complx_legalize-799f4b5c6c8b98b5.d: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+/root/repo/target/debug/deps/libcomplx_legalize-799f4b5c6c8b98b5.rlib: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+/root/repo/target/debug/deps/libcomplx_legalize-799f4b5c6c8b98b5.rmeta: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+crates/legalize/src/lib.rs:
+crates/legalize/src/abacus.rs:
+crates/legalize/src/detail.rs:
+crates/legalize/src/legalizer.rs:
+crates/legalize/src/macros.rs:
+crates/legalize/src/mirror.rs:
+crates/legalize/src/rows.rs:
+crates/legalize/src/tetris.rs:
+crates/legalize/src/verify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/complx_legalize-8f5988f504cc5532.d: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+/root/repo/target/debug/deps/complx_legalize-8f5988f504cc5532: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+crates/legalize/src/lib.rs:
+crates/legalize/src/abacus.rs:
+crates/legalize/src/detail.rs:
+crates/legalize/src/legalizer.rs:
+crates/legalize/src/macros.rs:
+crates/legalize/src/mirror.rs:
+crates/legalize/src/rows.rs:
+crates/legalize/src/tetris.rs:
+crates/legalize/src/verify.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/complx_netlist-5baaa27a5b08b4d3.d: crates/netlist/src/lib.rs crates/netlist/src/bookshelf.rs crates/netlist/src/cell.rs crates/netlist/src/density.rs crates/netlist/src/design.rs crates/netlist/src/error.rs crates/netlist/src/generator.rs crates/netlist/src/geom.rs crates/netlist/src/hpwl.rs crates/netlist/src/net.rs crates/netlist/src/placement.rs crates/netlist/src/region.rs crates/netlist/src/stats.rs crates/netlist/src/tracker.rs crates/netlist/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplx_netlist-5baaa27a5b08b4d3.rmeta: crates/netlist/src/lib.rs crates/netlist/src/bookshelf.rs crates/netlist/src/cell.rs crates/netlist/src/density.rs crates/netlist/src/design.rs crates/netlist/src/error.rs crates/netlist/src/generator.rs crates/netlist/src/geom.rs crates/netlist/src/hpwl.rs crates/netlist/src/net.rs crates/netlist/src/placement.rs crates/netlist/src/region.rs crates/netlist/src/stats.rs crates/netlist/src/tracker.rs crates/netlist/src/validate.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/bookshelf.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/density.rs:
+crates/netlist/src/design.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/generator.rs:
+crates/netlist/src/geom.rs:
+crates/netlist/src/hpwl.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/placement.rs:
+crates/netlist/src/region.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/tracker.rs:
+crates/netlist/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/complx_netlist-dba46b0dc0d62c2b.d: crates/netlist/src/lib.rs crates/netlist/src/bookshelf.rs crates/netlist/src/cell.rs crates/netlist/src/density.rs crates/netlist/src/design.rs crates/netlist/src/error.rs crates/netlist/src/generator.rs crates/netlist/src/geom.rs crates/netlist/src/hpwl.rs crates/netlist/src/net.rs crates/netlist/src/placement.rs crates/netlist/src/region.rs crates/netlist/src/stats.rs crates/netlist/src/tracker.rs crates/netlist/src/validate.rs
+
+/root/repo/target/debug/deps/complx_netlist-dba46b0dc0d62c2b: crates/netlist/src/lib.rs crates/netlist/src/bookshelf.rs crates/netlist/src/cell.rs crates/netlist/src/density.rs crates/netlist/src/design.rs crates/netlist/src/error.rs crates/netlist/src/generator.rs crates/netlist/src/geom.rs crates/netlist/src/hpwl.rs crates/netlist/src/net.rs crates/netlist/src/placement.rs crates/netlist/src/region.rs crates/netlist/src/stats.rs crates/netlist/src/tracker.rs crates/netlist/src/validate.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/bookshelf.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/density.rs:
+crates/netlist/src/design.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/generator.rs:
+crates/netlist/src/geom.rs:
+crates/netlist/src/hpwl.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/placement.rs:
+crates/netlist/src/region.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/tracker.rs:
+crates/netlist/src/validate.rs:

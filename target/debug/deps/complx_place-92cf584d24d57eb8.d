@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/complx_place-92cf584d24d57eb8.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cog.rs crates/core/src/baselines/fastplace.rs crates/core/src/baselines/rql.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/lambda.rs crates/core/src/metrics.rs crates/core/src/placer.rs crates/core/src/timing_driven.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplx_place-92cf584d24d57eb8.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cog.rs crates/core/src/baselines/fastplace.rs crates/core/src/baselines/rql.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/lambda.rs crates/core/src/metrics.rs crates/core/src/placer.rs crates/core/src/timing_driven.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/cog.rs:
+crates/core/src/baselines/fastplace.rs:
+crates/core/src/baselines/rql.rs:
+crates/core/src/check.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/lambda.rs:
+crates/core/src/metrics.rs:
+crates/core/src/placer.rs:
+crates/core/src/timing_driven.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/complx_place-c0ccc758cea3e0de.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cog.rs crates/core/src/baselines/fastplace.rs crates/core/src/baselines/rql.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/lambda.rs crates/core/src/metrics.rs crates/core/src/placer.rs crates/core/src/timing_driven.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/complx_place-c0ccc758cea3e0de: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cog.rs crates/core/src/baselines/fastplace.rs crates/core/src/baselines/rql.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/lambda.rs crates/core/src/metrics.rs crates/core/src/placer.rs crates/core/src/timing_driven.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/cog.rs:
+crates/core/src/baselines/fastplace.rs:
+crates/core/src/baselines/rql.rs:
+crates/core/src/check.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/lambda.rs:
+crates/core/src/metrics.rs:
+crates/core/src/placer.rs:
+crates/core/src/timing_driven.rs:
+crates/core/src/trace.rs:

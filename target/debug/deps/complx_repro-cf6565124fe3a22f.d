@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/complx_repro-cf6565124fe3a22f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcomplx_repro-cf6565124fe3a22f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcomplx_repro-cf6565124fe3a22f.rmeta: src/lib.rs
+
+src/lib.rs:

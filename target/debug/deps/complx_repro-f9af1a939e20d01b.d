@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complx_repro-f9af1a939e20d01b.d: src/lib.rs
+
+/root/repo/target/debug/deps/complx_repro-f9af1a939e20d01b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/complx_sparse-0cdf5026503299e1.d: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+/root/repo/target/debug/deps/libcomplx_sparse-0cdf5026503299e1.rlib: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+/root/repo/target/debug/deps/libcomplx_sparse-0cdf5026503299e1.rmeta: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/cg.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/complx_sparse-42544f118046a371.d: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplx_sparse-42544f118046a371.rmeta: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/cg.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

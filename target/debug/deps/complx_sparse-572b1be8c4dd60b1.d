@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complx_sparse-572b1be8c4dd60b1.d: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+/root/repo/target/debug/deps/complx_sparse-572b1be8c4dd60b1: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/cg.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vector.rs:

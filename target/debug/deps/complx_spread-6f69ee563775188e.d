@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/complx_spread-6f69ee563775188e.d: crates/spread/src/lib.rs crates/spread/src/bisect.rs crates/spread/src/capacity.rs crates/spread/src/cluster.rs crates/spread/src/items.rs crates/spread/src/projection.rs crates/spread/src/regions.rs crates/spread/src/rudy.rs crates/spread/src/self_consistency.rs crates/spread/src/shred.rs
+
+/root/repo/target/debug/deps/libcomplx_spread-6f69ee563775188e.rlib: crates/spread/src/lib.rs crates/spread/src/bisect.rs crates/spread/src/capacity.rs crates/spread/src/cluster.rs crates/spread/src/items.rs crates/spread/src/projection.rs crates/spread/src/regions.rs crates/spread/src/rudy.rs crates/spread/src/self_consistency.rs crates/spread/src/shred.rs
+
+/root/repo/target/debug/deps/libcomplx_spread-6f69ee563775188e.rmeta: crates/spread/src/lib.rs crates/spread/src/bisect.rs crates/spread/src/capacity.rs crates/spread/src/cluster.rs crates/spread/src/items.rs crates/spread/src/projection.rs crates/spread/src/regions.rs crates/spread/src/rudy.rs crates/spread/src/self_consistency.rs crates/spread/src/shred.rs
+
+crates/spread/src/lib.rs:
+crates/spread/src/bisect.rs:
+crates/spread/src/capacity.rs:
+crates/spread/src/cluster.rs:
+crates/spread/src/items.rs:
+crates/spread/src/projection.rs:
+crates/spread/src/regions.rs:
+crates/spread/src/rudy.rs:
+crates/spread/src/self_consistency.rs:
+crates/spread/src/shred.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/complx_spread-afcbe72e94fda07f.d: crates/spread/src/lib.rs crates/spread/src/bisect.rs crates/spread/src/capacity.rs crates/spread/src/cluster.rs crates/spread/src/items.rs crates/spread/src/projection.rs crates/spread/src/regions.rs crates/spread/src/rudy.rs crates/spread/src/self_consistency.rs crates/spread/src/shred.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplx_spread-afcbe72e94fda07f.rmeta: crates/spread/src/lib.rs crates/spread/src/bisect.rs crates/spread/src/capacity.rs crates/spread/src/cluster.rs crates/spread/src/items.rs crates/spread/src/projection.rs crates/spread/src/regions.rs crates/spread/src/rudy.rs crates/spread/src/self_consistency.rs crates/spread/src/shred.rs Cargo.toml
+
+crates/spread/src/lib.rs:
+crates/spread/src/bisect.rs:
+crates/spread/src/capacity.rs:
+crates/spread/src/cluster.rs:
+crates/spread/src/items.rs:
+crates/spread/src/projection.rs:
+crates/spread/src/regions.rs:
+crates/spread/src/rudy.rs:
+crates/spread/src/self_consistency.rs:
+crates/spread/src/shred.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/complx_timing-532bd3f07b54c075.d: crates/timing/src/lib.rs
+
+/root/repo/target/debug/deps/complx_timing-532bd3f07b54c075: crates/timing/src/lib.rs
+
+crates/timing/src/lib.rs:

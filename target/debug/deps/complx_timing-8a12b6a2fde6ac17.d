@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/complx_timing-8a12b6a2fde6ac17.d: crates/timing/src/lib.rs
+
+/root/repo/target/debug/deps/libcomplx_timing-8a12b6a2fde6ac17.rlib: crates/timing/src/lib.rs
+
+/root/repo/target/debug/deps/libcomplx_timing-8a12b6a2fde6ac17.rmeta: crates/timing/src/lib.rs
+
+crates/timing/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/complx_timing-e0a141a712bf84e8.d: crates/timing/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplx_timing-e0a141a712bf84e8.rmeta: crates/timing/src/lib.rs Cargo.toml
+
+crates/timing/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

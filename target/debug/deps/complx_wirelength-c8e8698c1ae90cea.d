@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/complx_wirelength-c8e8698c1ae90cea.d: crates/wirelength/src/lib.rs crates/wirelength/src/anchors.rs crates/wirelength/src/b2b.rs crates/wirelength/src/betareg.rs crates/wirelength/src/lse.rs crates/wirelength/src/model.rs crates/wirelength/src/nlcg.rs crates/wirelength/src/pnorm.rs crates/wirelength/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomplx_wirelength-c8e8698c1ae90cea.rmeta: crates/wirelength/src/lib.rs crates/wirelength/src/anchors.rs crates/wirelength/src/b2b.rs crates/wirelength/src/betareg.rs crates/wirelength/src/lse.rs crates/wirelength/src/model.rs crates/wirelength/src/nlcg.rs crates/wirelength/src/pnorm.rs crates/wirelength/src/system.rs Cargo.toml
+
+crates/wirelength/src/lib.rs:
+crates/wirelength/src/anchors.rs:
+crates/wirelength/src/b2b.rs:
+crates/wirelength/src/betareg.rs:
+crates/wirelength/src/lse.rs:
+crates/wirelength/src/model.rs:
+crates/wirelength/src/nlcg.rs:
+crates/wirelength/src/pnorm.rs:
+crates/wirelength/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/complx_wirelength-f89b604729cef386.d: crates/wirelength/src/lib.rs crates/wirelength/src/anchors.rs crates/wirelength/src/b2b.rs crates/wirelength/src/betareg.rs crates/wirelength/src/lse.rs crates/wirelength/src/model.rs crates/wirelength/src/nlcg.rs crates/wirelength/src/pnorm.rs crates/wirelength/src/system.rs
+
+/root/repo/target/debug/deps/complx_wirelength-f89b604729cef386: crates/wirelength/src/lib.rs crates/wirelength/src/anchors.rs crates/wirelength/src/b2b.rs crates/wirelength/src/betareg.rs crates/wirelength/src/lse.rs crates/wirelength/src/model.rs crates/wirelength/src/nlcg.rs crates/wirelength/src/pnorm.rs crates/wirelength/src/system.rs
+
+crates/wirelength/src/lib.rs:
+crates/wirelength/src/anchors.rs:
+crates/wirelength/src/b2b.rs:
+crates/wirelength/src/betareg.rs:
+crates/wirelength/src/lse.rs:
+crates/wirelength/src/model.rs:
+crates/wirelength/src/nlcg.rs:
+crates/wirelength/src/pnorm.rs:
+crates/wirelength/src/system.rs:

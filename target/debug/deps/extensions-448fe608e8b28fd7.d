@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-448fe608e8b28fd7.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-448fe608e8b28fd7: tests/extensions.rs
+
+tests/extensions.rs:

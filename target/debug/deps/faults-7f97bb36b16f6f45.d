@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-7f97bb36b16f6f45.d: crates/core/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-7f97bb36b16f6f45: crates/core/tests/faults.rs
+
+crates/core/tests/faults.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_convergence-27d6abf81df78f26.d: crates/bench/src/bin/fig1_convergence.rs
+
+/root/repo/target/debug/deps/fig1_convergence-27d6abf81df78f26: crates/bench/src/bin/fig1_convergence.rs
+
+crates/bench/src/bin/fig1_convergence.rs:

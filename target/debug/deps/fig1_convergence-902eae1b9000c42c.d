@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_convergence-902eae1b9000c42c.d: crates/bench/src/bin/fig1_convergence.rs
+
+/root/repo/target/debug/deps/fig1_convergence-902eae1b9000c42c: crates/bench/src/bin/fig1_convergence.rs
+
+crates/bench/src/bin/fig1_convergence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_shredding-6afd1c458a57cee5.d: crates/bench/src/bin/fig2_shredding.rs
+
+/root/repo/target/debug/deps/fig2_shredding-6afd1c458a57cee5: crates/bench/src/bin/fig2_shredding.rs
+
+crates/bench/src/bin/fig2_shredding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_shredding-7daf5af9c57c39b9.d: crates/bench/src/bin/fig2_shredding.rs
+
+/root/repo/target/debug/deps/fig2_shredding-7daf5af9c57c39b9: crates/bench/src/bin/fig2_shredding.rs
+
+crates/bench/src/bin/fig2_shredding.rs:

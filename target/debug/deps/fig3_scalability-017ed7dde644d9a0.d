@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_scalability-017ed7dde644d9a0.d: crates/bench/src/bin/fig3_scalability.rs
+
+/root/repo/target/debug/deps/fig3_scalability-017ed7dde644d9a0: crates/bench/src/bin/fig3_scalability.rs
+
+crates/bench/src/bin/fig3_scalability.rs:

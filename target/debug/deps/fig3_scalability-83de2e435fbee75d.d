@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_scalability-83de2e435fbee75d.d: crates/bench/src/bin/fig3_scalability.rs
+
+/root/repo/target/debug/deps/fig3_scalability-83de2e435fbee75d: crates/bench/src/bin/fig3_scalability.rs
+
+crates/bench/src/bin/fig3_scalability.rs:

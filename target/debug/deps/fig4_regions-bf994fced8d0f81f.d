@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_regions-bf994fced8d0f81f.d: crates/bench/src/bin/fig4_regions.rs
+
+/root/repo/target/debug/deps/fig4_regions-bf994fced8d0f81f: crates/bench/src/bin/fig4_regions.rs
+
+crates/bench/src/bin/fig4_regions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_regions-ffab4ec0619e1119.d: crates/bench/src/bin/fig4_regions.rs
+
+/root/repo/target/debug/deps/fig4_regions-ffab4ec0619e1119: crates/bench/src/bin/fig4_regions.rs
+
+crates/bench/src/bin/fig4_regions.rs:

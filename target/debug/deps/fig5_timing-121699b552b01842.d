@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_timing-121699b552b01842.d: crates/bench/src/bin/fig5_timing.rs
+
+/root/repo/target/debug/deps/fig5_timing-121699b552b01842: crates/bench/src/bin/fig5_timing.rs
+
+crates/bench/src/bin/fig5_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_timing-2dec90a735b4b236.d: crates/bench/src/bin/fig5_timing.rs
+
+/root/repo/target/debug/deps/fig5_timing-2dec90a735b4b236: crates/bench/src/bin/fig5_timing.rs
+
+crates/bench/src/bin/fig5_timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_kernels-13bc64ef243cc16e.d: crates/bench/benches/figure_kernels.rs
+
+/root/repo/target/debug/deps/figure_kernels-13bc64ef243cc16e: crates/bench/benches/figure_kernels.rs
+
+crates/bench/benches/figure_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-76bae910946a8aa4.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-76bae910946a8aa4: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-af14254cc62f169d.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-af14254cc62f169d: tests/paper_claims.rs
+
+tests/paper_claims.rs:

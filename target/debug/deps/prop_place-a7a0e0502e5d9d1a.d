@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_place-a7a0e0502e5d9d1a.d: crates/core/tests/prop_place.rs
+
+/root/repo/target/debug/deps/prop_place-a7a0e0502e5d9d1a: crates/core/tests/prop_place.rs
+
+crates/core/tests/prop_place.rs:

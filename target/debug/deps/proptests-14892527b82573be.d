@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-14892527b82573be.d: crates/sparse/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-14892527b82573be: crates/sparse/tests/proptests.rs
+
+crates/sparse/tests/proptests.rs:

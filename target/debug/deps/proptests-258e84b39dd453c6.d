@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-258e84b39dd453c6.d: crates/spread/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-258e84b39dd453c6: crates/spread/tests/proptests.rs
+
+crates/spread/tests/proptests.rs:

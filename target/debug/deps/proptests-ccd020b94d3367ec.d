@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ccd020b94d3367ec.d: crates/wirelength/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ccd020b94d3367ec: crates/wirelength/tests/proptests.rs
+
+crates/wirelength/tests/proptests.rs:

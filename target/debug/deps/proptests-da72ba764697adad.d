@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-da72ba764697adad.d: crates/timing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-da72ba764697adad: crates/timing/tests/proptests.rs
+
+crates/timing/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fd192213c5206a4c.d: crates/legalize/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fd192213c5206a4c: crates/legalize/tests/proptests.rs
+
+crates/legalize/tests/proptests.rs:

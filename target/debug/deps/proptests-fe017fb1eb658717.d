@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fe017fb1eb658717.d: crates/netlist/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fe017fb1eb658717: crates/netlist/tests/proptests.rs
+
+crates/netlist/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regression-8995426e63f52750.d: tests/regression.rs
+
+/root/repo/target/debug/deps/regression-8995426e63f52750: tests/regression.rs
+
+tests/regression.rs:

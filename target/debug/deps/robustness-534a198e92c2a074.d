@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-534a198e92c2a074.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-534a198e92c2a074: tests/robustness.rs
+
+tests/robustness.rs:

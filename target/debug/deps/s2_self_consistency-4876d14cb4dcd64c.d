@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/s2_self_consistency-4876d14cb4dcd64c.d: crates/bench/src/bin/s2_self_consistency.rs
+
+/root/repo/target/debug/deps/s2_self_consistency-4876d14cb4dcd64c: crates/bench/src/bin/s2_self_consistency.rs
+
+crates/bench/src/bin/s2_self_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/s2_self_consistency-669cf0f3059fb112.d: crates/bench/src/bin/s2_self_consistency.rs
+
+/root/repo/target/debug/deps/s2_self_consistency-669cf0f3059fb112: crates/bench/src/bin/s2_self_consistency.rs
+
+crates/bench/src/bin/s2_self_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/s4_cog_comparison-906beb63653b8fcb.d: crates/bench/src/bin/s4_cog_comparison.rs
+
+/root/repo/target/debug/deps/s4_cog_comparison-906beb63653b8fcb: crates/bench/src/bin/s4_cog_comparison.rs
+
+crates/bench/src/bin/s4_cog_comparison.rs:

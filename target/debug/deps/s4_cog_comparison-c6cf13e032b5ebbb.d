@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/s4_cog_comparison-c6cf13e032b5ebbb.d: crates/bench/src/bin/s4_cog_comparison.rs
+
+/root/repo/target/debug/deps/s4_cog_comparison-c6cf13e032b5ebbb: crates/bench/src/bin/s4_cog_comparison.rs
+
+crates/bench/src/bin/s4_cog_comparison.rs:

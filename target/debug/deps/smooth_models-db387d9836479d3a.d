@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smooth_models-db387d9836479d3a.d: crates/wirelength/tests/smooth_models.rs
+
+/root/repo/target/debug/deps/smooth_models-db387d9836479d3a: crates/wirelength/tests/smooth_models.rs
+
+crates/wirelength/tests/smooth_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-4195389ef1f7620c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-4195389ef1f7620c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

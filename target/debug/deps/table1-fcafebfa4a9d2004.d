@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-fcafebfa4a9d2004.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-fcafebfa4a9d2004: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

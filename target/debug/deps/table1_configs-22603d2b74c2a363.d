@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_configs-22603d2b74c2a363.d: crates/bench/benches/table1_configs.rs
+
+/root/repo/target/debug/deps/table1_configs-22603d2b74c2a363: crates/bench/benches/table1_configs.rs
+
+crates/bench/benches/table1_configs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3388e051a2795e01.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3388e051a2795e01: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

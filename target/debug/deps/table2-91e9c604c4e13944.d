@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-91e9c604c4e13944.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-91e9c604c4e13944: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

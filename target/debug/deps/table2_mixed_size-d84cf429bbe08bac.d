@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_mixed_size-d84cf429bbe08bac.d: crates/bench/benches/table2_mixed_size.rs
+
+/root/repo/target/debug/deps/table2_mixed_size-d84cf429bbe08bac: crates/bench/benches/table2_mixed_size.rs
+
+crates/bench/benches/table2_mixed_size.rs:

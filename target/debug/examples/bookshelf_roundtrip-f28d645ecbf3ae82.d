@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bookshelf_roundtrip-f28d645ecbf3ae82.d: examples/bookshelf_roundtrip.rs
+
+/root/repo/target/debug/examples/bookshelf_roundtrip-f28d645ecbf3ae82: examples/bookshelf_roundtrip.rs
+
+examples/bookshelf_roundtrip.rs:

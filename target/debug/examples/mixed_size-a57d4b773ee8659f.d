@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mixed_size-a57d4b773ee8659f.d: examples/mixed_size.rs
+
+/root/repo/target/debug/examples/mixed_size-a57d4b773ee8659f: examples/mixed_size.rs
+
+examples/mixed_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_aware-fefe2029c35b0ab3.d: examples/power_aware.rs
+
+/root/repo/target/debug/examples/power_aware-fefe2029c35b0ab3: examples/power_aware.rs
+
+examples/power_aware.rs:

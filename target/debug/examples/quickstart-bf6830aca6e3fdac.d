@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bf6830aca6e3fdac.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bf6830aca6e3fdac: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/region_constraints-aa219c110ac41d0b.d: examples/region_constraints.rs
+
+/root/repo/target/debug/examples/region_constraints-aa219c110ac41d0b: examples/region_constraints.rs
+
+examples/region_constraints.rs:

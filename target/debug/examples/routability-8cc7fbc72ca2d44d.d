@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routability-8cc7fbc72ca2d44d.d: examples/routability.rs
+
+/root/repo/target/debug/examples/routability-8cc7fbc72ca2d44d: examples/routability.rs
+
+examples/routability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/size_probe-aa303725984571ed.d: crates/bench/examples/size_probe.rs
+
+/root/repo/target/debug/examples/size_probe-aa303725984571ed: crates/bench/examples/size_probe.rs
+
+crates/bench/examples/size_probe.rs:

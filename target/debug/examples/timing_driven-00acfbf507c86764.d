@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timing_driven-00acfbf507c86764.d: examples/timing_driven.rs
+
+/root/repo/target/debug/examples/timing_driven-00acfbf507c86764: examples/timing_driven.rs
+
+examples/timing_driven.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/complx-7eb08ebc9f3b2383.d: crates/core/src/bin/complx.rs
+
+/root/repo/target/release/deps/complx-7eb08ebc9f3b2383: crates/core/src/bin/complx.rs
+
+crates/core/src/bin/complx.rs:

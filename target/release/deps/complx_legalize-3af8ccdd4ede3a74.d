@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/complx_legalize-3af8ccdd4ede3a74.d: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+/root/repo/target/release/deps/libcomplx_legalize-3af8ccdd4ede3a74.rlib: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+/root/repo/target/release/deps/libcomplx_legalize-3af8ccdd4ede3a74.rmeta: crates/legalize/src/lib.rs crates/legalize/src/abacus.rs crates/legalize/src/detail.rs crates/legalize/src/legalizer.rs crates/legalize/src/macros.rs crates/legalize/src/mirror.rs crates/legalize/src/rows.rs crates/legalize/src/tetris.rs crates/legalize/src/verify.rs
+
+crates/legalize/src/lib.rs:
+crates/legalize/src/abacus.rs:
+crates/legalize/src/detail.rs:
+crates/legalize/src/legalizer.rs:
+crates/legalize/src/macros.rs:
+crates/legalize/src/mirror.rs:
+crates/legalize/src/rows.rs:
+crates/legalize/src/tetris.rs:
+crates/legalize/src/verify.rs:

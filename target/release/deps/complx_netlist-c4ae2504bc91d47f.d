@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/complx_netlist-c4ae2504bc91d47f.d: crates/netlist/src/lib.rs crates/netlist/src/bookshelf.rs crates/netlist/src/cell.rs crates/netlist/src/density.rs crates/netlist/src/design.rs crates/netlist/src/error.rs crates/netlist/src/generator.rs crates/netlist/src/geom.rs crates/netlist/src/hpwl.rs crates/netlist/src/net.rs crates/netlist/src/placement.rs crates/netlist/src/region.rs crates/netlist/src/stats.rs crates/netlist/src/tracker.rs crates/netlist/src/validate.rs
+
+/root/repo/target/release/deps/libcomplx_netlist-c4ae2504bc91d47f.rlib: crates/netlist/src/lib.rs crates/netlist/src/bookshelf.rs crates/netlist/src/cell.rs crates/netlist/src/density.rs crates/netlist/src/design.rs crates/netlist/src/error.rs crates/netlist/src/generator.rs crates/netlist/src/geom.rs crates/netlist/src/hpwl.rs crates/netlist/src/net.rs crates/netlist/src/placement.rs crates/netlist/src/region.rs crates/netlist/src/stats.rs crates/netlist/src/tracker.rs crates/netlist/src/validate.rs
+
+/root/repo/target/release/deps/libcomplx_netlist-c4ae2504bc91d47f.rmeta: crates/netlist/src/lib.rs crates/netlist/src/bookshelf.rs crates/netlist/src/cell.rs crates/netlist/src/density.rs crates/netlist/src/design.rs crates/netlist/src/error.rs crates/netlist/src/generator.rs crates/netlist/src/geom.rs crates/netlist/src/hpwl.rs crates/netlist/src/net.rs crates/netlist/src/placement.rs crates/netlist/src/region.rs crates/netlist/src/stats.rs crates/netlist/src/tracker.rs crates/netlist/src/validate.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/bookshelf.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/density.rs:
+crates/netlist/src/design.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/generator.rs:
+crates/netlist/src/geom.rs:
+crates/netlist/src/hpwl.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/placement.rs:
+crates/netlist/src/region.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/tracker.rs:
+crates/netlist/src/validate.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/complx_place-66ac12043b15376e.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cog.rs crates/core/src/baselines/fastplace.rs crates/core/src/baselines/rql.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/lambda.rs crates/core/src/metrics.rs crates/core/src/placer.rs crates/core/src/timing_driven.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libcomplx_place-66ac12043b15376e.rlib: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cog.rs crates/core/src/baselines/fastplace.rs crates/core/src/baselines/rql.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/lambda.rs crates/core/src/metrics.rs crates/core/src/placer.rs crates/core/src/timing_driven.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libcomplx_place-66ac12043b15376e.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/cog.rs crates/core/src/baselines/fastplace.rs crates/core/src/baselines/rql.rs crates/core/src/check.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/faults.rs crates/core/src/lambda.rs crates/core/src/metrics.rs crates/core/src/placer.rs crates/core/src/timing_driven.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/cog.rs:
+crates/core/src/baselines/fastplace.rs:
+crates/core/src/baselines/rql.rs:
+crates/core/src/check.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/faults.rs:
+crates/core/src/lambda.rs:
+crates/core/src/metrics.rs:
+crates/core/src/placer.rs:
+crates/core/src/timing_driven.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/complx_repro-716403dfbee75eb5.d: src/lib.rs
+
+/root/repo/target/release/deps/libcomplx_repro-716403dfbee75eb5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcomplx_repro-716403dfbee75eb5.rmeta: src/lib.rs
+
+src/lib.rs:

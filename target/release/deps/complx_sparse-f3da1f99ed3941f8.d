@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/complx_sparse-f3da1f99ed3941f8.d: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+/root/repo/target/release/deps/libcomplx_sparse-f3da1f99ed3941f8.rlib: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+/root/repo/target/release/deps/libcomplx_sparse-f3da1f99ed3941f8.rmeta: crates/sparse/src/lib.rs crates/sparse/src/cg.rs crates/sparse/src/csr.rs crates/sparse/src/triplet.rs crates/sparse/src/vector.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/cg.rs:
+crates/sparse/src/csr.rs:
+crates/sparse/src/triplet.rs:
+crates/sparse/src/vector.rs:

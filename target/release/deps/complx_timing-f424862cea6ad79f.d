@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/complx_timing-f424862cea6ad79f.d: crates/timing/src/lib.rs
+
+/root/repo/target/release/deps/libcomplx_timing-f424862cea6ad79f.rlib: crates/timing/src/lib.rs
+
+/root/repo/target/release/deps/libcomplx_timing-f424862cea6ad79f.rmeta: crates/timing/src/lib.rs
+
+crates/timing/src/lib.rs:

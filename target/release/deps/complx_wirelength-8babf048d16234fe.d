@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/complx_wirelength-8babf048d16234fe.d: crates/wirelength/src/lib.rs crates/wirelength/src/anchors.rs crates/wirelength/src/b2b.rs crates/wirelength/src/betareg.rs crates/wirelength/src/lse.rs crates/wirelength/src/model.rs crates/wirelength/src/nlcg.rs crates/wirelength/src/pnorm.rs crates/wirelength/src/system.rs
+
+/root/repo/target/release/deps/libcomplx_wirelength-8babf048d16234fe.rlib: crates/wirelength/src/lib.rs crates/wirelength/src/anchors.rs crates/wirelength/src/b2b.rs crates/wirelength/src/betareg.rs crates/wirelength/src/lse.rs crates/wirelength/src/model.rs crates/wirelength/src/nlcg.rs crates/wirelength/src/pnorm.rs crates/wirelength/src/system.rs
+
+/root/repo/target/release/deps/libcomplx_wirelength-8babf048d16234fe.rmeta: crates/wirelength/src/lib.rs crates/wirelength/src/anchors.rs crates/wirelength/src/b2b.rs crates/wirelength/src/betareg.rs crates/wirelength/src/lse.rs crates/wirelength/src/model.rs crates/wirelength/src/nlcg.rs crates/wirelength/src/pnorm.rs crates/wirelength/src/system.rs
+
+crates/wirelength/src/lib.rs:
+crates/wirelength/src/anchors.rs:
+crates/wirelength/src/b2b.rs:
+crates/wirelength/src/betareg.rs:
+crates/wirelength/src/lse.rs:
+crates/wirelength/src/model.rs:
+crates/wirelength/src/nlcg.rs:
+crates/wirelength/src/pnorm.rs:
+crates/wirelength/src/system.rs:

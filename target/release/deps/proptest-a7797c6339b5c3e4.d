@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-a7797c6339b5c3e4.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a7797c6339b5c3e4.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-a7797c6339b5c3e4.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fde58af0ba12ba1b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fde58af0ba12ba1b: examples/quickstart.rs
+
+examples/quickstart.rs:

