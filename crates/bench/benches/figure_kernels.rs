@@ -56,11 +56,19 @@ fn bench_consistency_check(c: &mut Criterion) {
 /// Figure 5 / §S6: full STA pass on a placed design.
 fn bench_sta(c: &mut Criterion) {
     let design = GeneratorConfig::ispd2005_like("f5", 9, 4000).generate();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&design)
+        .expect("placement failed");
     let graph = TimingGraph::new(&design);
     let model = DelayModel::default();
     c.bench_function("fig5_sta_4000", |bench| {
-        bench.iter(|| black_box(graph.analyze(&design, &out.legal, &model).critical_path_delay))
+        bench.iter(|| {
+            black_box(
+                graph
+                    .analyze(&design, &out.legal, &model)
+                    .critical_path_delay,
+            )
+        })
     });
 }
 
@@ -92,13 +100,21 @@ fn bench_region_constraint(c: &mut Criterion) {
         b.add_net(
             n.name(),
             n.weight(),
-            base.net_pins(nid).iter().map(|p| (p.cell, p.dx, p.dy)).collect(),
+            base.net_pins(nid)
+                .iter()
+                .map(|p| (p.cell, p.dx, p.dy))
+                .collect(),
         )
         .expect("valid net");
     }
     b.add_region(RegionConstraint::new(
         "r",
-        Rect::new(core.lx, core.ly, core.lx + 0.4 * core.width(), core.ly + 0.4 * core.height()),
+        Rect::new(
+            core.lx,
+            core.ly,
+            core.lx + 0.4 * core.width(),
+            core.ly + 0.4 * core.height(),
+        ),
         cells,
     ));
     let constrained = b.build().expect("valid design");
@@ -106,14 +122,20 @@ fn bench_region_constraint(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("unconstrained", |bench| {
         bench.iter(|| {
-            black_box(ComplxPlacer::new(PlacerConfig::fast()).place(&base).expect("placement failed").hpwl_legal)
+            black_box(
+                ComplxPlacer::new(PlacerConfig::fast())
+                    .place(&base)
+                    .expect("placement failed")
+                    .hpwl_legal,
+            )
         })
     });
     group.bench_function("with_region", |bench| {
         bench.iter(|| {
             black_box(
                 ComplxPlacer::new(PlacerConfig::fast())
-                    .place(&constrained).expect("placement failed")
+                    .place(&constrained)
+                    .expect("placement failed")
                     .hpwl_legal,
             )
         })
@@ -124,7 +146,9 @@ fn bench_region_constraint(c: &mut Criterion) {
 /// Figure 2: the mixed-size projection (shredding) plus SVG rendering.
 fn bench_shredding_snapshot(c: &mut Criterion) {
     let design = GeneratorConfig::ispd2006_like("f2", 9, 2000, 0.8).generate();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&design)
+        .expect("placement failed");
     c.bench_function("fig2_shred_and_render_2000", |bench| {
         bench.iter(|| {
             let items = complx_spread::shred::build_items(&design, &out.upper, true);

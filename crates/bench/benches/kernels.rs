@@ -63,15 +63,11 @@ fn bench_legalization(c: &mut Criterion) {
     let design = GeneratorConfig::ispd2005_like("bench_l", 7, 3000).generate();
     let mut p = design.initial_placement();
     QuadraticModel::default().minimize(&design, &mut p, None);
-    let spread = FeasibilityProjection::default().project(&design, &p).placement;
+    let spread = FeasibilityProjection::default()
+        .project(&design, &p)
+        .placement;
     c.bench_function("abacus_legalize_3000", |bench| {
-        bench.iter(|| {
-            black_box(
-                Legalizer::default()
-                    .legalize(&design, &spread)
-                    .displacement,
-            )
-        })
+        bench.iter(|| black_box(Legalizer::default().legalize(&design, &spread).displacement))
     });
     let legal = Legalizer::default().legalize(&design, &spread).placement;
     c.bench_function("detailed_place_3000", |bench| {

@@ -19,7 +19,8 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 ComplxPlacer::new(PlacerConfig::default())
-                    .place(&design).expect("placement failed")
+                    .place(&design)
+                    .expect("placement failed")
                     .hpwl_legal,
             )
         })
@@ -28,7 +29,8 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 ComplxPlacer::new(PlacerConfig::finest_grid())
-                    .place(&design).expect("placement failed")
+                    .place(&design)
+                    .expect("placement failed")
                     .hpwl_legal,
             )
         })
@@ -37,13 +39,21 @@ fn bench_table1(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 ComplxPlacer::new(PlacerConfig::projection_with_detail())
-                    .place(&design).expect("placement failed")
+                    .place(&design)
+                    .expect("placement failed")
                     .hpwl_legal,
             )
         })
     });
     group.bench_function("simpl_config", |b| {
-        b.iter(|| black_box(baselines::simpl_placer().place(&design).expect("placement failed").hpwl_legal))
+        b.iter(|| {
+            black_box(
+                baselines::simpl_placer()
+                    .place(&design)
+                    .expect("placement failed")
+                    .hpwl_legal,
+            )
+        })
     });
     group.bench_function("rql_like", |b| {
         b.iter(|| black_box(baselines::RqlLike::default().place(&design).hpwl_legal))

@@ -19,7 +19,8 @@ fn bench_table2(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 ComplxPlacer::new(PlacerConfig::default())
-                    .place(&design).expect("placement failed")
+                    .place(&design)
+                    .expect("placement failed")
                     .metrics
                     .scaled_hpwl,
             )

@@ -4,8 +4,22 @@ use std::time::Instant;
 fn main() {
     let designs = suite_2005(1);
     let d = designs.last().unwrap(); // bigblue4-s
-    println!("{}: {} cells {} nets", d.name(), d.num_cells(), d.num_nets());
+    println!(
+        "{}: {} cells {} nets",
+        d.name(),
+        d.num_cells(),
+        d.num_nets()
+    );
     let t = Instant::now();
-    let out = ComplxPlacer::new(PlacerConfig::default()).place(d).expect("placement failed");
-    println!("default: {:.1}s ({} iters, global {:.1}s detail {:.1}s) hpwl {:.3e}", t.elapsed().as_secs_f64(), out.iterations, out.global_seconds, out.detail_seconds, out.hpwl_legal);
+    let out = ComplxPlacer::new(PlacerConfig::default())
+        .place(d)
+        .expect("placement failed");
+    println!(
+        "default: {:.1}s ({} iters, global {:.1}s detail {:.1}s) hpwl {:.3e}",
+        t.elapsed().as_secs_f64(),
+        out.iterations,
+        out.global_seconds,
+        out.detail_seconds,
+        out.hpwl_legal
+    );
 }

@@ -13,8 +13,15 @@ use complx_place::{ComplxPlacer, GridSchedule, PlacerConfig};
 
 fn main() {
     let scale = scale_arg();
-    let design = suite_2005(scale).into_iter().next().expect("suite non-empty");
-    eprintln!("[ablation_grid] {} ({} cells)", design.name(), design.num_cells());
+    let design = suite_2005(scale)
+        .into_iter()
+        .next()
+        .expect("suite non-empty");
+    eprintln!(
+        "[ablation_grid] {} ({} cells)",
+        design.name(),
+        design.num_cells()
+    );
 
     let mut table = Table::new(vec!["grid schedule", "HPWL x1e6", "seconds", "iterations"]);
     let configs: Vec<(String, GridSchedule)> = vec![
@@ -27,7 +34,10 @@ fn main() {
         ),
         ("fixed 25%".into(), GridSchedule::Fixed { fraction: 0.25 }),
         ("fixed 50%".into(), GridSchedule::Fixed { fraction: 0.5 }),
-        ("fixed 100% (finest)".into(), GridSchedule::Fixed { fraction: 1.0 }),
+        (
+            "fixed 100% (finest)".into(),
+            GridSchedule::Fixed { fraction: 1.0 },
+        ),
     ];
     for (name, grid) in configs {
         let (summary, _) = timed_run(&design, |d| {
@@ -35,7 +45,8 @@ fn main() {
                 grid,
                 ..PlacerConfig::default()
             })
-            .place(d).expect("placement failed")
+            .place(d)
+            .expect("placement failed")
         });
         table.add_row(vec![
             name,
@@ -46,7 +57,10 @@ fn main() {
     }
 
     let rendered = table.render();
-    println!("Grid ablation on {} — coarse grids should not hurt quality", design.name());
+    println!(
+        "Grid ablation on {} — coarse grids should not hurt quality",
+        design.name()
+    );
     println!("{rendered}");
     let path = artifact_dir().join("ablation_grid.txt");
     std::fs::write(&path, rendered).expect("artifact write");

@@ -16,14 +16,39 @@ fn main() {
     let designs: Vec<_> = suite_2005(scale).into_iter().take(4).collect();
 
     let schedules: Vec<(&str, LambdaMode, bool)> = vec![
-        ("Formula 12 (accelerating, default)", LambdaMode::Complx { h_factor: 20.0 }, true),
-        ("Formula 12 (literal Π ratio)", LambdaMode::Complx { h_factor: 20.0 }, false),
-        ("arithmetic (SimPL)", LambdaMode::Arithmetic { step: 50.0 }, false),
-        ("geometric 1.3x", LambdaMode::Geometric { ratio: 1.3 }, false),
-        ("geometric 2.0x", LambdaMode::Geometric { ratio: 2.0 }, false),
+        (
+            "Formula 12 (accelerating, default)",
+            LambdaMode::Complx { h_factor: 20.0 },
+            true,
+        ),
+        (
+            "Formula 12 (literal Π ratio)",
+            LambdaMode::Complx { h_factor: 20.0 },
+            false,
+        ),
+        (
+            "arithmetic (SimPL)",
+            LambdaMode::Arithmetic { step: 50.0 },
+            false,
+        ),
+        (
+            "geometric 1.3x",
+            LambdaMode::Geometric { ratio: 1.3 },
+            false,
+        ),
+        (
+            "geometric 2.0x",
+            LambdaMode::Geometric { ratio: 2.0 },
+            false,
+        ),
     ];
 
-    let mut table = Table::new(vec!["schedule", "geomean HPWL x1e6", "geomean s", "avg iters"]);
+    let mut table = Table::new(vec![
+        "schedule",
+        "geomean HPWL x1e6",
+        "geomean s",
+        "avg iters",
+    ]);
     for (name, mode, inverse) in schedules {
         let mut hpwls = Vec::new();
         let mut secs = Vec::new();
@@ -36,7 +61,8 @@ fn main() {
                     lambda_inverse_ratio: inverse,
                     ..PlacerConfig::default()
                 })
-                .place(d).expect("placement failed")
+                .place(d)
+                .expect("placement failed")
             });
             hpwls.push(summary.hpwl);
             secs.push(summary.seconds);

@@ -17,11 +17,26 @@ fn main() {
     let designs: Vec<_> = suite_2005(scale).into_iter().take(2).collect();
 
     let models: Vec<(&str, Interconnect)> = vec![
-        ("quadratic B2B (default)", Interconnect::Quadratic(NetModel::Bound2Bound)),
-        ("quadratic clique", Interconnect::Quadratic(NetModel::Clique)),
-        ("quadratic hybrid", Interconnect::Quadratic(NetModel::HybridCliqueStar)),
-        ("log-sum-exp γ=4 rows", Interconnect::LogSumExp { gamma_rows: 4.0 }),
-        ("β-regularized β=1 row²", Interconnect::BetaRegularized { beta_rows2: 1.0 }),
+        (
+            "quadratic B2B (default)",
+            Interconnect::Quadratic(NetModel::Bound2Bound),
+        ),
+        (
+            "quadratic clique",
+            Interconnect::Quadratic(NetModel::Clique),
+        ),
+        (
+            "quadratic hybrid",
+            Interconnect::Quadratic(NetModel::HybridCliqueStar),
+        ),
+        (
+            "log-sum-exp γ=4 rows",
+            Interconnect::LogSumExp { gamma_rows: 4.0 },
+        ),
+        (
+            "β-regularized β=1 row²",
+            Interconnect::BetaRegularized { beta_rows2: 1.0 },
+        ),
         ("p,β-regularized p=8", Interconnect::PNorm { p: 8.0 }),
     ];
 
@@ -34,7 +49,8 @@ fn main() {
                     interconnect: *interconnect,
                     ..PlacerConfig::default()
                 })
-                .place(d).expect("placement failed")
+                .place(d)
+                .expect("placement failed")
             });
             table.add_row(vec![
                 name.to_string(),

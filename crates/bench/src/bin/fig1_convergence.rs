@@ -34,7 +34,9 @@ fn main() {
         gap_tolerance: 0.05,
         ..PlacerConfig::default()
     };
-    let outcome = ComplxPlacer::new(placer_cfg).place(&design).expect("placement failed");
+    let outcome = ComplxPlacer::new(placer_cfg)
+        .place(&design)
+        .expect("placement failed");
 
     let recs = outcome.trace.records();
     let lagrangian: Vec<f64> = recs.iter().map(|r| r.lagrangian).collect();
@@ -49,7 +51,11 @@ fn main() {
     println!(
         "{}",
         ascii_chart(
-            &[("L = Φ + λΠ", &lagrangian), ("Φ (interconnect)", &phi), ("Π (dist to legal)", &pi)],
+            &[
+                ("L = Φ + λΠ", &lagrangian),
+                ("Φ (interconnect)", &phi),
+                ("Π (dist to legal)", &pi)
+            ],
             18,
             true,
         )
@@ -77,11 +83,17 @@ fn main() {
         true,
     );
     std::fs::write(dir.join("fig1_convergence.svg"), svg).expect("artifact write");
-    eprintln!("[fig1] wrote {} and fig1_convergence.svg", dir.join("fig1_trace.csv").display());
+    eprintln!(
+        "[fig1] wrote {} and fig1_convergence.svg",
+        dir.join("fig1_trace.csv").display()
+    );
 
     // Validate the paper's qualitative claims and report.
     let first_real = 1.min(recs.len() - 1);
     let pi_drop = recs[first_real].pi / recs.last().expect("non-empty").pi.max(1e-12);
     let phi_rise = recs.last().expect("non-empty").phi_lower / recs[first_real].phi_lower;
-    println!("Π decreased by {pi_drop:.1}x; Φ increased by {phi_rise:.2}x; final λ = {:.3}", outcome.final_lambda);
+    println!(
+        "Π decreased by {pi_drop:.1}x; Φ increased by {phi_rise:.2}x; final λ = {:.3}",
+        outcome.final_lambda
+    );
 }

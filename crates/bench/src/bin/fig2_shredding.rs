@@ -40,7 +40,9 @@ fn main() {
         final_detail: false,
         ..PlacerConfig::default()
     };
-    let outcome = ComplxPlacer::new(placer_cfg).place(&design).expect("placement failed");
+    let outcome = ComplxPlacer::new(placer_cfg)
+        .place(&design)
+        .expect("placement failed");
 
     let shreds = build_items(&design, &outcome.upper, true);
     let svg = placement_snapshot(&design, &outcome.upper, Some(&shreds), 800.0);

@@ -27,7 +27,9 @@ fn main() {
         final_detail: false,
         ..PlacerConfig::default()
     };
-    let unconstrained = ComplxPlacer::new(uncon_cfg).place(&base).expect("placement failed");
+    let unconstrained = ComplxPlacer::new(uncon_cfg)
+        .place(&base)
+        .expect("placement failed");
     let hpwl_before = hpwl::hpwl(&base, &unconstrained.upper);
 
     // Pick 50 cells currently scattered around the middle of the layout
@@ -59,7 +61,8 @@ fn main() {
 
     // Rebuild the design with the region attached.
     let mut b = DesignBuilder::new(base.name(), base.core(), base.row_height());
-    b.set_target_density(base.target_density()).expect("valid density");
+    b.set_target_density(base.target_density())
+        .expect("valid density");
     for id in base.cell_ids() {
         let c = base.cell(id);
         if c.is_movable() {
@@ -81,7 +84,10 @@ fn main() {
         b.add_net(
             n.name(),
             n.weight(),
-            base.net_pins(nid).iter().map(|p| (p.cell, p.dx, p.dy)).collect(),
+            base.net_pins(nid)
+                .iter()
+                .map(|p| (p.cell, p.dx, p.dy))
+                .collect(),
         )
         .expect("valid net");
     }
@@ -92,7 +98,9 @@ fn main() {
         final_detail: false, // detail moves are not region-aware
         ..PlacerConfig::default()
     };
-    let constrained = ComplxPlacer::new(cfg).place(&constrained_design).expect("placement failed");
+    let constrained = ComplxPlacer::new(cfg)
+        .place(&constrained_design)
+        .expect("placement failed");
     let hpwl_after = hpwl::hpwl(&constrained_design, &constrained.upper);
     let satisfied = regions_satisfied(&constrained_design, &constrained.upper);
 

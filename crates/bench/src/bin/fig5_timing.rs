@@ -29,12 +29,18 @@ fn main() {
         .0;
     cfg.num_std_cells = (cfg.num_std_cells / scale.max(1)).max(500);
     let design = cfg.generate();
-    eprintln!("[fig5] baseline placement of {} ({} cells)", design.name(), design.num_cells());
+    eprintln!(
+        "[fig5] baseline placement of {} ({} cells)",
+        design.name(),
+        design.num_cells()
+    );
 
     // Baseline placement and critical-path selection (the paper runs 30
     // global iterations for a stable intermediate placement; we use the
     // final placement, which is even more stable).
-    let base = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let base = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
     let graph = TimingGraph::new(&design);
     let model = DelayModel::default();
 
@@ -54,7 +60,10 @@ fn main() {
     }
     selected_nets.sort_unstable();
     selected_nets.dedup();
-    eprintln!("[fig5] selected {} nets across 3 critical paths", selected_nets.len());
+    eprintln!(
+        "[fig5] selected {} nets across 3 critical paths",
+        selected_nets.len()
+    );
 
     let mut table = Table::new(vec![
         "net weight",
@@ -71,7 +80,9 @@ fn main() {
         } else {
             reweight_nets(&design, &selected_nets, w)
         };
-        let out = ComplxPlacer::new(PlacerConfig::default()).place(&d).expect("placement failed");
+        let out = ComplxPlacer::new(PlacerConfig::default())
+            .place(&d)
+            .expect("placement failed");
         let plen = path_length(&design, &out.legal, &selected_nets);
         let total = hpwl::hpwl(&design, &out.legal);
         let delay = graph
@@ -90,7 +101,10 @@ fn main() {
         std::fs::write(&path, svg).expect("artifact write");
     }
 
-    println!("Figure 5 / §S6 — critical-path net weighting on {}", design.name());
+    println!(
+        "Figure 5 / §S6 — critical-path net weighting on {}",
+        design.name()
+    );
     println!("{}", table.render());
     println!(
         "path shrink 1x -> 40x: {:.1}%; total HPWL change: {:+.2}%",
@@ -105,5 +119,8 @@ fn main() {
         ),
     )
     .expect("artifact write");
-    eprintln!("[fig5] wrote fig5_timing.txt and fig5_weight_*.svg in {}", dir.display());
+    eprintln!(
+        "[fig5] wrote fig5_timing.txt and fig5_weight_*.svg in {}",
+        dir.display()
+    );
 }

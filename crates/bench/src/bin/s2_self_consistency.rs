@@ -54,13 +54,9 @@ fn main() {
         if pi_prev <= 0.0 || phi0 <= 0.0 {
             continue;
         }
-        let mut schedule = LambdaSchedule::new(
-            cfg.lambda_mode,
-            cfg.lambda_init_divisor,
-            phi0,
-            pi_prev,
-        )
-        .with_inverse_ratio(true);
+        let mut schedule =
+            LambdaSchedule::new(cfg.lambda_mode, cfg.lambda_init_divisor, phi0, pi_prev)
+                .with_inverse_ratio(true);
 
         let mut prev_iterate = lower.clone();
         let mut prev_projection = proj.placement.clone();
@@ -69,15 +65,9 @@ fn main() {
             model.minimize(design, &mut lower, Some(&anchors));
             proj = projection.project_with_bins(design, &lower, bins);
 
-            let check = check_consistency(
-                &prev_iterate,
-                &prev_projection,
-                &lower,
-                &proj.placement,
-            );
+            let check = check_consistency(&prev_iterate, &prev_projection, &lower, &proj.placement);
             stats.record(check);
-            if k < 5 && check == complx_spread::self_consistency::ConsistencyCheck::Inconsistent
-            {
+            if k < 5 && check == complx_spread::self_consistency::ConsistencyCheck::Inconsistent {
                 early_inconsistent += 1;
             }
 

@@ -54,7 +54,9 @@ fn main() {
     for design in &designs {
         eprintln!("[s4] {}", design.name());
         let (cx, cx_out) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::default()).place(d).expect("placement failed")
+            ComplxPlacer::new(PlacerConfig::default())
+                .place(d)
+                .expect("placement failed")
         });
         let (cog, cog_out) = timed_run(design, |d| CogConstrained::default().place(d));
         table.add_row(vec![

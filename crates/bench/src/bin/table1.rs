@@ -10,7 +10,7 @@
 //! suite).
 
 use complx_bench::report::{fmt_hpwl_millions, fmt_seconds, Table};
-use complx_bench::runs::{suite_2005, timed_run};
+use complx_bench::runs::{reported_run, suite_2005, timed_run};
 use complx_bench::{artifact_dir, geomean, scale_arg};
 use complx_place::{baselines, ComplxPlacer, PlacerConfig};
 
@@ -32,8 +32,16 @@ fn main() {
 
     let mut gm: Vec<Vec<f64>> = vec![Vec::new(); 8]; // per numeric column
     for design in &designs {
-        eprintln!("[table1] placing {} ({} cells)", design.name(), design.num_cells());
-        let (simpl, _) = timed_run(design, |d| baselines::simpl_placer().place(d).expect("placement failed"));
+        eprintln!(
+            "[table1] placing {} ({} cells)",
+            design.name(),
+            design.num_cells()
+        );
+        let (simpl, _) = timed_run(design, |d| {
+            baselines::simpl_placer()
+                .place(d)
+                .expect("placement failed")
+        });
         let (rql, _) = timed_run(design, |d| baselines::RqlLike::default().place(d));
         let (best_hpwl, best_name) = if simpl.hpwl <= rql.hpwl {
             (simpl.hpwl, "SimPL")
@@ -41,14 +49,25 @@ fn main() {
             (rql.hpwl, "RQL")
         };
 
-        let (finest, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::finest_grid()).place(d).expect("placement failed")
+        // The three ComPLx columns take their runtimes from the RunReport's
+        // instrumented `place` phase, not a re-measured wall clock.
+        let finest_cfg = PlacerConfig::finest_grid();
+        let (finest, _, _) = reported_run(design, Some(&finest_cfg), |d| {
+            ComplxPlacer::new(finest_cfg.clone())
+                .place(d)
+                .expect("placement failed")
         });
-        let (pcdp, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::projection_with_detail()).place(d).expect("placement failed")
+        let pcdp_cfg = PlacerConfig::projection_with_detail();
+        let (pcdp, _, _) = reported_run(design, Some(&pcdp_cfg), |d| {
+            ComplxPlacer::new(pcdp_cfg.clone())
+                .place(d)
+                .expect("placement failed")
         });
-        let (default, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::default()).place(d).expect("placement failed")
+        let default_cfg = PlacerConfig::default();
+        let (default, _, _) = reported_run(design, Some(&default_cfg), |d| {
+            ComplxPlacer::new(default_cfg.clone())
+                .place(d)
+                .expect("placement failed")
         });
 
         let cols = [
@@ -95,7 +114,10 @@ fn main() {
     ]);
 
     let rendered = table.render();
-    println!("Table 1 — ISPD-2005-like suite (scale divisor {})", 40 * scale);
+    println!(
+        "Table 1 — ISPD-2005-like suite (scale divisor {})",
+        40 * scale
+    );
     println!("{rendered}");
     let path = artifact_dir().join("table1.txt");
     std::fs::write(&path, &rendered).expect("artifact write");

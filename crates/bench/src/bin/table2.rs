@@ -38,10 +38,16 @@ fn main() {
             design.target_density()
         );
         let (fp, _) = timed_run(design, |d| baselines::FastPlaceLike::default().place(d));
-        let (sp, _) = timed_run(design, |d| baselines::simpl_placer().place(d).expect("placement failed"));
+        let (sp, _) = timed_run(design, |d| {
+            baselines::simpl_placer()
+                .place(d)
+                .expect("placement failed")
+        });
         let (rq, _) = timed_run(design, |d| baselines::RqlLike::default().place(d));
         let (cx, _) = timed_run(design, |d| {
-            ComplxPlacer::new(PlacerConfig::default()).place(d).expect("placement failed")
+            ComplxPlacer::new(PlacerConfig::default())
+                .place(d)
+                .expect("placement failed")
         });
         for (i, s) in [&fp, &sp, &rq, &cx].iter().enumerate() {
             scaled[i].push(s.scaled_hpwl);
@@ -71,9 +77,21 @@ fn main() {
     table.add_row(vec![
         "geomean".to_string(),
         String::new(),
-        format!("{:.3}x ({:.2})", geomean(&scaled[0]) / base, mean_pen(&penalties[0])),
-        format!("{:.3}x ({:.2})", geomean(&scaled[1]) / base, mean_pen(&penalties[1])),
-        format!("{:.3}x ({:.2})", geomean(&scaled[2]) / base, mean_pen(&penalties[2])),
+        format!(
+            "{:.3}x ({:.2})",
+            geomean(&scaled[0]) / base,
+            mean_pen(&penalties[0])
+        ),
+        format!(
+            "{:.3}x ({:.2})",
+            geomean(&scaled[1]) / base,
+            mean_pen(&penalties[1])
+        ),
+        format!(
+            "{:.3}x ({:.2})",
+            geomean(&scaled[2]) / base,
+            mean_pen(&penalties[2])
+        ),
         format!("1.000x ({:.2})", mean_pen(&penalties[3])),
         format!("{:.2}", geomean(&seconds)),
     ]);

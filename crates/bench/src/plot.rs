@@ -6,11 +6,7 @@
 /// Each series gets a distinct glyph; overlapping points show the later
 /// series' glyph.
 pub fn ascii_chart(series: &[(&str, &[f64])], height: usize, log_y: bool) -> String {
-    let width = series
-        .iter()
-        .map(|(_, v)| v.len())
-        .max()
-        .unwrap_or(0);
+    let width = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
     if width == 0 || height == 0 {
         return String::new();
     }

@@ -3,7 +3,8 @@
 use std::time::Instant;
 
 use complx_netlist::{generator, Design};
-use complx_place::PlacementOutcome;
+use complx_obs::RunReport;
+use complx_place::{PlacementOutcome, PlacerConfig};
 
 /// One benchmark run's summary row.
 #[derive(Debug, Clone)]
@@ -59,6 +60,34 @@ pub fn timed_run(
     (RunSummary::from_outcome(design, &outcome, secs), outcome)
 }
 
+/// Runs a placer closure under an armed instrumentation pipeline and
+/// returns the summary, the outcome, and the end-of-run [`RunReport`].
+///
+/// The summary's `seconds` comes from the report's `place` phase — the
+/// instrumented root span, measured once where the work happens — rather
+/// than a wall clock re-measured around the call; the wall clock is kept
+/// only as the report's `total_seconds` and as a fallback for runs that
+/// never opened the root span.
+pub fn reported_run(
+    design: &Design,
+    config: Option<&PlacerConfig>,
+    run: impl FnOnce(&Design) -> PlacementOutcome,
+) -> (RunSummary, PlacementOutcome, RunReport) {
+    complx_obs::install(Vec::new());
+    let t = Instant::now();
+    let outcome = run(design);
+    let wall = t.elapsed().as_secs_f64();
+    let harvest = complx_obs::harvest();
+    let report = complx_place::run_report(design, config, &outcome, harvest, wall);
+    let place_secs = report.phase_seconds("place");
+    let secs = if place_secs > 0.0 { place_secs } else { wall };
+    (
+        RunSummary::from_outcome(design, &outcome, secs),
+        outcome,
+        report,
+    )
+}
+
 /// Generates the ISPD-2005-like suite at `scale` (sizes divided by
 /// `40·scale`).
 pub fn suite_2005(scale: usize) -> Vec<Design> {
@@ -97,10 +126,34 @@ mod tests {
     }
 
     #[test]
+    fn reported_run_takes_seconds_from_the_place_phase() {
+        let d = complx_netlist::generator::GeneratorConfig::small("rr", 2).generate();
+        let cfg = PlacerConfig::fast();
+        let (summary, outcome, report) = reported_run(&d, Some(&cfg), |d| {
+            ComplxPlacer::new(cfg.clone())
+                .place(d)
+                .expect("placement failed")
+        });
+        assert!(summary.seconds > 0.0);
+        let place = report.phase_seconds("place");
+        assert!(place > 0.0, "instrumented root phase present");
+        assert_eq!(summary.seconds, place);
+        // The instrumented time is bounded by the re-measured wall clock.
+        assert!(place <= report.total_seconds * 1.05);
+        assert_eq!(
+            report.counter("place.iterations") as usize,
+            outcome.iterations
+        );
+    }
+
+    #[test]
     fn timed_run_reports_time_and_metrics() {
         let d = complx_netlist::generator::GeneratorConfig::small("tr", 1).generate();
-        let (summary, _) =
-            timed_run(&d, |d| ComplxPlacer::new(PlacerConfig::fast()).place(d).expect("placement failed"));
+        let (summary, _) = timed_run(&d, |d| {
+            ComplxPlacer::new(PlacerConfig::fast())
+                .place(d)
+                .expect("placement failed")
+        });
         assert!(summary.seconds > 0.0);
         assert!(summary.hpwl > 0.0);
         assert_eq!(summary.name, "tr");

@@ -103,7 +103,11 @@ pub fn placement_snapshot(
     shreds: Option<&[complx_spread::Item]>,
     px: f64,
 ) -> String {
-    let mut canvas = SvgCanvas::new(px, px * design.core().height() / design.core().width(), design.core());
+    let mut canvas = SvgCanvas::new(
+        px,
+        px * design.core().height() / design.core().width(),
+        design.core(),
+    );
     canvas.rect(design.core(), "none", "black", 1.0);
     for id in design.cell_ids() {
         let cell = design.cell(id);
@@ -140,12 +144,7 @@ pub fn placement_snapshot(
 pub type PlotSeries<'a> = (&'a str, &'a str, &'a [(f64, f64)]);
 
 /// Renders an x/y scatter-or-line plot with axis labels (Figures 1, 3).
-pub fn xy_plot(
-    series: &[PlotSeries<'_>],
-    x_label: &str,
-    y_label: &str,
-    log_y: bool,
-) -> String {
+pub fn xy_plot(series: &[PlotSeries<'_>], x_label: &str, y_label: &str, log_y: bool) -> String {
     let (w, h, margin) = (640.0, 420.0, 50.0);
     let mut lo_x = f64::INFINITY;
     let mut hi_x = f64::NEG_INFINITY;
@@ -163,12 +162,7 @@ pub fn xy_plot(
     if !lo_x.is_finite() {
         return String::new();
     }
-    let world = Rect::new(
-        lo_x,
-        lo_y,
-        hi_x.max(lo_x + 1e-9),
-        hi_y.max(lo_y + 1e-9),
-    );
+    let world = Rect::new(lo_x, lo_y, hi_x.max(lo_x + 1e-9), hi_y.max(lo_y + 1e-9));
     let mut canvas = SvgCanvas::new(w - 2.0 * margin, h - 2.0 * margin, world);
     for (si, (_, color, pts)) in series.iter().enumerate() {
         let mapped: Vec<(f64, f64)> = pts.iter().map(|&(x, y)| (x, ty(y))).collect();
@@ -215,7 +209,11 @@ pub fn xy_plot(
     let inner = canvas.render();
     let inner = inner
         .replace("<svg xmlns=\"http://www.w3.org/2000/svg\"", "<svg")
-        .replacen("<svg", &format!("<g transform=\"translate({margin},{margin})\""), 1)
+        .replacen(
+            "<svg",
+            &format!("<g transform=\"translate({margin},{margin})\""),
+            1,
+        )
         .replace("</svg>", "</g>");
     let mut legend = String::new();
     for (i, (name, color, _)) in series.iter().enumerate() {

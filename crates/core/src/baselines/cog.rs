@@ -23,8 +23,11 @@ use complx_netlist::{hpwl, CellId, CellKind, Design, Placement, Point};
 use complx_sparse::{CgSolver, CsrMatrix, TripletMatrix};
 use complx_wirelength::{decompose_net, Edge, NetModel, VarIndex};
 
+use complx_obs as obs;
+
 use crate::metrics::PlacementMetrics;
 use crate::placer::PlacementOutcome;
+use crate::solves::SolveRecord;
 use crate::trace::{IterationRecord, Trace};
 
 /// Configuration of the CoG-constrained baseline.
@@ -52,14 +55,23 @@ impl Default for CogConstrained {
 impl CogConstrained {
     /// Runs the baseline. The outcome mirrors [`crate::ComplxPlacer`].
     pub fn place(&self, design: &Design) -> PlacementOutcome {
+        let _place_span = obs::span("place");
         let t_global = Instant::now();
         let index = VarIndex::new(design);
         let mut placement = design.initial_placement();
         let mut trace = Trace::new();
+        let mut solves: Vec<SolveRecord> = Vec::new();
 
         // Bootstrap: unconstrained quadratic optimum.
-        for _ in 0..3 {
-            solve_axis_pair(design, &index, &mut placement, &[], &[], 0.0);
+        {
+            let _bootstrap_span = obs::span("bootstrap");
+            for _ in 0..3 {
+                let rec = solve_axis_pair(design, &index, &mut placement, &[], &[], 0.0);
+                solves.push(SolveRecord {
+                    iteration: 0,
+                    ..rec
+                });
+            }
         }
         let phi0 = hpwl::weighted_hpwl(design, &placement);
         trace.push(IterationRecord {
@@ -95,15 +107,11 @@ impl CogConstrained {
             let rho = self.rho_factor;
 
             for _ in 0..self.dual_iterations {
+                let _iter_span = obs::span("iteration");
+                obs::add("place.iterations", 1);
                 iteration += 1;
-                solve_axis_pair(
-                    design,
-                    &index,
-                    &mut placement,
-                    &regions,
-                    &centers,
-                    rho,
-                );
+                let rec = solve_axis_pair(design, &index, &mut placement, &regions, &centers, rho);
+                solves.push(SolveRecord { iteration, ..rec });
                 // Dual ascent on the CoG residuals.
                 let (res_x, res_y) = cog_residuals(design, &placement, &regions, &centers);
                 let mut total_violation = 0.0;
@@ -153,6 +161,7 @@ impl CogConstrained {
             recoveries: 0,
             global_seconds,
             detail_seconds,
+            solves,
         }
     }
 }
@@ -305,7 +314,9 @@ fn decode_region(raw: u32, n_side: usize) -> usize {
 }
 
 /// Solves both axes of `Φ_Q + rho·Σ_r |r|·(CoG_r − c_r)²` (the augmented
-/// penalty linearized as per-cell pulls toward `pos − residual`).
+/// penalty linearized as per-cell pulls toward `pos − residual`). Returns
+/// the solver record for the pair (the `iteration` field is left at 0 for
+/// the caller to tag).
 fn solve_axis_pair(
     design: &Design,
     index: &VarIndex,
@@ -313,7 +324,8 @@ fn solve_axis_pair(
     regions: &[u32],
     centers: &[Point],
     rho: f64,
-) {
+) -> SolveRecord {
+    let mut axis_stats = Vec::with_capacity(2);
     let has_cog = !centers.is_empty() && rho > 0.0;
     let (res_x, res_y) = if has_cog {
         cog_residuals(design, placement, regions, centers)
@@ -342,9 +354,10 @@ fn solve_axis_pair(
         for nid in design.net_ids() {
             let pins = design.net_pins(nid);
             coords.clear();
-            coords.extend(pins.iter().map(|p| {
-                coord(p.cell) + if is_x { p.dx } else { p.dy }
-            }));
+            coords.extend(
+                pins.iter()
+                    .map(|p| coord(p.cell) + if is_x { p.dx } else { p.dy }),
+            );
             decompose_net(
                 NetModel::Bound2Bound,
                 design.net(nid).weight(),
@@ -410,13 +423,17 @@ fn solve_axis_pair(
         let a = q.to_csr();
         let rhs: Vec<f64> = f.iter().map(|v| -v).collect();
         let mut x: Vec<f64> = (0..n).map(|v| coord(index.cell(v))).collect();
-        CgSolver::new().with_tolerance(1e-5).solve(&a, &rhs, &mut x);
+        axis_stats.push(CgSolver::new().with_tolerance(1e-5).solve(&a, &rhs, &mut x));
 
         let core = design.core();
         for (v, &xi) in x.iter().enumerate() {
             let cell = index.cell(v);
             let c = design.cell(cell);
-            let half = if is_x { 0.5 * c.width() } else { 0.5 * c.height() };
+            let half = if is_x {
+                0.5 * c.width()
+            } else {
+                0.5 * c.height()
+            };
             let (lo, hi) = if is_x {
                 (core.lx + half, core.hx - half)
             } else {
@@ -429,6 +446,16 @@ fn solve_axis_pair(
                 placement.ys_mut()[cell.index()] = clamped;
             }
         }
+    }
+    let (sx, sy) = (axis_stats[0], axis_stats[1]);
+    SolveRecord {
+        iteration: 0,
+        iterations_x: sx.iterations,
+        iterations_y: sy.iterations,
+        relative_residual: sx.relative_residual.max(sy.relative_residual),
+        clamped_diagonals: sx.clamped_diagonals + sy.clamped_diagonals,
+        converged: sx.converged && sy.converged,
+        breakdown: sx.breakdown.is_some() || sy.breakdown.is_some(),
     }
 }
 
@@ -499,9 +526,6 @@ mod tests {
         }
         let max = *counts.iter().max().expect("non-empty");
         let min = *counts.iter().min().expect("non-empty");
-        assert!(
-            max <= min + min / 2 + 2,
-            "unbalanced regions: {counts:?}"
-        );
+        assert!(max <= min + min / 2 + 2, "unbalanced regions: {counts:?}");
     }
 }

@@ -15,8 +15,11 @@ use complx_netlist::{density::DensityGrid, hpwl, Design, Placement, Point};
 use complx_sparse::CgSolver;
 use complx_wirelength::{Anchors, InterconnectModel, NetModel, QuadraticModel};
 
+use complx_obs as obs;
+
 use crate::metrics::PlacementMetrics;
 use crate::placer::PlacementOutcome;
+use crate::solves::SolveRecord;
 use crate::trace::{IterationRecord, Trace};
 
 /// Configuration of the FastPlace-like baseline.
@@ -51,13 +54,19 @@ impl FastPlaceLike {
     /// Runs the baseline; the outcome mirrors [`crate::ComplxPlacer`] so the
     /// benchmark harness can tabulate both uniformly.
     pub fn place(&self, design: &Design) -> PlacementOutcome {
+        let _place_span = obs::span("place");
         let t_global = Instant::now();
         let model = QuadraticModel::new(NetModel::HybridCliqueStar)
             .with_solver(CgSolver::new().with_tolerance(1e-5));
 
+        let mut solves: Vec<SolveRecord> = Vec::new();
         let mut lower = design.initial_placement();
-        for _ in 0..3 {
-            model.minimize(design, &mut lower, None);
+        {
+            let _bootstrap_span = obs::span("bootstrap");
+            for _ in 0..3 {
+                let stats = model.minimize(design, &mut lower, None);
+                solves.push(SolveRecord::from_stats(0, &stats));
+            }
         }
 
         let bins = grid_bins(design);
@@ -70,7 +79,13 @@ impl FastPlaceLike {
         let g0 = DensityGrid::build(design, &lower, bins, bins);
         let phi0 = hpwl::weighted_hpwl(design, &lower);
         let mut shifted = lower.clone();
-        diffuse(design, &mut shifted, bins, self.diffusion_step, self.diffusion_substeps);
+        diffuse(
+            design,
+            &mut shifted,
+            bins,
+            self.diffusion_step,
+            self.diffusion_substeps,
+        );
         let pi0 = lower.l1_distance(&shifted).max(1e-12);
         let lambda_1 = phi0 / (100.0 * pi0);
         trace.push(IterationRecord {
@@ -86,6 +101,8 @@ impl FastPlaceLike {
 
         let mut targets = shifted;
         for k in 1..=self.max_iterations {
+            let _iter_span = obs::span("iteration");
+            obs::add("place.iterations", 1);
             iterations = k;
             anchor_lambda = if anchor_lambda == 0.0 {
                 lambda_1
@@ -93,7 +110,8 @@ impl FastPlaceLike {
                 anchor_lambda * self.anchor_growth
             };
             let anchors = Anchors::uniform(design, targets.clone(), anchor_lambda);
-            model.minimize(design, &mut lower, Some(&anchors));
+            let stats = model.minimize(design, &mut lower, Some(&anchors));
+            solves.push(SolveRecord::from_stats(k, &stats));
 
             // Local diffusion toward less dense areas.
             let mut next = lower.clone();
@@ -153,6 +171,7 @@ impl FastPlaceLike {
             recoveries: 0,
             global_seconds,
             detail_seconds,
+            solves,
         }
     }
 }

@@ -19,8 +19,11 @@ use complx_sparse::CgSolver;
 use complx_spread::FeasibilityProjection;
 use complx_wirelength::{Anchors, InterconnectModel, NetModel, QuadraticModel};
 
+use complx_obs as obs;
+
 use crate::metrics::PlacementMetrics;
 use crate::placer::PlacementOutcome;
+use crate::solves::SolveRecord;
 use crate::trace::{IterationRecord, Trace};
 
 /// Configuration of the RQL-like baseline.
@@ -55,6 +58,7 @@ impl Default for RqlLike {
 impl RqlLike {
     /// Runs the baseline.
     pub fn place(&self, design: &Design) -> PlacementOutcome {
+        let _place_span = obs::span("place");
         let t_global = Instant::now();
         let model = QuadraticModel::new(NetModel::Bound2Bound)
             .with_solver(CgSolver::new().with_tolerance(1e-5));
@@ -62,9 +66,14 @@ impl RqlLike {
         let bins = projection.adaptive_bins(design);
         let cap = self.displacement_cap_bins * design.core().width() / bins as f64;
 
+        let mut solves: Vec<SolveRecord> = Vec::new();
         let mut lower = design.initial_placement();
-        for _ in 0..3 {
-            model.minimize(design, &mut lower, None);
+        {
+            let _bootstrap_span = obs::span("bootstrap");
+            for _ in 0..3 {
+                let stats = model.minimize(design, &mut lower, None);
+                solves.push(SolveRecord::from_stats(0, &stats));
+            }
         }
 
         let mut trace = Trace::new();
@@ -92,6 +101,8 @@ impl RqlLike {
         let mut converged = false;
         let mut iterations = 0;
         for k in 1..=self.max_iterations {
+            let _iter_span = obs::span("iteration");
+            obs::add("place.iterations", 1);
             iterations = k;
             lambda = if lambda == 0.0 {
                 lambda_1
@@ -99,7 +110,8 @@ impl RqlLike {
                 lambda + self.lambda_step * lambda_1
             };
             let anchors = Anchors::uniform(design, targets.clone(), lambda);
-            model.minimize(design, &mut lower, Some(&anchors));
+            let stats = model.minimize(design, &mut lower, Some(&anchors));
+            solves.push(SolveRecord::from_stats(k, &stats));
 
             proj = projection.project_with_bins(design, &lower, bins);
             let upper = proj.placement.clone();
@@ -164,6 +176,7 @@ impl RqlLike {
             recoveries: 0,
             global_seconds,
             detail_seconds,
+            solves,
         }
     }
 }

@@ -16,7 +16,14 @@
 //!   --max-seconds <s>      wall-clock budget; the placer exits gracefully
 //!                          with its best feasible iterate when it expires
 //!   --max-recoveries <n>   divergence-recovery attempts before giving up
-//!   --trace <file.csv>     write the per-iteration convergence trace
+//!   --trace <file>         write the per-iteration convergence trace;
+//!                          a `.json` extension selects JSON, anything
+//!                          else CSV
+//!   --report <file.json>   write the end-of-run report manifest
+//!   --events <file.jsonl>  stream instrumentation events (one JSON
+//!                          object per line) while placing
+//!   --log-level <level>    stderr instrumentation verbosity:
+//!                          off | info | debug (default off)
 //!   -q, --quiet            suppress progress output
 //! ```
 //!
@@ -29,6 +36,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use complx_netlist::bookshelf;
+use complx_obs::{JsonlSink, Level, Sink, StderrLogger};
 use complx_place::{ComplxPlacer, Interconnect, PlaceError, PlacerConfig};
 
 struct Options {
@@ -44,13 +52,17 @@ struct Options {
     max_seconds: Option<f64>,
     max_recoveries: Option<usize>,
     trace: Option<PathBuf>,
+    report: Option<PathBuf>,
+    events: Option<PathBuf>,
+    log_level: Level,
     quiet: bool,
 }
 
 fn usage() -> &'static str {
     "usage: complx <design.aux> [-o DIR] [--target-density G] [--max-iterations N]\n\
      [--finest-grid] [--pc-dp] [--simpl] [--lse [GAMMA_ROWS]] [--no-detail]\n\
-     [--max-seconds S] [--max-recoveries N] [--trace FILE.csv] [-q]"
+     [--max-seconds S] [--max-recoveries N] [--trace FILE[.json|.csv]]\n\
+     [--report FILE.json] [--events FILE.jsonl] [--log-level off|info|debug] [-q]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -68,15 +80,16 @@ fn parse_args() -> Result<Options, String> {
         max_seconds: None,
         max_recoveries: None,
         trace: None,
+        report: None,
+        events: None,
+        log_level: Level::Off,
         quiet: false,
     };
     let mut positional = Vec::new();
     while let Some(a) = args.next() {
         match a.as_str() {
             "-o" | "--out" => {
-                opts.out = Some(PathBuf::from(
-                    args.next().ok_or("missing value for --out")?,
-                ))
+                opts.out = Some(PathBuf::from(args.next().ok_or("missing value for --out")?))
             }
             "--target-density" => {
                 let v: f64 = args
@@ -133,6 +146,22 @@ fn parse_args() -> Result<Options, String> {
                     args.next().ok_or("missing value for --trace")?,
                 ))
             }
+            "--report" => {
+                opts.report = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --report")?,
+                ))
+            }
+            "--events" => {
+                opts.events = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --events")?,
+                ))
+            }
+            "--log-level" => {
+                opts.log_level = args
+                    .next()
+                    .ok_or("missing value for --log-level")?
+                    .parse()?;
+            }
             "-q" | "--quiet" => opts.quiet = true,
             "-h" | "--help" => return Err(usage().to_string()),
             other if !other.starts_with('-') => positional.push(PathBuf::from(other)),
@@ -168,11 +197,8 @@ fn main() -> ExitCode {
     let mut design = bundle.design;
     if let Some(gamma) = opts.target_density {
         // Rebuild with the overridden density (Design is immutable).
-        let mut b = complx_netlist::DesignBuilder::new(
-            design.name(),
-            design.core(),
-            design.row_height(),
-        );
+        let mut b =
+            complx_netlist::DesignBuilder::new(design.name(), design.core(), design.row_height());
         if let Err(e) = b.set_target_density(gamma) {
             eprintln!("complx: {e}");
             return ExitCode::FAILURE;
@@ -180,7 +206,8 @@ fn main() -> ExitCode {
         for id in design.cell_ids() {
             let c = design.cell(id);
             let r = if c.is_movable() {
-                b.add_cell(c.name(), c.width(), c.height(), c.kind()).map(|_| ())
+                b.add_cell(c.name(), c.width(), c.height(), c.kind())
+                    .map(|_| ())
             } else {
                 b.add_fixed_cell(
                     c.name(),
@@ -255,12 +282,46 @@ fn main() -> ExitCode {
             eprintln!("complx: warning: {issue}");
         }
     }
-    let outcome = match ComplxPlacer::new(cfg).place(&design) {
+    let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+    if opts.log_level > Level::Off {
+        sinks.push(Box::new(StderrLogger::new(opts.log_level)));
+    }
+    if let Some(events_path) = &opts.events {
+        match JsonlSink::create(events_path) {
+            Ok(s) => sinks.push(Box::new(s)),
+            Err(e) => {
+                let e = PlaceError::from(e);
+                eprintln!(
+                    "complx: error[{}]: cannot open events stream {}: {e}",
+                    e.kind(),
+                    events_path.display()
+                );
+                return ExitCode::from(e.exit_code());
+            }
+        }
+    }
+    let instrument = !sinks.is_empty() || opts.report.is_some();
+    if instrument {
+        complx_obs::install(sinks);
+    }
+
+    let started = std::time::Instant::now();
+    let outcome = match ComplxPlacer::new(cfg.clone()).place(&design) {
         Ok(o) => o,
         Err(e) => {
+            // Flush the event stream so a failed run still leaves a record.
+            if instrument {
+                drop(complx_obs::harvest());
+            }
             eprintln!("complx: error[{}]: {e}", e.kind());
             return ExitCode::from(e.exit_code());
         }
+    };
+    let total_seconds = started.elapsed().as_secs_f64();
+    let harvest = if instrument {
+        complx_obs::harvest()
+    } else {
+        None
     };
     if !opts.quiet {
         eprintln!(
@@ -294,7 +355,12 @@ fn main() -> ExitCode {
     }
 
     if let Some(trace_path) = &opts.trace {
-        if let Err(e) = std::fs::write(trace_path, outcome.trace.to_csv()) {
+        let serialized = if trace_path.extension().is_some_and(|x| x == "json") {
+            outcome.trace.to_json()
+        } else {
+            outcome.trace.to_csv()
+        };
+        if let Err(e) = std::fs::write(trace_path, serialized) {
             let e = PlaceError::from(e);
             eprintln!(
                 "complx: error[{}]: cannot write trace {}: {e}",
@@ -302,6 +368,25 @@ fn main() -> ExitCode {
                 trace_path.display()
             );
             return ExitCode::from(e.exit_code());
+        }
+    }
+
+    if instrument {
+        let report =
+            complx_place::run_report(&design, Some(&cfg), &outcome, harvest, total_seconds);
+        if !opts.quiet {
+            eprint!("{}", report.summary_table());
+        }
+        if let Some(report_path) = &opts.report {
+            if let Err(e) = std::fs::write(report_path, report.to_json_string()) {
+                let e = PlaceError::from(e);
+                eprintln!(
+                    "complx: error[{}]: cannot write report {}: {e}",
+                    e.kind(),
+                    report_path.display()
+                );
+                return ExitCode::from(e.exit_code());
+            }
         }
     }
 

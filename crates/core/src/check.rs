@@ -51,7 +51,10 @@ impl std::fmt::Display for Violation {
             Violation::RegionViolated => write!(f, "a region constraint is violated"),
             Violation::AlignmentViolated => write!(f, "an alignment constraint is violated"),
             Violation::Overflow { percent, limit } => {
-                write!(f, "density overflow {percent:.2}% exceeds limit {limit:.2}%")
+                write!(
+                    f,
+                    "density overflow {percent:.2}% exceeds limit {limit:.2}%"
+                )
             }
         }
     }
@@ -172,9 +175,7 @@ mod tests {
         };
         let loose = verify_placement(&d, &out.upper, &relaxed);
         assert!(
-            loose
-                .iter()
-                .all(|v| !matches!(v, Violation::OffRow { .. })),
+            loose.iter().all(|v| !matches!(v, Violation::OffRow { .. })),
             "{loose:?}"
         );
     }

@@ -185,14 +185,19 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::Other, "x");
         let errs = [
             PlaceError::InvalidDesign { reason: "r".into() },
-            PlaceError::SolverBreakdown { iteration: 1, detail: "d".into() },
+            PlaceError::SolverBreakdown {
+                iteration: 1,
+                detail: "d".into(),
+            },
             PlaceError::Diverged {
                 iteration: 2,
                 recoveries: 3,
                 best: None,
                 detail: "d".into(),
             },
-            PlaceError::TimedOut { budget_seconds: 1.0 },
+            PlaceError::TimedOut {
+                budget_seconds: 1.0,
+            },
             PlaceError::Io(io),
         ];
         let mut codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();

@@ -79,7 +79,11 @@ impl LambdaSchedule {
                 } else {
                     1.0
                 };
-                let ratio = if self.inverse_ratio && ratio > 0.0 { 1.0 / ratio } else { ratio };
+                let ratio = if self.inverse_ratio && ratio > 0.0 {
+                    1.0 / ratio
+                } else {
+                    ratio
+                };
                 self.lambda = (2.0 * self.lambda).min(self.lambda + ratio * self.h);
             }
             LambdaMode::Arithmetic { step } => {
@@ -125,8 +129,7 @@ mod tests {
 
     #[test]
     fn arithmetic_growth_is_linear() {
-        let mut s =
-            LambdaSchedule::new(LambdaMode::Arithmetic { step: 1.0 }, 100.0, 100.0, 1.0);
+        let mut s = LambdaSchedule::new(LambdaMode::Arithmetic { step: 1.0 }, 100.0, 100.0, 1.0);
         let l1 = s.lambda_1();
         s.advance(1.0, 1.0);
         s.advance(1.0, 1.0);
@@ -135,8 +138,7 @@ mod tests {
 
     #[test]
     fn geometric_growth_multiplies() {
-        let mut s =
-            LambdaSchedule::new(LambdaMode::Geometric { ratio: 1.5 }, 100.0, 100.0, 1.0);
+        let mut s = LambdaSchedule::new(LambdaMode::Geometric { ratio: 1.5 }, 100.0, 100.0, 1.0);
         let l1 = s.lambda();
         s.advance(1.0, 1.0);
         assert!((s.lambda() - 1.5 * l1).abs() < 1e-12);

@@ -51,6 +51,8 @@ pub mod faults;
 mod lambda;
 mod metrics;
 mod placer;
+pub mod report;
+mod solves;
 pub mod timing_driven;
 mod trace;
 
@@ -60,4 +62,6 @@ pub use faults::{FaultInjection, FaultKind, FaultPlan};
 pub use lambda::LambdaSchedule;
 pub use metrics::PlacementMetrics;
 pub use placer::{ComplxPlacer, PlacementOutcome};
+pub use report::run_report;
+pub use solves::{SolveRecord, SolverTotals};
 pub use trace::{IterationRecord, Trace};

@@ -23,8 +23,7 @@ impl PlacementMetrics {
     /// Measures a placement.
     pub fn measure(design: &Design, placement: &Placement) -> Self {
         let hp = hpwl::hpwl(design, placement);
-        let penalty =
-            density::overflow_penalty_percent(design, placement, Self::METRIC_BINS);
+        let penalty = density::overflow_penalty_percent(design, placement, Self::METRIC_BINS);
         Self {
             hpwl: hp,
             weighted_hpwl: hpwl::weighted_hpwl(design, placement),

@@ -11,11 +11,14 @@ use complx_wirelength::{
     Anchors, BetaRegModel, InterconnectModel, LseModel, PNormModel, QuadraticModel,
 };
 
+use complx_obs as obs;
+
 use crate::config::{Interconnect, PlacerConfig};
 use crate::error::{PlaceError, StopReason};
 use crate::faults::{FaultArming, FaultKind};
 use crate::lambda::LambdaSchedule;
 use crate::metrics::PlacementMetrics;
+use crate::solves::{SolveRecord, SolverTotals};
 use crate::trace::{IterationRecord, Trace};
 
 /// Everything a placement run produces.
@@ -51,6 +54,16 @@ pub struct PlacementOutcome {
     pub global_seconds: f64,
     /// Wall-clock seconds in legalization + detailed placement.
     pub detail_seconds: f64,
+    /// Per-iteration linear-solver statistics (bootstrap solves at
+    /// iteration 0, then one record per λ-loop primal step).
+    pub solves: Vec<SolveRecord>,
+}
+
+impl PlacementOutcome {
+    /// Run-level totals over [`Self::solves`].
+    pub fn solver_totals(&self) -> SolverTotals {
+        SolverTotals::from_records(&self.solves)
+    }
 }
 
 /// The ComPLx global placer. See the crate docs for the algorithm.
@@ -119,6 +132,7 @@ impl ComplxPlacer {
             }
         }
         validate_design(design)?;
+        let _place_span = obs::span("place");
         let cfg = &self.config;
         let t_global = Instant::now();
         let deadline = match cfg.time_budget {
@@ -128,9 +142,7 @@ impl ComplxPlacer {
             Some(s) => Some(t_global + Duration::from_secs_f64(s)),
             None => None,
         };
-        let out_of_time = |deadline: Option<Instant>| {
-            deadline.is_some_and(|d| Instant::now() >= d)
-        };
+        let out_of_time = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
 
         // The CG tolerance is recovery-state: each divergence recovery
         // tightens it (sloppier solves are a prime source of breakdowns),
@@ -183,9 +195,12 @@ impl ComplxPlacer {
         // Bootstrap: unconstrained quadratic placement (λ = 0). A few
         // passes let the B2B linearization settle. A breakdown here is
         // fatal — no feasible iterate exists yet to degrade to.
+        let mut solves: Vec<SolveRecord> = Vec::new();
+        let bootstrap_span = obs::span("bootstrap");
         let mut lower = design.initial_placement();
         for _ in 0..3 {
             let stats = model.minimize(design, &mut lower, None);
+            solves.push(SolveRecord::from_stats(0, &stats));
             if stats.breakdown {
                 return Err(PlaceError::SolverBreakdown {
                     iteration: 0,
@@ -208,11 +223,8 @@ impl ComplxPlacer {
         }
 
         let mut trace = Trace::new();
-        let mut proj = projection.project_with_bins(
-            design,
-            &lower,
-            cfg.grid.bins_at(0, adaptive),
-        );
+        let mut proj = projection.project_with_bins(design, &lower, cfg.grid.bins_at(0, adaptive));
+        drop(bootstrap_span);
         let mut upper = proj.placement.clone();
         let phi0 = hpwl::weighted_hpwl(design, &lower);
         let mut pi_prev = proj.distance_l1;
@@ -245,13 +257,9 @@ impl ComplxPlacer {
         let mut stale = 0usize;
 
         if !converged && pi_prev > 0.0 && phi0 > 0.0 {
-            let mut schedule = LambdaSchedule::new(
-                cfg.lambda_mode,
-                cfg.lambda_init_divisor,
-                phi0,
-                pi_prev,
-            )
-            .with_inverse_ratio(cfg.lambda_inverse_ratio);
+            let mut schedule =
+                LambdaSchedule::new(cfg.lambda_mode, cfg.lambda_init_divisor, phi0, pi_prev)
+                    .with_inverse_ratio(cfg.lambda_inverse_ratio);
 
             stop_reason = StopReason::IterationCap;
             for k in 1..=cfg.max_iterations {
@@ -259,6 +267,8 @@ impl ComplxPlacer {
                     stop_reason = StopReason::TimeBudget;
                     break;
                 }
+                let _iter_span = obs::span("iteration");
+                obs::add("place.iterations", 1);
                 iterations = k;
                 let lambda = schedule.lambda();
                 final_lambda = lambda;
@@ -280,13 +290,10 @@ impl ComplxPlacer {
                         }
                     })
                     .collect();
-                let anchors = Anchors::per_cell(
-                    design,
-                    upper.clone(),
-                    lambdas,
-                    1.5 * design.row_height(),
-                );
+                let anchors =
+                    Anchors::per_cell(design, upper.clone(), lambdas, 1.5 * design.row_height());
                 let mstats = model.minimize(design, &mut lower, Some(&anchors));
+                solves.push(SolveRecord::from_stats(k, &mstats));
 
                 // Fault detection (injected faults flow through the same
                 // checks as real numerical failures).
@@ -316,8 +323,7 @@ impl ComplxPlacer {
                     proj = match &cfg.routability {
                         Some(r) => {
                             let cbins = if r.grid_bins == 0 { bins } else { r.grid_bins };
-                            let map =
-                                CongestionMap::build(design, &lower, cbins, cbins, r.supply);
+                            let map = CongestionMap::build(design, &lower, cbins, cbins, r.supply);
                             let factors =
                                 map.inflation_factors(design, &lower, r.alpha, r.max_inflation);
                             projection.project_with_bins_inflated(
@@ -348,6 +354,17 @@ impl ComplxPlacer {
 
                 if let Some(detail) = fault {
                     recoveries += 1;
+                    obs::add("place.recoveries", 1);
+                    if obs::enabled() {
+                        obs::event(
+                            "recovery",
+                            obs::JsonValue::object(vec![
+                                ("iteration", (k as i64).into()),
+                                ("recoveries", (recoveries as i64).into()),
+                                ("detail", detail.as_str().into()),
+                            ]),
+                        );
+                    }
                     if recoveries > cfg.max_recoveries {
                         return Err(PlaceError::Diverged {
                             iteration: k,
@@ -388,6 +405,23 @@ impl ComplxPlacer {
                     overflow: proj.overflow_before,
                     bins,
                 });
+                if obs::enabled() {
+                    obs::event(
+                        "iteration",
+                        obs::JsonValue::object(vec![
+                            ("iteration", (k as i64).into()),
+                            ("lambda", lambda.into()),
+                            ("phi_lower", phi_lower.into()),
+                            ("phi_upper", phi_upper.into()),
+                            ("pi", pi.into()),
+                            ("overflow", proj.overflow_before.into()),
+                            ("bins", (bins as i64).into()),
+                            ("cg_iterations_x", (mstats.iterations_x as i64).into()),
+                            ("cg_iterations_y", (mstats.iterations_y as i64).into()),
+                            ("relative_residual", mstats.relative_residual.into()),
+                        ]),
+                    );
+                }
 
                 // Convergence (Section 4): relative duality gap or the
                 // overflow of the analytic iterate.
@@ -457,6 +491,7 @@ impl ComplxPlacer {
             recoveries,
             global_seconds,
             detail_seconds,
+            solves,
         })
     }
 }
@@ -488,7 +523,10 @@ fn validate_design(design: &Design) -> Result<(), PlaceError> {
     let mut movable_area = 0.0;
     for id in design.cell_ids() {
         let c = design.cell(id);
-        if ![c.width(), c.height()].iter().all(|v| v.is_finite()) || c.width() < 0.0 || c.height() < 0.0 {
+        if ![c.width(), c.height()].iter().all(|v| v.is_finite())
+            || c.width() < 0.0
+            || c.height() < 0.0
+        {
             return fail(format!(
                 "cell `{}` has invalid dimensions {} × {}",
                 c.name(),
@@ -501,7 +539,10 @@ fn validate_design(design: &Design) -> Result<(), PlaceError> {
         } else {
             let p = design.fixed_positions().position(id);
             if !p.x.is_finite() || !p.y.is_finite() {
-                return fail(format!("fixed cell `{}` has a non-finite position", c.name()));
+                return fail(format!(
+                    "fixed cell `{}` has a non-finite position",
+                    c.name()
+                ));
             }
         }
     }
@@ -544,7 +585,11 @@ mod tests {
     fn placement_converges_and_is_legal() {
         let d = small(1);
         let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
-        assert!(out.converged, "did not converge in {} iters", out.iterations);
+        assert!(
+            out.converged,
+            "did not converge in {} iters",
+            out.iterations
+        );
         assert!(is_legal(&d, &out.legal, 1e-6));
         assert!(out.hpwl_legal > 0.0);
     }
@@ -558,7 +603,12 @@ mod tests {
         assert!(recs.len() >= 3);
         let first = recs[1]; // skip the λ=0 bootstrap record
         let last = *recs.last().unwrap();
-        assert!(last.pi < first.pi, "Π must decrease: {} -> {}", first.pi, last.pi);
+        assert!(
+            last.pi < first.pi,
+            "Π must decrease: {} -> {}",
+            first.pi,
+            last.pi
+        );
         assert!(
             last.phi_lower > first.phi_lower * 0.95,
             "Φ should (weakly) increase: {} -> {}",
@@ -659,7 +709,8 @@ mod tests {
             for id in d0.cell_ids() {
                 let c = d0.cell(id);
                 if c.is_movable() {
-                    b.add_cell(c.name(), c.width(), c.height(), c.kind()).unwrap();
+                    b.add_cell(c.name(), c.width(), c.height(), c.kind())
+                        .unwrap();
                 } else {
                     b.add_fixed_cell(
                         c.name(),
@@ -676,7 +727,10 @@ mod tests {
                 b.add_net(
                     n.name(),
                     n.weight(),
-                    d0.net_pins(nid).iter().map(|p| (p.cell, p.dx, p.dy)).collect(),
+                    d0.net_pins(nid)
+                        .iter()
+                        .map(|p| (p.cell, p.dx, p.dy))
+                        .collect(),
                 )
                 .unwrap();
             }

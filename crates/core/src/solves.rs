@@ -1,0 +1,130 @@
+//! Per-iteration linear-solver statistics, aggregated into the
+//! [`crate::PlacementOutcome`] instead of being discarded.
+
+use complx_wirelength::MinimizeStats;
+
+/// The solver report of one placement iteration's primal step (both axes).
+///
+/// Iteration `0` records the λ = 0 bootstrap solves (one record per
+/// bootstrap pass); iteration `k ≥ 1` records the primal step of λ-loop
+/// iteration `k`. Retried iterations (divergence recovery) contribute one
+/// record per attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRecord {
+    /// Placement iteration index (0 = bootstrap).
+    pub iteration: usize,
+    /// CG iterations spent on the x axis.
+    pub iterations_x: usize,
+    /// CG iterations spent on the y axis.
+    pub iterations_y: usize,
+    /// The worse of the two axes' final relative residuals.
+    pub relative_residual: f64,
+    /// Jacobi diagonal clamps across both axes (0 for an SPD system).
+    pub clamped_diagonals: usize,
+    /// Whether both axis solves converged to tolerance.
+    pub converged: bool,
+    /// Whether either axis solve broke down numerically.
+    pub breakdown: bool,
+}
+
+impl SolveRecord {
+    /// Tags a [`MinimizeStats`] with its placement iteration.
+    pub fn from_stats(iteration: usize, stats: &MinimizeStats) -> Self {
+        Self {
+            iteration,
+            iterations_x: stats.iterations_x,
+            iterations_y: stats.iterations_y,
+            relative_residual: stats.relative_residual,
+            clamped_diagonals: stats.clamped_diagonals,
+            converged: stats.converged,
+            breakdown: stats.breakdown,
+        }
+    }
+}
+
+/// Run-level totals over a sequence of [`SolveRecord`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolverTotals {
+    /// Number of primal solves (each covers both axes).
+    pub solves: usize,
+    /// Total CG iterations across both axes.
+    pub cg_iterations: usize,
+    /// Total Jacobi diagonal clamps.
+    pub clamped_diagonals: usize,
+    /// Solves that suffered a numerical breakdown.
+    pub breakdowns: usize,
+    /// Solves that missed the CG tolerance.
+    pub unconverged: usize,
+    /// The worst (largest) final relative residual seen.
+    pub worst_relative_residual: f64,
+}
+
+impl SolverTotals {
+    /// Aggregates a record sequence.
+    pub fn from_records(records: &[SolveRecord]) -> Self {
+        let mut t = Self::default();
+        for r in records {
+            t.solves += 1;
+            t.cg_iterations += r.iterations_x + r.iterations_y;
+            t.clamped_diagonals += r.clamped_diagonals;
+            t.breakdowns += usize::from(r.breakdown);
+            t.unconverged += usize::from(!r.converged);
+            if r.relative_residual.is_finite() {
+                t.worst_relative_residual = t.worst_relative_residual.max(r.relative_residual);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(iteration: usize, it_x: usize, it_y: usize, res: f64, ok: bool) -> SolveRecord {
+        SolveRecord {
+            iteration,
+            iterations_x: it_x,
+            iterations_y: it_y,
+            relative_residual: res,
+            clamped_diagonals: 0,
+            converged: ok,
+            breakdown: false,
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_records() {
+        let records = vec![rec(0, 10, 12, 1e-7, true), rec(1, 8, 9, 1e-5, false)];
+        let t = SolverTotals::from_records(&records);
+        assert_eq!(t.solves, 2);
+        assert_eq!(t.cg_iterations, 39);
+        assert_eq!(t.unconverged, 1);
+        assert_eq!(t.breakdowns, 0);
+        assert_eq!(t.worst_relative_residual, 1e-5);
+    }
+
+    #[test]
+    fn totals_skip_nonfinite_residuals() {
+        let t = SolverTotals::from_records(&[rec(1, 1, 1, f64::INFINITY, false)]);
+        assert_eq!(t.worst_relative_residual, 0.0);
+        assert_eq!(t.unconverged, 1);
+    }
+
+    #[test]
+    fn from_stats_copies_fields() {
+        let stats = complx_wirelength::MinimizeStats {
+            iterations_x: 3,
+            iterations_y: 4,
+            converged: true,
+            breakdown: false,
+            relative_residual: 2e-7,
+            clamped_diagonals: 1,
+        };
+        let r = SolveRecord::from_stats(5, &stats);
+        assert_eq!(r.iteration, 5);
+        assert_eq!(r.iterations_x + r.iterations_y, 7);
+        assert_eq!(r.clamped_diagonals, 1);
+        assert!(r.converged && !r.breakdown);
+    }
+}

@@ -150,7 +150,10 @@ mod tests {
         };
         let res = flow.place(&d).unwrap();
         assert_eq!(res.critical_delays.len(), 2);
-        assert!(res.critical_delays.iter().all(|&t| t.is_finite() && t > 0.0));
+        assert!(res
+            .critical_delays
+            .iter()
+            .all(|&t| t.is_finite() && t > 0.0));
         assert!(res.outcome.hpwl_legal > 0.0);
     }
 
@@ -174,7 +177,9 @@ mod tests {
         };
         let before = path_len(&base.legal);
         let boosted_design = complx_timing::reweight_nets(&d, &nets, 20.0);
-        let boosted = ComplxPlacer::new(PlacerConfig::fast()).place(&boosted_design).unwrap();
+        let boosted = ComplxPlacer::new(PlacerConfig::fast())
+            .place(&boosted_design)
+            .unwrap();
         let after = path_len(&boosted.legal);
         assert!(
             after < before * 1.02,

@@ -81,9 +81,8 @@ impl Trace {
     /// Serializes as CSV (`iteration,lambda,phi_lower,phi_upper,pi,
     /// lagrangian,overflow,bins`), the input to the Figure 1 plots.
     pub fn to_csv(&self) -> String {
-        let mut s = String::from(
-            "iteration,lambda,phi_lower,phi_upper,pi,lagrangian,overflow,bins\n",
-        );
+        let mut s =
+            String::from("iteration,lambda,phi_lower,phi_upper,pi,lagrangian,overflow,bins\n");
         for r in &self.records {
             let _ = writeln!(
                 s,
@@ -98,6 +97,33 @@ impl Trace {
                 r.bins
             );
         }
+        s
+    }
+
+    /// Serializes as a pretty-printed JSON array of per-iteration objects
+    /// (chosen by the CLI when `--trace` names a `.json` file), terminated
+    /// by a newline like [`Self::to_csv`].
+    pub fn to_json(&self) -> String {
+        use complx_obs::JsonValue;
+        let arr = JsonValue::Arr(
+            self.records
+                .iter()
+                .map(|r| {
+                    JsonValue::object(vec![
+                        ("iteration", r.iteration.into()),
+                        ("lambda", r.lambda.into()),
+                        ("phi_lower", r.phi_lower.into()),
+                        ("phi_upper", r.phi_upper.into()),
+                        ("pi", r.pi.into()),
+                        ("lagrangian", r.lagrangian.into()),
+                        ("overflow", r.overflow.into()),
+                        ("bins", r.bins.into()),
+                    ])
+                })
+                .collect(),
+        );
+        let mut s = arr.to_json_pretty();
+        s.push('\n');
         s
     }
 }
@@ -134,7 +160,32 @@ mod tests {
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("iteration,lambda"));
+        assert!(csv.ends_with('\n'), "CSV ends with a newline");
         assert_eq!(t.final_lambda(), 0.2);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn json_trace_parses_and_preserves_records() {
+        let mut t = Trace::new();
+        t.push(rec(1, 0.1, 90.0, 100.0, 10.0));
+        t.push(rec(2, 0.2, 92.0, 99.0, 8.0));
+        let text = t.to_json();
+        assert!(text.ends_with('\n'), "JSON ends with a newline");
+        let doc = complx_obs::parse(&text).expect("valid JSON");
+        let arr = doc.as_array().expect("array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[1]
+                .get("iteration")
+                .and_then(complx_obs::JsonValue::as_i64),
+            Some(2)
+        );
+        assert_eq!(
+            arr[0]
+                .get("phi_upper")
+                .and_then(complx_obs::JsonValue::as_f64),
+            Some(100.0)
+        );
     }
 }

@@ -55,6 +55,80 @@ fn places_a_bookshelf_bundle_end_to_end() {
 }
 
 #[test]
+fn report_events_and_json_trace_are_written_and_parse() {
+    let dir = temp_dir("obs");
+    let design = GeneratorConfig::small("obs", 9).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+    let report_path = dir.join("report.json");
+    let events_path = dir.join("events.jsonl");
+    let trace_path = dir.join("trace.json");
+
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["--max-iterations", "10"])
+        .arg("-o")
+        .arg(dir.join("solution"))
+        .arg("--report")
+        .arg(&report_path)
+        .arg("--events")
+        .arg(&events_path)
+        .arg("--trace")
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // A non-quiet instrumented run prints the phase-time breakdown.
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("phase time breakdown"), "stderr: {stderr}");
+    assert!(stderr.contains("cg.solves"), "stderr: {stderr}");
+
+    // The report manifest parses back through the schema.
+    let text = std::fs::read_to_string(&report_path).expect("report written");
+    let doc = complx_obs::parse(&text).expect("report is valid JSON");
+    let report = complx_obs::RunReport::from_json(&doc).expect("schema matches");
+    assert!(!report.phases.is_empty());
+    assert!(report.phase_seconds("place") > 0.0);
+    assert!(report.phase("place/iteration").is_some());
+    assert!(report.counter("place.iterations") > 0);
+    assert!(report.total_seconds > 0.0);
+    // Instrumented root spans account for (at most) the whole wall clock.
+    assert!(report.instrumented_seconds() <= report.total_seconds * 1.05);
+
+    // Every event line is standalone JSON with a `type`; spans and
+    // per-iteration events are both present.
+    let events = std::fs::read_to_string(&events_path).expect("events written");
+    let mut spans = 0usize;
+    let mut iterations = 0usize;
+    for line in events.lines() {
+        let v = complx_obs::parse(line).expect("event line is valid JSON");
+        match v.get("type").and_then(complx_obs::JsonValue::as_str) {
+            Some("span") => spans += 1,
+            Some("iteration") => iterations += 1,
+            Some(_) => {}
+            None => panic!("event line without type: {line}"),
+        }
+    }
+    assert!(spans > 0, "no span lines in events stream");
+    assert_eq!(
+        iterations,
+        report.counter("place.iterations") as usize,
+        "one iteration event per placement iteration"
+    );
+
+    // `.json` trace extension selects the JSON serialization.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let arr = complx_obs::parse(&trace).expect("trace is valid JSON");
+    assert!(!arr.as_array().expect("array").is_empty());
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn missing_input_fails_with_nonzero_exit() {
     let output = Command::new(complx_bin())
         .arg("/nonexistent/never.aux")
@@ -146,8 +220,7 @@ fn invalid_design_is_a_structured_error_with_exit_code_3() {
         "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\nNetDegree : 2 n0\na B\nb I\n",
     )
     .expect("nets");
-    std::fs::write(dir.join("x.pl"), "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\n")
-        .expect("pl");
+    std::fs::write(dir.join("x.pl"), "UCLA pl 1.0\na 0 0 : N\nb 5 0 : N\n").expect("pl");
     std::fs::write(
         dir.join("x.scl"),
         "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 1\n Sitewidth : 1\n SubrowOrigin : 0 NumSites : 10\nEnd\n",

@@ -4,9 +4,7 @@
 
 use complx_netlist::generator::GeneratorConfig;
 use complx_netlist::Design;
-use complx_place::{
-    ComplxPlacer, FaultKind, FaultPlan, PlaceError, PlacerConfig, StopReason,
-};
+use complx_place::{ComplxPlacer, FaultKind, FaultPlan, PlaceError, PlacerConfig, StopReason};
 
 fn small(seed: u64) -> Design {
     GeneratorConfig::small("flt", seed).generate()
@@ -34,7 +32,10 @@ fn nan_gradient_fault_recovers_to_finite_placement() {
     let out = ComplxPlacer::new(cfg).place(&d).expect("must recover");
     assert_eq!(out.stop_reason, StopReason::Recovered);
     assert_eq!(out.recoveries, 1);
-    assert!(placement_is_finite(&d, &out.legal), "legal placement finite");
+    assert!(
+        placement_is_finite(&d, &out.legal),
+        "legal placement finite"
+    );
     assert!(placement_is_finite(&d, &out.upper));
     assert!(out.hpwl_legal.is_finite() && out.hpwl_legal > 0.0);
 }

@@ -26,13 +26,15 @@ fn tiny_design() -> impl Strategy<Value = TinyDesign> {
         0u8..2,
         collection::vec((0usize..100, 0usize..100, 0usize..100), 1..=6),
     )
-        .prop_map(|(core_w, core_h, cell_widths, fixed, net_picks)| TinyDesign {
-            core_w,
-            core_h,
-            cell_widths,
-            with_fixed: fixed == 1,
-            net_picks,
-        })
+        .prop_map(
+            |(core_w, core_h, cell_widths, fixed, net_picks)| TinyDesign {
+                core_w,
+                core_h,
+                cell_widths,
+                with_fixed: fixed == 1,
+                net_picks,
+            },
+        )
 }
 
 fn build_design(t: &TinyDesign) -> Design {
@@ -47,13 +49,7 @@ fn build_design(t: &TinyDesign) -> Design {
     }
     if t.with_fixed {
         let id = b
-            .add_fixed_cell(
-                "pad",
-                1.0,
-                1.0,
-                CellKind::Fixed,
-                Point::new(0.5, 0.5),
-            )
+            .add_fixed_cell("pad", 1.0, 1.0, CellKind::Fixed, Point::new(0.5, 0.5))
             .expect("fixed cell");
         ids.push(id);
     }
@@ -78,8 +74,12 @@ fn build_design(t: &TinyDesign) -> Design {
     }
     if nets == 0 {
         // Guarantee at least one net so the quadratic model is non-trivial.
-        b.add_net("n_fallback", 1.0, vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)])
-            .expect("fallback net");
+        b.add_net(
+            "n_fallback",
+            1.0,
+            vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)],
+        )
+        .expect("fallback net");
     }
     b.build().expect("design builds")
 }

@@ -138,6 +138,7 @@ impl DetailedPlacer {
     /// inputs are refined on a best-effort basis but legality is only
     /// preserved, not established.
     pub fn improve(&self, design: &Design, placement: Placement) -> DetailResult {
+        let _span = complx_obs::span("detail");
         let before = hpwl::weighted_hpwl(design, &placement);
         let mut state = RowState::new(design, &placement);
         let mut tracker = HpwlTracker::new(design, placement);
@@ -158,6 +159,8 @@ impl DetailedPlacer {
                 break;
             }
         }
+        complx_obs::add("detail.passes", passes as u64);
+        complx_obs::add("detail.moves", total_moves as u64);
         DetailResult {
             placement: tracker.into_placement(),
             stats: DetailStats {
@@ -393,11 +396,7 @@ fn find_gap(
             let dist = distance_to_interval(x, cand.0, cand.1);
             if best.is_none()
                 || dist
-                    < distance_to_interval(
-                        x,
-                        best.expect("checked").0,
-                        best.expect("checked").1,
-                    )
+                    < distance_to_interval(x, best.expect("checked").0, best.expect("checked").1)
             {
                 best = Some(cand);
             }
@@ -422,13 +421,7 @@ fn distance_to_interval(x: f64, lo: f64, hi: f64) -> f64 {
 /// Local reordering: sliding windows of three cells within a row; tries all
 /// permutations, re-packing the window span evenly, and keeps the best.
 fn local_reorder_pass(state: &mut RowState<'_>, tracker: &mut HpwlTracker<'_>) -> usize {
-    const PERMS: [[usize; 3]; 5] = [
-        [0, 2, 1],
-        [1, 0, 2],
-        [1, 2, 0],
-        [2, 0, 1],
-        [2, 1, 0],
-    ];
+    const PERMS: [[usize; 3]; 5] = [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
     let design = state.design;
     let mut accepted = 0;
     for r in 0..state.cells.len() {

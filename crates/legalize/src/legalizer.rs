@@ -45,6 +45,7 @@ impl Legalizer {
 
     /// Produces a legal placement from a (global) placement.
     pub fn legalize(&self, design: &Design, placement: &Placement) -> LegalPlacement {
+        let _span = complx_obs::span("legalize");
         let mut out = placement.clone();
         let (macro_rects, macro_failures) = legalize_macros(design, &mut out);
         let rows = RowLayout::new(design, &macro_rects);
@@ -52,8 +53,12 @@ impl Legalizer {
             LegalizerAlgorithm::Abacus => abacus_legalize(design, &rows, &mut out),
             LegalizerAlgorithm::Tetris => tetris_legalize(design, &rows, &mut out),
         };
+        let displacement = placement.l1_distance(&out);
+        complx_obs::add("legalize.runs", 1);
+        complx_obs::add("legalize.failures", (macro_failures + std_failures) as u64);
+        complx_obs::observe("legalize.displacement", displacement);
         LegalPlacement {
-            displacement: placement.l1_distance(&out),
+            displacement,
             placement: out,
             failures: macro_failures + std_failures,
         }

@@ -53,8 +53,14 @@ pub fn legalize_macros(design: &Design, placement: &mut Placement) -> (Vec<Rect>
         let (w, h) = (cell.width(), cell.height());
         let p = placement.position(id);
         // Clamp center so the footprint fits the core.
-        let cx = p.x.clamp(core.lx + 0.5 * w, (core.hx - 0.5 * w).max(core.lx + 0.5 * w));
-        let cy = p.y.clamp(core.ly + 0.5 * h, (core.hy - 0.5 * h).max(core.ly + 0.5 * h));
+        let cx = p.x.clamp(
+            core.lx + 0.5 * w,
+            (core.hx - 0.5 * w).max(core.lx + 0.5 * w),
+        );
+        let cy = p.y.clamp(
+            core.ly + 0.5 * h,
+            (core.hy - 0.5 * h).max(core.ly + 0.5 * h),
+        );
         // Snap the bottom edge to a row boundary for cleaner row carving.
         let snap_y = |y: f64| -> f64 {
             let bottom = y - 0.5 * h - core.ly;
@@ -62,7 +68,8 @@ pub fn legalize_macros(design: &Design, placement: &mut Placement) -> (Vec<Rect>
         };
 
         let overlaps = |r: &Rect| placed.iter().any(|o| o.overlap_area(r) > 1e-9);
-        let rect_at = |x: f64, y: f64| Rect::new(x - 0.5 * w, y - 0.5 * h, x + 0.5 * w, y + 0.5 * h);
+        let rect_at =
+            |x: f64, y: f64| Rect::new(x - 0.5 * w, y - 0.5 * h, x + 0.5 * w, y + 0.5 * h);
 
         let mut found = None;
         'search: for radius in 0..200 {
@@ -82,7 +89,10 @@ pub fn legalize_macros(design: &Design, placement: &mut Placement) -> (Vec<Rect>
                     ]
                 };
                 for (x, y) in candidates {
-                    let x = x.clamp(core.lx + 0.5 * w, (core.hx - 0.5 * w).max(core.lx + 0.5 * w));
+                    let x = x.clamp(
+                        core.lx + 0.5 * w,
+                        (core.hx - 0.5 * w).max(core.lx + 0.5 * w),
+                    );
                     let y = snap_y(y.clamp(
                         core.ly + 0.5 * h,
                         (core.hy - 0.5 * h).max(core.ly + 0.5 * h),

@@ -143,7 +143,8 @@ mod tests {
                 Point::new(0.0, 10.0),
             )
             .unwrap();
-        b.add_net("n", 1.0, vec![(a, 1.9, 0.0), (pad, 0.0, 0.0)]).unwrap();
+        b.add_net("n", 1.0, vec![(a, 1.9, 0.0), (pad, 0.0, 0.0)])
+            .unwrap();
         let d = b.build().unwrap();
         let mut p = d.initial_placement();
         p.set_position(a, Point::new(10.0, 10.0));

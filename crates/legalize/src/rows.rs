@@ -145,7 +145,13 @@ mod tests {
         let mut b = DesignBuilder::new("t", Rect::new(0.0, 0.0, side, side), rh);
         let a = b.add_cell("a", 1.0, rh, CellKind::Movable).unwrap();
         let f = b
-            .add_fixed_cell("f", 4.0, 2.0 * rh, CellKind::Fixed, Point::new(side / 2.0, rh))
+            .add_fixed_cell(
+                "f",
+                4.0,
+                2.0 * rh,
+                CellKind::Fixed,
+                Point::new(side / 2.0, rh),
+            )
             .unwrap();
         b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f, 0.0, 0.0)])
             .unwrap();

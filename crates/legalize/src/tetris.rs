@@ -141,13 +141,7 @@ pub fn tetris_legalize(design: &Design, rows: &RowLayout, placement: &mut Placem
 
 /// Row search order: 0, +1, −1, +2, −2, …
 fn row_offsets(num_rows: usize) -> impl Iterator<Item = isize> {
-    (0..num_rows as isize).flat_map(|d| {
-        if d == 0 {
-            vec![0]
-        } else {
-            vec![d, -d]
-        }
-    })
+    (0..num_rows as isize).flat_map(|d| if d == 0 { vec![0] } else { vec![d, -d] })
 }
 
 #[cfg(test)]

@@ -1,8 +1,8 @@
 //! Property-based tests for legalization and detailed placement.
 
 use complx_legalize::{
-    is_legal, legality_report, legalize_macros, DetailedPlacer, Legalizer,
-    LegalizerAlgorithm, RowLayout,
+    is_legal, legality_report, legalize_macros, DetailedPlacer, Legalizer, LegalizerAlgorithm,
+    RowLayout,
 };
 use complx_netlist::{generator::GeneratorConfig, hpwl, Placement, Point};
 use proptest::prelude::*;
@@ -17,10 +17,7 @@ fn scatter(design: &complx_netlist::Design, salt: u64) -> Placement {
         let fy = ((k.wrapping_mul(40503)) % 1000) as f64 / 1000.0;
         p.set_position(
             id,
-            Point::new(
-                core.lx + fx * core.width(),
-                core.ly + fy * core.height(),
-            ),
+            Point::new(core.lx + fx * core.width(), core.ly + fy * core.height()),
         );
     }
     p

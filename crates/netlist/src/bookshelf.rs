@@ -181,8 +181,7 @@ fn read_components(
     let mut builder = DesignBuilder::new(design_name, core, row_height);
     let mut ids: HashMap<String, CellId> = HashMap::new();
     for d in &decls {
-        let (x, y, fixed_in_pl) =
-            positions.get(&d.name).copied().unwrap_or((0.0, 0.0, false));
+        let (x, y, fixed_in_pl) = positions.get(&d.name).copied().unwrap_or((0.0, 0.0, false));
         // Convert lower-left to center.
         let center = Point::new(x + 0.5 * d.width, y + 0.5 * d.height);
         let kind = if d.terminal_ni {
@@ -210,9 +209,7 @@ fn read_components(
             let wts_text = fs::read_to_string(wf)?;
             for (ln, line) in content_lines(&wts_text) {
                 let mut it = line.split_whitespace();
-                let name = it
-                    .next()
-                    .ok_or_else(|| parse_err(wf, ln, "missing name"))?;
+                let name = it.next().ok_or_else(|| parse_err(wf, ln, "missing name"))?;
                 let w: f64 = it
                     .next()
                     .ok_or_else(|| parse_err(wf, ln, "missing weight"))?
@@ -302,10 +299,7 @@ fn read_components(
     for (name, (x, y, _)) in &positions {
         if let Some(&id) = ids.get(name) {
             let c = design.cell(id);
-            placement.set_position(
-                id,
-                Point::new(x + 0.5 * c.width(), y + 0.5 * c.height()),
-            );
+            placement.set_position(id, Point::new(x + 0.5 * c.width(), y + 0.5 * c.height()));
         }
     }
 
@@ -374,8 +368,7 @@ fn parse_scl(text: &str, file: &Path) -> Result<(Rect, f64), BookshelfError> {
         } else if line.starts_with("Height") {
             height = get_val(line);
         } else if line.starts_with("Sitewidth") {
-            site_width = get_val(line)
-                .ok_or_else(|| parse_err(file, ln, "bad Sitewidth"))?;
+            site_width = get_val(line).ok_or_else(|| parse_err(file, ln, "bad Sitewidth"))?;
         } else if line.starts_with("SubrowOrigin") {
             // Format: `SubrowOrigin : x  NumSites : n`
             let mut parts = line.split(':');

@@ -196,8 +196,7 @@ impl DensityGrid {
     /// Overflow normalized by total movable usage (a dimensionless ratio in
     /// `[0, 1]` — the placer's convergence monitor).
     pub fn overflow_ratio(&self, gamma: f64) -> f64 {
-        let total: f64 =
-            self.usage.iter().sum::<f64>() + self.macro_usage.iter().sum::<f64>();
+        let total: f64 = self.usage.iter().sum::<f64>() + self.macro_usage.iter().sum::<f64>();
         if total <= 0.0 {
             return 0.0;
         }

@@ -302,7 +302,11 @@ impl DesignBuilder {
             width < 0.0 || height < 0.0
         };
         if invalid || !width.is_finite() || !height.is_finite() {
-            return Err(DesignError::InvalidDimensions { name, width, height });
+            return Err(DesignError::InvalidDimensions {
+                name,
+                width,
+                height,
+            });
         }
         if self.names.contains_key(&name) {
             return Err(DesignError::DuplicateCell(name));
@@ -534,10 +538,7 @@ mod tests {
             Rect::new(0.0, 0.0, 200.0, 10.0),
             vec![a],
         ));
-        assert!(matches!(
-            b.build(),
-            Err(DesignError::RegionOutsideCore(_))
-        ));
+        assert!(matches!(b.build(), Err(DesignError::RegionOutsideCore(_))));
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl fmt::Display for DesignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DesignError::DuplicateCell(n) => write!(f, "duplicate cell name `{n}`"),
-            DesignError::InvalidDimensions { name, width, height } => {
+            DesignError::InvalidDimensions {
+                name,
+                width,
+                height,
+            } => {
                 write!(f, "cell `{name}` has invalid dimensions {width}x{height}")
             }
             DesignError::DegenerateNet(n) => write!(f, "net `{n}` has fewer than two pins"),
@@ -98,7 +102,11 @@ impl fmt::Display for BookshelfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BookshelfError::Io(e) => write!(f, "i/o error: {e}"),
-            BookshelfError::Parse { file, line, message } => {
+            BookshelfError::Parse {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file}:{line}: {message}")
             }
             BookshelfError::Design(e) => write!(f, "invalid design: {e}"),

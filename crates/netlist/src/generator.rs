@@ -195,13 +195,7 @@ impl GeneratorConfig {
             if let Some((cx, cy, r)) = placed {
                 obstacles.push(r);
                 let id = b
-                    .add_fixed_cell(
-                        format!("fm{i}"),
-                        w,
-                        h,
-                        CellKind::Fixed,
-                        Point::new(cx, cy),
-                    )
+                    .add_fixed_cell(format!("fm{i}"), w, h, CellKind::Fixed, Point::new(cx, cy))
                     .expect("unique name, positive dims");
                 fixed_ids.push(id);
             }
@@ -279,7 +273,11 @@ impl GeneratorConfig {
             let seed_idx = rng.random_range(0..n_mov);
             let mut pins: Vec<(CellId, f64, f64)> = Vec::with_capacity(degree);
             let mut used = vec![seed_idx];
-            pins.push(pin_on(&mut rng, movable_ids[seed_idx], cell_dims(i_dims(&std_dims, &mov_macro_dims, seed_idx))));
+            pins.push(pin_on(
+                &mut rng,
+                movable_ids[seed_idx],
+                cell_dims(i_dims(&std_dims, &mov_macro_dims, seed_idx)),
+            ));
             while pins.len() < degree {
                 // A small fraction of pins go to pads (boundary connections).
                 if !pad_ids.is_empty() && rng.random_bool(0.03) {
@@ -324,15 +322,16 @@ impl GeneratorConfig {
             if connected[i] && n_mov > 1 {
                 continue;
             }
-            let j = if i + 1 < n_mov { i + 1 } else { i.wrapping_sub(1) };
+            let j = if i + 1 < n_mov {
+                i + 1
+            } else {
+                i.wrapping_sub(1)
+            };
             if n_mov > 1 {
                 b.add_net(
                     format!("nc{i}"),
                     1.0,
-                    vec![
-                        (movable_ids[i], 0.0, 0.0),
-                        (movable_ids[j], 0.0, 0.0),
-                    ],
+                    vec![(movable_ids[i], 0.0, 0.0), (movable_ids[j], 0.0, 0.0)],
                 )
                 .expect("valid net construction");
                 connected[i] = true;
@@ -360,11 +359,7 @@ impl GeneratorConfig {
     }
 }
 
-fn i_dims<'a>(
-    std_dims: &'a [(f64, f64)],
-    mac_dims: &'a [(f64, f64)],
-    i: usize,
-) -> (f64, f64) {
+fn i_dims<'a>(std_dims: &'a [(f64, f64)], mac_dims: &'a [(f64, f64)], i: usize) -> (f64, f64) {
     if i < std_dims.len() {
         std_dims[i]
     } else {

@@ -43,7 +43,10 @@ impl Rect {
     ///
     /// Panics if `lx > hx` or `ly > hy`.
     pub fn new(lx: f64, ly: f64, hx: f64, hy: f64) -> Self {
-        assert!(lx <= hx && ly <= hy, "degenerate rectangle {lx},{ly},{hx},{hy}");
+        assert!(
+            lx <= hx && ly <= hy,
+            "degenerate rectangle {lx},{ly},{hx},{hy}"
+        );
         Self { lx, ly, hx, hy }
     }
 

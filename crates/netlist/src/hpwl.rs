@@ -110,12 +110,8 @@ mod tests {
                     .unwrap()
             })
             .collect();
-        b.add_net(
-            "n",
-            1.0,
-            ids.iter().map(|&c| (c, 0.0, 0.0)).collect(),
-        )
-        .unwrap();
+        b.add_net("n", 1.0, ids.iter().map(|&c| (c, 0.0, 0.0)).collect())
+            .unwrap();
         let d = b.build().unwrap();
         let mut p = Placement::zeros(4);
         p.set_position(ids[0], Point::new(0.0, 0.0));

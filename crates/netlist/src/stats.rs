@@ -142,7 +142,8 @@ mod tests {
             .unwrap();
         b.add_fixed_cell("p", 1.0, 1.0, CellKind::Terminal, Point::new(0.0, 0.0))
             .unwrap();
-        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (m, 0.0, 0.0)]).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (m, 0.0, 0.0)])
+            .unwrap();
         let d = b.build().unwrap();
         let s = DesignStats::for_design(&d);
         assert_eq!(s.num_std_cells, 1);

@@ -132,9 +132,8 @@ impl<'a> HpwlTracker<'a> {
             let old = self.boxes[nid.index()];
             let new = hpwl::net_bbox(self.design, &self.placement, nid);
             let w = self.design.net(nid).weight();
-            self.total += w
-                * (((new.2 - new.0) + (new.3 - new.1))
-                    - ((old.2 - old.0) + (old.3 - old.1)));
+            self.total +=
+                w * (((new.2 - new.0) + (new.3 - new.1)) - ((old.2 - old.0) + (old.3 - old.1)));
             self.boxes[nid.index()] = new;
         }
     }

@@ -154,8 +154,7 @@ pub fn validate(design: &Design) -> Vec<ValidationIssue> {
     for nid in design.net_ids() {
         for pin in design.net_pins(nid) {
             let c = design.cell(pin.cell);
-            if pin.dx.abs() > 0.5 * c.width() + 1e-6 || pin.dy.abs() > 0.5 * c.height() + 1e-6
-            {
+            if pin.dx.abs() > 0.5 * c.width() + 1e-6 || pin.dy.abs() > 0.5 * c.height() + 1e-6 {
                 issues.push(ValidationIssue::PinOutsideCell {
                     cell: c.name().to_string(),
                     net: design.net(nid).name().to_string(),
@@ -190,7 +189,8 @@ mod tests {
         let f = b
             .add_fixed_cell("f", 4.0, 4.0, CellKind::Fixed, Point::new(0.0, 0.0))
             .unwrap();
-        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f, 0.0, 0.0)]).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f, 0.0, 0.0)])
+            .unwrap();
         let issues = validate(&b.build().unwrap());
         assert!(issues
             .iter()
@@ -206,7 +206,8 @@ mod tests {
             .unwrap();
         b.add_fixed_cell("f2", 4.0, 4.0, CellKind::Fixed, Point::new(11.0, 11.0))
             .unwrap();
-        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f1, 0.0, 0.0)]).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (f1, 0.0, 0.0)])
+            .unwrap();
         let issues = validate(&b.build().unwrap());
         assert!(issues
             .iter()
@@ -218,7 +219,8 @@ mod tests {
         let mut b = DesignBuilder::new("v", core(), 1.0);
         let a = b.add_cell("a", 19.0, 19.0, CellKind::Movable).unwrap();
         let c = b.add_cell("b", 19.0, 19.0, CellKind::Movable).unwrap();
-        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
         b.add_cell("lonely", 1.0, 1.0, CellKind::Movable).unwrap();
         let issues = validate(&b.build().unwrap());
         assert!(issues
@@ -234,7 +236,8 @@ mod tests {
         let mut b = DesignBuilder::new("v", core(), 1.0);
         let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
         let c = b.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
-        b.add_net("n", 1.0, vec![(a, 5.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        b.add_net("n", 1.0, vec![(a, 5.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
         let issues = validate(&b.build().unwrap());
         assert!(issues
             .iter()

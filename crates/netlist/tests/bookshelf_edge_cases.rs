@@ -77,7 +77,11 @@ fn single_pin_nets_are_dropped_not_fatal() {
         "UCLA nets 1.0\nNumNets : 2\nNumPins : 3\nNetDegree : 1 lonely\n a B : 0 0\nNetDegree : 2 n0\n a B : 0 0\n b B : 0 0\n",
     );
     let bundle = bookshelf::read_aux(dir.join("x.aux")).expect("parse succeeds");
-    assert_eq!(bundle.design.num_nets(), 1, "single-pin net must be dropped");
+    assert_eq!(
+        bundle.design.num_nets(),
+        1,
+        "single-pin net must be dropped"
+    );
     fs::remove_dir_all(&dir).expect("cleanup");
 }
 

@@ -12,10 +12,8 @@ fn design_and_placement() -> impl Strategy<Value = (complx_netlist::Design, Plac
     n_cells
         .prop_flat_map(|n| {
             let coords = proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), n);
-            let nets = proptest::collection::vec(
-                proptest::collection::vec(0..n, 2..=n.min(5)),
-                1..8,
-            );
+            let nets =
+                proptest::collection::vec(proptest::collection::vec(0..n, 2..=n.min(5)), 1..8);
             (Just(n), coords, nets)
         })
         .prop_map(|(n, coords, nets)| {

@@ -1,0 +1,107 @@
+//! CI gate: validates a run-report manifest (and optionally a JSONL event
+//! stream) produced by the placer.
+//!
+//! ```text
+//! report_check <report.json> [--jsonl <events.jsonl>]
+//! ```
+//!
+//! Exits 0 when the report parses against the `complx-run-report/v1`
+//! schema and at least one phase recorded non-zero time; exits 1 with a
+//! diagnostic otherwise.
+
+use std::process::ExitCode;
+
+use complx_obs::{parse, JsonValue, RunReport};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("report_check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn check_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let report = RunReport::from_json(&doc).map_err(|e| format!("{path}: bad report: {e}"))?;
+    if report.phases.is_empty() {
+        return Err(format!("{path}: no phases recorded"));
+    }
+    if !report.phases.iter().any(|p| p.total_seconds > 0.0) {
+        return Err(format!("{path}: all phase timings are zero"));
+    }
+    if report.total_seconds <= 0.0 {
+        return Err(format!("{path}: total_seconds is not positive"));
+    }
+    let instrumented = report.instrumented_seconds();
+    if instrumented > report.total_seconds * 1.05 {
+        return Err(format!(
+            "{path}: instrumented time {instrumented:.6}s exceeds wall clock {:.6}s",
+            report.total_seconds
+        ));
+    }
+    println!(
+        "report_check: {path}: {} phases, {} counters, {:.3}s instrumented of {:.3}s wall",
+        report.phases.len(),
+        report.counters.len(),
+        instrumented,
+        report.total_seconds
+    );
+    Ok(())
+}
+
+fn check_jsonl(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut spans = 0u64;
+    let mut iterations = 0u64;
+    let mut total = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = parse(line).map_err(|e| format!("{path}:{}: invalid JSON line: {e}", i + 1))?;
+        match doc.get("type").and_then(JsonValue::as_str) {
+            Some("span") => spans += 1,
+            Some("iteration") => iterations += 1,
+            Some(_) => {}
+            None => return Err(format!("{path}:{}: line has no `type` field", i + 1)),
+        }
+        total += 1;
+    }
+    if spans == 0 {
+        return Err(format!("{path}: no span lines in event stream"));
+    }
+    println!("report_check: {path}: {total} lines ({spans} spans, {iterations} iterations)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut report_path: Option<&str> = None;
+    let mut jsonl_path: Option<&str> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jsonl" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => jsonl_path = Some(p),
+                    None => return fail("--jsonl requires a path"),
+                }
+            }
+            p if report_path.is_none() => report_path = Some(p),
+            p => return fail(&format!("unexpected argument `{p}`")),
+        }
+        i += 1;
+    }
+    let Some(report_path) = report_path else {
+        return fail("usage: report_check <report.json> [--jsonl <events.jsonl>]");
+    };
+    if let Err(msg) = check_report(report_path) {
+        return fail(&msg);
+    }
+    if let Some(jsonl_path) = jsonl_path {
+        if let Err(msg) = check_jsonl(jsonl_path) {
+            return fail(&msg);
+        }
+    }
+    ExitCode::SUCCESS
+}

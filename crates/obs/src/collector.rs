@@ -1,0 +1,387 @@
+//! The thread-local instrumentation pipeline.
+//!
+//! Instrumented code calls [`span`], [`add`], [`observe`] and [`event`]
+//! unconditionally; when no pipeline is installed (the default) every call
+//! is a branch on a thread-local flag and nothing else, so instrumentation
+//! costs nothing in benchmark kernels. [`install`] arms the current thread
+//! with a set of [`Sink`]s plus an always-on aggregator; [`harvest`]
+//! disarms it and returns the aggregated phase times, counters and
+//! histograms.
+//!
+//! The pipeline is deliberately thread-local rather than global: a
+//! placement run is single-threaded, and per-thread state keeps parallel
+//! test runs and future multi-design batch drivers from contending or
+//! cross-contaminating.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+use crate::hist::{Histogram, HistogramSummary};
+use crate::json::JsonValue;
+use crate::report::PhaseStat;
+use crate::sink::Sink;
+
+thread_local! {
+    /// Mirror of `COLLECTOR.is_some()`: the span/counter fast path reads
+    /// this single `Cell<bool>` and returns immediately when disarmed.
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+struct PhaseAgg {
+    path: String,
+    depth: usize,
+    count: u64,
+    total: f64,
+    min: f64,
+    max: f64,
+}
+
+struct Collector {
+    sinks: Vec<Box<dyn Sink>>,
+    /// Open spans: `(name, start)`, innermost last.
+    stack: Vec<(&'static str, Instant)>,
+    phases: Vec<PhaseAgg>,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+    seq: u64,
+}
+
+/// Everything the aggregator accumulated over one armed period.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Harvest {
+    /// Per-span-path wall-clock accounting, sorted by path (so parents
+    /// precede their children).
+    pub phases: Vec<PhaseStat>,
+    /// Monotonic counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Harvest {
+    /// The counter total by name (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The phase stats for an exact span path.
+    pub fn phase(&self, path: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.path == path)
+    }
+}
+
+/// Arms the current thread with the given sinks (replacing any previous
+/// pipeline and discarding its data). The aggregator behind [`harvest`]
+/// always runs; an empty sink list collects silently.
+pub fn install(sinks: Vec<Box<dyn Sink>>) {
+    COLLECTOR.with(|c| {
+        *c.borrow_mut() = Some(Collector {
+            sinks,
+            stack: Vec::new(),
+            phases: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            seq: 0,
+        });
+    });
+    ACTIVE.with(|a| a.set(true));
+}
+
+/// Whether an instrumentation pipeline is armed on this thread.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Disarms the pipeline, closes the sinks (flushing buffered output) and
+/// returns the aggregated data; `None` when nothing was installed.
+pub fn harvest() -> Option<Harvest> {
+    ACTIVE.with(|a| a.set(false));
+    let collector = COLLECTOR.with(|c| c.borrow_mut().take())?;
+    let Collector {
+        mut sinks,
+        phases,
+        mut counters,
+        mut histograms,
+        ..
+    } = collector;
+    for sink in &mut sinks {
+        sink.on_close();
+    }
+    let mut phases: Vec<PhaseStat> = phases
+        .into_iter()
+        .map(|p| PhaseStat {
+            path: p.path,
+            depth: p.depth,
+            count: p.count,
+            total_seconds: p.total,
+            min_seconds: p.min,
+            max_seconds: p.max,
+        })
+        .collect();
+    phases.sort_by(|a, b| a.path.cmp(&b.path));
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    Some(Harvest {
+        phases,
+        counters,
+        histograms: histograms
+            .into_iter()
+            .map(|(n, h)| (n, h.summary()))
+            .collect(),
+    })
+}
+
+/// An open span; records its duration into the pipeline when dropped.
+///
+/// Spans must be dropped in LIFO order (the natural result of binding the
+/// guard to a scope), or path attribution becomes nonsense.
+#[must_use = "a span measures the scope holding its guard"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+/// Opens a span. Returns an inert guard when the pipeline is disarmed.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { armed: false };
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.stack.push((name, Instant::now()));
+        }
+    });
+    SpanGuard { armed: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        COLLECTOR.with(|c| {
+            let mut borrow = c.borrow_mut();
+            let Some(col) = borrow.as_mut() else {
+                // Harvested while the span was open (for example on an
+                // early-return error path): nothing left to record into.
+                return;
+            };
+            let Some((name, start)) = col.stack.pop() else {
+                return;
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            let depth = col.stack.len();
+            let mut path = String::with_capacity(16 * (depth + 1));
+            for (ancestor, _) in &col.stack {
+                path.push_str(ancestor);
+                path.push('/');
+            }
+            path.push_str(name);
+            match col.phases.iter_mut().find(|p| p.path == path) {
+                Some(p) => {
+                    p.count += 1;
+                    p.total += seconds;
+                    p.min = p.min.min(seconds);
+                    p.max = p.max.max(seconds);
+                }
+                None => col.phases.push(PhaseAgg {
+                    path: path.clone(),
+                    depth,
+                    count: 1,
+                    total: seconds,
+                    min: seconds,
+                    max: seconds,
+                }),
+            }
+            let seq = col.seq;
+            col.seq += 1;
+            for sink in &mut col.sinks {
+                sink.on_span_exit(&path, depth, seconds, seq);
+            }
+        });
+    }
+}
+
+/// Increments a monotonic counter. No-op when disarmed.
+#[inline]
+pub fn add(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            let total = match col.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, t)) => {
+                    *t += delta;
+                    *t
+                }
+                None => {
+                    col.counters.push((name.to_string(), delta));
+                    delta
+                }
+            };
+            for sink in &mut col.sinks {
+                sink.on_counter(name, delta, total);
+            }
+        }
+    });
+}
+
+/// Records one histogram sample. No-op when disarmed.
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            match col.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, h)) => h.record(value),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record(value);
+                    col.histograms.push((name.to_string(), h));
+                }
+            }
+        }
+    });
+}
+
+/// Emits a structured event to the sinks. No-op when disarmed; callers
+/// building a non-trivial `data` value should guard with [`enabled`] to
+/// skip the allocation.
+pub fn event(kind: &str, data: JsonValue) {
+    if !enabled() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            for sink in &mut col.sinks {
+                sink.on_event(kind, &data);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_pipeline_is_inert() {
+        assert!(!enabled());
+        let _s = span("never");
+        add("never", 3);
+        observe("never", 1.0);
+        event("never", JsonValue::Null);
+        assert!(harvest().is_none());
+    }
+
+    #[test]
+    fn counters_and_histograms_aggregate() {
+        install(Vec::new());
+        add("a.count", 2);
+        add("a.count", 3);
+        add("b.count", 1);
+        add("zero", 0); // dropped: zero deltas don't materialize counters
+        observe("h", 1.0);
+        observe("h", 3.0);
+        let h = harvest().expect("installed");
+        assert_eq!(h.counter("a.count"), 5);
+        assert_eq!(h.counter("b.count"), 1);
+        assert_eq!(h.counter("missing"), 0);
+        assert_eq!(h.counters.len(), 2);
+        let (name, hist) = &h.histograms[0];
+        assert_eq!(name, "h");
+        assert_eq!(hist.count, 2);
+        assert!((hist.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_spans_build_paths_and_child_time_fits_in_parent() {
+        install(Vec::new());
+        {
+            let _root = span("root");
+            for _ in 0..3 {
+                let _child = span("child");
+                {
+                    let _grand = span("grand");
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+        }
+        let h = harvest().expect("installed");
+        let root = h.phase("root").expect("root recorded");
+        let child = h.phase("root/child").expect("child recorded");
+        let grand = h.phase("root/child/grand").expect("grandchild recorded");
+        assert_eq!(root.count, 1);
+        assert_eq!(child.count, 3);
+        assert_eq!(grand.count, 3);
+        assert_eq!((root.depth, child.depth, grand.depth), (0, 1, 2));
+        // A child's total time is always contained in its parent's.
+        assert!(grand.total_seconds <= child.total_seconds + 1e-9);
+        assert!(child.total_seconds <= root.total_seconds + 1e-9);
+        assert!(grand.total_seconds >= 0.006, "3 × 2 ms slept");
+        assert!(child.min_seconds <= child.max_seconds);
+        // Sorted output: parents precede children.
+        let paths: Vec<&str> = h.phases.iter().map(|p| p.path.as_str()).collect();
+        assert_eq!(paths, vec!["root", "root/child", "root/child/grand"]);
+    }
+
+    #[test]
+    fn install_resets_previous_state() {
+        install(Vec::new());
+        add("x", 1);
+        install(Vec::new());
+        add("y", 1);
+        let h = harvest().expect("installed");
+        assert_eq!(h.counter("x"), 0);
+        assert_eq!(h.counter("y"), 1);
+        assert!(harvest().is_none(), "second harvest finds nothing");
+    }
+
+    #[test]
+    fn guard_survives_harvest_while_open() {
+        install(Vec::new());
+        let s = span("open");
+        let h = harvest().expect("installed");
+        drop(s); // must not panic or poison anything
+        assert!(h.phases.is_empty());
+    }
+
+    struct CountingSink {
+        exits: std::rc::Rc<std::cell::Cell<u64>>,
+        closed: std::rc::Rc<std::cell::Cell<bool>>,
+    }
+    impl Sink for CountingSink {
+        fn on_span_exit(&mut self, _p: &str, _d: usize, _s: f64, seq: u64) {
+            self.exits.set(seq + 1);
+        }
+        fn on_close(&mut self) {
+            self.closed.set(true);
+        }
+    }
+
+    #[test]
+    fn sinks_see_exits_and_close() {
+        let exits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let closed = std::rc::Rc::new(std::cell::Cell::new(false));
+        install(vec![Box::new(CountingSink {
+            exits: exits.clone(),
+            closed: closed.clone(),
+        })]);
+        {
+            let _a = span("a");
+            let _b = span("b");
+        }
+        assert!(harvest().is_some());
+        assert_eq!(exits.get(), 2, "two span exits observed");
+        assert!(closed.get(), "sink closed at harvest");
+    }
+}

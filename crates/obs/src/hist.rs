@@ -1,0 +1,170 @@
+//! Simple sample-keeping histograms with percentile summaries.
+
+use crate::json::JsonValue;
+
+/// A value distribution. Samples are kept verbatim (placement runs observe
+/// at most a few thousand values per histogram), and summarized on demand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample; non-finite values are dropped.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Summarizes the distribution (all-zero summary when empty).
+    pub fn summary(&self) -> HistogramSummary {
+        if self.samples.is_empty() {
+            return HistogramSummary::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let count = sorted.len();
+        let sum: f64 = sorted.iter().sum();
+        HistogramSummary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sum / count as f64,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+}
+
+/// The interpolated `q`-quantile (`0 ≤ q ≤ 1`) of an ascending-sorted,
+/// non-empty slice (the "linear" / R-7 method).
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Five-number-plus-mean summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (interpolated).
+    pub p50: f64,
+    /// 95th percentile (interpolated).
+    pub p95: f64,
+}
+
+impl HistogramSummary {
+    /// The summary as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("count", self.count.into()),
+            ("min", self.min.into()),
+            ("max", self.max.into()),
+            ("mean", self.mean.into()),
+            ("p50", self.p50.into()),
+            ("p95", self.p95.into()),
+        ])
+    }
+
+    /// Reads a summary back from [`Self::to_json`] output.
+    pub fn from_json(v: &JsonValue) -> Option<Self> {
+        Some(Self {
+            count: v.get("count")?.as_i64()? as usize,
+            min: v.get("min")?.as_f64()?,
+            max: v.get("max")?.as_f64()?,
+            mean: v.get("mean")?.as_f64()?,
+            p50: v.get("p50")?.as_f64()?,
+            p95: v.get("p95")?.as_f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let mut h = Histogram::new();
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.p50 - 2.5).abs() < 1e-12, "p50 = {}", s.p50);
+        // rank = 0.95 * 3 = 2.85 → 3 + 0.85·(4 − 3) = 3.85
+        assert!((s.p95 - 3.85).abs() < 1e-12, "p95 = {}", s.p95);
+    }
+
+    #[test]
+    fn percentiles_of_1_to_100() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert!((percentile(&sorted, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 1.0) - 100.0).abs() < 1e-12);
+        assert!((percentile(&sorted, 0.5) - 50.5).abs() < 1e-12);
+        // rank = 0.95 · 99 = 94.05 → 95 + 0.05·(96 − 95) = 95.05
+        assert!((percentile(&sorted, 0.95) - 95.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_its_own_percentiles() {
+        let mut h = Histogram::new();
+        h.record(7.5);
+        let s = h.summary();
+        assert_eq!(
+            (s.min, s.max, s.mean, s.p50, s.p95),
+            (7.5, 7.5, 7.5, 7.5, 7.5)
+        );
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty());
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let mut h = Histogram::new();
+        for v in 0..10 {
+            h.record(f64::from(v));
+        }
+        let s = h.summary();
+        let back = HistogramSummary::from_json(&s.to_json()).expect("parses");
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,173 @@
+//! Machine-readable JSONL event stream (one JSON object per line).
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::JsonValue;
+use crate::sink::Sink;
+
+/// A [`Sink`] that appends one JSON line per span exit and per structured
+/// event to a writer (typically the `--events FILE` stream).
+///
+/// Line shapes:
+///
+/// ```text
+/// {"type":"span","seq":12,"path":"place/iteration","depth":1,"seconds":0.0123}
+/// {"type":"iteration","iteration":3,"lambda":0.5,...}
+/// {"type":"counters","cg.iterations":1234,...}          (one line, at close)
+/// ```
+///
+/// Write failures are reported to stderr once and further output is
+/// dropped — telemetry must never abort the run it observes.
+pub struct JsonlSink {
+    out: Option<Box<dyn Write>>,
+    lines: u64,
+    counters: Vec<(String, u64)>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .field("failed", &self.out.is_none())
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// Wraps any writer.
+    pub fn new(out: Box<dyn Write>) -> Self {
+        Self {
+            out: Some(out),
+            lines: 0,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Creates (truncating) a file and buffers writes to it.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(io::BufWriter::new(file))))
+    }
+
+    /// Number of lines written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    fn write_line(&mut self, value: &JsonValue) {
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        let mut line = value.to_json_string();
+        line.push('\n');
+        if let Err(e) = out.write_all(line.as_bytes()) {
+            eprintln!("obs: events stream write failed ({e}); disabling stream");
+            self.out = None;
+            return;
+        }
+        self.lines += 1;
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_span_exit(&mut self, path: &str, depth: usize, seconds: f64, seq: u64) {
+        let line = JsonValue::object(vec![
+            ("type", "span".into()),
+            ("seq", seq.into()),
+            ("path", path.into()),
+            ("depth", depth.into()),
+            ("seconds", seconds.into()),
+        ]);
+        self.write_line(&line);
+    }
+
+    fn on_counter(&mut self, name: &str, _delta: u64, total: u64) {
+        // Per-increment counter lines would dwarf the stream; keep the
+        // latest totals and emit them once at close.
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, t)) => *t = total,
+            None => self.counters.push((name.to_string(), total)),
+        }
+    }
+
+    fn on_event(&mut self, kind: &str, data: &JsonValue) {
+        let mut fields = vec![("type".to_string(), JsonValue::Str(kind.to_string()))];
+        match data {
+            JsonValue::Obj(obj) => fields.extend(obj.iter().cloned()),
+            JsonValue::Null => {}
+            other => fields.push(("data".to_string(), other.clone())),
+        }
+        self.write_line(&JsonValue::Obj(fields));
+    }
+
+    fn on_close(&mut self) {
+        if !self.counters.is_empty() {
+            let mut counters = std::mem::take(&mut self.counters);
+            counters.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut fields = vec![("type".to_string(), JsonValue::Str("counters".into()))];
+            fields.extend(counters.into_iter().map(|(n, t)| (n, JsonValue::from(t))));
+            self.write_line(&JsonValue::Obj(fields));
+        }
+        if let Some(out) = self.out.as_mut() {
+            if let Err(e) = out.flush() {
+                eprintln!("obs: events stream flush failed ({e})");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn emits_parseable_lines_and_counter_summary() {
+        let path = std::env::temp_dir().join(format!("obs_jsonl_{}.jsonl", std::process::id()));
+        {
+            let mut sink = JsonlSink::create(&path).expect("create");
+            sink.on_span_exit("place/iteration", 1, 0.25, 7);
+            sink.on_event(
+                "iteration",
+                &JsonValue::object(vec![("iteration", 3i64.into())]),
+            );
+            sink.on_counter("cg.iterations", 10, 10);
+            sink.on_counter("cg.iterations", 5, 15);
+            sink.on_close();
+            assert_eq!(sink.lines_written(), 3);
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).expect("cleanup");
+        let lines: Vec<JsonValue> = text
+            .lines()
+            .map(|l| parse(l).expect("each line parses"))
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0].get("type").and_then(JsonValue::as_str),
+            Some("span")
+        );
+        assert_eq!(
+            lines[0].get("path").and_then(JsonValue::as_str),
+            Some("place/iteration")
+        );
+        assert_eq!(
+            lines[0].get("seconds").and_then(JsonValue::as_f64),
+            Some(0.25)
+        );
+        assert_eq!(
+            lines[1].get("type").and_then(JsonValue::as_str),
+            Some("iteration")
+        );
+        assert_eq!(
+            lines[1].get("iteration").and_then(JsonValue::as_i64),
+            Some(3)
+        );
+        assert_eq!(
+            lines[2].get("cg.iterations").and_then(JsonValue::as_i64),
+            Some(15)
+        );
+        assert!(text.ends_with('\n'), "stream ends with a newline");
+    }
+}

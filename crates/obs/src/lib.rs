@@ -1,0 +1,38 @@
+//! Zero-dependency observability layer for the ComPLx placer.
+//!
+//! Three pieces:
+//!
+//! 1. A thread-local **pipeline** ([`install`] / [`harvest`]) that
+//!    instrumented code feeds through [`span`] (scoped RAII timers that
+//!    nest into `/`-joined paths), [`add`] (monotonic counters),
+//!    [`observe`] (histograms) and [`event`] (structured records). When no
+//!    pipeline is installed every call is a single thread-local boolean
+//!    check, so instrumentation stays in release builds at no cost.
+//! 2. The **[`Sink`]** trait with three implementations: [`StderrLogger`]
+//!    (human-readable progress at [`Level`] off/info/debug), [`JsonlSink`]
+//!    (one JSON object per line, for `--events FILE`), and the built-in
+//!    aggregator that always runs and is read back via [`harvest`].
+//! 3. An end-of-run **[`RunReport`]** manifest (schema
+//!    [`REPORT_SCHEMA`]) combining a [`Harvest`] with caller-supplied
+//!    design/config/metrics sections, serialized with the in-crate
+//!    [`json`] module and rendered as a phase-time table by
+//!    [`RunReport::summary_table`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod hist;
+pub mod json;
+pub mod jsonl;
+pub mod logger;
+pub mod report;
+pub mod sink;
+
+pub use collector::{add, enabled, event, harvest, install, observe, span, Harvest, SpanGuard};
+pub use hist::{Histogram, HistogramSummary};
+pub use json::{parse, JsonValue, ParseError};
+pub use jsonl::JsonlSink;
+pub use logger::{Level, StderrLogger};
+pub use report::{PhaseStat, RunReport, REPORT_SCHEMA};
+pub use sink::Sink;

@@ -1,0 +1,105 @@
+//! Human-readable stderr progress logging.
+
+use std::str::FromStr;
+
+use crate::json::JsonValue;
+use crate::sink::Sink;
+
+/// Verbosity of the stderr logger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Log nothing (the logger is not installed at all).
+    #[default]
+    Off,
+    /// Log structured events (one line per placement iteration).
+    Info,
+    /// Additionally log every span exit with its duration.
+    Debug,
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Level::Off),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!("unknown log level `{other}` (use off|info|debug)")),
+        }
+    }
+}
+
+/// A [`Sink`] that prints progress lines to stderr.
+#[derive(Debug, Clone, Copy)]
+pub struct StderrLogger {
+    level: Level,
+}
+
+impl StderrLogger {
+    /// Creates a logger at the given verbosity.
+    pub fn new(level: Level) -> Self {
+        Self { level }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+}
+
+/// Renders an event's fields as `k=v` pairs for log lines.
+fn fields_line(data: &JsonValue) -> String {
+    match data {
+        JsonValue::Obj(fields) => fields
+            .iter()
+            .map(|(k, v)| match v {
+                JsonValue::Num(n) => format!("{k}={n:.4e}"),
+                other => format!("{k}={}", other.to_json_string()),
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+        other => other.to_json_string(),
+    }
+}
+
+impl Sink for StderrLogger {
+    fn on_span_exit(&mut self, path: &str, depth: usize, seconds: f64, _seq: u64) {
+        if self.level >= Level::Debug {
+            eprintln!(
+                "obs: {:indent$}{path} {:.3} ms",
+                "",
+                seconds * 1e3,
+                indent = 2 * depth
+            );
+        }
+    }
+
+    fn on_event(&mut self, kind: &str, data: &JsonValue) {
+        if self.level >= Level::Info {
+            eprintln!("obs: {kind} {}", fields_line(data));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("off".parse::<Level>(), Ok(Level::Off));
+        assert_eq!("info".parse::<Level>(), Ok(Level::Info));
+        assert_eq!("debug".parse::<Level>(), Ok(Level::Debug));
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Debug > Level::Info && Level::Info > Level::Off);
+    }
+
+    #[test]
+    fn fields_render_compactly() {
+        let data = JsonValue::object(vec![("k", 3i64.into()), ("phi", 1.5f64.into())]);
+        let line = fields_line(&data);
+        assert!(line.contains("k=3"), "{line}");
+        assert!(line.contains("phi=1.5"), "{line}");
+    }
+}

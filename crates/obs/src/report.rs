@@ -1,0 +1,403 @@
+//! End-of-run reports: per-phase time breakdown, counters, histograms and
+//! run metadata, serialized as a single JSON manifest with a stable schema
+//! (`complx-run-report/v1`) that benchmark harnesses can diff across
+//! commits.
+
+use std::fmt::Write as _;
+
+use crate::collector::Harvest;
+use crate::hist::HistogramSummary;
+use crate::json::JsonValue;
+
+/// Aggregated wall-clock accounting for one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// `/`-joined span-name chain, e.g. `place/iteration/cg_solve_x`.
+    pub path: String,
+    /// Nesting depth (0 = root span).
+    pub depth: usize,
+    /// Number of times the span was entered and exited.
+    pub count: u64,
+    /// Total wall-clock seconds across all executions.
+    pub total_seconds: f64,
+    /// Shortest single execution.
+    pub min_seconds: f64,
+    /// Longest single execution.
+    pub max_seconds: f64,
+}
+
+impl PhaseStat {
+    /// The last path segment (the span's own name).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// Mean seconds per execution.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("path", self.path.as_str().into()),
+            ("depth", self.depth.into()),
+            ("count", self.count.into()),
+            ("total_seconds", self.total_seconds.into()),
+            ("min_seconds", self.min_seconds.into()),
+            ("max_seconds", self.max_seconds.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Option<Self> {
+        Some(Self {
+            path: v.get("path")?.as_str()?.to_string(),
+            depth: v.get("depth")?.as_i64()? as usize,
+            count: v.get("count")?.as_i64()? as u64,
+            total_seconds: v.get("total_seconds")?.as_f64()?,
+            min_seconds: v.get("min_seconds")?.as_f64()?,
+            max_seconds: v.get("max_seconds")?.as_f64()?,
+        })
+    }
+}
+
+/// The schema identifier written into every report.
+pub const REPORT_SCHEMA: &str = "complx-run-report/v1";
+
+/// A machine-readable run manifest.
+///
+/// The generic sections (`design`, `config`, `metrics`, `iterations`,
+/// `extra`) are arbitrary JSON supplied by the caller, so this crate stays
+/// independent of placer types; phase/counter/histogram sections come from
+/// a [`Harvest`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Producing tool (e.g. `complx`).
+    pub tool: String,
+    /// Total wall-clock seconds of the reported run.
+    pub total_seconds: f64,
+    /// Why the run stopped (empty when not applicable).
+    pub stop_reason: String,
+    /// Design statistics (JSON object).
+    pub design: JsonValue,
+    /// Configuration summary (JSON object).
+    pub config: JsonValue,
+    /// Final quality metrics (JSON object).
+    pub metrics: JsonValue,
+    /// Per-iteration trace (JSON array).
+    pub iterations: JsonValue,
+    /// Tool-specific extra sections (JSON object).
+    pub extra: JsonValue,
+    /// Per-phase wall-clock accounting.
+    pub phases: Vec<PhaseStat>,
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl RunReport {
+    /// Starts an empty report for a tool.
+    pub fn new(tool: &str) -> Self {
+        Self {
+            tool: tool.to_string(),
+            design: JsonValue::Obj(Vec::new()),
+            config: JsonValue::Obj(Vec::new()),
+            metrics: JsonValue::Obj(Vec::new()),
+            iterations: JsonValue::Arr(Vec::new()),
+            extra: JsonValue::Obj(Vec::new()),
+            ..Self::default()
+        }
+    }
+
+    /// Folds a [`Harvest`]'s phases, counters and histograms in.
+    #[must_use]
+    pub fn with_harvest(mut self, harvest: Harvest) -> Self {
+        self.phases = harvest.phases;
+        self.counters = harvest.counters;
+        self.histograms = harvest.histograms;
+        self
+    }
+
+    /// The phase stats for an exact span path.
+    pub fn phase(&self, path: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|p| p.path == path)
+    }
+
+    /// Total seconds of a span path (0 when absent).
+    pub fn phase_seconds(&self, path: &str) -> f64 {
+        self.phase(path).map_or(0.0, |p| p.total_seconds)
+    }
+
+    /// The counter total by name (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Sum of root (depth-0) phase times — the instrumented share of
+    /// [`Self::total_seconds`].
+    pub fn instrumented_seconds(&self) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.depth == 0)
+            .map(|p| p.total_seconds)
+            .sum()
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("schema", REPORT_SCHEMA.into()),
+            ("tool", self.tool.as_str().into()),
+            ("total_seconds", self.total_seconds.into()),
+            ("stop_reason", self.stop_reason.as_str().into()),
+            ("design", self.design.clone()),
+            ("config", self.config.clone()),
+            ("metrics", self.metrics.clone()),
+            (
+                "phases",
+                JsonValue::Arr(self.phases.iter().map(PhaseStat::to_json).collect()),
+            ),
+            (
+                "counters",
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), JsonValue::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                JsonValue::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(n, h)| (n.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+            ("iterations", self.iterations.clone()),
+            ("extra", self.extra.clone()),
+        ])
+    }
+
+    /// Serializes as pretty-printed JSON, terminated by a newline.
+    pub fn to_json_string(&self) -> String {
+        let mut s = self.to_json().to_json_pretty();
+        s.push('\n');
+        s
+    }
+
+    /// Reads a report back from [`Self::to_json`] output.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let schema = v
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `schema`")?;
+        if schema != REPORT_SCHEMA {
+            return Err(format!("unsupported schema `{schema}`"));
+        }
+        let str_field = |k: &str| {
+            v.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing `{k}`"))
+        };
+        let phases = v
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing `phases`")?
+            .iter()
+            .map(|p| PhaseStat::from_json(p).ok_or("malformed phase entry".to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        let obj_pairs = |k: &str| -> Vec<(String, JsonValue)> {
+            match v.get(k) {
+                Some(JsonValue::Obj(fields)) => fields.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let counters = obj_pairs("counters")
+            .into_iter()
+            .filter_map(|(n, cv)| cv.as_i64().map(|i| (n, i as u64)))
+            .collect();
+        let histograms = obj_pairs("histograms")
+            .into_iter()
+            .filter_map(|(n, hv)| HistogramSummary::from_json(&hv).map(|h| (n, h)))
+            .collect();
+        Ok(Self {
+            tool: str_field("tool")?,
+            total_seconds: v
+                .get("total_seconds")
+                .and_then(JsonValue::as_f64)
+                .ok_or("missing `total_seconds`")?,
+            stop_reason: str_field("stop_reason")?,
+            design: v.get("design").cloned().unwrap_or(JsonValue::Null),
+            config: v.get("config").cloned().unwrap_or(JsonValue::Null),
+            metrics: v.get("metrics").cloned().unwrap_or(JsonValue::Null),
+            iterations: v
+                .get("iterations")
+                .cloned()
+                .unwrap_or(JsonValue::Arr(Vec::new())),
+            extra: v
+                .get("extra")
+                .cloned()
+                .unwrap_or(JsonValue::Obj(Vec::new())),
+            phases,
+            counters,
+            histograms,
+        })
+    }
+
+    /// Renders a RePlAce-style phase-time table: one row per span path,
+    /// indented by depth, with call counts, total and self time (total
+    /// minus direct children) and the share of the run's wall clock.
+    pub fn summary_table(&self) -> String {
+        let total = if self.total_seconds > 0.0 {
+            self.total_seconds
+        } else {
+            self.instrumented_seconds().max(f64::MIN_POSITIVE)
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== phase time breakdown (wall clock {:.3} s) ===",
+            self.total_seconds
+        );
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>12} {:>12} {:>8}",
+            "phase", "calls", "total(s)", "self(s)", "%wall"
+        );
+        for p in &self.phases {
+            // Self time: total minus the totals of direct children.
+            let child_prefix = format!("{}/", p.path);
+            let children: f64 = self
+                .phases
+                .iter()
+                .filter(|c| c.depth == p.depth + 1 && c.path.starts_with(&child_prefix))
+                .map(|c| c.total_seconds)
+                .sum();
+            let self_seconds = (p.total_seconds - children).max(0.0);
+            let label = format!("{:indent$}{}", "", p.name(), indent = 2 * p.depth);
+            let _ = writeln!(
+                out,
+                "{:<40} {:>8} {:>12.4} {:>12.4} {:>7.1}%",
+                label,
+                p.count,
+                p.total_seconds,
+                self_seconds,
+                100.0 * p.total_seconds / total
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "--- counters ---");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<40} {value:>8}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample_report() -> RunReport {
+        let mut r = RunReport::new("complx");
+        r.total_seconds = 10.0;
+        r.stop_reason = "converged".to_string();
+        r.design = JsonValue::object(vec![("name", "d".into()), ("cells", 100i64.into())]);
+        r.metrics = JsonValue::object(vec![("hpwl", 1.5e6.into())]);
+        r.iterations = JsonValue::Arr(vec![JsonValue::object(vec![("iteration", 1i64.into())])]);
+        r.phases = vec![
+            PhaseStat {
+                path: "place".into(),
+                depth: 0,
+                count: 1,
+                total_seconds: 9.5,
+                min_seconds: 9.5,
+                max_seconds: 9.5,
+            },
+            PhaseStat {
+                path: "place/iteration".into(),
+                depth: 1,
+                count: 20,
+                total_seconds: 8.0,
+                min_seconds: 0.1,
+                max_seconds: 1.0,
+            },
+        ];
+        r.counters = vec![("cg.iterations".to_string(), 1234)];
+        r.histograms = vec![(
+            "cg.relative_residual".to_string(),
+            HistogramSummary {
+                count: 40,
+                min: 1e-8,
+                max: 1e-5,
+                mean: 2e-6,
+                p50: 1e-6,
+                p95: 8e-6,
+            },
+        )];
+        r
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = sample_report();
+        let text = r.to_json_string();
+        assert!(text.ends_with('\n'), "manifest ends with a newline");
+        let doc = parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(REPORT_SCHEMA)
+        );
+        let back = RunReport::from_json(&doc).expect("round trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn phase_lookup_and_instrumented_seconds() {
+        let r = sample_report();
+        assert_eq!(r.phase_seconds("place"), 9.5);
+        assert_eq!(r.phase_seconds("missing"), 0.0);
+        assert_eq!(r.counter("cg.iterations"), 1234);
+        assert_eq!(r.instrumented_seconds(), 9.5);
+        assert_eq!(r.phase("place/iteration").map(|p| p.count), Some(20));
+        assert!(
+            (r.phase("place/iteration")
+                .map(PhaseStat::mean_seconds)
+                .expect("p")
+                - 0.4)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn summary_table_shows_phases_self_time_and_counters() {
+        let table = sample_report().summary_table();
+        assert!(table.contains("phase time breakdown"), "{table}");
+        assert!(table.contains("place"), "{table}");
+        assert!(table.contains("  iteration"), "indented child: {table}");
+        assert!(table.contains("cg.iterations"), "{table}");
+        // Self time of `place` = 9.5 − 8.0 = 1.5.
+        assert!(table.contains("1.5000"), "{table}");
+        // Share of wall clock: 9.5 / 10.0.
+        assert!(table.contains("95.0%"), "{table}");
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        let doc = parse(r#"{"schema":"other/v9"}"#).expect("parses");
+        assert!(RunReport::from_json(&doc).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! The event-consumer interface of the instrumentation layer.
+
+use crate::json::JsonValue;
+
+/// Receives instrumentation events as they happen.
+///
+/// Implementations: [`crate::StderrLogger`] (human-readable progress),
+/// [`crate::JsonlSink`] (machine-readable event stream), and the built-in
+/// aggregator behind [`crate::harvest`] (which always runs and needs no
+/// sink). All methods default to no-ops so sinks implement only what they
+/// consume.
+pub trait Sink {
+    /// A span finished. `path` is the `/`-joined name chain (for example
+    /// `place/iteration/cg_solve_x`), `depth` the nesting level (0 = root),
+    /// `seconds` the wall-clock duration, and `seq` a monotonic sequence
+    /// number across all span exits of the run.
+    fn on_span_exit(&mut self, path: &str, depth: usize, seconds: f64, seq: u64) {
+        let _ = (path, depth, seconds, seq);
+    }
+
+    /// A counter was incremented by `delta` to `total`.
+    fn on_counter(&mut self, name: &str, delta: u64, total: u64) {
+        let _ = (name, delta, total);
+    }
+
+    /// A structured event (for example one per placement iteration).
+    fn on_event(&mut self, kind: &str, data: &JsonValue) {
+        let _ = (kind, data);
+    }
+
+    /// The pipeline is shutting down (harvest); flush any buffers.
+    fn on_close(&mut self) {}
+}

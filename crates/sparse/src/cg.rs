@@ -122,6 +122,18 @@ impl CgSolver {
     ///
     /// Panics if `b` or `x` have length different from `a.dim()`.
     pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> SolveStats {
+        let stats = self.solve_inner(a, b, x);
+        // Feed the armed observability pipeline, if any (no-ops otherwise).
+        complx_obs::add("cg.solves", 1);
+        complx_obs::add("cg.iterations", stats.iterations as u64);
+        complx_obs::add("cg.clamped_diagonals", stats.clamped_diagonals as u64);
+        complx_obs::add("cg.breakdowns", u64::from(stats.breakdown.is_some()));
+        complx_obs::add("cg.unconverged", u64::from(!stats.converged));
+        complx_obs::observe("cg.relative_residual", stats.relative_residual);
+        stats
+    }
+
+    fn solve_inner(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> SolveStats {
         let n = a.dim();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -170,11 +182,18 @@ impl CgSolver {
             if x.iter().any(|v| !v.is_finite()) {
                 x.fill(0.0);
             }
-            return done(0, f64::INFINITY, false, Some(CgBreakdown::NonFinite), clamped);
+            return done(
+                0,
+                f64::INFINITY,
+                false,
+                Some(CgBreakdown::NonFinite),
+                clamped,
+            );
         }
         // A poisoned warm start would contaminate the residual; restart cold.
         if x.iter().any(|v| !v.is_finite()) {
             x.fill(0.0);
+            complx_obs::add("cg.cold_restarts", 1);
         }
 
         // r = b − A·x
@@ -187,7 +206,13 @@ impl CgSolver {
         if !res.is_finite() {
             // The matrix itself contains non-finite entries (A·x broke even
             // though x was finite). Report rather than iterate on garbage.
-            return done(0, f64::INFINITY, false, Some(CgBreakdown::NonFinite), clamped);
+            return done(
+                0,
+                f64::INFINITY,
+                false,
+                Some(CgBreakdown::NonFinite),
+                clamped,
+            );
         }
 
         // z = M⁻¹ r ; p = z

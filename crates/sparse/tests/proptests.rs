@@ -6,10 +6,7 @@ use proptest::prelude::*;
 /// Strategy: a random SPD matrix built as a Laplacian over random edges plus
 /// a strictly positive diagonal shift (guaranteeing positive-definiteness).
 fn spd_matrix(n: usize, max_edges: usize) -> impl Strategy<Value = CsrMatrix> {
-    let edges = proptest::collection::vec(
-        (0..n, 0..n, 0.01f64..10.0),
-        0..=max_edges,
-    );
+    let edges = proptest::collection::vec((0..n, 0..n, 0.01f64..10.0), 0..=max_edges);
     let shifts = proptest::collection::vec(0.1f64..5.0, n);
     (edges, shifts).prop_map(move |(edges, shifts)| {
         let mut t = TripletMatrix::new(n);

@@ -124,7 +124,11 @@ fn capacity_median_cut(caps: &CapacityMap, rect: Rect, cut_x: bool) -> Option<(R
     } else {
         caps.bin_height()
     };
-    let origin = if cut_x { caps.core().lx } else { caps.core().ly };
+    let origin = if cut_x {
+        caps.core().lx
+    } else {
+        caps.core().ly
+    };
 
     // Candidate bin boundaries strictly inside (lo, hi).
     let first = ((lo - origin) / bin).floor() as i64 + 1;

@@ -157,10 +157,10 @@ impl CapacityMap {
 
     /// The bin containing a point (clamped to the grid).
     pub fn bin_of(&self, x: f64, y: f64) -> (usize, usize) {
-        let ix = (((x - self.core.lx) / self.bin_w).floor() as isize)
-            .clamp(0, self.nx as isize - 1) as usize;
-        let iy = (((y - self.core.ly) / self.bin_h).floor() as isize)
-            .clamp(0, self.ny as isize - 1) as usize;
+        let ix = (((x - self.core.lx) / self.bin_w).floor() as isize).clamp(0, self.nx as isize - 1)
+            as usize;
+        let iy = (((y - self.core.ly) / self.bin_h).floor() as isize).clamp(0, self.ny as isize - 1)
+            as usize;
         (ix, iy)
     }
 

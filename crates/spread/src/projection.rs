@@ -104,12 +104,12 @@ impl FeasibilityProjection {
     ) -> ProjectionResult {
         assert!(bins > 0, "grid must have at least one bin");
         assert_eq!(placement.len(), design.num_cells());
+        let _span = complx_obs::span("projection");
         let gamma = self
             .target_density
             .unwrap_or_else(|| design.target_density());
 
-        let mut items =
-            build_items_inflated(design, placement, self.shred_macros, inflation);
+        let mut items = build_items_inflated(design, placement, self.shred_macros, inflation);
         let caps = CapacityMap::new(design, bins, bins);
         let regions = cluster(&caps, &items, gamma);
 
@@ -140,12 +140,14 @@ impl FeasibilityProjection {
         }
 
         // Diagnostics at the same grid resolution.
-        let overflow_before = DensityGrid::build(design, placement, bins, bins)
-            .overflow_ratio(gamma);
-        let overflow_after =
-            DensityGrid::build(design, &out, bins, bins).overflow_ratio(gamma);
+        let overflow_before =
+            DensityGrid::build(design, placement, bins, bins).overflow_ratio(gamma);
+        let overflow_after = DensityGrid::build(design, &out, bins, bins).overflow_ratio(gamma);
         let distance_l1 = placement.l1_distance(&out);
 
+        complx_obs::add("projection.calls", 1);
+        complx_obs::add("projection.regions", regions.len() as u64);
+        complx_obs::add("projection.bins_rebuilt", (bins * bins) as u64);
         ProjectionResult {
             placement: out,
             distance_l1,

@@ -102,10 +102,10 @@ impl CongestionMap {
     }
 
     fn bin_at(&self, x: f64, y: f64) -> usize {
-        let ix = (((x - self.core.lx) / self.bin_w).floor() as isize)
-            .clamp(0, self.nx as isize - 1) as usize;
-        let iy = (((y - self.core.ly) / self.bin_h).floor() as isize)
-            .clamp(0, self.ny as isize - 1) as usize;
+        let ix = (((x - self.core.lx) / self.bin_w).floor() as isize).clamp(0, self.nx as isize - 1)
+            as usize;
+        let iy = (((y - self.core.ly) / self.bin_h).floor() as isize).clamp(0, self.ny as isize - 1)
+            as usize;
         iy * self.nx + ix
     }
 
@@ -239,7 +239,8 @@ mod tests {
         let mut b = DesignBuilder::new("dir", Rect::new(0.0, 0.0, 100.0, 100.0), 1.0);
         let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
         let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
-        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
         let d = b.build().unwrap();
         let mut p = d.initial_placement();
         p.set_position(a, Point::new(10.0, 50.0));

@@ -42,6 +42,7 @@ pub fn build_items_inflated(
         let cell = design.cell(id);
         let p = placement.position(id);
         if shred_macros && cell.kind() == CellKind::MovableMacro {
+            complx_obs::add("projection.shredded_macros", 1);
             let nx = (cell.width() / shred_side).ceil().max(1.0) as usize;
             let ny = (cell.height() / shred_side).ceil().max(1.0) as usize;
             let sw = cell.width() / nx as f64;
@@ -76,12 +77,7 @@ pub fn build_items_inflated(
 /// displacement** of its shreds relative to their pre-spread offsets.
 ///
 /// `original` must be the placement `build_items` was called with.
-pub fn apply_items(
-    design: &Design,
-    original: &Placement,
-    items: &[Item],
-    out: &mut Placement,
-) {
+pub fn apply_items(design: &Design, original: &Placement, items: &[Item], out: &mut Placement) {
     // Accumulate displacement sums per owner.
     let n = design.num_cells();
     let mut sum_dx = vec![0.0f64; n];
@@ -94,10 +90,7 @@ pub fn apply_items(
     // If shredding was off in the caller, item counts differ; fall back to
     // per-item matching by owner order below.
     let same_layout = reference.len() == items.len()
-        && reference
-            .iter()
-            .zip(items)
-            .all(|(a, b)| a.owner == b.owner);
+        && reference.iter().zip(items).all(|(a, b)| a.owner == b.owner);
 
     if same_layout {
         for (orig, new) in reference.iter().zip(items) {

@@ -187,11 +187,7 @@ impl TimingGraph {
             }
         }
 
-        let slack: Vec<f64> = arrival
-            .iter()
-            .zip(&required)
-            .map(|(a, r)| r - a)
-            .collect();
+        let slack: Vec<f64> = arrival.iter().zip(&required).map(|(a, r)| r - a).collect();
 
         TimingReport {
             arrival,
@@ -234,14 +230,14 @@ impl TimingGraph {
             for &e in &self.in_edges[cur] {
                 let edge = &self.edges[e as usize];
                 let a = report.arrival[edge.from.index()] + edge_delay(edge);
-                if (a - report.arrival[cur]).abs() < 1e-9
-                    && best.is_none_or(|(ba, _)| a > ba)
-                {
+                if (a - report.arrival[cur]).abs() < 1e-9 && best.is_none_or(|(ba, _)| a > ba) {
                     best = Some((a, edge.from.index()));
                 }
             }
             match best {
-                Some((_, prev)) if report.arrival[prev] > 0.0 || !self.in_edges[prev].is_empty() => {
+                Some((_, prev))
+                    if report.arrival[prev] > 0.0 || !self.in_edges[prev].is_empty() =>
+                {
                     path.push(CellId::from_index(prev));
                     cur = prev;
                     if report.arrival[cur] == 0.0 {
@@ -263,9 +259,10 @@ impl TimingGraph {
     pub fn path_nets(&self, path: &[CellId]) -> Vec<NetId> {
         let mut nets = Vec::new();
         for w in path.windows(2) {
-            if let Some(e) = self.out_edges[w[0].index()].iter().find(|&&e| {
-                self.edges[e as usize].to == w[1]
-            }) {
+            if let Some(e) = self.out_edges[w[0].index()]
+                .iter()
+                .find(|&&e| self.edges[e as usize].to == w[1])
+            {
                 nets.push(self.edges[*e as usize].net);
             }
         }
@@ -446,9 +443,12 @@ mod tests {
         let ca = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
         let cb = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
         let cc = b.add_cell("c", 1.0, 1.0, CellKind::Movable).unwrap();
-        b.add_net("n0", 1.0, vec![(pad, 0.0, 0.0), (ca, 0.0, 0.0)]).unwrap();
-        b.add_net("n1", 1.0, vec![(ca, 0.0, 0.0), (cb, 0.0, 0.0)]).unwrap();
-        b.add_net("n2", 1.0, vec![(cb, 0.0, 0.0), (cc, 0.0, 0.0)]).unwrap();
+        b.add_net("n0", 1.0, vec![(pad, 0.0, 0.0), (ca, 0.0, 0.0)])
+            .unwrap();
+        b.add_net("n1", 1.0, vec![(ca, 0.0, 0.0), (cb, 0.0, 0.0)])
+            .unwrap();
+        b.add_net("n2", 1.0, vec![(cb, 0.0, 0.0), (cc, 0.0, 0.0)])
+            .unwrap();
         (b.build().unwrap(), vec![pad, ca, cb, cc])
     }
 
@@ -524,8 +524,10 @@ mod tests {
         let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
         let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
         // a drives b and b drives a — a combinational loop.
-        b.add_net("n0", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
-        b.add_net("n1", 1.0, vec![(c, 0.0, 0.0), (a, 0.0, 0.0)]).unwrap();
+        b.add_net("n0", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
+        b.add_net("n1", 1.0, vec![(c, 0.0, 0.0), (a, 0.0, 0.0)])
+            .unwrap();
         let d = b.build().unwrap();
         let g = TimingGraph::new(&d);
         let rep = g.analyze(&d, &d.initial_placement(), &DelayModel::default());

@@ -7,7 +7,11 @@ use proptest::prelude::*;
 /// Builds a random layered DAG design: `layers × width` cells, nets from
 /// each cell to 1–3 cells in the next layer. Returns the design and a
 /// placement on a grid.
-fn layered_design(layers: usize, width: usize, edges: &[(usize, usize, usize)]) -> (Design, Placement) {
+fn layered_design(
+    layers: usize,
+    width: usize,
+    edges: &[(usize, usize, usize)],
+) -> (Design, Placement) {
     let w = (layers * 10) as f64;
     let h = (width * 10) as f64;
     let mut b = DesignBuilder::new("dag", Rect::new(0.0, 0.0, w.max(20.0), h.max(20.0)), 1.0);
@@ -30,14 +34,22 @@ fn layered_design(layers: usize, width: usize, edges: &[(usize, usize, usize)]) 
         if a == c {
             continue;
         }
-        b.add_net(format!("n{net_no}"), 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
-            .expect("valid net");
+        b.add_net(
+            format!("n{net_no}"),
+            1.0,
+            vec![(a, 0.0, 0.0), (c, 0.0, 0.0)],
+        )
+        .expect("valid net");
         net_no += 1;
     }
     // Guarantee at least one net so the design builds meaningfully.
     if net_no == 0 && ids.len() >= 2 {
-        b.add_net("n_fallback", 1.0, vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)])
-            .expect("valid net");
+        b.add_net(
+            "n_fallback",
+            1.0,
+            vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)],
+        )
+        .expect("valid net");
     }
     let d = b.build().expect("valid design");
     let mut p = Placement::zeros(d.num_cells());

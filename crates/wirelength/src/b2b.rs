@@ -122,7 +122,11 @@ pub fn decompose(
             let w = net_weight / (p as f64 - 1.0);
             for i in 0..p {
                 for j in i + 1..p {
-                    out.push(Edge { a: i, b: j, weight: w });
+                    out.push(Edge {
+                        a: i,
+                        b: j,
+                        weight: w,
+                    });
                 }
             }
         }
@@ -195,7 +199,13 @@ mod tests {
     #[test]
     fn b2b_coincident_pins_bounded_weight() {
         let mut edges = Vec::new();
-        decompose(NetModel::Bound2Bound, 1.0, &[5.0, 5.0, 5.0], 0.5, &mut edges);
+        decompose(
+            NetModel::Bound2Bound,
+            1.0,
+            &[5.0, 5.0, 5.0],
+            0.5,
+            &mut edges,
+        );
         for e in &edges {
             assert!(e.weight.is_finite());
             assert!(e.weight <= 1.0 / (2.0 * 0.5) + 1e-12);
@@ -224,7 +234,13 @@ mod tests {
     #[test]
     fn hybrid_switches_at_degree_four() {
         let mut edges = Vec::new();
-        decompose(NetModel::HybridCliqueStar, 1.0, &[0.0, 1.0, 2.0], 1e-3, &mut edges);
+        decompose(
+            NetModel::HybridCliqueStar,
+            1.0,
+            &[0.0, 1.0, 2.0],
+            1e-3,
+            &mut edges,
+        );
         assert!(edges.iter().all(|e| e.b != Edge::STAR));
         decompose(
             NetModel::HybridCliqueStar,

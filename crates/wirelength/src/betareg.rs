@@ -107,9 +107,10 @@ impl<'a> AxisTerms<'a> {
             let pins = design.net_pins(nid);
             let w_net = design.net(nid).weight();
             coords.clear();
-            coords.extend(pins.iter().map(|p| {
-                coord(p.cell) + if is_x { p.dx } else { p.dy }
-            }));
+            coords.extend(
+                pins.iter()
+                    .map(|p| coord(p.cell) + if is_x { p.dx } else { p.dy }),
+            );
             decompose(net_model, w_net, &coords, 1.0, &mut edges);
             for e in &edges {
                 if e.a == Edge::STAR || e.b == Edge::STAR {
@@ -201,15 +202,7 @@ impl InterconnectModel for BetaRegModel {
         let beta = self.beta(design);
         let mut value = 0.0;
         for is_x in [true, false] {
-            let prob = AxisTerms::new(
-                design,
-                &index,
-                placement,
-                None,
-                self.net_model,
-                beta,
-                is_x,
-            );
+            let prob = AxisTerms::new(design, &index, placement, None, self.net_model, beta, is_x);
             let z: Vec<f64> = (0..index.num_vars())
                 .map(|v| {
                     let c = index.cell(v);
@@ -285,6 +278,8 @@ impl InterconnectModel for BetaRegModel {
             iterations_y: iters[1],
             converged: true,
             breakdown: false,
+            relative_residual: 0.0,
+            clamped_diagonals: 0,
         }
     }
 }
@@ -300,7 +295,9 @@ mod tests {
         let d = GeneratorConfig::small("br", 1).generate();
         let p = d.initial_placement();
         let tight = BetaRegModel::new().with_beta_rows2(1e-6).wirelength(&d, &p);
-        let loose = BetaRegModel::new().with_beta_rows2(100.0).wirelength(&d, &p);
+        let loose = BetaRegModel::new()
+            .with_beta_rows2(100.0)
+            .wirelength(&d, &p);
         let real = hpwl::weighted_hpwl(&d, &p);
         // Clique decomposition over-counts multi-pin nets relative to HPWL,
         // but both smoothing levels upper-bound it and tighten with β.

@@ -45,7 +45,7 @@ pub use anchors::Anchors;
 pub use b2b::{decompose as decompose_net, Edge, NetModel};
 pub use betareg::BetaRegModel;
 pub use lse::LseModel;
+pub use model::{InterconnectModel, MinimizeStats};
 pub use nlcg::{NlcgStats, SmoothObjective};
 pub use pnorm::PNormModel;
-pub use model::{InterconnectModel, MinimizeStats};
 pub use system::{QuadraticModel, VarIndex};

@@ -287,6 +287,8 @@ impl InterconnectModel for LseModel {
             iterations_y: iters[1],
             converged: true,
             breakdown: false,
+            relative_residual: 0.0,
+            clamped_diagonals: 0,
         }
     }
 }

@@ -18,6 +18,10 @@ pub struct MinimizeStats {
     /// solver's last finite iterate, but callers should treat the step as
     /// failed and engage recovery.
     pub breakdown: bool,
+    /// The worse (larger) of the two axes' final relative residuals.
+    pub relative_residual: f64,
+    /// Jacobi diagonal clamps across both axis solves (0 for an SPD system).
+    pub clamped_diagonals: usize,
 }
 
 /// A convex, differentiable approximation `Φ` of weighted HPWL that can be

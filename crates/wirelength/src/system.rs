@@ -115,7 +115,8 @@ impl QuadraticModel {
         self.net_model
     }
 
-    /// Assembles and solves one axis; returns solver iterations.
+    /// Assembles and solves one axis; returns the solution alongside the
+    /// solver's convergence report.
     fn solve_axis(
         &self,
         design: &Design,
@@ -123,7 +124,8 @@ impl QuadraticModel {
         placement: &Placement,
         anchors: Option<&Anchors>,
         axis: Axis,
-    ) -> (Vec<f64>, usize, bool, bool) {
+    ) -> (Vec<f64>, complx_sparse::SolveStats) {
+        let assembly_span = complx_obs::span("b2b_rebuild");
         let n_cells = index.num_vars();
 
         // Count star variables first so the matrix dimension is known.
@@ -251,15 +253,20 @@ impl QuadraticModel {
         for nid in design.net_ids() {
             if let Some(s) = star_of_net[nid.index()] {
                 let pins = design.net_pins(nid);
-                let c: f64 = pins.iter().map(|p| coord(p.cell) + offset(p)).sum::<f64>()
-                    / pins.len() as f64;
+                let c: f64 =
+                    pins.iter().map(|p| coord(p.cell) + offset(p)).sum::<f64>() / pins.len() as f64;
                 x[s as usize] = c;
             }
         }
 
+        drop(assembly_span);
+        let _solve_span = complx_obs::span(match axis {
+            Axis::X => "cg_solve_x",
+            Axis::Y => "cg_solve_y",
+        });
         let stats = self.solver.solve(&a_mat, &rhs, &mut x);
         x.truncate(n_cells);
-        (x, stats.iterations, stats.converged, stats.breakdown.is_some())
+        (x, stats)
     }
 }
 
@@ -286,8 +293,8 @@ impl InterconnectModel for QuadraticModel {
         anchors: Option<&Anchors>,
     ) -> MinimizeStats {
         let index = VarIndex::new(design);
-        let (xs, it_x, ok_x, bd_x) = self.solve_axis(design, &index, placement, anchors, Axis::X);
-        let (ys, it_y, ok_y, bd_y) = self.solve_axis(design, &index, placement, anchors, Axis::Y);
+        let (xs, sx) = self.solve_axis(design, &index, placement, anchors, Axis::X);
+        let (ys, sy) = self.solve_axis(design, &index, placement, anchors, Axis::Y);
         let core = design.core();
         for v in 0..index.num_vars() {
             let cell = index.cell(v);
@@ -301,10 +308,12 @@ impl InterconnectModel for QuadraticModel {
             placement.set_position(cell, p);
         }
         MinimizeStats {
-            iterations_x: it_x,
-            iterations_y: it_y,
-            converged: ok_x && ok_y,
-            breakdown: bd_x || bd_y,
+            iterations_x: sx.iterations,
+            iterations_y: sy.iterations,
+            converged: sx.converged && sy.converged,
+            breakdown: sx.breakdown.is_some() || sy.breakdown.is_some(),
+            relative_residual: sx.relative_residual.max(sy.relative_residual),
+            clamped_diagonals: sx.clamped_diagonals + sy.clamped_diagonals,
         }
     }
 }
@@ -342,16 +351,27 @@ mod tests {
         let p1 = b
             .add_fixed_cell("p1", 1.0, 1.0, CellKind::Terminal, Point::new(30.0, 15.0))
             .unwrap();
-        b.add_net("n0", 1.0, vec![(p0, 0.0, 0.0), (a, 0.0, 0.0)]).unwrap();
-        b.add_net("n1", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
-        b.add_net("n2", 1.0, vec![(c, 0.0, 0.0), (p1, 0.0, 0.0)]).unwrap();
+        b.add_net("n0", 1.0, vec![(p0, 0.0, 0.0), (a, 0.0, 0.0)])
+            .unwrap();
+        b.add_net("n1", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+            .unwrap();
+        b.add_net("n2", 1.0, vec![(c, 0.0, 0.0), (p1, 0.0, 0.0)])
+            .unwrap();
         let d = b.build().unwrap();
         let mut pl = d.initial_placement();
         let model = QuadraticModel::new(NetModel::Clique); // no linearization
         let stats = model.minimize(&d, &mut pl, None);
         assert!(stats.converged);
-        assert!((pl.position(a).x - 10.0).abs() < 1e-4, "{:?}", pl.position(a));
-        assert!((pl.position(c).x - 20.0).abs() < 1e-4, "{:?}", pl.position(c));
+        assert!(
+            (pl.position(a).x - 10.0).abs() < 1e-4,
+            "{:?}",
+            pl.position(a)
+        );
+        assert!(
+            (pl.position(c).x - 20.0).abs() < 1e-4,
+            "{:?}",
+            pl.position(c)
+        );
         assert!((pl.position(a).y - 15.0).abs() < 1e-4);
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for net decomposition and quadratic assembly.
 
-use complx_wirelength::{Anchors, InterconnectModel, NetModel, QuadraticModel};
 use complx_netlist::{generator::GeneratorConfig, hpwl, Placement};
+use complx_wirelength::{Anchors, InterconnectModel, NetModel, QuadraticModel};
 use proptest::prelude::*;
 
 proptest! {

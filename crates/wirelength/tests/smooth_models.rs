@@ -3,9 +3,7 @@
 //! overestimate HPWL and respond to anchors.
 
 use complx_netlist::{generator::GeneratorConfig, hpwl, Placement};
-use complx_wirelength::{
-    Anchors, BetaRegModel, InterconnectModel, LseModel, PNormModel,
-};
+use complx_wirelength::{Anchors, BetaRegModel, InterconnectModel, LseModel, PNormModel};
 use proptest::prelude::*;
 
 fn scattered(design: &complx_netlist::Design, seed: u64) -> Placement {
@@ -17,10 +15,7 @@ fn scattered(design: &complx_netlist::Design, seed: u64) -> Placement {
         let fy = ((k.wrapping_mul(40503)) % 1000) as f64 / 1000.0;
         p.set_position(
             id,
-            complx_netlist::Point::new(
-                core.lx + fx * core.width(),
-                core.ly + fy * core.height(),
-            ),
+            complx_netlist::Point::new(core.lx + fx * core.width(), core.ly + fy * core.height()),
         );
     }
     p

@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(bundle.design.num_cells(), design.num_cells());
 
     // 3. Place the parsed design and write the solution placement.
-    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&bundle.design).expect("placement failed");
+    let outcome = ComplxPlacer::new(PlacerConfig::default())
+        .place(&bundle.design)
+        .expect("placement failed");
     println!(
         "\nplaced: HPWL {:.4e} (initial was {:.4e})",
         outcome.hpwl_legal,

@@ -1,0 +1,32 @@
+//! Generates a small synthetic design and writes it as a Bookshelf bundle —
+//! the fixture behind `scripts/check.sh`'s CLI smoke run. Prints the `.aux`
+//! path on stdout so shell scripts can feed it straight to `complx`.
+//!
+//! ```text
+//! cargo run --release --example gen_smoke -- [out_dir] [seed]
+//! ```
+
+use complx_netlist::{bookshelf, generator::GeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let dir = args
+        .next()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("complx_gen_smoke"));
+    let seed: u64 = match args.next() {
+        Some(s) => s.parse().map_err(|_| format!("bad seed `{s}`"))?,
+        None => 7,
+    };
+    std::fs::create_dir_all(&dir)?;
+    let design = GeneratorConfig::small("smoke", seed).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)?;
+    eprintln!(
+        "gen_smoke: {} cells, {} nets, {} pins",
+        design.num_cells(),
+        design.num_nets(),
+        design.num_pins()
+    );
+    println!("{}", aux.display());
+    Ok(())
+}

@@ -26,7 +26,9 @@ fn main() {
         design.target_density()
     );
 
-    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let outcome = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
     println!(
         "placed in {} iterations; legal {}",
         outcome.iterations, outcome.metrics
@@ -56,7 +58,8 @@ fn main() {
         per_macro_lambda: false,
         ..PlacerConfig::default()
     })
-    .place(&design).expect("placement failed");
+    .place(&design)
+    .expect("placement failed");
     println!(
         "\nwith shredding + per-macro λ: {:.4e}\nwithout (macros spread as ordinary cells): {:.4e}",
         outcome.metrics.scaled_hpwl, plain.metrics.scaled_hpwl

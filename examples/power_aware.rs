@@ -56,7 +56,9 @@ fn main() {
     );
 
     // Wirelength-driven reference.
-    let base = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let base = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
 
     // Power-aware: (1) weight each net by its maximum pin activity so Φ
     // keeps high-activity nets short, and (2) populate Formula 13's γ⃗ with
@@ -73,7 +75,8 @@ fn main() {
     let weighted = complx_timing::reweight_nets(&design, &hot_nets, 4.0);
     let gamma: Vec<f64> = activity.iter().map(|&a| 1.0 + 3.0 * a).collect();
     let aware = ComplxPlacer::new(PlacerConfig::default())
-        .place_with_criticality(&weighted, Some(&gamma)).expect("placement failed");
+        .place_with_criticality(&weighted, Some(&gamma))
+        .expect("placement failed");
 
     let cap_base = switched_capacitance(&design, &base.legal, &activity);
     let cap_aware = switched_capacitance(&design, &aware.legal, &activity);

@@ -12,17 +12,27 @@ fn main() {
     // 1. A small ISPD-style instance (deterministic; change the seed for a
     //    different netlist).
     let design = GeneratorConfig::small("quickstart", 42).generate();
-    println!("design `{}`:\n{}\n", design.name(), DesignStats::for_design(&design));
+    println!(
+        "design `{}`:\n{}\n",
+        design.name(),
+        DesignStats::for_design(&design)
+    );
 
     // 2. Place it with the default ComPLx configuration.
-    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let outcome = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
 
     // 3. Results: quality metrics, convergence info, and the trace that
     //    Figure 1 of the paper plots.
     println!(
         "placed in {} global iterations ({}), final λ = {:.3}",
         outcome.iterations,
-        if outcome.converged { "converged" } else { "iteration cap" },
+        if outcome.converged {
+            "converged"
+        } else {
+            "iteration cap"
+        },
         outcome.final_lambda
     );
     println!("legal {}", outcome.metrics);

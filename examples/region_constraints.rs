@@ -6,9 +6,7 @@
 //! cargo run --release --example region_constraints
 //! ```
 
-use complx_netlist::{
-    generator::GeneratorConfig, CellKind, DesignBuilder, Rect, RegionConstraint,
-};
+use complx_netlist::{generator::GeneratorConfig, CellKind, DesignBuilder, Rect, RegionConstraint};
 use complx_place::{ComplxPlacer, PlacerConfig};
 use complx_spread::regions::regions_satisfied;
 
@@ -71,7 +69,9 @@ fn main() {
         final_detail: false, // the detail pass is not region-aware
         ..PlacerConfig::default()
     };
-    let outcome = ComplxPlacer::new(cfg).place(&design).expect("placement failed");
+    let outcome = ComplxPlacer::new(cfg)
+        .place(&design)
+        .expect("placement failed");
 
     println!(
         "region `clk_domain` covers {:.0}% of the core and holds {} cells",

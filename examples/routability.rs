@@ -25,7 +25,9 @@ fn main() {
     );
 
     // Wirelength-driven reference run.
-    let wl = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let wl = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
 
     // Pick a supply that makes the reference placement mildly congested,
     // then re-place with inflation.
@@ -41,7 +43,8 @@ fn main() {
         }),
         ..PlacerConfig::default()
     })
-    .place(&design).expect("placement failed");
+    .place(&design)
+    .expect("placement failed");
 
     let peak = |p: &complx_netlist::Placement| {
         CongestionMap::build(&design, p, bins, bins, supply).max_congestion()

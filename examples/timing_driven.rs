@@ -47,5 +47,9 @@ fn main() {
     let crit = report.criticality();
     let critical_cells = crit.iter().filter(|&&c| c > 0.9).count();
     println!("{critical_cells} cells within 10% of the critical path");
-    assert!(complx_legalize::is_legal(&design, &result.outcome.legal, 1e-6));
+    assert!(complx_legalize::is_legal(
+        &design,
+        &result.outcome.legal,
+        1e-6
+    ));
 }

@@ -1,16 +1,33 @@
 #!/usr/bin/env bash
-# Repo health gate: build, full test suite, and an unwrap ban on the
-# library code of the solver-critical crates. Run from anywhere.
+# Repo health gate: formatting, build, full test suite, an unwrap ban on
+# the library code of the solver-critical crates, and a CLI smoke run that
+# validates the observability artifacts. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --all --check
+
 echo "== build (release) =="
-cargo build --release
+# --workspace: the root manifest is also a package, so a bare `cargo build`
+# would skip the member binaries (complx, report_check) the smoke run needs.
+cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q --workspace
 
 echo "== clippy: no unwrap in core/sparse library code =="
 cargo clippy -q -p complx-place -p complx-sparse --lib -- -D clippy::unwrap_used
+
+echo "== CLI smoke run: report + events validate =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+aux=$(cargo run -q --release --example gen_smoke -- "$smoke_dir" 2>/dev/null)
+./target/release/complx "$aux" -q --max-iterations 15 \
+    -o "$smoke_dir/solution" \
+    --report "$smoke_dir/report.json" \
+    --events "$smoke_dir/events.jsonl"
+./target/release/report_check "$smoke_dir/report.json" \
+    --jsonl "$smoke_dir/events.jsonl"
 
 echo "All checks passed."

@@ -52,8 +52,12 @@ fn whole_pipeline_is_deterministic_across_processes_inputs() {
     // library code paths that affect results).
     let d1 = GeneratorConfig::small("det", 99).generate();
     let d2 = GeneratorConfig::small("det", 99).generate();
-    let o1 = ComplxPlacer::new(PlacerConfig::fast()).place(&d1).expect("placement failed");
-    let o2 = ComplxPlacer::new(PlacerConfig::fast()).place(&d2).expect("placement failed");
+    let o1 = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d1)
+        .expect("placement failed");
+    let o2 = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d2)
+        .expect("placement failed");
     assert_eq!(o1.legal, o2.legal);
     assert_eq!(o1.trace.records().len(), o2.trace.records().len());
     assert_eq!(o1.final_lambda, o2.final_lambda);
@@ -74,7 +78,8 @@ fn placer_runs_with_every_interconnect_choice() {
             max_iterations: 10,
             ..PlacerConfig::fast()
         })
-        .place(&design).expect("placement failed");
+        .place(&design)
+        .expect("placement failed");
         assert!(out.hpwl_legal > 0.0, "{ic:?}");
         assert!(
             complx_repro::legalize::is_legal(&design, &out.legal, 1e-6),

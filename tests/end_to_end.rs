@@ -9,7 +9,9 @@ use complx_repro::place::{baselines, ComplxPlacer, PlacerConfig};
 #[test]
 fn full_pipeline_produces_legal_quality_placement() {
     let design = GeneratorConfig::small("e2e", 1).generate();
-    let outcome = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let outcome = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
 
     // Legal output.
     let report = legality_report(&design, &outcome.legal);
@@ -41,8 +43,12 @@ fn full_pipeline_produces_legal_quality_placement() {
 #[test]
 fn complx_beats_or_matches_every_baseline() {
     let design = GeneratorConfig::ispd2005_like("cmp", 3, 2000).generate();
-    let cx = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
-    let simpl = baselines::simpl_placer().place(&design).expect("placement failed");
+    let cx = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
+    let simpl = baselines::simpl_placer()
+        .place(&design)
+        .expect("placement failed");
     let fp = baselines::FastPlaceLike::default().place(&design);
 
     // The paper's headline: ComPLx outperforms SimPL (by ~1%) and the
@@ -65,8 +71,12 @@ fn complx_beats_or_matches_every_baseline() {
 fn all_placers_produce_legal_placements_on_mixed_design() {
     let design = GeneratorConfig::ispd2006_like("legal6", 5, 900, 0.7).generate();
     let runs = [
-        ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed"),
-        baselines::simpl_placer().place(&design).expect("placement failed"),
+        ComplxPlacer::new(PlacerConfig::fast())
+            .place(&design)
+            .expect("placement failed"),
+        baselines::simpl_placer()
+            .place(&design)
+            .expect("placement failed"),
         baselines::FastPlaceLike {
             max_iterations: 30,
             ..Default::default()
@@ -89,7 +99,9 @@ fn placement_quality_is_stable_across_seeds() {
     let mut ratios = Vec::new();
     for seed in [11u64, 22, 33] {
         let design = GeneratorConfig::small("seed", seed).generate();
-        let out = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
+        let out = ComplxPlacer::new(PlacerConfig::fast())
+            .place(&design)
+            .expect("placement failed");
         let naive = {
             let proj = complx_repro::spread::FeasibilityProjection::default()
                 .project(&design, &design.initial_placement());
@@ -113,7 +125,9 @@ fn three_table1_configurations_all_work() {
         PlacerConfig::finest_grid(),
         PlacerConfig::projection_with_detail(),
     ] {
-        let out = ComplxPlacer::new(cfg).place(&design).expect("placement failed");
+        let out = ComplxPlacer::new(cfg)
+            .place(&design)
+            .expect("placement failed");
         assert!(is_legal(&design, &out.legal, 1e-6));
         assert!(out.hpwl_legal > 0.0);
     }

@@ -3,8 +3,7 @@
 //! and Bookshelf interoperability.
 
 use complx_repro::netlist::{
-    bookshelf, generator::GeneratorConfig, hpwl, CellKind, DesignBuilder, Rect,
-    RegionConstraint,
+    bookshelf, generator::GeneratorConfig, hpwl, CellKind, DesignBuilder, Rect, RegionConstraint,
 };
 use complx_repro::place::timing_driven::TimingDrivenPlacer;
 use complx_repro::place::{ComplxPlacer, PlacerConfig};
@@ -21,7 +20,8 @@ fn clone_with_region(
     for id in base.cell_ids() {
         let c = base.cell(id);
         if c.is_movable() {
-            b.add_cell(c.name(), c.width(), c.height(), c.kind()).unwrap();
+            b.add_cell(c.name(), c.width(), c.height(), c.kind())
+                .unwrap();
         } else {
             b.add_fixed_cell(
                 c.name(),
@@ -38,7 +38,10 @@ fn clone_with_region(
         b.add_net(
             n.name(),
             n.weight(),
-            base.net_pins(nid).iter().map(|p| (p.cell, p.dx, p.dy)).collect(),
+            base.net_pins(nid)
+                .iter()
+                .map(|p| (p.cell, p.dx, p.dy))
+                .collect(),
         )
         .unwrap();
     }
@@ -71,10 +74,14 @@ fn region_constraints_enforced_without_large_hpwl_cost() {
         final_detail: false,
         ..PlacerConfig::default()
     };
-    let constrained = ComplxPlacer::new(cfg.clone()).place(&design).expect("placement failed");
+    let constrained = ComplxPlacer::new(cfg.clone())
+        .place(&design)
+        .expect("placement failed");
     assert!(regions_satisfied(&design, &constrained.upper));
 
-    let unconstrained = ComplxPlacer::new(cfg).place(&base).expect("placement failed");
+    let unconstrained = ComplxPlacer::new(cfg)
+        .place(&base)
+        .expect("placement failed");
     let h_c = hpwl::hpwl(&design, &constrained.upper);
     let h_u = hpwl::hpwl(&base, &unconstrained.upper);
     assert!(
@@ -86,7 +93,9 @@ fn region_constraints_enforced_without_large_hpwl_cost() {
 #[test]
 fn s6_net_weighting_shrinks_paths_without_hpwl_blowup() {
     let design = GeneratorConfig::ispd2005_like("s6", 77, 1200).generate();
-    let base = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let base = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
     let graph = TimingGraph::new(&design);
     let model = DelayModel::default();
     let path = graph.critical_path(&design, &base.legal, &model);
@@ -98,7 +107,9 @@ fn s6_net_weighting_shrinks_paths_without_hpwl_blowup() {
     };
     let before = path_len(&base.legal);
     let boosted = reweight_nets(&design, &nets, 20.0);
-    let after_out = ComplxPlacer::new(PlacerConfig::default()).place(&boosted).expect("placement failed");
+    let after_out = ComplxPlacer::new(PlacerConfig::default())
+        .place(&boosted)
+        .expect("placement failed");
     let after = path_len(&after_out.legal);
 
     // The boosted path shrinks; total HPWL stays within a few percent.
@@ -145,13 +156,16 @@ fn timing_driven_flow_reduces_or_holds_critical_delay() {
 #[test]
 fn mixed_size_shredding_beats_treating_macros_as_cells() {
     let design = GeneratorConfig::ispd2006_like("shd", 17, 1200, 0.7).generate();
-    let with = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
+    let with = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&design)
+        .expect("placement failed");
     let without = ComplxPlacer::new(PlacerConfig {
         shred_macros: false,
         per_macro_lambda: false,
         ..PlacerConfig::fast()
     })
-    .place(&design).expect("placement failed");
+    .place(&design)
+    .expect("placement failed");
     // Shredding should not lose; usually it wins on scaled HPWL.
     assert!(
         with.metrics.scaled_hpwl < 1.1 * without.metrics.scaled_hpwl,
@@ -179,7 +193,8 @@ fn alignment_constraints_enforced_through_the_placer() {
     for id in base.cell_ids() {
         let c = base.cell(id);
         if c.is_movable() {
-            b.add_cell(c.name(), c.width(), c.height(), c.kind()).unwrap();
+            b.add_cell(c.name(), c.width(), c.height(), c.kind())
+                .unwrap();
         } else {
             b.add_fixed_cell(
                 c.name(),
@@ -196,7 +211,10 @@ fn alignment_constraints_enforced_through_the_placer() {
         b.add_net(
             n.name(),
             n.weight(),
-            base.net_pins(nid).iter().map(|p| (p.cell, p.dx, p.dy)).collect(),
+            base.net_pins(nid)
+                .iter()
+                .map(|p| (p.cell, p.dx, p.dy))
+                .collect(),
         )
         .unwrap();
     }
@@ -210,7 +228,9 @@ fn alignment_constraints_enforced_through_the_placer() {
         final_detail: false, // the detail pass is not alignment-aware
         ..PlacerConfig::fast()
     };
-    let out = ComplxPlacer::new(cfg).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(cfg)
+        .place(&design)
+        .expect("placement failed");
     assert!(alignments_satisfied(&design, &out.upper, 1e-6));
 }
 
@@ -224,7 +244,9 @@ fn routability_inflation_separates_congested_cells() {
     gen_cfg.num_std_cells = 1000;
     gen_cfg.utilization = 0.8;
     let design = gen_cfg.generate();
-    let wl = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
+    let wl = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&design)
+        .expect("placement failed");
     let bins = 16;
     let probe = CongestionMap::build(&design, &wl.legal, bins, bins, 1.0);
     let supply = probe.max_congestion() / 1.3;
@@ -237,7 +259,8 @@ fn routability_inflation_separates_congested_cells() {
         }),
         ..PlacerConfig::fast()
     })
-    .place(&design).expect("placement failed");
+    .place(&design)
+    .expect("placement failed");
     let reference = CongestionMap::build(&design, &wl.legal, bins, bins, supply);
     let hot_area = |p: &complx_repro::netlist::Placement| -> f64 {
         design
@@ -252,7 +275,11 @@ fn routability_inflation_separates_congested_cells() {
     };
     assert!(hot_area(&routed.legal) < hot_area(&wl.legal));
     assert!(routed.hpwl_legal < 1.15 * wl.hpwl_legal);
-    assert!(complx_repro::legalize::is_legal(&design, &routed.legal, 1e-6));
+    assert!(complx_repro::legalize::is_legal(
+        &design,
+        &routed.legal,
+        1e-6
+    ));
 }
 
 #[test]
@@ -261,7 +288,9 @@ fn bookshelf_export_place_import_cycle() {
     let design = GeneratorConfig::small("bsio", 19).generate();
     let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir).unwrap();
     let bundle = bookshelf::read_aux(&aux).unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&bundle.design).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&bundle.design)
+        .expect("placement failed");
     let sol = bookshelf::write_bundle(&bundle.design, &out.legal, &dir).unwrap();
     let check = bookshelf::read_aux(&sol).unwrap();
     let h = hpwl::hpwl(&check.design, &check.placement);

@@ -15,7 +15,9 @@ fn figure1_trends_hold() {
         stagnation_window: usize::MAX, // record the full progression
         ..PlacerConfig::default()
     };
-    let out = ComplxPlacer::new(cfg).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(cfg)
+        .place(&design)
+        .expect("placement failed");
     let recs = out.trace.records();
     assert!(recs.len() >= 5);
 
@@ -42,7 +44,9 @@ fn weak_duality_bounds_hold_each_iteration() {
     // Formula 7: Φ(lower) ≤ L ≤ Φ(upper) for every iterate after the
     // primal step (small tolerance: the projection is approximate).
     let design = GeneratorConfig::small("dual", 3).generate();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&design)
+        .expect("placement failed");
     for r in &out.trace.records()[1..] {
         assert!(
             r.phi_lower <= r.phi_upper * 1.02,
@@ -69,7 +73,9 @@ fn lambda_and_iterations_bounded_across_sizes() {
     let mut lambdas = Vec::new();
     for (i, n) in [400usize, 900, 1800].iter().enumerate() {
         let design = GeneratorConfig::ispd2005_like("scale", 50 + i as u64, *n).generate();
-        let out = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+        let out = ComplxPlacer::new(PlacerConfig::default())
+            .place(&design)
+            .expect("placement failed");
         iters.push(out.iterations as f64);
         lambdas.push(out.final_lambda);
     }
@@ -146,12 +152,15 @@ fn coarse_grids_do_not_hurt_quality_much() {
     // Section 6: "coarsening the grid speeds up P_C without undermining
     // solution quality".
     let design = GeneratorConfig::small("grid6", 6).generate();
-    let fine = ComplxPlacer::new(PlacerConfig::finest_grid()).place(&design).expect("placement failed");
+    let fine = ComplxPlacer::new(PlacerConfig::finest_grid())
+        .place(&design)
+        .expect("placement failed");
     let coarse = ComplxPlacer::new(PlacerConfig {
         grid: complx_repro::place::GridSchedule::Fixed { fraction: 0.35 },
         ..PlacerConfig::default()
     })
-    .place(&design).expect("placement failed");
+    .place(&design)
+    .expect("placement failed");
     assert!(
         coarse.hpwl_legal < 1.15 * fine.hpwl_legal,
         "coarse {} vs fine {}",

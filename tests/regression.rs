@@ -14,7 +14,9 @@ use complx_repro::place::{ComplxPlacer, PlacerConfig};
 #[test]
 fn quickstart_scale_quality_gate() {
     let design = GeneratorConfig::small("gate600", 42).generate();
-    let out = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
     assert!(
         out.hpwl_legal < 65_000.0,
         "quality regression: HPWL {} (expected ≈56k)",
@@ -32,7 +34,9 @@ fn quickstart_scale_quality_gate() {
 #[test]
 fn mid_scale_quality_gate() {
     let design = GeneratorConfig::ispd2005_like("gate3k", 5, 3000).generate();
-    let out = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
     assert!(
         out.hpwl_legal < 6.0e5,
         "quality regression: HPWL {:.3e} (expected ≈5.1e5)",
@@ -49,7 +53,9 @@ fn mid_scale_quality_gate() {
 #[test]
 fn mixed_size_quality_gate() {
     let design = GeneratorConfig::ispd2006_like("gate6", 3, 2000, 0.8).generate();
-    let out = ComplxPlacer::new(PlacerConfig::default()).place(&design).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::default())
+        .place(&design)
+        .expect("placement failed");
     assert!(complx_repro::legalize::is_legal(&design, &out.legal, 1e-6));
     assert!(
         out.metrics.overflow_percent < 12.0,

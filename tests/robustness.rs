@@ -12,9 +12,12 @@ fn single_movable_cell() {
     let p = b
         .add_fixed_cell("p", 1.0, 1.0, CellKind::Terminal, Point::new(0.0, 10.0))
         .unwrap();
-    b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (p, 0.0, 0.0)]).unwrap();
+    b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (p, 0.0, 0.0)])
+        .unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
     // The cell should gravitate toward the pad.
     assert!(out.legal.position(a).x < 10.0);
@@ -29,9 +32,12 @@ fn all_cells_fixed() {
     let f2 = b
         .add_fixed_cell("f2", 2.0, 2.0, CellKind::Fixed, Point::new(15.0, 15.0))
         .unwrap();
-    b.add_net("n", 1.0, vec![(f1, 0.0, 0.0), (f2, 0.0, 0.0)]).unwrap();
+    b.add_net("n", 1.0, vec![(f1, 0.0, 0.0), (f2, 0.0, 0.0)])
+        .unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
     // Nothing to move; HPWL is the fixed-net length.
     assert!((out.hpwl_legal - 20.0).abs() < 1e-9);
     assert_eq!(out.iterations, 0);
@@ -46,7 +52,9 @@ fn net_with_repeated_cell_pins() {
     b.add_net("n", 1.0, vec![(a, -0.5, 0.0), (a, 0.5, 0.0), (c, 0.0, 0.0)])
         .unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
 
@@ -58,7 +66,9 @@ fn already_feasible_design_converges_immediately() {
     cfg.num_std_cells = 40;
     cfg.utilization = 0.05;
     let d = cfg.generate();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
     assert!(out.converged);
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
@@ -70,8 +80,13 @@ fn very_tight_utilization_still_legalizes() {
     cfg.utilization = 0.93;
     cfg.num_fixed_macros = 0;
     let d = cfg.generate();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
-    assert!(is_legal(&d, &out.legal, 1e-6), "93% utilization must legalize");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
+    assert!(
+        is_legal(&d, &out.legal, 1e-6),
+        "93% utilization must legalize"
+    );
 }
 
 #[test]
@@ -85,8 +100,12 @@ fn huge_net_degree_handled() {
         })
         .collect();
     for w in ids.windows(2) {
-        b.add_net(format!("n{}", w[0]), 1.0, vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0)])
-            .unwrap();
+        b.add_net(
+            format!("n{}", w[0]),
+            1.0,
+            vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0)],
+        )
+        .unwrap();
     }
     b.add_net(
         "clk",
@@ -95,7 +114,9 @@ fn huge_net_degree_handled() {
     )
     .unwrap();
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
 
@@ -106,8 +127,12 @@ fn zero_weight_free_design_is_rejected_cleanly() {
     let mut b = DesignBuilder::new("w", Rect::new(0.0, 0.0, 10.0, 10.0), 1.0);
     let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable).unwrap();
     let c = b.add_cell("b", 1.0, 1.0, CellKind::Movable).unwrap();
-    assert!(b.add_net("n", 0.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).is_err());
-    assert!(b.add_net("n", -1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).is_err());
+    assert!(b
+        .add_net("n", 0.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .is_err());
+    assert!(b
+        .add_net("n", -1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .is_err());
 }
 
 #[test]
@@ -129,7 +154,9 @@ fn long_thin_core_aspect_ratio() {
         .unwrap();
     }
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
     assert!(is_legal(&d, &out.legal, 1e-6));
 }
 
@@ -144,11 +171,17 @@ fn macro_only_design() {
         })
         .collect();
     for w in ids.windows(2) {
-        b.add_net(format!("n{}", w[0]), 1.0, vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0)])
-            .unwrap();
+        b.add_net(
+            format!("n{}", w[0]),
+            1.0,
+            vec![(w[0], 0.0, 0.0), (w[1], 0.0, 0.0)],
+        )
+        .unwrap();
     }
     let d = b.build().unwrap();
-    let out = ComplxPlacer::new(PlacerConfig::fast()).place(&d).expect("placement failed");
+    let out = ComplxPlacer::new(PlacerConfig::fast())
+        .place(&d)
+        .expect("placement failed");
     // Macros must end up pairwise disjoint.
     for i in 0..ids.len() {
         for j in i + 1..ids.len() {

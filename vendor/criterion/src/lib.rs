@@ -35,12 +35,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id made of a function name and a parameter value.
     pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        Self { id: format!("{}/{}", name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// An id made of the parameter value alone.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -98,7 +102,11 @@ impl Default for Criterion {
 }
 
 fn run_one(name: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
-    let mut b = Bencher { samples, total: Duration::ZERO, iters: 0 };
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
     f(&mut b);
     let mean = if b.iters == 0 {
         Duration::ZERO
@@ -117,14 +125,22 @@ impl Criterion {
     }
 
     /// Runs a single named benchmark.
-    pub fn bench_function(&mut self, name: impl fmt::Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
         run_one(&name.to_string(), self.sample_size, f);
         self
     }
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
     }
 }
 
@@ -159,7 +175,9 @@ impl BenchmarkGroup<'_> {
         input: &I,
         f: impl FnOnce(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input)
+        });
         self
     }
 

@@ -186,14 +186,20 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            Self { lo: n, hi_inclusive: n }
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi_inclusive: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
@@ -201,7 +207,10 @@ pub mod collection {
         fn from(r: RangeInclusive<usize>) -> Self {
             let (lo, hi) = r.into_inner();
             assert!(lo <= hi, "empty size range");
-            Self { lo, hi_inclusive: hi }
+            Self {
+                lo,
+                hi_inclusive: hi,
+            }
         }
     }
 
@@ -226,7 +235,10 @@ pub mod collection {
 
     /// A strategy for vectors with `size` elements drawn from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 

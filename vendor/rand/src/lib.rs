@@ -204,10 +204,15 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(a.random_range(0u64..1_000_000), b.random_range(0u64..1_000_000));
+            assert_eq!(
+                a.random_range(0u64..1_000_000),
+                b.random_range(0u64..1_000_000)
+            );
         }
         let mut c = StdRng::seed_from_u64(43);
-        let equal = (0..100).filter(|_| a.random::<u64>() == c.random::<u64>()).count();
+        let equal = (0..100)
+            .filter(|_| a.random::<u64>() == c.random::<u64>())
+            .count();
         assert!(equal < 5, "different seeds should give different streams");
     }
 
