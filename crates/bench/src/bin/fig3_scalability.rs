@@ -104,6 +104,39 @@ fn main() {
     let max_it = iter_pts.iter().map(|p| p.1).fold(0.0f64, f64::max);
     println!("iteration range {min_it:.0}..{max_it:.0} (paper: no systematic growth with size)");
 
+    // Thread-scaling spot check on the largest instance: global-placement
+    // wall clock at 1 vs 4 worker threads (identical results by the
+    // complx-par determinism contract; on a single-core host this simply
+    // reports the parallel runtime's overhead).
+    if let Some(largest) = designs.iter().max_by_key(|d| d.num_nets()) {
+        let cfg = PlacerConfig::default();
+        let run = |threads: usize| {
+            let _g = complx_par::with_threads(threads);
+            let (_, outcome, report) = reported_run(largest, Some(&cfg), |d| {
+                ComplxPlacer::new(cfg.clone())
+                    .place(d)
+                    .expect("placement failed")
+            });
+            let s =
+                report.phase_seconds("place/bootstrap") + report.phase_seconds("place/iteration");
+            let secs = if s > 0.0 { s } else { outcome.global_seconds };
+            (secs, outcome.metrics.hpwl)
+        };
+        let (secs1, hpwl1) = run(1);
+        let (secs4, hpwl4) = run(4);
+        assert_eq!(
+            hpwl1.to_bits(),
+            hpwl4.to_bits(),
+            "thread count changed the result"
+        );
+        println!(
+            "thread scaling on {}: {secs1:.2}s at 1 thread, {secs4:.2}s at 4 threads ({:.2}x, {} cores available)",
+            largest.name(),
+            secs1 / secs4.max(1e-9),
+            complx_par::available()
+        );
+    }
+
     let dir = artifact_dir();
     std::fs::write(dir.join("fig3_scalability.csv"), csv).expect("artifact write");
     lambda_pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));

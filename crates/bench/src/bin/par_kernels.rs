@@ -1,0 +1,187 @@
+//! Sequential-vs-parallel speedup of the hottest data-parallel kernels:
+//! the CSR matrix–vector product (`CsrMatrix::mul_vec`) and the full
+//! feasibility projection `P_C`, each at three instance sizes.
+//!
+//! For every kernel/size pair the harness times the exact sequential path
+//! (`--threads 1`) and the parallel path, checks the outputs are
+//! bit-identical (the `complx-par` determinism contract), and reports the
+//! speedup. On a single-core host the parallel path simply measures the
+//! runtime's dispatch overhead (speedup ≈ 1 or slightly below).
+//!
+//! Usage: `cargo run --release -p complx-bench --bin par_kernels
+//! [--scale N] [--threads N]`. Writes `target/paper/par_kernels.txt` and
+//! `target/paper/par_kernels.json`.
+
+use std::time::Instant;
+
+use complx_bench::report::Table;
+use complx_bench::{artifact_dir, scale_arg};
+use complx_netlist::generator::GeneratorConfig;
+use complx_obs::JsonValue;
+use complx_par as par;
+use complx_sparse::{CsrMatrix, TripletMatrix};
+use complx_spread::FeasibilityProjection;
+
+fn threads_arg() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    par::available().max(2)
+}
+
+/// A Laplacian-like banded SPD matrix with the sparsity of a placement
+/// system (a handful of off-diagonals per row).
+fn banded_spd(n: usize) -> CsrMatrix {
+    let mut t = TripletMatrix::new(n);
+    for i in 0..n {
+        t.add_diagonal(i, 4.0 + (i % 5) as f64 * 0.25);
+        for off in [1usize, 7, 31] {
+            let j = i + off;
+            if j < n {
+                t.add_connection(i, j, 0.5 / off as f64);
+            }
+        }
+    }
+    t.to_csr()
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct Sample {
+    kernel: &'static str,
+    size: usize,
+    seq_seconds: f64,
+    par_seconds: f64,
+}
+
+fn bench_mul_vec(n: usize, threads: usize) -> Sample {
+    let a = banded_spd(n);
+    let v: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.5).collect();
+    let mut out_seq = vec![0.0; n];
+    let mut out_par = vec![0.0; n];
+    let reps = (2_000_000 / n.max(1)).clamp(3, 50);
+    let seq = {
+        let _g = par::with_threads(1);
+        best_of(reps, || a.mul_vec(&v, &mut out_seq))
+    };
+    let par_t = {
+        let _g = par::with_threads(threads);
+        best_of(reps, || a.mul_vec(&v, &mut out_par))
+    };
+    for i in 0..n {
+        assert_eq!(
+            out_seq[i].to_bits(),
+            out_par[i].to_bits(),
+            "mul_vec determinism violated at row {i}"
+        );
+    }
+    Sample {
+        kernel: "mul_vec",
+        size: n,
+        seq_seconds: seq,
+        par_seconds: par_t,
+    }
+}
+
+fn bench_projection(cells: usize, threads: usize) -> Sample {
+    let design = GeneratorConfig::ispd2005_like("parbench", 29, cells).generate();
+    let placement = design.initial_placement();
+    let proj = FeasibilityProjection::default();
+    let seq = {
+        let _g = par::with_threads(1);
+        best_of(3, || {
+            std::hint::black_box(proj.project(&design, &placement));
+        })
+    };
+    let par_t = {
+        let _g = par::with_threads(threads);
+        best_of(3, || {
+            std::hint::black_box(proj.project(&design, &placement));
+        })
+    };
+    let a = {
+        let _g = par::with_threads(1);
+        proj.project(&design, &placement).placement
+    };
+    let b = {
+        let _g = par::with_threads(threads);
+        proj.project(&design, &placement).placement
+    };
+    assert_eq!(a, b, "projection determinism violated at {cells} cells");
+    Sample {
+        kernel: "projection",
+        size: cells,
+        seq_seconds: seq,
+        par_seconds: par_t,
+    }
+}
+
+fn main() {
+    let scale = scale_arg().max(1);
+    let threads = threads_arg();
+    eprintln!(
+        "[par_kernels] {threads} threads ({} available), scale {scale}",
+        par::available()
+    );
+
+    let mut samples = Vec::new();
+    for n in [20_000, 80_000, 320_000] {
+        let n = (n / scale).max(64);
+        eprintln!("[par_kernels] mul_vec n = {n}");
+        samples.push(bench_mul_vec(n, threads));
+    }
+    for cells in [2_000, 8_000, 24_000] {
+        let cells = (cells / scale).max(200);
+        eprintln!("[par_kernels] projection cells = {cells}");
+        samples.push(bench_projection(cells, threads));
+    }
+
+    let mut table = Table::new(vec!["kernel", "size", "seq ms", "par ms", "speedup"]);
+    let mut kernels = Vec::new();
+    for s in &samples {
+        let speedup = s.seq_seconds / s.par_seconds.max(1e-12);
+        table.add_row(vec![
+            s.kernel.to_string(),
+            format!("{}", s.size),
+            format!("{:.3}", s.seq_seconds * 1e3),
+            format!("{:.3}", s.par_seconds * 1e3),
+            format!("{speedup:.2}x"),
+        ]);
+        kernels.push(JsonValue::object(vec![
+            ("kernel", s.kernel.into()),
+            ("size", s.size.into()),
+            ("seq_seconds", s.seq_seconds.into()),
+            ("par_seconds", s.par_seconds.into()),
+            ("speedup", speedup.into()),
+        ]));
+    }
+    let rendered = table.render();
+    println!("{rendered}");
+
+    let dir = artifact_dir();
+    std::fs::write(dir.join("par_kernels.txt"), &rendered).expect("write table");
+    let doc = JsonValue::object(vec![
+        ("threads", threads.into()),
+        ("available", par::available().into()),
+        ("scale", scale.into()),
+        ("kernels", JsonValue::Arr(kernels)),
+    ]);
+    std::fs::write(dir.join("par_kernels.json"), doc.to_json_string()).expect("write json");
+    eprintln!(
+        "[par_kernels] wrote {}",
+        dir.join("par_kernels.txt").display()
+    );
+}

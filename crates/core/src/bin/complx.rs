@@ -16,6 +16,11 @@
 //!   --max-seconds <s>      wall-clock budget; the placer exits gracefully
 //!                          with its best feasible iterate when it expires
 //!   --max-recoveries <n>   divergence-recovery attempts before giving up
+//!   --threads <n>          worker threads for parallel kernels (default:
+//!                          available cores, or the COMPLX_THREADS
+//!                          environment variable; `--threads 1` runs the
+//!                          exact sequential path). Results are
+//!                          bit-identical for every thread count.
 //!   --trace <file>         write the per-iteration convergence trace;
 //!                          a `.json` extension selects JSON, anything
 //!                          else CSV
@@ -51,6 +56,7 @@ struct Options {
     no_detail: bool,
     max_seconds: Option<f64>,
     max_recoveries: Option<usize>,
+    threads: Option<usize>,
     trace: Option<PathBuf>,
     report: Option<PathBuf>,
     events: Option<PathBuf>,
@@ -61,7 +67,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: complx <design.aux> [-o DIR] [--target-density G] [--max-iterations N]\n\
      [--finest-grid] [--pc-dp] [--simpl] [--lse [GAMMA_ROWS]] [--no-detail]\n\
-     [--max-seconds S] [--max-recoveries N] [--trace FILE[.json|.csv]]\n\
+     [--max-seconds S] [--max-recoveries N] [--threads N] [--trace FILE[.json|.csv]]\n\
      [--report FILE.json] [--events FILE.jsonl] [--log-level off|info|debug] [-q]"
 }
 
@@ -79,6 +85,7 @@ fn parse_args() -> Result<Options, String> {
         no_detail: false,
         max_seconds: None,
         max_recoveries: None,
+        threads: None,
         trace: None,
         report: None,
         events: None,
@@ -141,6 +148,17 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| "bad --max-recoveries value")?;
                 opts.max_recoveries = Some(v);
             }
+            "--threads" => {
+                let v: usize = args
+                    .next()
+                    .ok_or("missing value for --threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
+                if v == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(v);
+            }
             "--trace" => {
                 opts.trace = Some(PathBuf::from(
                     args.next().ok_or("missing value for --trace")?,
@@ -186,6 +204,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(n) = opts.threads {
+        complx_par::set_threads(n);
+    }
 
     let bundle = match bookshelf::read_aux(&opts.aux) {
         Ok(b) => b,

@@ -71,6 +71,42 @@ pub fn config_json(cfg: &PlacerConfig) -> JsonValue {
     ])
 }
 
+/// Parallel-runtime accounting as a JSON object (the report's
+/// `extra.parallel` section): configured thread count, detected hardware
+/// parallelism, and per-kernel speedup estimates.
+///
+/// Parallel kernels time their worker jobs under a `chunks` span via the
+/// observability carrier, so for each harvested `<parent>/chunks` path the
+/// ratio of summed worker-busy seconds to the parent's wall-clock seconds
+/// estimates the achieved parallelism of that kernel (≈1.0 when running
+/// on one thread).
+pub fn parallel_json(harvest: Option<&Harvest>) -> JsonValue {
+    let mut phases = Vec::new();
+    if let Some(h) = harvest {
+        for p in &h.phases {
+            if let Some(parent) = p.path.strip_suffix("/chunks") {
+                let wall = h.phase(parent).map_or(0.0, |pp| pp.total_seconds);
+                let parallelism = if wall > 0.0 {
+                    p.total_seconds / wall
+                } else {
+                    0.0
+                };
+                phases.push(JsonValue::object(vec![
+                    ("path", parent.into()),
+                    ("busy_seconds", p.total_seconds.into()),
+                    ("wall_seconds", wall.into()),
+                    ("parallelism", parallelism.into()),
+                ]));
+            }
+        }
+    }
+    JsonValue::object(vec![
+        ("threads", complx_par::threads().into()),
+        ("available", complx_par::available().into()),
+        ("phases", JsonValue::Arr(phases)),
+    ])
+}
+
 /// Builds the full run manifest for one placement outcome.
 ///
 /// `config` is `None` for baselines that run without a [`PlacerConfig`];
@@ -122,6 +158,7 @@ pub fn run_report(
     );
     let totals = outcome.solver_totals();
     report.extra = JsonValue::object(vec![
+        ("parallel", parallel_json(harvest.as_ref())),
         (
             "solver",
             JsonValue::object(vec![
@@ -222,6 +259,47 @@ mod tests {
         assert_eq!(report.config, JsonValue::Null);
         let doc = parse(&report.to_json_string()).expect("valid JSON");
         assert!(complx_obs::RunReport::from_json(&doc).is_ok());
+    }
+
+    #[test]
+    fn parallel_section_records_thread_count_and_kernels() {
+        let d = GeneratorConfig::small("rep4", 14).generate();
+        let cfg = PlacerConfig::fast();
+        complx_obs::install(Vec::new());
+        let _g = complx_par::with_threads(3);
+        let outcome = ComplxPlacer::new(cfg.clone()).place(&d).expect("places");
+        let harvest = complx_obs::harvest().expect("armed");
+        let report = run_report(&d, Some(&cfg), &outcome, Some(harvest), 1.0);
+        let par = report.extra.get("parallel").expect("parallel section");
+        assert_eq!(par.get("threads").and_then(JsonValue::as_i64), Some(3));
+        assert!(
+            par.get("available")
+                .and_then(JsonValue::as_i64)
+                .unwrap_or(0)
+                >= 1
+        );
+        let phases = par
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .expect("phase array");
+        // The small design clears the B2B net-count gate, so at least the
+        // stamping kernel must show up with busy time attributed.
+        assert!(!phases.is_empty(), "no parallel kernels recorded");
+        for ph in phases {
+            assert!(ph.get("path").and_then(JsonValue::as_str).is_some());
+            assert!(
+                ph.get("busy_seconds")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(-1.0)
+                    >= 0.0
+            );
+            assert!(
+                ph.get("parallelism")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(-1.0)
+                    >= 0.0
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! End-to-end determinism of the `complx` binary across thread counts:
+//! `--threads 1` (exact sequential path) and `--threads 4` must produce
+//! byte-identical solutions, traces and metrics, and the run report must
+//! record the configured thread count.
+
+use std::path::Path;
+use std::process::Command;
+
+use complx_netlist::{bookshelf, generator::GeneratorConfig};
+use complx_obs::JsonValue;
+
+fn complx_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_complx")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("complx_threads_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+/// Runs the placer at a given thread count; returns (stdout, trace CSV,
+/// solution .pl bytes, report JSON text).
+fn run_at(aux: &Path, dir: &Path, threads: usize) -> (String, String, Vec<u8>, String) {
+    let out_dir = dir.join(format!("sol_t{threads}"));
+    let trace = dir.join(format!("trace_t{threads}.csv"));
+    let report = dir.join(format!("report_t{threads}.json"));
+    let output = Command::new(complx_bin())
+        .arg(aux)
+        .args(["--max-iterations", "20", "-q"])
+        .args(["--threads", &threads.to_string()])
+        .arg("-o")
+        .arg(&out_dir)
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--report")
+        .arg(&report)
+        .env_remove("COMPLX_THREADS")
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "--threads {threads} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let csv = std::fs::read_to_string(&trace).expect("trace written");
+    let pl = std::fs::read(out_dir.join("tdet.pl")).expect("solution written");
+    let report_text = std::fs::read_to_string(&report).expect("report written");
+    (stdout, csv, pl, report_text)
+}
+
+#[test]
+fn threads_1_and_4_produce_identical_results() {
+    let dir = temp_dir("det");
+    // Large enough to clear the B2B net-count gate so the parallel
+    // stamping path actually runs at --threads 4.
+    let design = GeneratorConfig::small("tdet", 21).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+
+    let (stdout1, trace1, pl1, _) = run_at(&aux, &dir, 1);
+    let (stdout4, trace4, pl4, report4) = run_at(&aux, &dir, 4);
+
+    assert!(stdout1.contains("HPWL"), "stdout: {stdout1}");
+    assert_eq!(
+        stdout1, stdout4,
+        "final metrics differ across thread counts"
+    );
+    assert_eq!(
+        trace1, trace4,
+        "iteration traces differ across thread counts"
+    );
+    assert_eq!(pl1, pl4, "solution placements differ across thread counts");
+
+    // The manifest records the configured thread count.
+    let doc = complx_obs::parse(&report4).expect("report parses");
+    let threads = doc
+        .get("extra")
+        .and_then(|e| e.get("parallel"))
+        .and_then(|p| p.get("threads"))
+        .and_then(JsonValue::as_i64);
+    assert_eq!(threads, Some(4), "report should record --threads 4");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn threads_flag_rejects_zero_and_garbage() {
+    for bad in ["0", "zero", "-3"] {
+        let output = Command::new(complx_bin())
+            .args(["input.aux", "--threads", bad])
+            .output()
+            .expect("binary runs");
+        assert!(!output.status.success(), "--threads {bad} should fail");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("--threads"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn complx_threads_env_var_is_honoured() {
+    let dir = temp_dir("env");
+    let design = GeneratorConfig::small("tenv", 22).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+    let report = dir.join("report.json");
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["--max-iterations", "5", "-q"])
+        .arg("--report")
+        .arg(&report)
+        .env("COMPLX_THREADS", "3")
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let doc = complx_obs::parse(&std::fs::read_to_string(&report).expect("report"))
+        .expect("report parses");
+    let threads = doc
+        .get("extra")
+        .and_then(|e| e.get("parallel"))
+        .and_then(|p| p.get("threads"))
+        .and_then(JsonValue::as_i64);
+    assert_eq!(
+        threads,
+        Some(3),
+        "COMPLX_THREADS should set the thread count"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

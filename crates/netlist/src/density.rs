@@ -6,6 +6,13 @@ use crate::design::Design;
 use crate::geom::Rect;
 use crate::placement::Placement;
 
+/// Designs with fewer movable cells than this accumulate sequentially.
+/// The parallel path replays per-chunk `(bin, area)` update lists in cell
+/// order, performing the exact additions of the sequential loop, so the
+/// grid contents are bit-identical either way — the gate (a function of
+/// the design only, never the thread count) is purely a dispatch cutoff.
+const PAR_MIN_CELLS: usize = 4096;
+
 /// A uniform grid of bins over the core with per-bin capacity and usage.
 ///
 /// Capacity is the free area of each bin: bin area minus the overlap with
@@ -130,19 +137,64 @@ impl DensityGrid {
     /// Standard cells feed the demand array; movable macros feed the
     /// blockage array (see the field docs on `macro_usage`).
     pub fn accumulate(&mut self, design: &Design, placement: &Placement) {
-        for &id in design.movable_cells() {
-            let cell = design.cell(id);
-            let is_macro = cell.kind() == CellKind::MovableMacro;
-            let r = placement.cell_rect(id, cell.width(), cell.height());
-            let (x0, x1, y0, y1) = self.bin_span(&r);
-            for iy in y0..=y1 {
-                for ix in x0..=x1 {
-                    let a = self.bin_rect(ix, iy).overlap_area(&r);
-                    if is_macro {
-                        self.macro_usage[iy * self.nx + ix] += a;
-                    } else {
-                        self.usage[iy * self.nx + ix] += a;
+        let cells = design.movable_cells();
+        let nparts = if cells.len() < PAR_MIN_CELLS {
+            1
+        } else {
+            complx_par::threads().min(cells.len().max(1))
+        };
+        if nparts <= 1 {
+            for &id in cells {
+                let cell = design.cell(id);
+                let is_macro = cell.kind() == CellKind::MovableMacro;
+                let r = placement.cell_rect(id, cell.width(), cell.height());
+                let (x0, x1, y0, y1) = self.bin_span(&r);
+                for iy in y0..=y1 {
+                    for ix in x0..=x1 {
+                        let a = self.bin_rect(ix, iy).overlap_area(&r);
+                        if is_macro {
+                            self.macro_usage[iy * self.nx + ix] += a;
+                        } else {
+                            self.usage[iy * self.nx + ix] += a;
+                        }
                     }
+                }
+            }
+            return;
+        }
+        // Workers compute `(bin, area, is_macro)` update lists over cell
+        // ranges against an immutable view of the grid; the lists are then
+        // replayed in chunk (= cell) order, reproducing the sequential
+        // accumulation order exactly. Bin indices fit u32: the grid is
+        // capped at 2048×2048 bins.
+        let grid = &*self;
+        let car = complx_obs::carrier();
+        let lists = complx_par::par_map(nparts, |k| {
+            let _attached = car.attach();
+            let _sp = complx_obs::span("chunks");
+            let lo = k * cells.len() / nparts;
+            let hi = (k + 1) * cells.len() / nparts;
+            let mut ups: Vec<(u32, f64, bool)> = Vec::new();
+            for &id in &cells[lo..hi] {
+                let cell = design.cell(id);
+                let is_macro = cell.kind() == CellKind::MovableMacro;
+                let r = placement.cell_rect(id, cell.width(), cell.height());
+                let (x0, x1, y0, y1) = grid.bin_span(&r);
+                for iy in y0..=y1 {
+                    for ix in x0..=x1 {
+                        let a = grid.bin_rect(ix, iy).overlap_area(&r);
+                        ups.push(((iy * grid.nx + ix) as u32, a, is_macro));
+                    }
+                }
+            }
+            ups
+        });
+        for ups in &lists {
+            for &(bin, a, is_macro) in ups {
+                if is_macro {
+                    self.macro_usage[bin as usize] += a;
+                } else {
+                    self.usage[bin as usize] += a;
                 }
             }
         }
@@ -334,6 +386,34 @@ mod tests {
         let g = DensityGrid::with_target_occupancy(&d, 1.0);
         assert!(g.nx() >= 1 && g.nx() <= 2048);
         assert_eq!(g.nx(), g.ny());
+    }
+
+    #[test]
+    fn parallel_accumulate_bit_identical_across_thread_counts() {
+        // Big enough to clear PAR_MIN_CELLS so the chunked path runs.
+        let d = crate::generator::GeneratorConfig::ispd2005_like("dens", 9, 5000).generate();
+        assert!(d.movable_cells().len() >= PAR_MIN_CELLS);
+        let p = d.initial_placement();
+        let run = |t: usize| {
+            let _g = complx_par::with_threads(t);
+            let mut g = DensityGrid::new(&d, 64, 64);
+            g.accumulate(&d, &p);
+            g
+        };
+        let reference = run(1);
+        for t in [2, 8] {
+            let g = run(t);
+            for (a, b) in g.usage.iter().zip(&reference.usage) {
+                assert_eq!(a.to_bits(), b.to_bits(), "usage drifted at {t} threads");
+            }
+            for (a, b) in g.macro_usage.iter().zip(&reference.macro_usage) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "macro usage drifted at {t} threads"
+                );
+            }
+        }
     }
 
     #[test]

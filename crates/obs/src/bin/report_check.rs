@@ -2,12 +2,13 @@
 //! stream) produced by the placer.
 //!
 //! ```text
-//! report_check <report.json> [--jsonl <events.jsonl>]
+//! report_check <report.json> [--jsonl <events.jsonl>] [--threads <n>]
 //! ```
 //!
 //! Exits 0 when the report parses against the `complx-run-report/v1`
 //! schema and at least one phase recorded non-zero time; exits 1 with a
-//! diagnostic otherwise.
+//! diagnostic otherwise. With `--threads <n>`, additionally requires the
+//! report's `extra.parallel` section to record exactly `n` worker threads.
 
 use std::process::ExitCode;
 
@@ -18,10 +19,22 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn check_report(path: &str) -> Result<(), String> {
+fn check_report(path: &str, expect_threads: Option<i64>) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
     let report = RunReport::from_json(&doc).map_err(|e| format!("{path}: bad report: {e}"))?;
+    if let Some(want) = expect_threads {
+        let got = report
+            .extra
+            .get("parallel")
+            .and_then(|p| p.get("threads"))
+            .and_then(JsonValue::as_i64);
+        if got != Some(want) {
+            return Err(format!(
+                "{path}: extra.parallel.threads is {got:?}, expected {want}"
+            ));
+        }
+    }
     if report.phases.is_empty() {
         return Err(format!("{path}: no phases recorded"));
     }
@@ -77,6 +90,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut report_path: Option<&str> = None;
     let mut jsonl_path: Option<&str> = None;
+    let mut expect_threads: Option<i64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -87,15 +101,22 @@ fn main() -> ExitCode {
                     None => return fail("--jsonl requires a path"),
                 }
             }
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<i64>().ok()) {
+                    Some(n) if n >= 1 => expect_threads = Some(n),
+                    _ => return fail("--threads requires a positive integer"),
+                }
+            }
             p if report_path.is_none() => report_path = Some(p),
             p => return fail(&format!("unexpected argument `{p}`")),
         }
         i += 1;
     }
     let Some(report_path) = report_path else {
-        return fail("usage: report_check <report.json> [--jsonl <events.jsonl>]");
+        return fail("usage: report_check <report.json> [--jsonl <events.jsonl>] [--threads <n>]");
     };
-    if let Err(msg) = check_report(report_path) {
+    if let Err(msg) = check_report(report_path, expect_threads) {
         return fail(&msg);
     }
     if let Some(jsonl_path) = jsonl_path {

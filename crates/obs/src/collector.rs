@@ -8,12 +8,23 @@
 //! disarms it and returns the aggregated phase times, counters and
 //! histograms.
 //!
-//! The pipeline is deliberately thread-local rather than global: a
-//! placement run is single-threaded, and per-thread state keeps parallel
-//! test runs and future multi-design batch drivers from contending or
+//! The pipeline is deliberately thread-local rather than global: the
+//! placer's control flow is single-threaded, and per-thread state keeps
+//! parallel test runs and multi-design batch drivers from contending or
 //! cross-contaminating.
+//!
+//! Parallel kernels still get observed through a **[`carrier`]**: the
+//! armed thread captures a handle to a mutex-protected side aggregate
+//! (plus its current span path as a prefix), worker threads [`Carrier::attach`]
+//! it for the duration of one job, and their spans/counters/histograms are
+//! folded back into the main [`Harvest`] — instead of being silently
+//! dropped on threads that never called [`install`]. Only timings and
+//! totals cross threads this way; they are merged at harvest time, so
+//! worker scheduling never changes any *placement* result, only the
+//! attribution of seconds in the report.
 
 use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::hist::{Histogram, HistogramSummary};
@@ -26,6 +37,11 @@ thread_local! {
     /// this single `Cell<bool>` and returns immediately when disarmed.
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
     static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+    /// Mirror of `WORKER.is_some()`, same trick as `ACTIVE`.
+    static WORKER_ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// Worker-side pipeline installed by [`Carrier::attach`] for the
+    /// duration of one pool job.
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
 }
 
 struct PhaseAgg {
@@ -37,6 +53,82 @@ struct PhaseAgg {
     max: f64,
 }
 
+/// Folds one span sample into a phase aggregate list.
+fn merge_phase(phases: &mut Vec<PhaseAgg>, path: &str, depth: usize, seconds: f64) {
+    match phases.iter_mut().find(|p| p.path == path) {
+        Some(p) => {
+            p.count += 1;
+            p.total += seconds;
+            p.min = p.min.min(seconds);
+            p.max = p.max.max(seconds);
+        }
+        None => phases.push(PhaseAgg {
+            path: path.to_string(),
+            depth,
+            count: 1,
+            total: seconds,
+            min: seconds,
+            max: seconds,
+        }),
+    }
+}
+
+/// Aggregates contributed by worker threads, merged into the main
+/// pipeline's data at [`harvest`] time.
+#[derive(Default)]
+struct SharedState {
+    phases: Vec<PhaseAgg>,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl SharedState {
+    fn absorb(&mut self, other: SharedState) {
+        for p in other.phases {
+            match self.phases.iter_mut().find(|q| q.path == p.path) {
+                Some(q) => {
+                    q.count += p.count;
+                    q.total += p.total;
+                    q.min = q.min.min(p.min);
+                    q.max = q.max.max(p.max);
+                }
+                None => self.phases.push(p),
+            }
+        }
+        for (name, delta) in other.counters {
+            match self.counters.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, t)) => *t += delta,
+                None => self.counters.push((name, delta)),
+            }
+        }
+        for (name, hist) in other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, h)) => h.merge(&hist),
+                None => self.histograms.push((name, hist)),
+            }
+        }
+    }
+}
+
+fn shared_lock(m: &Mutex<SharedState>) -> std::sync::MutexGuard<'_, SharedState> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Per-worker-thread pipeline state, live while a [`CarrierGuard`] is held.
+/// Data accumulates locally (no locking on the span/counter hot path) and
+/// is flushed into the shared aggregate once, when the guard drops.
+struct WorkerCtx {
+    shared: Arc<Mutex<SharedState>>,
+    /// `/`-joined span path that was open on the armed thread when the
+    /// carrier was captured; worker span paths are appended below it.
+    prefix: String,
+    /// Depth of the deepest open span behind `prefix`.
+    base_depth: usize,
+    /// Open worker-side spans: `(name, start)`, innermost last.
+    stack: Vec<(&'static str, Instant)>,
+    local: SharedState,
+}
+
 struct Collector {
     sinks: Vec<Box<dyn Sink>>,
     /// Open spans: `(name, start)`, innermost last.
@@ -44,6 +136,8 @@ struct Collector {
     phases: Vec<PhaseAgg>,
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Histogram)>,
+    /// Worker-thread contributions (see [`carrier`]).
+    shared: Arc<Mutex<SharedState>>,
     seq: u64,
 }
 
@@ -85,6 +179,7 @@ pub fn install(sinks: Vec<Box<dyn Sink>>) {
             phases: Vec::new(),
             counters: Vec::new(),
             histograms: Vec::new(),
+            shared: Arc::new(Mutex::new(SharedState::default())),
             seq: 0,
         });
     });
@@ -105,13 +200,27 @@ pub fn harvest() -> Option<Harvest> {
     let Collector {
         mut sinks,
         phases,
-        mut counters,
-        mut histograms,
+        counters,
+        histograms,
+        shared,
         ..
     } = collector;
     for sink in &mut sinks {
         sink.on_close();
     }
+    // Fold in everything worker threads contributed via carriers.
+    let worker = std::mem::take(&mut *shared_lock(&shared));
+    let mut main = SharedState {
+        phases,
+        counters,
+        histograms,
+    };
+    main.absorb(worker);
+    let SharedState {
+        phases,
+        mut counters,
+        mut histograms,
+    } = main;
     let mut phases: Vec<PhaseStat> = phases
         .into_iter()
         .map(|p| PhaseStat {
@@ -136,6 +245,17 @@ pub fn harvest() -> Option<Harvest> {
     })
 }
 
+/// Where an open [`SpanGuard`] records its duration on drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpanMode {
+    /// Pipeline disarmed at open time: the drop does nothing.
+    Off,
+    /// This thread's own [`install`]ed pipeline.
+    Local,
+    /// A worker-side carrier context (see [`Carrier::attach`]).
+    Worker,
+}
+
 /// An open span; records its duration into the pipeline when dropped.
 ///
 /// Spans must be dropped in LIFO order (the natural result of binding the
@@ -143,114 +263,170 @@ pub fn harvest() -> Option<Harvest> {
 #[must_use = "a span measures the scope holding its guard"]
 #[derive(Debug)]
 pub struct SpanGuard {
-    armed: bool,
+    mode: SpanMode,
 }
 
 /// Opens a span. Returns an inert guard when the pipeline is disarmed.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
-    if !enabled() {
-        return SpanGuard { armed: false };
+    if enabled() {
+        COLLECTOR.with(|c| {
+            if let Some(col) = c.borrow_mut().as_mut() {
+                col.stack.push((name, Instant::now()));
+            }
+        });
+        return SpanGuard {
+            mode: SpanMode::Local,
+        };
     }
-    COLLECTOR.with(|c| {
-        if let Some(col) = c.borrow_mut().as_mut() {
-            col.stack.push((name, Instant::now()));
-        }
-    });
-    SpanGuard { armed: true }
+    if worker_enabled() {
+        WORKER.with(|w| {
+            if let Some(ctx) = w.borrow_mut().as_mut() {
+                ctx.stack.push((name, Instant::now()));
+            }
+        });
+        return SpanGuard {
+            mode: SpanMode::Worker,
+        };
+    }
+    SpanGuard {
+        mode: SpanMode::Off,
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if !self.armed {
-            return;
-        }
-        COLLECTOR.with(|c| {
-            let mut borrow = c.borrow_mut();
-            let Some(col) = borrow.as_mut() else {
-                // Harvested while the span was open (for example on an
-                // early-return error path): nothing left to record into.
-                return;
-            };
-            let Some((name, start)) = col.stack.pop() else {
-                return;
-            };
-            let seconds = start.elapsed().as_secs_f64();
-            let depth = col.stack.len();
-            let mut path = String::with_capacity(16 * (depth + 1));
-            for (ancestor, _) in &col.stack {
-                path.push_str(ancestor);
-                path.push('/');
-            }
-            path.push_str(name);
-            match col.phases.iter_mut().find(|p| p.path == path) {
-                Some(p) => {
-                    p.count += 1;
-                    p.total += seconds;
-                    p.min = p.min.min(seconds);
-                    p.max = p.max.max(seconds);
+        match self.mode {
+            SpanMode::Off => {}
+            SpanMode::Local => COLLECTOR.with(|c| {
+                let mut borrow = c.borrow_mut();
+                let Some(col) = borrow.as_mut() else {
+                    // Harvested while the span was open (for example on an
+                    // early-return error path): nothing left to record into.
+                    return;
+                };
+                let Some((name, start)) = col.stack.pop() else {
+                    return;
+                };
+                let seconds = start.elapsed().as_secs_f64();
+                let depth = col.stack.len();
+                let mut path = String::with_capacity(16 * (depth + 1));
+                for (ancestor, _) in &col.stack {
+                    path.push_str(ancestor);
+                    path.push('/');
                 }
-                None => col.phases.push(PhaseAgg {
-                    path: path.clone(),
-                    depth,
-                    count: 1,
-                    total: seconds,
-                    min: seconds,
-                    max: seconds,
-                }),
-            }
-            let seq = col.seq;
-            col.seq += 1;
-            for sink in &mut col.sinks {
-                sink.on_span_exit(&path, depth, seconds, seq);
-            }
-        });
+                path.push_str(name);
+                merge_phase(&mut col.phases, &path, depth, seconds);
+                let seq = col.seq;
+                col.seq += 1;
+                for sink in &mut col.sinks {
+                    sink.on_span_exit(&path, depth, seconds, seq);
+                }
+            }),
+            SpanMode::Worker => WORKER.with(|w| {
+                let mut borrow = w.borrow_mut();
+                let Some(ctx) = borrow.as_mut() else {
+                    return;
+                };
+                let Some((name, start)) = ctx.stack.pop() else {
+                    return;
+                };
+                let seconds = start.elapsed().as_secs_f64();
+                let depth = ctx.base_depth + ctx.stack.len();
+                let mut path = String::with_capacity(ctx.prefix.len() + 16);
+                path.push_str(&ctx.prefix);
+                if !path.is_empty() {
+                    path.push('/');
+                }
+                for (ancestor, _) in &ctx.stack {
+                    path.push_str(ancestor);
+                    path.push('/');
+                }
+                path.push_str(name);
+                merge_phase(&mut ctx.local.phases, &path, depth, seconds);
+                // No sink notifications from workers: sinks are owned by
+                // the armed thread and are not thread-safe.
+            }),
+        }
     }
+}
+
+/// Whether a worker-side carrier context is armed on this thread.
+#[inline]
+fn worker_enabled() -> bool {
+    WORKER_ACTIVE.with(|a| a.get())
 }
 
 /// Increments a monotonic counter. No-op when disarmed.
 #[inline]
 pub fn add(name: &'static str, delta: u64) {
-    if !enabled() || delta == 0 {
+    if delta == 0 {
         return;
     }
-    COLLECTOR.with(|c| {
-        if let Some(col) = c.borrow_mut().as_mut() {
-            let total = match col.counters.iter_mut().find(|(n, _)| n == name) {
-                Some((_, t)) => {
-                    *t += delta;
-                    *t
+    if enabled() {
+        COLLECTOR.with(|c| {
+            if let Some(col) = c.borrow_mut().as_mut() {
+                let total = match col.counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, t)) => {
+                        *t += delta;
+                        *t
+                    }
+                    None => {
+                        col.counters.push((name.to_string(), delta));
+                        delta
+                    }
+                };
+                for sink in &mut col.sinks {
+                    sink.on_counter(name, delta, total);
                 }
-                None => {
-                    col.counters.push((name.to_string(), delta));
-                    delta
-                }
-            };
-            for sink in &mut col.sinks {
-                sink.on_counter(name, delta, total);
             }
-        }
-    });
+        });
+        return;
+    }
+    if worker_enabled() {
+        WORKER.with(|w| {
+            if let Some(ctx) = w.borrow_mut().as_mut() {
+                match ctx.local.counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, t)) => *t += delta,
+                    None => ctx.local.counters.push((name.to_string(), delta)),
+                }
+            }
+        });
+    }
 }
 
 /// Records one histogram sample. No-op when disarmed.
 #[inline]
 pub fn observe(name: &'static str, value: f64) {
-    if !enabled() {
-        return;
-    }
-    COLLECTOR.with(|c| {
-        if let Some(col) = c.borrow_mut().as_mut() {
-            match col.histograms.iter_mut().find(|(n, _)| n == name) {
-                Some((_, h)) => h.record(value),
-                None => {
-                    let mut h = Histogram::new();
-                    h.record(value);
-                    col.histograms.push((name.to_string(), h));
+    if enabled() {
+        COLLECTOR.with(|c| {
+            if let Some(col) = c.borrow_mut().as_mut() {
+                match col.histograms.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, h)) => h.record(value),
+                    None => {
+                        let mut h = Histogram::new();
+                        h.record(value);
+                        col.histograms.push((name.to_string(), h));
+                    }
                 }
             }
-        }
-    });
+        });
+        return;
+    }
+    if worker_enabled() {
+        WORKER.with(|w| {
+            if let Some(ctx) = w.borrow_mut().as_mut() {
+                match ctx.local.histograms.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, h)) => h.record(value),
+                    None => {
+                        let mut h = Histogram::new();
+                        h.record(value);
+                        ctx.local.histograms.push((name.to_string(), h));
+                    }
+                }
+            }
+        });
+    }
 }
 
 /// Emits a structured event to the sinks. No-op when disarmed; callers
@@ -267,6 +443,117 @@ pub fn event(kind: &str, data: JsonValue) {
             }
         }
     });
+}
+
+/// A handle that lets worker threads contribute spans, counters and
+/// histogram samples to the pipeline armed on the thread that created it.
+///
+/// Captured with [`carrier`] on the armed thread (usually right before a
+/// parallel region), sent to workers by shared reference, and activated
+/// per job with [`Carrier::attach`]. Inert when the pipeline was disarmed
+/// at capture time, so parallel kernels can call this unconditionally.
+#[derive(Debug, Clone)]
+pub struct Carrier {
+    inner: Option<CarrierInner>,
+}
+
+#[derive(Debug, Clone)]
+struct CarrierInner {
+    shared: Arc<Mutex<SharedState>>,
+    prefix: String,
+    base_depth: usize,
+}
+
+impl std::fmt::Debug for SharedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedState")
+            .field("phases", &self.phases.len())
+            .field("counters", &self.counters.len())
+            .field("histograms", &self.histograms.len())
+            .finish()
+    }
+}
+
+/// Captures a [`Carrier`] for the pipeline armed on this thread; inert
+/// when disarmed. The currently open span path becomes the prefix under
+/// which all worker-side spans are filed.
+pub fn carrier() -> Carrier {
+    if !enabled() {
+        return Carrier { inner: None };
+    }
+    COLLECTOR.with(|c| {
+        let borrow = c.borrow();
+        let Some(col) = borrow.as_ref() else {
+            return Carrier { inner: None };
+        };
+        let mut prefix = String::new();
+        for (i, (name, _)) in col.stack.iter().enumerate() {
+            if i > 0 {
+                prefix.push('/');
+            }
+            prefix.push_str(name);
+        }
+        Carrier {
+            inner: Some(CarrierInner {
+                shared: Arc::clone(&col.shared),
+                prefix,
+                base_depth: col.stack.len(),
+            }),
+        }
+    })
+}
+
+impl Carrier {
+    /// Arms the current thread as a worker for the carrier's pipeline
+    /// until the guard drops (typically the duration of one pool job).
+    ///
+    /// Returns an inert guard when the carrier itself is inert, when this
+    /// thread has its own [`install`]ed pipeline (its collector already
+    /// records everything — this covers the scope caller helping to drain
+    /// the queue), or when a carrier is already attached (the outer one
+    /// keeps collecting).
+    pub fn attach(&self) -> CarrierGuard {
+        let Some(inner) = &self.inner else {
+            return CarrierGuard { armed: false };
+        };
+        if enabled() || worker_enabled() {
+            return CarrierGuard { armed: false };
+        }
+        WORKER.with(|w| {
+            *w.borrow_mut() = Some(WorkerCtx {
+                shared: Arc::clone(&inner.shared),
+                prefix: inner.prefix.clone(),
+                base_depth: inner.base_depth,
+                stack: Vec::new(),
+                local: SharedState::default(),
+            });
+        });
+        WORKER_ACTIVE.with(|a| a.set(true));
+        CarrierGuard { armed: true }
+    }
+}
+
+/// Disarms the worker-side pipeline and flushes its aggregates into the
+/// shared state when dropped.
+#[must_use = "dropping the guard immediately detaches the worker pipeline"]
+#[derive(Debug)]
+pub struct CarrierGuard {
+    armed: bool,
+}
+
+impl Drop for CarrierGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        WORKER_ACTIVE.with(|a| a.set(false));
+        let Some(ctx) = WORKER.with(|w| w.borrow_mut().take()) else {
+            return;
+        };
+        // One lock per job, not per span: the whole local aggregate is
+        // flushed at once.
+        shared_lock(&ctx.shared).absorb(ctx.local);
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +653,88 @@ mod tests {
         fn on_close(&mut self) {
             self.closed.set(true);
         }
+    }
+
+    #[test]
+    fn carrier_routes_worker_probes_into_the_harvest() {
+        install(Vec::new());
+        let handles: Vec<_> = {
+            let _outer = span("solve");
+            let car = carrier();
+            (0..4)
+                .map(|_| {
+                    let car = car.clone();
+                    std::thread::spawn(move || {
+                        let _attached = car.attach();
+                        {
+                            let _s = span("chunks");
+                            add("worker.items", 10);
+                            observe("worker.len", 2.0);
+                        }
+                    })
+                })
+                .collect()
+        };
+        for h in handles {
+            h.join().expect("worker finishes");
+        }
+        let h = harvest().expect("installed");
+        let chunks = h.phase("solve/chunks").expect("worker spans recorded");
+        assert_eq!(chunks.count, 4);
+        assert_eq!(chunks.depth, 1, "nested one level under `solve`");
+        assert_eq!(h.counter("worker.items"), 40);
+        let (name, hist) = h
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "worker.len")
+            .expect("worker histogram recorded");
+        assert_eq!(name, "worker.len");
+        assert_eq!(hist.count, 4);
+        // The parent span itself was recorded by the armed thread.
+        assert!(h.phase("solve").is_some());
+    }
+
+    #[test]
+    fn carrier_is_inert_when_disarmed_or_already_armed() {
+        // Disarmed: carrier captures nothing, attach/probes are no-ops.
+        assert!(!enabled());
+        let car = carrier();
+        {
+            let _g = car.attach();
+            let _s = span("nope");
+            add("nope", 1);
+        }
+        assert!(harvest().is_none());
+
+        // Armed thread attaching a carrier: its own collector wins.
+        install(Vec::new());
+        let car = carrier();
+        {
+            let _g = car.attach();
+            let _s = span("mine");
+            add("mine", 1);
+        }
+        let h = harvest().expect("installed");
+        assert!(
+            h.phase("mine").is_some(),
+            "recorded locally, not via carrier"
+        );
+        assert_eq!(h.counter("mine"), 1);
+    }
+
+    #[test]
+    fn worker_counters_merge_with_local_counters() {
+        install(Vec::new());
+        add("x", 5);
+        let car = carrier();
+        std::thread::spawn(move || {
+            let _g = car.attach();
+            add("x", 7);
+        })
+        .join()
+        .expect("worker finishes");
+        let h = harvest().expect("installed");
+        assert_eq!(h.counter("x"), 12);
     }
 
     #[test]

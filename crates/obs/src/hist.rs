@@ -32,6 +32,12 @@ impl Histogram {
         self.samples.is_empty()
     }
 
+    /// Absorbs all samples from `other` (used when merging worker-thread
+    /// aggregates into the main pipeline at harvest time).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Summarizes the distribution (all-zero summary when empty).
     pub fn summary(&self) -> HistogramSummary {
         if self.samples.is_empty() {
@@ -146,6 +152,21 @@ mod tests {
             (s.min, s.max, s.mean, s.p50, s.p95),
             (7.5, 7.5, 7.5, 7.5, 7.5)
         );
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        a.record(1.0);
+        a.record(2.0);
+        let mut b = Histogram::new();
+        b.record(3.0);
+        a.merge(&b);
+        let s = a.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!((s.min, s.max), (1.0, 3.0));
+        // Summaries sort internally, so merge order cannot matter.
+        assert!((s.p50 - 2.0).abs() < 1e-12);
     }
 
     #[test]

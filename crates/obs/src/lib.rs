@@ -29,7 +29,10 @@ pub mod logger;
 pub mod report;
 pub mod sink;
 
-pub use collector::{add, enabled, event, harvest, install, observe, span, Harvest, SpanGuard};
+pub use collector::{
+    add, carrier, enabled, event, harvest, install, observe, span, Carrier, CarrierGuard, Harvest,
+    SpanGuard,
+};
 pub use hist::{Histogram, HistogramSummary};
 pub use json::{parse, JsonValue, ParseError};
 pub use jsonl::JsonlSink;

@@ -1,0 +1,142 @@
+//! The persistent worker pool behind [`crate::scope`].
+//!
+//! Workers are OS threads spawned once, on demand, and kept for the
+//! lifetime of the process (they block on a condvar when idle, so an idle
+//! pool costs nothing). The pool itself is deliberately dumb: a FIFO of
+//! type-erased jobs. All structure — completion tracking, panic capture,
+//! borrowed data — lives in the scope layer.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// A type-erased unit of work. Jobs never unwind: the scope layer wraps
+/// user closures in `catch_unwind` before boxing them.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Worker threads spawned so far (monotonic; workers never exit).
+    spawned: usize,
+}
+
+/// The process-global job queue plus its worker threads.
+pub(crate) struct Pool {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+}
+
+/// Jobs never panic (see [`Job`]), so a poisoned mutex can only mean a
+/// panic while the lock was held inside this module — recover the guard
+/// rather than poisoning every parallel call site forever.
+fn lock(m: &Mutex<Queue>) -> MutexGuard<'_, Queue> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Pool {
+    /// The process-wide pool (created empty; workers spawn on demand).
+    pub(crate) fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                spawned: 0,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Ensures at least `want` workers exist (capped at
+    /// [`crate::MAX_THREADS`]). Existing workers are reused across scopes;
+    /// this only ever grows the pool.
+    pub(crate) fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(crate::MAX_THREADS);
+        let mut q = lock(&self.queue);
+        while q.spawned < want {
+            q.spawned += 1;
+            let id = q.spawned;
+            std::thread::Builder::new()
+                .name(format!("complx-par-{id}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawning a pool worker thread");
+        }
+    }
+
+    /// Number of worker threads spawned so far.
+    #[cfg(test)]
+    pub(crate) fn workers(&self) -> usize {
+        lock(&self.queue).spawned
+    }
+
+    /// Enqueues a job and wakes one idle worker.
+    pub(crate) fn submit(&self, job: Job) {
+        lock(&self.queue).jobs.push_back(job);
+        self.ready.notify_one();
+    }
+
+    /// Runs one queued job on the calling thread, if any — lets a thread
+    /// waiting on a scope help drain the queue instead of blocking (which
+    /// also makes `scope` deadlock-free even with zero workers).
+    pub(crate) fn try_run_one(&self) -> bool {
+        let job = lock(&self.queue).jobs.pop_front();
+        match job {
+            Some(job) => {
+                job();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = lock(&self.queue);
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    q = self
+                        .ready
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            job();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_grows_monotonically_and_is_reused() {
+        let pool = Pool::global();
+        pool.ensure_workers(2);
+        let before = pool.workers();
+        assert!(before >= 2);
+        pool.ensure_workers(1); // never shrinks
+        assert_eq!(pool.workers(), before);
+        pool.ensure_workers(before + 1);
+        assert_eq!(pool.workers(), before + 1);
+    }
+
+    #[test]
+    fn try_run_one_drains_the_queue() {
+        let pool = Pool::global();
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        // No workers required: the caller drains its own submission.
+        pool.submit(Box::new(|| {
+            RAN.fetch_add(1, Ordering::SeqCst);
+        }));
+        // A worker may steal the job first; either way it runs exactly once.
+        while RAN.load(Ordering::SeqCst) == 0 {
+            if !pool.try_run_one() {
+                std::thread::yield_now();
+            }
+        }
+        assert_eq!(RAN.load(Ordering::SeqCst), 1);
+    }
+}

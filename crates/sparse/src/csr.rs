@@ -1,5 +1,12 @@
 //! Compressed sparse row storage.
 
+/// Matrices with fewer stored entries than this multiply sequentially —
+/// pool dispatch costs more than the multiply below it. The gate depends
+/// only on the matrix, never the thread count, and the parallel kernel
+/// writes each output row exactly once, so `mul_vec` results are
+/// bit-identical for every thread count.
+const PAR_MIN_NNZ: usize = 8192;
+
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
 /// Rows are stored contiguously; within each row, column indices are strictly
@@ -117,13 +124,69 @@ impl CsrMatrix {
 
     /// Computes `out = A·v`.
     ///
+    /// Large matrices are multiplied on the `complx-par` pool, with rows
+    /// partitioned into contiguous, nnz-balanced ranges. Each output row is
+    /// written exactly once, so results are bit-identical across thread
+    /// counts.
+    ///
     /// # Panics
     ///
     /// Panics if `v` or `out` have length different from [`CsrMatrix::dim`].
     pub fn mul_vec(&self, v: &[f64], out: &mut [f64]) {
-        assert_eq!(v.len(), self.n);
-        assert_eq!(out.len(), self.n);
-        for (r, slot) in out.iter_mut().enumerate() {
+        assert_eq!(
+            v.len(),
+            self.n,
+            "CsrMatrix::mul_vec: input vector length {} does not match matrix dim {}",
+            v.len(),
+            self.n
+        );
+        assert_eq!(
+            out.len(),
+            self.n,
+            "CsrMatrix::mul_vec: output vector length {} does not match matrix dim {}",
+            out.len(),
+            self.n
+        );
+        debug_assert_eq!(self.row_ptr.len(), self.n + 1, "corrupt row_ptr");
+        let t = complx_par::threads().min(self.n.max(1));
+        if self.nnz() < PAR_MIN_NNZ || t <= 1 {
+            self.mul_vec_rows(v, out, 0);
+            return;
+        }
+        // nnz-balanced partition: the k-th boundary is the first row whose
+        // cumulative entry count reaches k/t of the total. The boundaries
+        // depend on the thread count, which is fine here: per-row outputs
+        // are independent, so any partition produces identical bits.
+        let nnz = self.nnz();
+        let mut bounds = Vec::with_capacity(t + 1);
+        bounds.push(0usize);
+        for k in 1..t {
+            let target = k * nnz / t;
+            let row = self.row_ptr.partition_point(|&p| p < target).min(self.n);
+            bounds.push(row.max(*bounds.last().expect("non-empty")));
+        }
+        bounds.push(self.n);
+        let car = complx_obs::carrier();
+        complx_par::scope(|s| {
+            let mut rest = out;
+            for w in bounds.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let (part, tail) = rest.split_at_mut(hi - lo);
+                rest = tail;
+                let car = &car;
+                s.spawn(move || {
+                    let _attached = car.attach();
+                    let _sp = complx_obs::span("chunks");
+                    self.mul_vec_rows(v, part, lo);
+                });
+            }
+        });
+    }
+
+    /// The sequential multiply kernel for rows `row0 .. row0 + out.len()`.
+    fn mul_vec_rows(&self, v: &[f64], out: &mut [f64], row0: usize) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let r = row0 + i;
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * v[self.col_idx[k] as usize];
@@ -239,6 +302,60 @@ mod tests {
         let a = sample();
         let row1: Vec<_> = a.row(1).collect();
         assert_eq!(row1, vec![(0, -1.0), (1, 2.0), (2, -1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input vector length 2 does not match matrix dim 3")]
+    fn mul_vec_rejects_wrong_input_length() {
+        let a = sample();
+        let mut out = vec![0.0; 3];
+        a.mul_vec(&[1.0, 2.0], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "output vector length 4 does not match matrix dim 3")]
+    fn mul_vec_rejects_wrong_output_length() {
+        let a = sample();
+        let mut out = vec![0.0; 4];
+        a.mul_vec(&[1.0, 2.0, 3.0], &mut out);
+    }
+
+    /// Builds a matrix big enough to clear `PAR_MIN_NNZ` (a 1-D Poisson
+    /// chain has ~3n entries).
+    fn big_poisson(n: usize) -> CsrMatrix {
+        let mut t = TripletMatrix::new(n);
+        for i in 0..n {
+            t.add(i, i, 2.0 + (i % 7) as f64 * 0.125);
+            if i + 1 < n {
+                t.add(i, i + 1, -1.0);
+                t.add(i + 1, i, -1.0);
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn parallel_mul_vec_bit_identical_across_thread_counts() {
+        let n = 4096; // ~12k nnz: engages the parallel path
+        let a = big_poisson(n);
+        assert!(a.nnz() >= super::PAR_MIN_NNZ);
+        let v: Vec<f64> = (0..n)
+            .map(|i| ((i * 31 % 101) as f64) * 0.013 - 0.5)
+            .collect();
+        let reference = {
+            let _g = complx_par::with_threads(1);
+            let mut out = vec![0.0; n];
+            a.mul_vec(&v, &mut out);
+            out
+        };
+        for t in [2, 8] {
+            let _g = complx_par::with_threads(t);
+            let mut out = vec![0.0; n];
+            a.mul_vec(&v, &mut out);
+            for (got, want) in out.iter().zip(&reference) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
     }
 
     #[test]

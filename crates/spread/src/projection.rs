@@ -113,22 +113,33 @@ impl FeasibilityProjection {
         let caps = CapacityMap::new(design, bins, bins);
         let regions = cluster(&caps, &items, gamma);
 
-        // Spread each region's items independently.
-        let mut scratch: Vec<Item> = Vec::new();
-        let mut scratch_ids: Vec<usize> = Vec::new();
-        for region in &regions {
-            let rect = region.rect(&caps);
-            scratch.clear();
-            scratch_ids.clear();
-            for (i, it) in items.iter().enumerate() {
-                if it.x >= rect.lx && it.x < rect.hx && it.y >= rect.ly && it.y < rect.hy {
-                    scratch.push(*it);
-                    scratch_ids.push(i);
+        // Spread each region's items independently, one region per job.
+        // `cluster` merges regions until pairwise disjoint, so every item
+        // belongs to at most one region and all regions can gather from the
+        // same pre-spread snapshot; results are written back in region
+        // order. The merge order makes the outcome identical for any
+        // thread count (with one thread the jobs run inline, in order).
+        let items_ref = &items;
+        let car = complx_obs::carrier();
+        let spread_results: Vec<(Vec<usize>, Vec<Item>)> =
+            complx_par::par_map(regions.len(), |ri| {
+                let _attached = car.attach();
+                let _sp = complx_obs::span("chunks");
+                let rect = regions[ri].rect(&caps);
+                let mut local: Vec<Item> = Vec::new();
+                let mut ids: Vec<usize> = Vec::new();
+                for (i, it) in items_ref.iter().enumerate() {
+                    if it.x >= rect.lx && it.x < rect.hx && it.y >= rect.ly && it.y < rect.hy {
+                        local.push(*it);
+                        ids.push(i);
+                    }
                 }
-            }
-            spread_in_rect(&caps, &mut scratch, rect);
-            for (k, &i) in scratch_ids.iter().enumerate() {
-                items[i] = scratch[k];
+                spread_in_rect(&caps, &mut local, rect);
+                (ids, local)
+            });
+        for (ids, moved) in &spread_results {
+            for (k, &i) in ids.iter().enumerate() {
+                items[i] = moved[k];
             }
         }
 
@@ -270,6 +281,34 @@ mod tests {
         let a = proj.project(&d, &p);
         let b = proj.project(&d, &p);
         assert_eq!(a.placement, b.placement);
+    }
+
+    #[test]
+    fn projection_bit_identical_across_thread_counts() {
+        let d = GeneratorConfig::ispd2005_like("par-det", 9, 3000).generate();
+        let p = d.initial_placement();
+        let proj = FeasibilityProjection::default();
+        let reference = {
+            let _g = complx_par::with_threads(1);
+            proj.project(&d, &p).placement
+        };
+        for t in [2, 8] {
+            let _g = complx_par::with_threads(t);
+            let got = proj.project(&d, &p).placement;
+            assert_eq!(got.len(), reference.len());
+            for i in 0..got.len() {
+                assert_eq!(
+                    got.xs()[i].to_bits(),
+                    reference.xs()[i].to_bits(),
+                    "x[{i}] differs at {t} threads"
+                );
+                assert_eq!(
+                    got.ys()[i].to_bits(),
+                    reference.ys()[i].to_bits(),
+                    "y[{i}] differs at {t} threads"
+                );
+            }
+        }
     }
 
     #[test]

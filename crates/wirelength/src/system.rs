@@ -1,8 +1,14 @@
 //! Assembly and solution of the quadratic placement systems
 //! `Φ_Q(x) = xᵀQ_x x + 2 f_xᵀ x + const` (paper Formula 2), one per axis.
 
-use complx_netlist::{CellId, Design, Placement, Point};
+use complx_netlist::{CellId, Design, NetId, Placement, Point};
 use complx_sparse::{CgSolver, TripletMatrix};
+
+/// Designs with fewer nets than this assemble in a single chunk (no pool
+/// dispatch). The per-net stamping order is preserved by merging per-chunk
+/// buffers in chunk order, so the assembled system is bit-identical for
+/// any chunking — this gate is purely a dispatch-overhead cutoff.
+const PAR_MIN_NETS: usize = 512;
 
 use crate::anchors::Anchors;
 use crate::b2b::{decompose, Edge, NetModel};
@@ -153,55 +159,105 @@ impl QuadraticModel {
             }
         };
 
-        let mut q = TripletMatrix::with_capacity(n, design.num_pins() * 4);
-        let mut f = vec![0.0f64; n];
-        let mut coords: Vec<f64> = Vec::new();
-        let mut edges: Vec<Edge> = Vec::new();
-
-        for nid in design.net_ids() {
-            let pins = design.net_pins(nid);
-            let w = design.net(nid).weight();
-            coords.clear();
-            coords.extend(pins.iter().map(|p| coord(p.cell) + offset(p)));
-            decompose(self.net_model, w, &coords, self.dist_eps, &mut edges);
-            let star = star_of_net[nid.index()].map(|v| v as usize);
-            for e in &edges {
-                // Resolve endpoints: (variable index or fixed coordinate, offset).
-                let resolve = |end: usize| -> (Option<usize>, f64) {
-                    if end == Edge::STAR {
-                        (star, 0.0)
-                    } else {
-                        let pin = &pins[end];
-                        match index.var(pin.cell) {
-                            Some(v) => (Some(v), offset(pin)),
-                            None => (None, coord(pin.cell) + offset(pin)),
+        // Stamps nets `lo..hi` into a fresh chunk-local matrix plus a
+        // sparse f-update list. The updates are *not* pre-summed: replaying
+        // them one at a time, chunk by chunk, performs the exact additions
+        // of the plain sequential net loop, so the assembled system is
+        // bit-identical no matter how the nets are chunked.
+        let num_nets = design.num_nets();
+        let pin_prefix: Vec<usize> = {
+            let mut p = Vec::with_capacity(num_nets + 1);
+            p.push(0usize);
+            for nid in design.net_ids() {
+                p.push(p.last().expect("non-empty") + design.net_pins(nid).len());
+            }
+            p
+        };
+        let stamp_range = |lo: usize, hi: usize| -> (TripletMatrix, Vec<(u32, f64)>) {
+            let mut cq = TripletMatrix::with_capacity(n, (pin_prefix[hi] - pin_prefix[lo]) * 4);
+            let mut fu: Vec<(u32, f64)> = Vec::new();
+            let mut coords: Vec<f64> = Vec::new();
+            let mut edges: Vec<Edge> = Vec::new();
+            for net_idx in lo..hi {
+                let nid = NetId::from_index(net_idx);
+                let pins = design.net_pins(nid);
+                let w = design.net(nid).weight();
+                coords.clear();
+                coords.extend(pins.iter().map(|p| coord(p.cell) + offset(p)));
+                decompose(self.net_model, w, &coords, self.dist_eps, &mut edges);
+                let star = star_of_net[nid.index()].map(|v| v as usize);
+                for e in &edges {
+                    // Resolve endpoints: (variable index or fixed coordinate, offset).
+                    let resolve = |end: usize| -> (Option<usize>, f64) {
+                        if end == Edge::STAR {
+                            (star, 0.0)
+                        } else {
+                            let pin = &pins[end];
+                            match index.var(pin.cell) {
+                                Some(v) => (Some(v), offset(pin)),
+                                None => (None, coord(pin.cell) + offset(pin)),
+                            }
                         }
-                    }
-                };
-                let (va, ca) = resolve(e.a);
-                let (vb, cb) = resolve(e.b);
-                match (va, vb) {
-                    (Some(i), Some(j)) => {
-                        if i == j {
-                            continue; // both pins on one cell: constant term
+                    };
+                    let (va, ca) = resolve(e.a);
+                    let (vb, cb) = resolve(e.b);
+                    match (va, vb) {
+                        (Some(i), Some(j)) => {
+                            if i == j {
+                                continue; // both pins on one cell: constant term
+                            }
+                            cq.add_connection(i, j, e.weight);
+                            // (x_i + ca − x_j − cb)² cross terms go to f.
+                            fu.push((i as u32, e.weight * (ca - cb)));
+                            fu.push((j as u32, e.weight * (cb - ca)));
                         }
-                        q.add_connection(i, j, e.weight);
-                        // (x_i + ca − x_j − cb)² cross terms go to f.
-                        f[i] += e.weight * (ca - cb);
-                        f[j] += e.weight * (cb - ca);
+                        (Some(i), None) => {
+                            cq.add_diagonal(i, e.weight);
+                            fu.push((i as u32, e.weight * (ca - cb)));
+                        }
+                        (None, Some(j)) => {
+                            cq.add_diagonal(j, e.weight);
+                            fu.push((j as u32, e.weight * (cb - ca)));
+                        }
+                        (None, None) => {}
                     }
-                    (Some(i), None) => {
-                        q.add_diagonal(i, e.weight);
-                        f[i] += e.weight * (ca - cb);
-                    }
-                    (None, Some(j)) => {
-                        q.add_diagonal(j, e.weight);
-                        f[j] += e.weight * (cb - ca);
-                    }
-                    (None, None) => {}
                 }
             }
+            (cq, fu)
+        };
+
+        // Pin-count-balanced net ranges, one per runner.
+        let nparts = if num_nets < PAR_MIN_NETS {
+            1
+        } else {
+            complx_par::threads().min(num_nets)
+        };
+        let total_pins = *pin_prefix.last().expect("non-empty");
+        let mut bounds = Vec::with_capacity(nparts + 1);
+        bounds.push(0usize);
+        for k in 1..nparts {
+            let target = k * total_pins / nparts;
+            let i = pin_prefix.partition_point(|&p| p < target).min(num_nets);
+            bounds.push(i.max(*bounds.last().expect("non-empty")));
         }
+        bounds.push(num_nets);
+
+        let car = complx_obs::carrier();
+        let parts = complx_par::par_map(nparts, |k| {
+            let _attached = car.attach();
+            let _sp = complx_obs::span("chunks");
+            stamp_range(bounds[k], bounds[k + 1])
+        });
+
+        let mut q = TripletMatrix::with_capacity(n, design.num_pins() * 4);
+        let mut f = vec![0.0f64; n];
+        for (cq, fu) in &parts {
+            q.append(cq);
+            for &(i, d) in fu {
+                f[i as usize] += d;
+            }
+        }
+        drop(parts);
 
         // Anchor pseudonets.
         if let Some(a) = anchors {
@@ -463,6 +519,33 @@ mod tests {
             for &id in d.movable_cells() {
                 let p = pl.position(id);
                 assert!(core.contains(p), "{} at {p:?} via {}", id, model.name());
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_bit_identical_across_thread_counts() {
+        // `small` generates ~660 nets, clearing PAR_MIN_NETS, so the
+        // chunked assembly path actually runs with several chunks.
+        let d = GeneratorConfig::small("det", 11).generate();
+        assert!(d.num_nets() >= super::PAR_MIN_NETS);
+        let model = QuadraticModel::default();
+        let run = |t: usize| {
+            let _g = complx_par::with_threads(t);
+            let mut pl = d.initial_placement();
+            for _ in 0..2 {
+                model.minimize(&d, &mut pl, None);
+            }
+            pl
+        };
+        let reference = run(1);
+        for t in [2, 8] {
+            let pl = run(t);
+            for (a, b) in pl.xs().iter().zip(reference.xs()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "x drifted at {t} threads");
+            }
+            for (a, b) in pl.ys().iter().zip(reference.ys()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "y drifted at {t} threads");
             }
         }
     }

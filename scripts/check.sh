@@ -13,21 +13,32 @@ echo "== build (release) =="
 # would skip the member binaries (complx, report_check) the smoke run needs.
 cargo build --release --workspace
 
-echo "== tests =="
-cargo test -q --workspace
+echo "== tests (COMPLX_THREADS=1) =="
+COMPLX_THREADS=1 cargo test -q --workspace
+
+echo "== tests (COMPLX_THREADS=4) =="
+COMPLX_THREADS=4 cargo test -q --workspace
 
 echo "== clippy: no unwrap in core/sparse library code =="
 cargo clippy -q -p complx-place -p complx-sparse --lib -- -D clippy::unwrap_used
 
-echo "== CLI smoke run: report + events validate =="
+echo "== CLI smoke run: report + events validate (4 threads) =="
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 aux=$(cargo run -q --release --example gen_smoke -- "$smoke_dir" 2>/dev/null)
-./target/release/complx "$aux" -q --max-iterations 15 \
+./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
     -o "$smoke_dir/solution" \
     --report "$smoke_dir/report.json" \
-    --events "$smoke_dir/events.jsonl"
+    --events "$smoke_dir/events.jsonl" \
+    --trace "$smoke_dir/trace_t4.csv"
 ./target/release/report_check "$smoke_dir/report.json" \
-    --jsonl "$smoke_dir/events.jsonl"
+    --jsonl "$smoke_dir/events.jsonl" \
+    --threads 4
+
+echo "== CLI determinism: --threads 1 matches --threads 4 =="
+./target/release/complx "$aux" -q --max-iterations 15 --threads 1 \
+    -o "$smoke_dir/solution_t1" \
+    --trace "$smoke_dir/trace_t1.csv"
+cmp "$smoke_dir/trace_t1.csv" "$smoke_dir/trace_t4.csv"
 
 echo "All checks passed."

@@ -3,6 +3,8 @@
 //! This crate exists so that workspace-level `examples/` and `tests/` can
 //! depend on every member crate. The real functionality lives in:
 //!
+//! * [`complx_par`] — the deterministic parallel runtime (thread pool,
+//!   scoped fork-join, order-preserving reductions)
 //! * [`complx_netlist`] — netlist model, Bookshelf I/O, benchmark generator
 //! * [`complx_sparse`] — sparse matrices and conjugate-gradient solvers
 //! * [`complx_wirelength`] — interconnect models (B2B, star, clique, LSE)
@@ -13,6 +15,7 @@
 
 pub use complx_legalize as legalize;
 pub use complx_netlist as netlist;
+pub use complx_par as par;
 pub use complx_place as place;
 pub use complx_sparse as sparse;
 pub use complx_spread as spread;
