@@ -215,13 +215,7 @@ fn bisect(
     // Sort by the cut axis and split into equal halves (area-balanced would
     // be closer to GORDIAN; equal count suffices for uniform cells).
     if cut_x && w > 1 {
-        cells.sort_by(|&a, &b| {
-            placement
-                .position(a)
-                .x
-                .partial_cmp(&placement.position(b).x)
-                .expect("finite coords")
-        });
+        cells.sort_by(|&a, &b| placement.position(a).x.total_cmp(&placement.position(b).x));
         let mid = cells.len() / 2;
         let (left, right) = cells.split_at_mut(mid);
         bisect(design, placement, left, x0, y0, w / 2, h, region_of, false);
@@ -237,13 +231,7 @@ fn bisect(
             false,
         );
     } else if h > 1 {
-        cells.sort_by(|&a, &b| {
-            placement
-                .position(a)
-                .y
-                .partial_cmp(&placement.position(b).y)
-                .expect("finite coords")
-        });
+        cells.sort_by(|&a, &b| placement.position(a).y.total_cmp(&placement.position(b).y));
         let mid = cells.len() / 2;
         let (bot, top) = cells.split_at_mut(mid);
         bisect(design, placement, bot, x0, y0, w, h / 2, region_of, true);

@@ -104,6 +104,8 @@ impl RqlLike {
             let _iter_span = obs::span("iteration");
             obs::add("place.iterations", 1);
             iterations = k;
+            // lint:allow(no-float-eq): exact 0.0 is the "first iteration"
+            // sentinel; the variable is never computed, only assigned.
             lambda = if lambda == 0.0 {
                 lambda_1
             } else {

@@ -56,9 +56,8 @@ impl SegmentState {
         // overlapping.
         loop {
             c.x = (c.q / c.e).clamp(seg_lx, (seg_hx - c.w).max(seg_lx));
-            match self.clusters.last() {
+            match self.clusters.pop() {
                 Some(prev) if prev.x + prev.w > c.x + 1e-12 => {
-                    let prev = self.clusters.pop().expect("checked non-empty");
                     // Merge prev ++ c.
                     let merged = Cluster {
                         first: prev.first,
@@ -70,20 +69,19 @@ impl SegmentState {
                     };
                     c = merged;
                 }
-                _ => break,
+                Some(prev) => {
+                    self.clusters.push(prev);
+                    break;
+                }
+                None => break,
             }
         }
+        // Final left edge of the appended cell: the cluster start plus the
+        // widths of the cells packed before it (idx is always inside `c`,
+        // whose range ends at idx + 1 through every merge).
+        let x = c.x + (c.first..idx).map(|k| self.cells[k].width).sum::<f64>();
         self.clusters.push(c);
-        // Final left edge of the appended cell.
-        let c = self.clusters.last().expect("just pushed");
-        let mut x = c.x;
-        for k in c.first..c.last {
-            if k == idx {
-                return x;
-            }
-            x += self.cells[k].width;
-        }
-        unreachable!("appended cell must be in the last cluster");
+        x
     }
 
     /// Total width currently placed.
@@ -127,7 +125,7 @@ pub fn abacus_legalize(design: &Design, rows: &RowLayout, placement: &mut Placem
     order.sort_by(|&a, &b| {
         let la = placement.position(a).x - 0.5 * design.cell(a).width();
         let lb = placement.position(b).x - 0.5 * design.cell(b).width();
-        la.partial_cmp(&lb).expect("finite coords")
+        la.total_cmp(&lb)
     });
 
     let mut failures = 0;
@@ -172,7 +170,7 @@ pub fn abacus_legalize(design: &Design, rows: &RowLayout, placement: &mut Placem
                         seg.hx,
                     );
                     let cost = (lx - want_lx).abs() + dy;
-                    if best.is_none() || cost < best.expect("checked").0 {
+                    if best.is_none_or(|(best_cost, ..)| cost < best_cost) {
                         best = Some((cost, r, si));
                     }
                 }

@@ -88,13 +88,7 @@ impl<'a> RowState<'a> {
             row_of[id.index()] = r;
         }
         for r in 0..cells.len() {
-            cells[r].sort_by(|&a, &b| {
-                placement
-                    .position(a)
-                    .x
-                    .partial_cmp(&placement.position(b).x)
-                    .expect("finite coords")
-            });
+            cells[r].sort_by(|&a, &b| placement.position(a).x.total_cmp(&placement.position(b).x));
         }
         Self {
             design,
@@ -188,8 +182,8 @@ fn optimal_position(design: &Design, placement: &Placement, id: CellId) -> Point
     if xs.is_empty() {
         return placement.position(id);
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
     Point::new(xs[xs.len() / 2], ys[ys.len() / 2])
 }
 
@@ -214,26 +208,20 @@ fn global_swap_pass(state: &mut RowState<'_>, tracker: &mut HpwlTracker<'_>) -> 
         }
         // Nearest cell in the target row by x.
         let row = &state.cells[target_row];
-        let bpos = match row.binary_search_by(|&c| {
-            tracker
-                .placement()
-                .position(c)
-                .x
-                .partial_cmp(&opt.x)
-                .expect("finite coords")
-        }) {
-            Ok(k) => k,
-            Err(k) => k.min(row.len() - 1),
-        };
+        let bpos =
+            match row.binary_search_by(|&c| tracker.placement().position(c).x.total_cmp(&opt.x)) {
+                Ok(k) => k,
+                Err(k) => k.min(row.len() - 1),
+            };
         let b = row[bpos];
         if b == a {
             continue;
         }
         let rb = state.row_of[b.index()];
-        let apos = state.cells[ra]
-            .iter()
-            .position(|&c| c == a)
-            .expect("cell tracked in its row");
+        let Some(apos) = state.cells[ra].iter().position(|&c| c == a) else {
+            debug_assert!(false, "cell must be tracked in its row");
+            continue;
+        };
         if ra == rb && (apos as isize - bpos as isize).abs() <= 1 {
             continue; // adjacent same-row cells: handled by reordering
         }
@@ -270,21 +258,11 @@ fn global_swap_pass(state: &mut RowState<'_>, tracker: &mut HpwlTracker<'_>) -> 
             state.row_of[a.index()] = rb;
             state.row_of[b.index()] = ra;
             let placement = tracker.placement();
-            state.cells[ra].sort_by(|&p, &q| {
-                placement
-                    .position(p)
-                    .x
-                    .partial_cmp(&placement.position(q).x)
-                    .expect("finite coords")
-            });
+            state.cells[ra]
+                .sort_by(|&p, &q| placement.position(p).x.total_cmp(&placement.position(q).x));
             if ra != rb {
-                state.cells[rb].sort_by(|&p, &q| {
-                    placement
-                        .position(p)
-                        .x
-                        .partial_cmp(&placement.position(q).x)
-                        .expect("finite coords")
-                });
+                state.cells[rb]
+                    .sort_by(|&p, &q| placement.position(p).x.total_cmp(&placement.position(q).x));
             }
             accepted += 1;
         } else {
@@ -330,10 +308,10 @@ fn vertical_swap_pass(state: &mut RowState<'_>, tracker: &mut HpwlTracker<'_>) -
         tracker.move_cell(a, Point::new(nx, state.rows.row_center(target_row)));
         if tracker.total() < before - 1e-12 {
             tracker.commit();
-            let apos = state.cells[ra]
-                .iter()
-                .position(|&c| c == a)
-                .expect("cell tracked in its row");
+            let Some(apos) = state.cells[ra].iter().position(|&c| c == a) else {
+                debug_assert!(false, "cell must be tracked in its row");
+                continue;
+            };
             state.cells[ra].remove(apos);
             state.cells[target_row].insert(insert_at, a);
             state.row_of[a.index()] = target_row;
@@ -373,19 +351,14 @@ fn find_gap(
             }
         }
         let mut best: Option<(f64, f64, usize)> = None;
+        let mut best_dist = f64::INFINITY;
         let mut cursor = seg.lx;
         for (g, &(lo, hi)) in edges.iter().enumerate() {
             if lo - cursor >= w {
                 let cand = (cursor, lo, first_idx + g);
                 let dist = distance_to_interval(x, cand.0, cand.1);
-                if best.is_none()
-                    || dist
-                        < distance_to_interval(
-                            x,
-                            best.expect("checked").0,
-                            best.expect("checked").1,
-                        )
-                {
+                if dist < best_dist {
+                    best_dist = dist;
                     best = Some(cand);
                 }
             }
@@ -393,11 +366,7 @@ fn find_gap(
         }
         if seg.hx - cursor >= w {
             let cand = (cursor, seg.hx, first_idx + edges.len());
-            let dist = distance_to_interval(x, cand.0, cand.1);
-            if best.is_none()
-                || dist
-                    < distance_to_interval(x, best.expect("checked").0, best.expect("checked").1)
-            {
+            if distance_to_interval(x, cand.0, cand.1) < best_dist {
                 best = Some(cand);
             }
         }

@@ -39,13 +39,7 @@ pub fn legalize_macros(design: &Design, placement: &mut Placement) -> (Vec<Rect>
         .copied()
         .filter(|&id| design.cell(id).kind() == CellKind::MovableMacro)
         .collect();
-    macros.sort_by(|&a, &b| {
-        design
-            .cell(b)
-            .area()
-            .partial_cmp(&design.cell(a).area())
-            .expect("finite areas")
-    });
+    macros.sort_by(|&a, &b| design.cell(b).area().total_cmp(&design.cell(a).area()));
 
     let mut unplaced = 0;
     for id in macros {

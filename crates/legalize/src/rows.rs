@@ -66,7 +66,7 @@ impl RowLayout {
                 .map(|b| (b.lx.max(core.lx), b.hx.min(core.hx)))
                 .filter(|(l, h)| h > l)
                 .collect();
-            cuts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            cuts.sort_by(|a, b| a.0.total_cmp(&b.0));
             let mut segs = Vec::new();
             let mut cursor = core.lx;
             for (l, h) in cuts {

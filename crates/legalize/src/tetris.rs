@@ -38,7 +38,7 @@ pub fn tetris_legalize(design: &Design, rows: &RowLayout, placement: &mut Placem
     order.sort_by(|&a, &b| {
         let la = placement.position(a).x - 0.5 * design.cell(a).width();
         let lb = placement.position(b).x - 0.5 * design.cell(b).width();
-        la.partial_cmp(&lb).expect("finite coords")
+        la.total_cmp(&lb)
     });
 
     let mut deferred = Vec::new();
@@ -71,7 +71,7 @@ pub fn tetris_legalize(design: &Design, rows: &RowLayout, placement: &mut Placem
                 // segment end (cells may move left of their target).
                 let lx = want_lx.max(cursor).min(seg.hx - w);
                 let cost = (lx - want_lx).abs() + dy;
-                if best.is_none() || cost < best.expect("checked").0 {
+                if best.is_none_or(|(best_cost, ..)| cost < best_cost) {
                     best = Some((cost, r, si, lx));
                 }
             }
@@ -120,7 +120,7 @@ pub fn tetris_legalize(design: &Design, rows: &RowLayout, placement: &mut Placem
                     if ilx - prev_end >= w - 1e-9 {
                         let lx = want_lx.clamp(prev_end, ilx - w);
                         let cost = (lx - want_lx).abs() + dy;
-                        if best.is_none() || cost < best.expect("checked").0 {
+                        if best.is_none_or(|(best_cost, ..)| cost < best_cost) {
                             best = Some((cost, r, si, k, lx));
                         }
                     }

@@ -92,7 +92,9 @@ pub fn legality_report(design: &Design, placement: &Placement) -> LegalityReport
             }
         }
     }
-    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    // BTreeSet, not HashSet: verify runs inside determinism tests, and the
+    // no-unordered-iter contract bans unordered containers crate-wide.
+    let mut seen: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
     for bucket in &grid {
         for i in 0..bucket.len() {
             for j in i + 1..bucket.len() {

@@ -1,0 +1,197 @@
+//! Hand-parsed `lint.toml` policy file.
+//!
+//! The parser accepts the TOML subset the policy actually needs — `[a.b]`
+//! section headers, `key = "string"`, `key = true|false`, and
+//! `key = ["a", "b"]` arrays, with `#` comments — and rejects everything
+//! else loudly. Keeping the parser ~100 lines is the point: the linter
+//! must not need third-party crates to read its own policy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed policy: which crates are scanned and, per rule, which crates
+/// it applies to and whether it also runs inside `#[cfg(test)]` code.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crate directory names under `crates/` to scan.
+    pub scan_crates: Vec<String>,
+    /// Rule id -> policy. Rules absent from the file do not run.
+    pub rules: BTreeMap<String, RulePolicy>,
+}
+
+/// Per-rule scoping.
+#[derive(Debug, Clone, Default)]
+pub struct RulePolicy {
+    /// Crates the rule applies to; `["*"]` means every scanned crate.
+    pub crates: Vec<String>,
+    /// When true the rule also fires inside `#[cfg(test)]` modules.
+    pub include_tests: bool,
+}
+
+impl Config {
+    /// True when `rule` is enabled for `krate`.
+    pub fn rule_applies(&self, rule: &str, krate: &str) -> bool {
+        self.rules.get(rule).is_some_and(|p| {
+            p.crates.iter().any(|c| c == "*") || p.crates.iter().any(|c| c == krate)
+        })
+    }
+
+    /// True when `rule` also runs in test code for `krate`.
+    pub fn rule_in_tests(&self, rule: &str) -> bool {
+        self.rules.get(rule).is_some_and(|p| p.include_tests)
+    }
+}
+
+/// Config-file error with a line number for the offending input.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in lint.toml (0 for file-level errors).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the policy text. Unknown sections or keys are errors so typos
+/// cannot silently disable a rule.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut cfg = Config::default();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, "unterminated section header"))?;
+            section = name.trim().to_string();
+            if section != "scan" && !section.starts_with("rules.") {
+                return Err(err(lineno, format!("unknown section [{section}]")));
+            }
+            if let Some(rule) = section.strip_prefix("rules.") {
+                cfg.rules.entry(rule.to_string()).or_default();
+            }
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, "expected `key = value`"))?;
+        let (key, value) = (key.trim(), value.trim());
+        match (section.as_str(), key) {
+            ("scan", "crates") => cfg.scan_crates = parse_array(value, lineno)?,
+            (s, k) if s.starts_with("rules.") => {
+                let rule = s.trim_start_matches("rules.").to_string();
+                let policy = cfg.rules.entry(rule).or_default();
+                match k {
+                    "crates" => policy.crates = parse_array(value, lineno)?,
+                    "include-tests" => policy.include_tests = parse_bool(value, lineno)?,
+                    other => return Err(err(lineno, format!("unknown rule key `{other}`"))),
+                }
+            }
+            (s, k) => {
+                return Err(err(lineno, format!("unknown key `{k}` in section [{s}]")));
+            }
+        }
+    }
+    if cfg.scan_crates.is_empty() {
+        return Err(err(0, "missing [scan] crates = [...]"));
+    }
+    Ok(cfg)
+}
+
+/// Drops a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_bool(value: &str, lineno: usize) -> Result<bool, ConfigError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(err(lineno, format!("expected true/false, got `{other}`"))),
+    }
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| err(lineno, "expected `[\"a\", \"b\"]` array"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // permits a trailing comma
+        }
+        let s = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| err(lineno, format!("expected quoted string, got `{item}`")))?;
+        out.push(s.to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let cfg = parse(
+            r#"
+# policy
+[scan]
+crates = ["par", "sparse"]  # trailing comment
+
+[rules.no-unwrap]
+crates = ["*"]
+
+[rules.no-unordered-iter]
+crates = ["par"]
+include-tests = true
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.scan_crates, vec!["par", "sparse"]);
+        assert!(cfg.rule_applies("no-unwrap", "sparse"));
+        assert!(cfg.rule_applies("no-unordered-iter", "par"));
+        assert!(!cfg.rule_applies("no-unordered-iter", "sparse"));
+        assert!(cfg.rule_in_tests("no-unordered-iter"));
+        assert!(!cfg.rule_in_tests("no-unwrap"));
+        assert!(!cfg.rule_applies("no-such-rule", "par"));
+    }
+
+    #[test]
+    fn rejects_typos() {
+        assert!(parse("[scan]\ncrate = [\"a\"]").is_err());
+        assert!(parse("[rules.no-unwrap]\ncrates = \"*\"").is_err());
+        assert!(parse("[unknown]\nx = 1").is_err());
+        assert!(parse("").is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! `complx-lint` — a zero-dependency static-analysis pass that enforces
+//! the repo's determinism and no-panic contracts.
+//!
+//! PR 3's parallel runtime guarantees bit-identical `f64` results for any
+//! thread count, and PR 1 promised panic-free solver code. Those contracts
+//! only hold if nobody quietly reintroduces a `HashMap` iteration into a
+//! deterministic kernel or an `unwrap()` into a solve path — so, in the
+//! spirit of ComPLx's own analyzability argument (transparent,
+//! self-contained algorithms over black boxes), the workspace checks its
+//! invariants mechanically. The checker is hand-rolled on a small Rust
+//! lexer (no `syn`, no external crates), reads its policy from `lint.toml`
+//! at the workspace root, and prints findings as
+//! `file:line:col: rule: message`.
+//!
+//! # Rule catalog
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `no-unwrap` | library code must not `.unwrap()` |
+//! | `no-expect` | library code must not `.expect()` |
+//! | `no-panic`  | no `panic!`/`unreachable!`/`todo!`/`unimplemented!` (asserts stay allowed) |
+//! | `safety-comment` | every `unsafe` block carries a `// SAFETY:` comment |
+//! | `no-unordered-iter` | no `HashMap`/`HashSet` in deterministic kernel crates |
+//! | `no-wallclock-in-kernel` | no `Instant::now`/`SystemTime` in kernel crates |
+//! | `no-float-eq` | no `==`/`!=` against float literals in solver code |
+//!
+//! Per-site escapes are spelled `// lint:allow(<rule>): <reason>` on (or
+//! directly above) the offending line; a waiver without a reason, naming
+//! an unknown rule, or suppressing nothing is itself a finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use config::{parse as parse_config, Config};
+pub use rules::ALL_RULES;
+pub use scan::{lint_source, lint_workspace, Diagnostic};
+
+use std::path::{Path, PathBuf};
+
+/// Walks upward from `start` to the first directory holding a `lint.toml`
+/// (the workspace root). Returns `None` when no ancestor has one.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! CLI for `complx-lint`: scans the workspace against `lint.toml` and
+//! prints findings as `file:line:col: rule: message`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use complx_lint::{find_root, lint_workspace, parse_config};
+
+const USAGE: &str = "usage: complx-lint [--root DIR] [--config FILE] [-q]
+  --root DIR     workspace root (default: nearest ancestor with lint.toml)
+  --config FILE  policy file (default: <root>/lint.toml)
+  -q             print findings only, no summary line";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("complx-lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return fail(USAGE),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return fail(USAGE),
+            },
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => return fail(&format!("cannot determine cwd: {e}")),
+            };
+            match find_root(&cwd) {
+                Some(r) => r,
+                None => return fail("no lint.toml found in any ancestor directory"),
+            }
+        }
+    };
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("read {}: {e}", config_path.display())),
+    };
+    let cfg = match parse_config(&text) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let diags = match lint_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => return fail(&e.to_string()),
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        if !quiet {
+            eprintln!(
+                "complx-lint: clean ({} crates, {} rules)",
+                cfg.scan_crates.len(),
+                cfg.rules.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !quiet {
+            eprintln!("complx-lint: {} finding(s)", diags.len());
+        }
+        ExitCode::FAILURE
+    }
+}

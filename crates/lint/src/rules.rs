@@ -1,0 +1,272 @@
+//! The rule catalog: token-level matchers over [`crate::lexer::Lexed`].
+//!
+//! Each rule walks the token stream (strings, comments, and char literals
+//! are already out of band, so a `panic!` inside a string cannot fire) and
+//! returns raw findings. Scoping — which crates a rule runs on, whether it
+//! sees `#[cfg(test)]` code, inline waivers — is applied afterwards by
+//! [`crate::scan`].
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// Every rule the linter knows, in diagnostic-stable order.
+pub const ALL_RULES: &[&str] = &[
+    "no-unwrap",
+    "no-expect",
+    "no-panic",
+    "safety-comment",
+    "no-unordered-iter",
+    "no-wallclock-in-kernel",
+    "no-float-eq",
+];
+
+/// Rule id used for waiver-hygiene findings (always enabled).
+pub const WAIVER_RULE: &str = "waiver";
+
+/// One raw finding, before scoping/waivers are applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id from [`ALL_RULES`].
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable explanation with the fix or waiver spelling.
+    pub message: String,
+}
+
+fn finding(rule: &'static str, tok: &Tok, message: impl Into<String>) -> Finding {
+    Finding {
+        rule,
+        line: tok.line,
+        col: tok.col,
+        message: message.into(),
+    }
+}
+
+fn is_ident(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == text
+}
+
+fn is_punct(t: &Tok, text: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == text
+}
+
+/// Runs every rule; the caller filters by policy.
+pub fn run_all(lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident => {
+                // `.unwrap(` / `.expect(` method calls.
+                if (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && is_punct(&toks[i - 1], ".")
+                    && toks.get(i + 1).is_some_and(|n| is_punct(n, "("))
+                {
+                    let (rule, msg) = if t.text == "unwrap" {
+                        (
+                            "no-unwrap",
+                            "`.unwrap()` in library code; handle the failure or waive \
+                             with `// lint:allow(no-unwrap): <why it cannot fail>`",
+                        )
+                    } else {
+                        (
+                            "no-expect",
+                            "`.expect()` in library code; handle the failure or waive \
+                             with `// lint:allow(no-expect): <why it cannot fail>`",
+                        )
+                    };
+                    out.push(finding(rule, t, msg));
+                }
+                // Panicking macros. assert!/debug_assert! stay allowed: they
+                // are the repo's designated loud-invariant mechanism.
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && toks.get(i + 1).is_some_and(|n| is_punct(n, "!"))
+                {
+                    out.push(finding(
+                        "no-panic",
+                        t,
+                        format!(
+                            "`{}!` in library code; return a structured error or waive \
+                             with `// lint:allow(no-panic): <invariant>`",
+                            t.text
+                        ),
+                    ));
+                }
+                // Unordered containers in deterministic kernels.
+                if t.text == "HashMap" || t.text == "HashSet" {
+                    out.push(finding(
+                        "no-unordered-iter",
+                        t,
+                        format!(
+                            "`{}` has nondeterministic iteration order; use BTreeMap/BTreeSet \
+                             or a sorted Vec (or waive with a proof the order never escapes)",
+                            t.text
+                        ),
+                    ));
+                }
+                // Wall-clock reads in kernel crates.
+                if t.text == "Instant"
+                    && toks.get(i + 1).is_some_and(|n| is_punct(n, "::"))
+                    && toks.get(i + 2).is_some_and(|n| is_ident(n, "now"))
+                {
+                    out.push(finding(
+                        "no-wallclock-in-kernel",
+                        t,
+                        "`Instant::now()` in a kernel crate; kernels must be time-free — \
+                         thread timing through the caller (core/obs own the clocks)",
+                    ));
+                }
+                if t.text == "SystemTime" {
+                    out.push(finding(
+                        "no-wallclock-in-kernel",
+                        t,
+                        "`SystemTime` in a kernel crate; kernels must be time-free — \
+                         thread timing through the caller (core/obs own the clocks)",
+                    ));
+                }
+                if is_ident(t, "unsafe") && toks.get(i + 1).is_some_and(|n| is_punct(n, "{")) {
+                    if !has_safety_comment(lexed, t) {
+                        out.push(finding(
+                            "safety-comment",
+                            t,
+                            "`unsafe` block without a `// SAFETY:` comment immediately \
+                             above (or trailing on the same line) stating the invariant",
+                        ));
+                    }
+                }
+            }
+            TokKind::Punct if t.text == "==" || t.text == "!=" => {
+                if float_operand_adjacent(toks, i) {
+                    out.push(finding(
+                        "no-float-eq",
+                        t,
+                        format!(
+                            "`{}` against a float literal; exact float comparison is \
+                             brittle — compare with a tolerance or `to_bits()`, or waive \
+                             with the reason the exact value is meaningful",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// True when either operand next to the comparison at `toks[i]` is a float
+/// literal (a leading unary minus on the right-hand side is looked through).
+fn float_operand_adjacent(toks: &[Tok], i: usize) -> bool {
+    if i > 0 && toks[i - 1].kind == TokKind::Float {
+        return true;
+    }
+    match toks.get(i + 1) {
+        Some(t) if t.kind == TokKind::Float => true,
+        Some(t) if is_punct(t, "-") => {
+            matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Float)
+        }
+        _ => false,
+    }
+}
+
+/// A `// SAFETY:` comment is accepted trailing on the `unsafe` line or in
+/// the contiguous comment block whose last line directly precedes it.
+fn has_safety_comment(lexed: &Lexed, unsafe_tok: &Tok) -> bool {
+    let covers = |c: &Comment, line: u32| c.line <= line && line <= c.line_end;
+    let safety = |c: &Comment| c.text.contains("SAFETY:");
+    if lexed
+        .comments
+        .iter()
+        .any(|c| covers(c, unsafe_tok.line) && safety(c))
+    {
+        return true;
+    }
+    let mut line = unsafe_tok.line.saturating_sub(1);
+    while line > 0 {
+        let on_line: Vec<&Comment> = lexed.comments.iter().filter(|c| covers(c, line)).collect();
+        if on_line.is_empty() {
+            return false;
+        }
+        if on_line.iter().any(|c| safety(c)) {
+            return true;
+        }
+        line -= 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rules_hit(src: &str) -> Vec<(&'static str, u32, u32)> {
+        run_all(&lex(src))
+            .into_iter()
+            .map(|f| (f.rule, f.line, f.col))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_and_expect_only_as_method_calls() {
+        assert_eq!(
+            rules_hit("let x = y.unwrap();\nlet z = y.expect(\"m\");"),
+            vec![("no-unwrap", 1, 11), ("no-expect", 2, 11)]
+        );
+        // `unwrap_or`, a fn named unwrap, and strings do not fire.
+        assert!(rules_hit("y.unwrap_or(0); fn unwrap() {} \"x.unwrap()\";").is_empty());
+    }
+
+    #[test]
+    fn panic_family_but_not_asserts() {
+        assert_eq!(
+            rules_hit("panic!(\"boom\"); unreachable!(); todo!();")
+                .iter()
+                .filter(|(r, _, _)| *r == "no-panic")
+                .count(),
+            3
+        );
+        assert!(rules_hit("assert!(a); assert_eq!(a, b); debug_assert!(c);").is_empty());
+    }
+
+    #[test]
+    fn float_eq_needs_a_float_literal_operand() {
+        assert_eq!(rules_hit("if x == 0.0 {}"), vec![("no-float-eq", 1, 6)]);
+        assert_eq!(rules_hit("if x != -1.5 {}"), vec![("no-float-eq", 1, 6)]);
+        assert_eq!(rules_hit("if 2.0 == y {}"), vec![("no-float-eq", 1, 8)]);
+        assert!(rules_hit("if x == 0 {} if a == b {}").is_empty());
+    }
+
+    #[test]
+    fn safety_comment_detection() {
+        assert!(rules_hit("// SAFETY: fine\nunsafe { op() }").is_empty());
+        assert!(rules_hit("unsafe { op() } // SAFETY: trailing").is_empty());
+        // Comment block may be multiple lines as long as it is contiguous.
+        assert!(rules_hit("// SAFETY: top\n// more detail\nunsafe { op() }").is_empty());
+        assert_eq!(
+            rules_hit("// SAFETY: stale\n\nunsafe { op() }"),
+            vec![("safety-comment", 3, 1)]
+        );
+        // `unsafe fn` declarations are unsafe_op_in_unsafe_fn's business.
+        assert!(rules_hit("unsafe fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn wallclock_and_unordered() {
+        assert_eq!(
+            rules_hit("let t = Instant::now();"),
+            vec![("no-wallclock-in-kernel", 1, 9)]
+        );
+        assert!(rules_hit("fn f(deadline: Instant) {}").is_empty());
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;"),
+            vec![("no-unordered-iter", 1, 23)]
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! Scoping and orchestration: which files are scanned, which findings
+//! survive `#[cfg(test)]` scoping and inline waivers, and how a whole
+//! workspace run is assembled.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::lexer::{lex, Lexed, TokKind};
+use crate::rules::{run_all, ALL_RULES, WAIVER_RULE};
+
+/// A finalized diagnostic, printable as `file:line:col: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Rule id (or `waiver` for waiver-hygiene findings).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Inclusive line ranges covered by `#[cfg(test)]` items.
+///
+/// Strategy: find an outer `#[cfg(...)]` attribute whose arguments mention
+/// `test`, then skip the attributed item — everything up to the first `;`
+/// at bracket depth zero, or the matching `}` of the first body brace.
+fn test_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.toks;
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#")
+            || !toks.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            i += 1;
+            continue;
+        }
+        // Walk the attribute to its closing `]`, collecting idents.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "[" | "(" if toks[j].kind == TokKind::Punct => depth += 1,
+                "]" | ")" if toks[j].kind == TokKind::Punct => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {
+                    if toks[j].kind == TokKind::Ident {
+                        idents.push(&toks[j].text);
+                    }
+                }
+            }
+            j += 1;
+        }
+        let is_cfg_test = idents.first() == Some(&"cfg") && idents.iter().any(|s| *s == "test");
+        if !is_cfg_test {
+            i = j + 1;
+            continue;
+        }
+        // Skip the attributed item (further attributes ride along because
+        // their brackets are balanced).
+        let start_line = toks[i].line;
+        let mut k = j + 1;
+        let mut pdepth = 0usize;
+        let mut end_line = toks.get(j).map_or(start_line, |t| t.line);
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "(" | "[" if toks[k].kind == TokKind::Punct => pdepth += 1,
+                ")" | "]" if toks[k].kind == TokKind::Punct => pdepth = pdepth.saturating_sub(1),
+                ";" if pdepth == 0 && toks[k].kind == TokKind::Punct => {
+                    end_line = toks[k].line;
+                    break;
+                }
+                "{" if pdepth == 0 && toks[k].kind == TokKind::Punct => {
+                    let mut braces = 0usize;
+                    while k < toks.len() {
+                        if toks[k].kind == TokKind::Punct {
+                            match toks[k].text.as_str() {
+                                "{" => braces += 1,
+                                "}" => {
+                                    braces -= 1;
+                                    if braces == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                        }
+                        k += 1;
+                    }
+                    end_line = toks.get(k).map_or(end_line, |t| t.line);
+                    break;
+                }
+                _ => {}
+            }
+            end_line = toks[k].line;
+            k += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+/// One parsed `// lint:allow(<rule>): <reason>` directive.
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    reason: String,
+    line: u32,
+    col: u32,
+    /// The single source line whose findings this waiver covers.
+    target: u32,
+    used: bool,
+}
+
+/// Extracts waivers from comments. A trailing waiver covers its own line;
+/// a full-line waiver covers the next line that holds a code token.
+fn waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // A directive must lead the comment (after `//`/`///`/`//!` and
+        // whitespace); prose that merely *mentions* the syntax mid-sentence
+        // is not a waiver.
+        let body = c.text.trim_start_matches(['/', '!', '*']).trim_start();
+        let Some(rest) = body.strip_prefix("lint:allow(") else {
+            continue;
+        };
+        let (rule, after) = match rest.split_once(')') {
+            Some(pair) => pair,
+            None => (rest, ""),
+        };
+        let reason = after
+            .trim_start()
+            .strip_prefix(':')
+            .map_or("", str::trim)
+            .to_string();
+        let trailing = lexed.toks.iter().any(|t| t.line == c.line && t.col < c.col);
+        let target = if trailing {
+            c.line
+        } else {
+            lexed
+                .toks
+                .iter()
+                .find(|t| t.line > c.line_end)
+                .map_or(c.line_end + 1, |t| t.line)
+        };
+        out.push(Waiver {
+            rule: rule.trim().to_string(),
+            reason,
+            line: c.line,
+            col: c.col,
+            target,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lints one file's source under the given policy. `krate` selects which
+/// rules apply; `file` is the label used in diagnostics.
+pub fn lint_source(file: &str, krate: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let ranges = test_ranges(&lexed);
+    let in_tests = |line: u32| ranges.iter().any(|&(s, e)| s <= line && line <= e);
+    let mut ws = waivers(&lexed);
+    let mut out = Vec::new();
+    for f in run_all(&lexed) {
+        if !cfg.rule_applies(f.rule, krate) {
+            continue;
+        }
+        if in_tests(f.line) && !cfg.rule_in_tests(f.rule) {
+            continue;
+        }
+        if let Some(w) = ws
+            .iter_mut()
+            .find(|w| w.rule == f.rule && w.target == f.line && !w.reason.is_empty())
+        {
+            w.used = true;
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line: f.line,
+            col: f.col,
+            rule: f.rule.to_string(),
+            message: f.message,
+        });
+    }
+    // Waiver hygiene: unknown rules, missing reasons, and waivers that
+    // suppress nothing are findings themselves, so the escape hatch cannot
+    // quietly rot.
+    for w in &ws {
+        let diag = |message: String| Diagnostic {
+            file: file.to_string(),
+            line: w.line,
+            col: w.col,
+            rule: WAIVER_RULE.to_string(),
+            message,
+        };
+        if !ALL_RULES.contains(&w.rule.as_str()) {
+            out.push(diag(format!("waiver names unknown rule `{}`", w.rule)));
+        } else if w.reason.is_empty() {
+            out.push(diag(format!(
+                "waiver for `{}` is missing its reason — write \
+                 `// lint:allow({}): <why this site is exempt>`",
+                w.rule, w.rule
+            )));
+        } else if !w.used && cfg.rule_applies(&w.rule, krate) {
+            out.push(diag(format!(
+                "waiver for `{}` suppresses nothing on line {} — remove it",
+                w.rule, w.target
+            )));
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    out
+}
+
+/// Workspace-run error (I/O or config trouble).
+#[derive(Debug)]
+pub struct ScanError(pub String);
+
+impl fmt::Display for ScanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// Collects the `.rs` files of one crate's library tree: everything under
+/// `src/` except `src/bin/` (CLI entry points are not library code).
+/// Integration tests, benches, and examples live outside `src/` and are
+/// never scanned.
+fn crate_files(src_dir: &Path) -> Result<Vec<PathBuf>, ScanError> {
+    let mut out = Vec::new();
+    let mut stack = vec![src_dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| ScanError(format!("read_dir {}: {e}", dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ScanError(format!("read_dir entry: {e}")))?;
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "bin") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every configured crate under `root/crates/`, returning the full
+/// diagnostic list sorted by (file, line, col).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, ScanError> {
+    let mut out = Vec::new();
+    for krate in &cfg.scan_crates {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            return Err(ScanError(format!(
+                "configured crate `{krate}` has no src dir at {}",
+                src.display()
+            )));
+        }
+        for path in crate_files(&src)? {
+            let source = std::fs::read_to_string(&path)
+                .map_err(|e| ScanError(format!("read {}: {e}", path.display())))?;
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            out.extend(lint_source(&label, krate, &source, cfg));
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+
+    fn cfg_all() -> Config {
+        config::parse(
+            "[scan]\ncrates = [\"demo\"]\n\
+             [rules.no-unwrap]\ncrates = [\"*\"]\n\
+             [rules.no-unordered-iter]\ncrates = [\"*\"]\ninclude-tests = true\n",
+        )
+        .expect("test config parses")
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped_per_rule() {
+        let src = "\
+pub fn lib(x: Option<u32>) -> u32 { x.unwrap() }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+";
+        let diags = lint_source("demo.rs", "demo", src, &cfg_all());
+        // no-unwrap skips the test module; no-unordered-iter (include-tests)
+        // still sees the HashMap import inside it.
+        assert_eq!(
+            diags
+                .iter()
+                .map(|d| (d.rule.as_str(), d.line))
+                .collect::<Vec<_>>(),
+            vec![("no-unwrap", 1), ("no-unordered-iter", 4)]
+        );
+    }
+
+    #[test]
+    fn waivers_suppress_and_hygiene_fires() {
+        let src = "\
+// lint:allow(no-unwrap): startup path, config verified above
+pub fn a(x: Option<u32>) -> u32 { x.unwrap() }
+pub fn b(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(no-unwrap): same
+// lint:allow(no-unwrap)
+pub fn c(x: Option<u32>) -> u32 { x.unwrap() }
+// lint:allow(not-a-rule): nonsense
+// lint:allow(no-unwrap): suppresses nothing here
+pub fn d() {}
+";
+        let diags = lint_source("demo.rs", "demo", src, &cfg_all());
+        let got: Vec<(&str, u32)> = diags.iter().map(|d| (d.rule.as_str(), d.line)).collect();
+        // line 5: unwrap whose waiver lacked a reason; line 4: the bad
+        // waiver itself; line 6: unknown rule; line 7: unused waiver.
+        assert_eq!(
+            got,
+            vec![
+                ("waiver", 4),
+                ("no-unwrap", 5),
+                ("waiver", 6),
+                ("waiver", 7)
+            ]
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Fixture-based end-to-end tests.
+//!
+//! Every rule has at least one failing fixture under `tests/fixtures/` with
+//! exact `line:col` expectations, waiver semantics are exercised against a
+//! dedicated fixture, and the committed `lint.toml` policy is replayed over
+//! the real workspace (which must be clean).
+
+use std::path::{Path, PathBuf};
+
+use complx_lint::{lint_source, lint_workspace, parse_config};
+
+/// A permissive policy that turns every rule on for the fixture "crate".
+const POLICY: &str = r#"
+[scan]
+crates = ["fixture"]
+
+[rules.no-unwrap]
+crates = ["*"]
+
+[rules.no-expect]
+crates = ["*"]
+
+[rules.no-panic]
+crates = ["*"]
+
+[rules.safety-comment]
+crates = ["*"]
+include-tests = true
+
+[rules.no-unordered-iter]
+crates = ["*"]
+include-tests = true
+
+[rules.no-wallclock-in-kernel]
+crates = ["*"]
+
+[rules.no-float-eq]
+crates = ["*"]
+"#;
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lints one fixture file under [`POLICY`], returning `(rule, line, col)`.
+fn lint_fixture(name: &str) -> Vec<(String, u32, u32)> {
+    let cfg = parse_config(POLICY).expect("fixture policy parses");
+    let path = fixture_dir().join(name);
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    lint_source(name, "fixture", &src, &cfg)
+        .into_iter()
+        .map(|d| (d.rule, d.line, d.col))
+        .collect()
+}
+
+fn expect(got: Vec<(String, u32, u32)>, want: &[(&str, u32, u32)]) {
+    let got: Vec<(&str, u32, u32)> = got.iter().map(|(r, l, c)| (r.as_str(), *l, *c)).collect();
+    assert_eq!(got, want, "diagnostic mismatch");
+}
+
+#[test]
+fn panic_family_fixture() {
+    expect(
+        lint_fixture("panics.rs"),
+        &[
+            ("no-unwrap", 4, 7),
+            ("no-expect", 8, 7),
+            ("no-panic", 12, 5),
+            ("no-panic", 16, 5),
+            ("no-panic", 20, 5),
+        ],
+    );
+}
+
+#[test]
+fn safety_comment_fixture() {
+    expect(
+        lint_fixture("safety.rs"),
+        &[("safety-comment", 13, 5), ("safety-comment", 19, 5)],
+    );
+}
+
+#[test]
+fn unordered_container_fixture() {
+    expect(
+        lint_fixture("unordered.rs"),
+        &[
+            ("no-unordered-iter", 4, 23),
+            ("no-unordered-iter", 5, 23),
+            ("no-unordered-iter", 11, 18),
+            ("no-unordered-iter", 11, 37),
+            ("no-unordered-iter", 12, 6),
+            ("no-unordered-iter", 12, 22),
+        ],
+    );
+}
+
+#[test]
+fn wallclock_fixture() {
+    expect(
+        lint_fixture("wallclock.rs"),
+        &[
+            ("no-wallclock-in-kernel", 6, 5),
+            ("no-wallclock-in-kernel", 9, 30),
+            ("no-wallclock-in-kernel", 10, 16),
+        ],
+    );
+}
+
+#[test]
+fn float_eq_fixture() {
+    expect(
+        lint_fixture("float_eq.rs"),
+        &[
+            ("no-float-eq", 4, 7),
+            ("no-float-eq", 8, 7),
+            ("no-float-eq", 12, 9),
+        ],
+    );
+}
+
+#[test]
+fn waiver_fixture() {
+    // Reasoned waivers (above and trailing) suppress their finding; a
+    // reason-less waiver leaves the finding AND flags the waiver; unknown
+    // rules and waivers that suppress nothing are findings themselves.
+    expect(
+        lint_fixture("waivers.rs"),
+        &[
+            ("waiver", 13, 5),
+            ("no-unwrap", 14, 7),
+            ("waiver", 18, 5),
+            ("waiver", 22, 5),
+        ],
+    );
+}
+
+#[test]
+fn cfg_test_scope_fixture() {
+    // no-unwrap skips `#[cfg(test)]` items; no-unordered-iter is configured
+    // with include-tests and still sees the HashMaps inside the module.
+    expect(
+        lint_fixture("cfg_test_scope.rs"),
+        &[
+            ("no-unwrap", 4, 7),
+            ("no-unordered-iter", 9, 27),
+            ("no-unordered-iter", 13, 16),
+            ("no-unordered-iter", 13, 36),
+        ],
+    );
+}
+
+#[test]
+fn workspace_is_clean_under_the_committed_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .to_path_buf();
+    let policy =
+        std::fs::read_to_string(root.join("lint.toml")).expect("committed lint.toml readable");
+    let cfg = parse_config(&policy).expect("committed policy parses");
+    let diags = lint_workspace(&root, &cfg).expect("workspace scan succeeds");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,17 @@
+//! Fixture: `#[cfg(test)]` scoping.
+
+pub fn lib(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwrap_in_test_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert_eq!(m.get(&1).copied().unwrap_or(0), 0);
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: exact float comparisons.
+
+pub fn zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn nonzero(x: f64) -> bool {
+    x != -1.5
+}
+
+pub fn lit_lhs(y: f64) -> bool {
+    2.0 == y
+}
+
+pub fn ints(a: u32, b: u32) -> bool {
+    a == 0 && a == b
+}

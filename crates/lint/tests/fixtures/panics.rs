@@ -1,0 +1,26 @@
+//! Fixture: panic-family violations at known positions.
+
+pub fn opt(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn res(x: Result<u32, u32>) -> u32 {
+    x.expect("present")
+}
+
+pub fn boom() {
+    panic!("no")
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn cant() {
+    unreachable!()
+}
+
+pub fn checks(x: u32) {
+    assert!(x > 0);
+    debug_assert_eq!(x, x);
+}

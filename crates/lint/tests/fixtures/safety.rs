@@ -1,0 +1,20 @@
+//! Fixture: unsafe blocks with and without SAFETY comments.
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees p is valid and aligned.
+    unsafe { *p }
+}
+
+pub fn trailing(p: *const u32) -> u32 {
+    unsafe { *p } // SAFETY: caller contract, see documented().
+}
+
+pub fn naked(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn stale(p: *const u32) -> u32 {
+    // SAFETY: this comment is separated by a blank line.
+
+    unsafe { *p }
+}

@@ -1,0 +1,13 @@
+//! Fixture: unordered containers.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn ok() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn bad() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

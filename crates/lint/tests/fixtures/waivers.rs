@@ -1,0 +1,23 @@
+//! Fixture: waiver semantics and hygiene.
+
+pub fn waived_above(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap): fixture, documented invariant
+    x.unwrap()
+}
+
+pub fn waived_trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(no-unwrap): fixture, documented invariant
+}
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // lint:allow(no-unwrap)
+    x.unwrap()
+}
+
+pub fn unknown_rule() {
+    // lint:allow(no-such-rule): nonsense
+}
+
+pub fn unused() {
+    // lint:allow(no-unwrap): suppresses nothing
+}

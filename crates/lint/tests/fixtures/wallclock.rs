@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads.
+
+use std::time::Instant;
+
+pub fn timed() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn stored(deadline: Instant) -> Instant {
+    deadline
+}

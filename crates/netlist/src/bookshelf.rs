@@ -457,6 +457,8 @@ pub fn write_bundle(
     writeln!(wts, "UCLA wts 1.0")?;
     for nid in design.net_ids() {
         let n = design.net(nid);
+        // lint:allow(no-float-eq): 1.0 is the exact default weight; only
+        // explicitly weighted nets belong in the .wts file.
         if n.weight() != 1.0 {
             writeln!(wts, "{} {}", n.name(), n.weight())?;
         }

@@ -54,10 +54,16 @@ impl Pool {
         while q.spawned < want {
             q.spawned += 1;
             let id = q.spawned;
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("complx-par-{id}"))
-                .spawn(move || self.worker_loop())
-                .expect("spawning a pool worker thread");
+                .spawn(move || self.worker_loop());
+            if spawned.is_err() {
+                // Thread creation failed (resource exhaustion): degrade to
+                // fewer workers instead of panicking. Progress is still
+                // guaranteed — scope() callers drain the queue themselves.
+                q.spawned -= 1;
+                break;
+            }
         }
     }
 

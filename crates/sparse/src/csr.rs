@@ -80,6 +80,8 @@ impl CsrMatrix {
                     v += scratch[j].1;
                     j += 1;
                 }
+                // lint:allow(no-float-eq): drops entries that sum to exact
+                // zero (e.g. +a + -a); small values must be kept.
                 if v != 0.0 {
                     col_idx.push(c);
                     values.push(v);
@@ -160,10 +162,12 @@ impl CsrMatrix {
         let nnz = self.nnz();
         let mut bounds = Vec::with_capacity(t + 1);
         bounds.push(0usize);
+        let mut prev_bound = 0usize;
         for k in 1..t {
             let target = k * nnz / t;
             let row = self.row_ptr.partition_point(|&p| p < target).min(self.n);
-            bounds.push(row.max(*bounds.last().expect("non-empty")));
+            prev_bound = row.max(prev_bound);
+            bounds.push(prev_bound);
         }
         bounds.push(self.n);
         let car = complx_obs::carrier();

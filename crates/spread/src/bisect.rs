@@ -55,19 +55,9 @@ fn recurse(caps: &CapacityMap, items: &mut [Item], idx: &mut [u32], rect: Rect, 
 
     // Sort along the cut axis (stable to keep determinism on ties).
     if cut_x {
-        idx.sort_by(|&a, &b| {
-            items[a as usize]
-                .x
-                .partial_cmp(&items[b as usize].x)
-                .expect("finite coords")
-        });
+        idx.sort_by(|&a, &b| items[a as usize].x.total_cmp(&items[b as usize].x));
     } else {
-        idx.sort_by(|&a, &b| {
-            items[a as usize]
-                .y
-                .partial_cmp(&items[b as usize].y)
-                .expect("finite coords")
-        });
+        idx.sort_by(|&a, &b| items[a as usize].y.total_cmp(&items[b as usize].y));
     }
 
     // Split the sorted items so area proportion matches capacity proportion.
@@ -202,15 +192,17 @@ fn leaf_spread(caps: &CapacityMap, items: &mut [Item], idx: &mut [u32], rect: Re
         bounds.push(hi);
         // Cumulative free capacity over the slices.
         let mut cum = vec![0.0f64];
+        let mut running = 0.0f64;
         for w in bounds.windows(2) {
             let slice = if pass_x {
                 Rect::new(w[0], rect.ly, w[1], rect.hy)
             } else {
                 Rect::new(rect.lx, w[0], rect.hx, w[1])
             };
-            cum.push(cum.last().expect("non-empty") + caps.free_in_rect(&slice));
+            running += caps.free_in_rect(&slice);
+            cum.push(running);
         }
-        let total_cap = *cum.last().expect("non-empty");
+        let total_cap = running;
         if total_cap <= 0.0 {
             continue;
         }
@@ -220,7 +212,7 @@ fn leaf_spread(caps: &CapacityMap, items: &mut [Item], idx: &mut [u32], rect: Re
             } else {
                 (items[a as usize].y, items[b as usize].y)
             };
-            ca.partial_cmp(&cb).expect("finite coords")
+            ca.total_cmp(&cb)
         });
         let mut acc = 0.0;
         for &i in idx.iter() {

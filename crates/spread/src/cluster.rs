@@ -172,7 +172,7 @@ pub fn cluster(caps: &CapacityMap, items: &[Item], gamma: f64) -> Vec<SpreadRegi
     regions.sort_by(|a, b| {
         let oa = region_usage(a) - gamma * caps.free_in_bins(a.x0, a.y0, a.x1, a.y1);
         let ob = region_usage(b) - gamma * caps.free_in_bins(b.x0, b.y0, b.x1, b.y1);
-        ob.partial_cmp(&oa).expect("finite overflow values")
+        ob.total_cmp(&oa)
     });
     let _ = SpreadRegion::contains_bin; // silence unused in release builds
     regions

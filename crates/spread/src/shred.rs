@@ -140,7 +140,7 @@ mod tests {
         let d = mixed_design();
         let p = d.initial_placement();
         let items = build_items(&d, &p, true);
-        let mut shreds_per_macro = std::collections::HashMap::new();
+        let mut shreds_per_macro = std::collections::BTreeMap::new();
         for it in &items {
             let id = CellId::from_index(it.owner as usize);
             if d.cell(id).kind() == CellKind::MovableMacro {

@@ -211,7 +211,7 @@ impl TimingGraph {
             .arrival
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite arrivals"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
         else {
             return Vec::new();
         };
@@ -240,6 +240,9 @@ impl TimingGraph {
                 {
                     path.push(CellId::from_index(prev));
                     cur = prev;
+                    // lint:allow(no-float-eq): arrivals start at exactly 0.0
+                    // and only grow by positive delays; exact zero identifies
+                    // a path source.
                     if report.arrival[cur] == 0.0 {
                         break;
                     }
@@ -312,6 +315,56 @@ pub fn net_criticality(design: &Design, report: &TimingReport) -> Vec<f64> {
         .collect()
 }
 
+/// Rebuilds `design` verbatim except that each net's weight is replaced by
+/// `weight_of(net)`. Cell ids are preserved (cells are re-added in id order).
+fn rebuild_with_weights(design: &Design, weight_of: impl Fn(NetId) -> f64) -> Design {
+    use complx_netlist::{DesignBuilder, DesignError, RegionConstraint};
+    let rebuild = || -> Result<Design, DesignError> {
+        let mut b = DesignBuilder::new(
+            design.name().to_string(),
+            design.core(),
+            design.row_height(),
+        );
+        b.set_target_density(design.target_density())?;
+        for id in design.cell_ids() {
+            let c = design.cell(id);
+            if c.is_movable() {
+                b.add_cell(c.name(), c.width(), c.height(), c.kind())?;
+            } else {
+                b.add_fixed_cell(
+                    c.name(),
+                    c.width(),
+                    c.height(),
+                    c.kind(),
+                    design.fixed_positions().position(id),
+                )?;
+            }
+        }
+        for nid in design.net_ids() {
+            b.add_net(
+                design.net(nid).name(),
+                weight_of(nid),
+                design
+                    .net_pins(nid)
+                    .iter()
+                    .map(|p| (p.cell, p.dx, p.dy))
+                    .collect(),
+            )?;
+        }
+        for r in design.regions() {
+            b.add_region(RegionConstraint::new(
+                r.name(),
+                r.rect(),
+                r.cells().to_vec(),
+            ));
+        }
+        b.build()
+    };
+    // lint:allow(no-expect): every name, dimension, and pin is copied verbatim
+    // from a design that already passed builder validation once.
+    rebuild().expect("rebuilding a validated design cannot fail")
+}
+
 /// Rebuilds the design with per-net weight multipliers (indexed by net id).
 /// This is the slack-based net-weighting of timing-driven placement
 /// (paper Section 5, citing Chan, Cong & Radke's convergent schemes).
@@ -321,54 +374,14 @@ pub fn net_criticality(design: &Design, report: &TimingReport) -> Vec<f64> {
 /// Panics if `factors` has the wrong length or contains a non-positive
 /// factor.
 pub fn scale_net_weights(design: &Design, factors: &[f64]) -> Design {
-    use complx_netlist::{DesignBuilder, RegionConstraint};
     assert_eq!(factors.len(), design.num_nets(), "one factor per net");
-    let mut b = DesignBuilder::new(
-        design.name().to_string(),
-        design.core(),
-        design.row_height(),
+    assert!(
+        factors.iter().all(|&f| f > 0.0),
+        "weight factors must be positive"
     );
-    b.set_target_density(design.target_density())
-        .expect("existing density is valid");
-    for id in design.cell_ids() {
-        let c = design.cell(id);
-        if c.is_movable() {
-            b.add_cell(c.name(), c.width(), c.height(), c.kind())
-                .expect("source design is valid");
-        } else {
-            b.add_fixed_cell(
-                c.name(),
-                c.width(),
-                c.height(),
-                c.kind(),
-                design.fixed_positions().position(id),
-            )
-            .expect("source design is valid");
-        }
-    }
-    for nid in design.net_ids() {
-        let net = design.net(nid);
-        let f = factors[nid.index()];
-        assert!(f > 0.0, "weight factors must be positive");
-        b.add_net(
-            net.name(),
-            net.weight() * f,
-            design
-                .net_pins(nid)
-                .iter()
-                .map(|p| (p.cell, p.dx, p.dy))
-                .collect(),
-        )
-        .expect("source design is valid");
-    }
-    for r in design.regions() {
-        b.add_region(RegionConstraint::new(
-            r.name(),
-            r.rect(),
-            r.cells().to_vec(),
-        ));
-    }
-    b.build().expect("source design is valid")
+    rebuild_with_weights(design, |nid| {
+        design.net(nid).weight() * factors[nid.index()]
+    })
 }
 
 /// Scales the weights of the given nets by `factor` — the net-weighting
@@ -376,57 +389,15 @@ pub fn scale_net_weights(design: &Design, factors: &[f64]) -> Design {
 /// progressively larger net weights on those paths"). Returns a new design
 /// sharing everything else.
 pub fn reweight_nets(design: &Design, nets: &[NetId], factor: f64) -> Design {
-    use complx_netlist::{DesignBuilder, RegionConstraint};
-    let mut b = DesignBuilder::new(
-        design.name().to_string(),
-        design.core(),
-        design.row_height(),
-    );
-    b.set_target_density(design.target_density())
-        .expect("existing density is valid");
-    for id in design.cell_ids() {
-        let c = design.cell(id);
-        if c.is_movable() {
-            b.add_cell(c.name(), c.width(), c.height(), c.kind())
-                .expect("source design is valid");
+    let boost: std::collections::BTreeSet<usize> = nets.iter().map(|n| n.index()).collect();
+    rebuild_with_weights(design, |nid| {
+        let w = design.net(nid).weight();
+        if boost.contains(&nid.index()) {
+            w * factor
         } else {
-            b.add_fixed_cell(
-                c.name(),
-                c.width(),
-                c.height(),
-                c.kind(),
-                design.fixed_positions().position(id),
-            )
-            .expect("source design is valid");
+            w
         }
-    }
-    let boost: std::collections::HashSet<usize> = nets.iter().map(|n| n.index()).collect();
-    for nid in design.net_ids() {
-        let net = design.net(nid);
-        let w = if boost.contains(&nid.index()) {
-            net.weight() * factor
-        } else {
-            net.weight()
-        };
-        b.add_net(
-            net.name(),
-            w,
-            design
-                .net_pins(nid)
-                .iter()
-                .map(|p| (p.cell, p.dx, p.dy))
-                .collect(),
-        )
-        .expect("source design is valid");
-    }
-    for r in design.regions() {
-        b.add_region(RegionConstraint::new(
-            r.name(),
-            r.rect(),
-            r.cells().to_vec(),
-        ));
-    }
-    b.build().expect("source design is valid")
+    })
 }
 
 #[cfg(test)]

@@ -196,6 +196,8 @@ impl SmoothObjective for AxisPins<'_> {
             for v in 0..self.index.num_vars() {
                 let cell = self.index.cell(v);
                 let lam = a.lambda(cell);
+                // lint:allow(no-float-eq): exact 0.0 marks "no anchor on
+                // this cell"; tiny positive weights are real anchors.
                 if lam == 0.0 {
                     continue;
                 }

@@ -165,13 +165,15 @@ impl QuadraticModel {
         // of the plain sequential net loop, so the assembled system is
         // bit-identical no matter how the nets are chunked.
         let num_nets = design.num_nets();
-        let pin_prefix: Vec<usize> = {
+        let (pin_prefix, total_pins) = {
             let mut p = Vec::with_capacity(num_nets + 1);
+            let mut total = 0usize;
             p.push(0usize);
             for nid in design.net_ids() {
-                p.push(p.last().expect("non-empty") + design.net_pins(nid).len());
+                total += design.net_pins(nid).len();
+                p.push(total);
             }
-            p
+            (p, total)
         };
         let stamp_range = |lo: usize, hi: usize| -> (TripletMatrix, Vec<(u32, f64)>) {
             let mut cq = TripletMatrix::with_capacity(n, (pin_prefix[hi] - pin_prefix[lo]) * 4);
@@ -232,13 +234,14 @@ impl QuadraticModel {
         } else {
             complx_par::threads().min(num_nets)
         };
-        let total_pins = *pin_prefix.last().expect("non-empty");
         let mut bounds = Vec::with_capacity(nparts + 1);
         bounds.push(0usize);
+        let mut prev_bound = 0usize;
         for k in 1..nparts {
             let target = k * total_pins / nparts;
             let i = pin_prefix.partition_point(|&p| p < target).min(num_nets);
-            bounds.push(i.max(*bounds.last().expect("non-empty")));
+            prev_bound = i.max(prev_bound);
+            bounds.push(prev_bound);
         }
         bounds.push(num_nets);
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Repo health gate: formatting, build, full test suite, an unwrap ban on
-# the library code of the solver-critical crates, and a CLI smoke run that
-# validates the observability artifacts. Run from anywhere.
+# Repo health gate: formatting, build, full test suite, the complx-lint
+# static-analysis pass (lint.toml policy), a clippy unwrap ban on the
+# library code of the solver crates, and a CLI smoke run that validates
+# the observability artifacts. Run from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,8 +20,14 @@ COMPLX_THREADS=1 cargo test -q --workspace
 echo "== tests (COMPLX_THREADS=4) =="
 COMPLX_THREADS=4 cargo test -q --workspace
 
-echo "== clippy: no unwrap in core/sparse library code =="
-cargo clippy -q -p complx-place -p complx-sparse --lib -- -D clippy::unwrap_used
+echo "== lint: complx-lint static analysis (lint.toml policy) =="
+./target/release/complx-lint
+
+echo "== clippy: no unwrap in solver library code =="
+cargo clippy -q --no-deps --lib \
+    -p complx-place -p complx-sparse -p complx-wirelength -p complx-netlist \
+    -p complx-spread -p complx-legalize -p complx-timing -p complx-par \
+    -- -D clippy::unwrap_used
 
 echo "== CLI smoke run: report + events validate (4 threads) =="
 smoke_dir=$(mktemp -d)
