@@ -47,4 +47,4 @@ pub use legalizer::{LegalPlacement, Legalizer, LegalizerAlgorithm};
 pub use macros::legalize_macros;
 pub use rows::{RowLayout, Segment};
 pub use tetris::tetris_legalize;
-pub use verify::{is_legal, legality_report, LegalityReport};
+pub use verify::{is_legal, legality_report, legality_report_with_tol, LegalityReport};

@@ -43,6 +43,7 @@ mod placement;
 mod region;
 mod stats;
 mod tracker;
+pub mod transform;
 pub mod validate;
 
 pub use cell::{Cell, CellId, CellKind};

@@ -1,0 +1,243 @@
+//! Golden-baseline snapshots: committed quality numbers with tolerance
+//! bands.
+//!
+//! A snapshot freezes the oracle-measured quality of one (design, config)
+//! pair — HPWL, overflow, iteration count and phase counters. The golden
+//! harness in the workspace `tests/` directory compares fresh runs against
+//! the committed JSON and fails loudly when quality drifts outside the
+//! band; `COMPLX_BLESS=1` regenerates the files (see DESIGN.md §13 for the
+//! blessing workflow).
+
+use complx_obs::JsonValue;
+
+use crate::invariants::Violation;
+
+/// The frozen quality numbers for one golden run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenSnapshot {
+    /// Design identifier (generator name).
+    pub design: String,
+    /// Configuration label (e.g. `fast`, `simpl`).
+    pub config: String,
+    /// Oracle-measured HPWL of the legal placement.
+    pub hpwl: f64,
+    /// Oracle-measured scaled HPWL (ISPD-2006 metric).
+    pub scaled_hpwl: f64,
+    /// Oracle-measured overflow penalty percent.
+    pub overflow_percent: f64,
+    /// Constrained iterations executed.
+    pub iterations: i64,
+    /// Final λ reached by the schedule.
+    pub final_lambda: f64,
+    /// Whether the run converged (vs hitting the iteration cap).
+    pub converged: bool,
+    /// Stop-reason string.
+    pub stop_reason: String,
+    /// Divergence recoveries taken.
+    pub recoveries: i64,
+    /// Linear solves performed (phase counter).
+    pub solves: i64,
+}
+
+/// Tolerance bands for [`GoldenSnapshot::compare`].
+///
+/// Quality metrics get relative bands; discrete counters get a mix of
+/// absolute slack and proportional slack (iteration counts legitimately
+/// wobble by a couple of steps when kernels are reordered, but a 2× jump
+/// is a regression).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenTolerances {
+    /// Relative band on `hpwl` and `scaled_hpwl`.
+    pub hpwl_rel: f64,
+    /// Absolute band on `overflow_percent`, in percentage points.
+    pub overflow_abs: f64,
+    /// Relative band on `iterations` and `solves` (with a floor of
+    /// `count_abs` steps).
+    pub count_rel: f64,
+    /// Absolute floor for the count band.
+    pub count_abs: i64,
+    /// Relative band on `final_lambda` (the schedule is sensitive to
+    /// iteration count, so this is loose).
+    pub lambda_rel: f64,
+}
+
+impl Default for GoldenTolerances {
+    fn default() -> Self {
+        Self {
+            hpwl_rel: 0.02,
+            overflow_abs: 1.0,
+            count_rel: 0.25,
+            count_abs: 2,
+            lambda_rel: 0.75,
+        }
+    }
+}
+
+impl GoldenTolerances {
+    /// The wide bands used by the workspace-level quality *gates* (the old
+    /// hand-maintained ±15% regression constants): routine refactors and
+    /// kernel reorderings pass, algorithmic regressions fail.
+    pub fn loose() -> Self {
+        Self {
+            hpwl_rel: 0.15,
+            overflow_abs: 3.0,
+            count_rel: 0.5,
+            count_abs: 5,
+            lambda_rel: 2.0,
+        }
+    }
+}
+
+impl GoldenSnapshot {
+    /// Serializes to the committed JSON form.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("design", self.design.as_str().into()),
+            ("config", self.config.as_str().into()),
+            ("hpwl", self.hpwl.into()),
+            ("scaled_hpwl", self.scaled_hpwl.into()),
+            ("overflow_percent", self.overflow_percent.into()),
+            ("iterations", self.iterations.into()),
+            ("final_lambda", self.final_lambda.into()),
+            ("converged", self.converged.into()),
+            ("stop_reason", self.stop_reason.as_str().into()),
+            ("recoveries", self.recoveries.into()),
+            ("solves", self.solves.into()),
+        ])
+    }
+
+    /// Parses the committed JSON form.
+    pub fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let s = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("golden snapshot: missing string field {key:?}"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("golden snapshot: missing numeric field {key:?}"))
+        };
+        let i = |key: &str| -> Result<i64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_i64)
+                .ok_or_else(|| format!("golden snapshot: missing integer field {key:?}"))
+        };
+        let b = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| format!("golden snapshot: missing bool field {key:?}"))
+        };
+        Ok(Self {
+            design: s("design")?,
+            config: s("config")?,
+            hpwl: f("hpwl")?,
+            scaled_hpwl: f("scaled_hpwl")?,
+            overflow_percent: f("overflow_percent")?,
+            iterations: i("iterations")?,
+            final_lambda: f("final_lambda")?,
+            converged: b("converged")?,
+            stop_reason: s("stop_reason")?,
+            recoveries: i("recoveries")?,
+            solves: i("solves")?,
+        })
+    }
+
+    /// Compares a fresh measurement (`self`) against the committed
+    /// `baseline` under the tolerance bands. Empty result = within band.
+    pub fn compare(&self, baseline: &Self, tol: &GoldenTolerances) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut push = |code: &'static str, message: String| {
+            out.push(Violation { code, message });
+        };
+        let rel_off = |a: f64, b: f64, band: f64| (a - b).abs() > band * b.abs().max(1e-12);
+        if rel_off(self.hpwl, baseline.hpwl, tol.hpwl_rel) {
+            push(
+                "golden-hpwl",
+                format!(
+                    "hpwl {} vs golden {} (±{:.1}%)",
+                    self.hpwl,
+                    baseline.hpwl,
+                    100.0 * tol.hpwl_rel
+                ),
+            );
+        }
+        if rel_off(self.scaled_hpwl, baseline.scaled_hpwl, tol.hpwl_rel) {
+            push(
+                "golden-scaled-hpwl",
+                format!(
+                    "scaled_hpwl {} vs golden {} (±{:.1}%)",
+                    self.scaled_hpwl,
+                    baseline.scaled_hpwl,
+                    100.0 * tol.hpwl_rel
+                ),
+            );
+        }
+        if (self.overflow_percent - baseline.overflow_percent).abs() > tol.overflow_abs {
+            push(
+                "golden-overflow",
+                format!(
+                    "overflow {}% vs golden {}% (±{} points)",
+                    self.overflow_percent, baseline.overflow_percent, tol.overflow_abs
+                ),
+            );
+        }
+        let count_band = |b: i64| -> i64 {
+            let rel = (b as f64 * tol.count_rel).ceil() as i64;
+            rel.max(tol.count_abs)
+        };
+        if (self.iterations - baseline.iterations).abs() > count_band(baseline.iterations) {
+            push(
+                "golden-iterations",
+                format!(
+                    "iterations {} vs golden {} (±{})",
+                    self.iterations,
+                    baseline.iterations,
+                    count_band(baseline.iterations)
+                ),
+            );
+        }
+        if (self.solves - baseline.solves).abs() > count_band(baseline.solves) {
+            push(
+                "golden-solves",
+                format!(
+                    "solves {} vs golden {} (±{})",
+                    self.solves,
+                    baseline.solves,
+                    count_band(baseline.solves)
+                ),
+            );
+        }
+        if rel_off(self.final_lambda, baseline.final_lambda, tol.lambda_rel) {
+            push(
+                "golden-lambda",
+                format!(
+                    "final λ {} vs golden {} (±{:.0}%)",
+                    self.final_lambda,
+                    baseline.final_lambda,
+                    100.0 * tol.lambda_rel
+                ),
+            );
+        }
+        if self.converged != baseline.converged {
+            push(
+                "golden-converged",
+                format!(
+                    "converged = {} but golden says {}",
+                    self.converged, baseline.converged
+                ),
+            );
+        }
+        if self.recoveries != baseline.recoveries {
+            push(
+                "golden-recoveries",
+                format!(
+                    "recoveries {} vs golden {}",
+                    self.recoveries, baseline.recoveries
+                ),
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,67 @@
+//! Ground-truth HPWL, recomputed naively from raw pin positions.
+//!
+//! This is a deliberate re-derivation of paper Formula 1 — `Σ_e w_e
+//! ([max x − min x] + [max y − min y])` over pin locations — sharing no
+//! code with `complx_netlist::hpwl` beyond the immutable data model: a
+//! flat O(pins) scan, min/max folded by explicit comparison (not
+//! `f64::min`/`max` chains), and per-net spans accumulated with
+//! compensated summation.
+
+use complx_netlist::{Design, NetId, Placement};
+
+use crate::kahan::KahanSum;
+
+/// The half-perimeter span of one net: `(max x − min x) + (max y − min y)`
+/// over its pin locations (cell center + pin offset).
+///
+/// Returns 0.0 for a net whose pins all coincide (e.g. a degenerate net
+/// with both pins on the same cell at the same offset).
+pub fn net_span(design: &Design, placement: &Placement, net: NetId) -> f64 {
+    let mut first = true;
+    let (mut lx, mut ly, mut hx, mut hy) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for pin in design.net_pins(net) {
+        let c = placement.position(pin.cell);
+        let px = c.x + pin.dx;
+        let py = c.y + pin.dy;
+        if first {
+            (lx, ly, hx, hy) = (px, py, px, py);
+            first = false;
+        } else {
+            if px < lx {
+                lx = px;
+            }
+            if px > hx {
+                hx = px;
+            }
+            if py < ly {
+                ly = py;
+            }
+            if py > hy {
+                hy = py;
+            }
+        }
+    }
+    if first {
+        0.0
+    } else {
+        (hx - lx) + (hy - ly)
+    }
+}
+
+/// Total unweighted HPWL with compensated summation.
+pub fn hpwl(design: &Design, placement: &Placement) -> f64 {
+    let mut acc = KahanSum::new();
+    for net in design.net_ids() {
+        acc.add(net_span(design, placement, net));
+    }
+    acc.value()
+}
+
+/// Total weighted HPWL (paper Formula 1) with compensated summation.
+pub fn weighted_hpwl(design: &Design, placement: &Placement) -> f64 {
+    let mut acc = KahanSum::new();
+    for net in design.net_ids() {
+        acc.add(design.net(net).weight() * net_span(design, placement, net));
+    }
+    acc.value()
+}

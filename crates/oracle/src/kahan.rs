@@ -1,0 +1,81 @@
+//! Compensated (Neumaier–Kahan) summation.
+//!
+//! The oracle sums per-net spans and per-pair overlap areas for designs with
+//! millions of terms; plain left-to-right `f64` accumulation loses up to
+//! `O(n·ε)` relative accuracy, which would force the oracle's comparison
+//! tolerances far above 1e-9. Neumaier's variant of Kahan summation keeps
+//! the running error compensation correct even when an addend exceeds the
+//! running sum, at the cost of one extra branch per term.
+
+/// A compensated accumulator.
+///
+/// ```
+/// use complx_oracle::KahanSum;
+/// let mut s = KahanSum::new();
+/// s.add(1e16);
+/// s.add(1.0);
+/// s.add(-1e16);
+/// assert_eq!(s.value(), 1.0); // naive summation returns 0.0 here
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// A fresh accumulator at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one term.
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.compensation += (self.sum - t) + v;
+        } else {
+            self.compensation += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Sums an iterator of `f64` with compensation.
+pub fn kahan_sum(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = KahanSum::new();
+    for v in values {
+        acc.add(v);
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_cancelled_small_term() {
+        // Naive: (1e16 + 1.0) rounds to 1e16, then − 1e16 gives 0.
+        let naive: f64 = [1e16, 1.0, -1e16].iter().sum();
+        assert!(naive.abs() < 0.5);
+        assert!((kahan_sum([1e16, 1.0, -1e16]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_plain_sum_on_benign_input() {
+        let xs: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.25).collect();
+        let plain: f64 = xs.iter().sum();
+        assert!((kahan_sum(xs) - plain).abs() <= 1e-9 * plain);
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        assert_eq!(kahan_sum(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Independent overlap / legality audit.
+//!
+//! Re-derives legality from first principles with an algorithm deliberately
+//! different from `complx_legalize::verify` (which hashes rectangles into a
+//! square bucket grid and dedupes pairs through a `BTreeSet`): here cells
+//! are binned into horizontal **row bands**, each band is sorted by left
+//! edge, and a plane sweep enumerates candidate pairs. Each pair is charged
+//! exactly once, in the band containing the bottom edge of the pair's
+//! vertical overlap interval, so no dedup set is needed. A disagreement
+//! between the two implementations on any placement is a bug in one of
+//! them.
+
+use complx_netlist::{CellKind, Design, Placement, Rect};
+
+use crate::kahan::KahanSum;
+
+/// Default counting tolerance (length units) for the informational
+/// `out_of_core` / `off_row_cells` counters, matching the historical
+/// behavior of the legalizer's report.
+pub const DEFAULT_COUNT_TOL: f64 = 1e-6;
+
+/// First-principles legality diagnostics for a placement.
+///
+/// The `max_*` fields are exact worst-case deviations in length units and
+/// drive [`PlacementAudit::is_legal`]; the `usize` counters are
+/// informational and depend on the counting tolerance passed to
+/// [`audit_with_tol`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlacementAudit {
+    /// Number of movable cells inspected.
+    pub movable_cells: usize,
+    /// Total pairwise overlap area (movable–movable and movable–fixed).
+    pub overlap_area: f64,
+    /// Number of overlapping pairs with positive area.
+    pub overlap_pairs: usize,
+    /// Largest single-pair overlap area.
+    pub worst_overlap: f64,
+    /// Movable cells breaching the core boundary by more than the counting
+    /// tolerance.
+    pub out_of_core: usize,
+    /// Worst core breach distance (0 when all cells are inside).
+    pub max_core_breach: f64,
+    /// Standard cells whose bottom edge misses every row boundary by more
+    /// than the counting tolerance.
+    pub off_row_cells: usize,
+    /// Worst row misalignment distance in length units (0 when aligned).
+    pub max_row_misalign: f64,
+    /// Movable cells with a non-finite coordinate; these are excluded from
+    /// the geometric sums and make the placement unconditionally illegal.
+    pub nonfinite_cells: usize,
+}
+
+impl PlacementAudit {
+    /// Whether the audit indicates a legal placement under tolerance `tol`:
+    /// overlap within `tol` area units, and worst core breach / row
+    /// misalignment within `tol` length units. Unlike a count-based check,
+    /// this applies the same tolerance to every violation class.
+    pub fn is_legal(&self, tol: f64) -> bool {
+        self.nonfinite_cells == 0
+            && self.overlap_area <= tol
+            && self.max_core_breach <= tol
+            && self.max_row_misalign <= tol
+    }
+}
+
+/// Audits `placement` with the default counting tolerance
+/// ([`DEFAULT_COUNT_TOL`]).
+pub fn audit(design: &Design, placement: &Placement) -> PlacementAudit {
+    audit_with_tol(design, placement, DEFAULT_COUNT_TOL)
+}
+
+/// Audits `placement`, counting a cell as out-of-core / off-row only when
+/// its deviation exceeds `count_tol` length units. The `max_*` fields are
+/// exact regardless of `count_tol`.
+pub fn audit_with_tol(design: &Design, placement: &Placement, count_tol: f64) -> PlacementAudit {
+    let core = design.core();
+    let rh = design.row_height();
+    let mut report = PlacementAudit::default();
+
+    // (rect, movable) for every placeable body; terminals are dimensionless.
+    let mut rects: Vec<(Rect, bool)> = Vec::new();
+    for id in design.cell_ids() {
+        let cell = design.cell(id);
+        match cell.kind() {
+            CellKind::Movable | CellKind::MovableMacro => {
+                report.movable_cells += 1;
+                // Check the raw coordinates before building a rect: the
+                // geometry type rejects non-finite bounds by panicking,
+                // and the audit must instead report the defect.
+                let pos = placement.position(id);
+                if !(pos.x.is_finite() && pos.y.is_finite()) {
+                    report.nonfinite_cells += 1;
+                    continue;
+                }
+                let r = placement.cell_rect(id, cell.width(), cell.height());
+                // Core containment, measured as a breach distance.
+                let breach = (core.lx - r.lx)
+                    .max(r.hx - core.hx)
+                    .max(core.ly - r.ly)
+                    .max(r.hy - core.hy)
+                    .max(0.0);
+                if breach > count_tol {
+                    report.out_of_core += 1;
+                }
+                if breach > report.max_core_breach {
+                    report.max_core_breach = breach;
+                }
+                // Row alignment (standard cells only): distance from the
+                // bottom edge to the nearest row boundary, in length units.
+                if cell.kind() == CellKind::Movable && rh > 0.0 {
+                    let offset = (r.ly - core.ly) / rh;
+                    let misalign = (offset - offset.round()).abs() * rh;
+                    if misalign > count_tol {
+                        report.off_row_cells += 1;
+                    }
+                    if misalign > report.max_row_misalign {
+                        report.max_row_misalign = misalign;
+                    }
+                }
+                rects.push((r, true));
+            }
+            CellKind::Fixed => {
+                let r = design
+                    .fixed_positions()
+                    .cell_rect(id, cell.width(), cell.height());
+                rects.push((r, false));
+            }
+            CellKind::Terminal => {}
+        }
+    }
+
+    // Row-band plane sweep for pairwise overlap.
+    let band_h = if rh > 0.0 { rh } else { 1.0 };
+    let y0 = rects.iter().map(|(r, _)| r.ly).fold(core.ly, f64::min);
+    let band_of = |y: f64| -> i64 { ((y - y0) / band_h).floor() as i64 };
+    let max_band = rects
+        .iter()
+        .map(|(r, _)| band_of(r.hy))
+        .fold(0i64, i64::max);
+
+    // Membership lists per band: a rect appears in every band its vertical
+    // extent touches.
+    let nbands = (max_band + 1).max(1) as usize;
+    let mut bands: Vec<Vec<u32>> = vec![Vec::new(); nbands];
+    for (k, (r, _)) in rects.iter().enumerate() {
+        let b0 = band_of(r.ly).clamp(0, max_band) as usize;
+        let b1 = band_of(r.hy).clamp(0, max_band) as usize;
+        for band in bands.iter_mut().take(b1 + 1).skip(b0) {
+            band.push(k as u32);
+        }
+    }
+
+    let mut area = KahanSum::new();
+    for (bi, band) in bands.iter().enumerate() {
+        // Sort by left edge (ties by rect index for determinism).
+        let mut order: Vec<u32> = band.clone();
+        order.sort_by(|&a, &b| {
+            rects[a as usize]
+                .0
+                .lx
+                .total_cmp(&rects[b as usize].0.lx)
+                .then(a.cmp(&b))
+        });
+        for (i, &a) in order.iter().enumerate() {
+            let (ra, ma) = rects[a as usize];
+            for &b in &order[i + 1..] {
+                let (rb, mb) = rects[b as usize];
+                if rb.lx >= ra.hx {
+                    break; // sorted by lx: nothing further can overlap a
+                }
+                if !ma && !mb {
+                    continue; // fixed–fixed overlap is the design's business
+                }
+                // Charge the pair once: in the band holding the bottom of
+                // the pair's vertical overlap interval.
+                let oly = ra.ly.max(rb.ly);
+                let ohy = ra.hy.min(rb.hy);
+                if ohy <= oly || band_of(oly).clamp(0, max_band) as usize != bi {
+                    continue;
+                }
+                let w = ra.hx.min(rb.hx) - ra.lx.max(rb.lx);
+                if w <= 0.0 {
+                    continue;
+                }
+                let pair_area = w * (ohy - oly);
+                area.add(pair_area);
+                report.overlap_pairs += 1;
+                if pair_area > report.worst_overlap {
+                    report.worst_overlap = pair_area;
+                }
+            }
+        }
+    }
+    report.overlap_area = area.value();
+    report
+}

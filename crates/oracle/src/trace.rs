@@ -1,0 +1,170 @@
+//! Parsing of convergence traces (CSV and JSON) into oracle records.
+//!
+//! The placer CLI emits traces either as CSV (`%.6e` columns — about six
+//! significant digits survive) or as a JSON array (full `f64` round-trip
+//! precision). Invariant checks that cross-reference trace values against
+//! report values must use tolerances compatible with the source format;
+//! [`TraceFile::value_tolerance`] encodes that.
+
+use complx_obs::JsonValue;
+
+/// One parsed trace row. Field meanings mirror the placer's per-iteration
+/// record: `lambda` is the multiplier used for the primal step, `phi_lower`
+/// / `phi_upper` the interconnect cost of the lower-/upper-bound iterates,
+/// `pi` the L1 feasibility distance (Formula 3), `lagrangian` the merit
+/// `Φ + λ·Π` (Formula 4), `overflow` the bin-overflow ratio, and `bins`
+/// the density-grid resolution of the iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Iteration index (0 is the unconstrained bootstrap).
+    pub iteration: u64,
+    /// Multiplier λ.
+    pub lambda: f64,
+    /// `Φ(x, y)` — lower-bound interconnect cost.
+    pub phi_lower: f64,
+    /// `Φ(x°, y°)` — upper-bound (feasible) interconnect cost.
+    pub phi_upper: f64,
+    /// `Π` — feasibility distance.
+    pub pi: f64,
+    /// `L = Φ + λ·Π`.
+    pub lagrangian: f64,
+    /// Bin-overflow ratio.
+    pub overflow: f64,
+    /// Density-grid resolution.
+    pub bins: u64,
+}
+
+impl TraceRecord {
+    /// The duality gap `Δ_Φ = Φ(x°,y°) − Φ(x,y)` (Formula 8).
+    pub fn duality_gap(&self) -> f64 {
+        self.phi_upper - self.phi_lower
+    }
+}
+
+/// A parsed trace plus its source fidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// Rows in file order.
+    pub records: Vec<TraceRecord>,
+    /// Whether the source was CSV (true) or JSON (false).
+    pub from_csv: bool,
+}
+
+impl TraceFile {
+    /// Relative tolerance appropriate for arithmetic cross-checks on the
+    /// values in this trace: CSV columns were formatted with `%.6e`, so
+    /// only ~1e-6 relative precision survives; JSON traces round-trip
+    /// exactly.
+    pub fn value_tolerance(&self) -> f64 {
+        if self.from_csv {
+            5e-6
+        } else {
+            1e-12
+        }
+    }
+}
+
+/// Parses a trace from text, sniffing the format: a leading `[` means the
+/// JSON array form, anything else the CSV form.
+pub fn parse_trace(text: &str) -> Result<TraceFile, String> {
+    if text.trim_start().starts_with('[') {
+        parse_json_trace(text)
+    } else {
+        parse_csv_trace(text)
+    }
+}
+
+const CSV_HEADER: &str = "iteration,lambda,phi_lower,phi_upper,pi,lagrangian,overflow,bins";
+
+fn parse_csv_trace(text: &str) -> Result<TraceFile, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty trace file")?;
+    if header.trim() != CSV_HEADER {
+        return Err(format!(
+            "unexpected trace header {header:?} (want {CSV_HEADER:?})"
+        ));
+    }
+    let mut records = Vec::new();
+    for (k, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 8 {
+            return Err(format!(
+                "trace line {}: want 8 columns, got {}",
+                k + 2,
+                cols.len()
+            ));
+        }
+        let f = |i: usize| -> Result<f64, String> {
+            cols[i]
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("trace line {}: column {}: {e}", k + 2, i + 1))
+        };
+        let u = |i: usize| -> Result<u64, String> {
+            cols[i]
+                .trim()
+                .parse::<u64>()
+                .map_err(|e| format!("trace line {}: column {}: {e}", k + 2, i + 1))
+        };
+        records.push(TraceRecord {
+            iteration: u(0)?,
+            lambda: f(1)?,
+            phi_lower: f(2)?,
+            phi_upper: f(3)?,
+            pi: f(4)?,
+            lagrangian: f(5)?,
+            overflow: f(6)?,
+            bins: u(7)?,
+        });
+    }
+    Ok(TraceFile {
+        records,
+        from_csv: true,
+    })
+}
+
+fn parse_json_trace(text: &str) -> Result<TraceFile, String> {
+    let v = complx_obs::parse(text).map_err(|e| format!("trace JSON: {e}"))?;
+    let arr = v
+        .as_array()
+        .ok_or("trace JSON: top level is not an array")?;
+    let mut records = Vec::with_capacity(arr.len());
+    for (k, row) in arr.iter().enumerate() {
+        records.push(record_from_json(row).map_err(|e| format!("trace JSON record {k}: {e}"))?);
+    }
+    Ok(TraceFile {
+        records,
+        from_csv: false,
+    })
+}
+
+/// Builds a [`TraceRecord`] from a JSON object with the trace field names —
+/// shared by JSON trace files and the `iterations` section of a run report.
+pub fn record_from_json(row: &JsonValue) -> Result<TraceRecord, String> {
+    let f = |key: &str| -> Result<f64, String> {
+        row.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+    };
+    let u = |key: &str| -> Result<u64, String> {
+        let v = f(key)?;
+        if v < 0.0 || v.fract().abs() > 0.0 {
+            return Err(format!("field {key:?} is not a non-negative integer"));
+        }
+        Ok(v as u64)
+    };
+    Ok(TraceRecord {
+        iteration: u("iteration")?,
+        lambda: f("lambda")?,
+        phi_lower: f("phi_lower")?,
+        phi_upper: f("phi_upper")?,
+        pi: f("pi")?,
+        lagrangian: f("lagrangian")?,
+        overflow: f("overflow")?,
+        bins: u("bins")?,
+    })
+}

@@ -1,0 +1,282 @@
+//! Hand-computed fixtures and properties for the oracle itself.
+//!
+//! Every expected value below is derived on paper in the accompanying
+//! comment, so a failure pinpoints the oracle (not the solver) as wrong.
+
+use complx_netlist::generator::GeneratorConfig;
+use complx_netlist::{CellKind, Design, DesignBuilder, Placement, Point, Rect};
+use complx_oracle::{
+    anchor_epsilon, anchor_weight, audit, audit_with_tol, density_audit, hpwl, kahan_sum, net_span,
+    weighted_hpwl,
+};
+use proptest::prelude::*;
+
+fn approx(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+}
+
+/// Three cells, two nets, offsets included — HPWL worked out by hand.
+fn hpwl_fixture() -> (Design, Placement) {
+    let mut b = DesignBuilder::new("hf", Rect::new(0.0, 0.0, 20.0, 8.0), 1.0);
+    let a = b.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+    let c = b.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+    let m = b.add_cell("c", 4.0, 2.0, CellKind::MovableMacro).unwrap();
+    // n1: pins at cell centers of a and b.
+    b.add_net("n1", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .unwrap();
+    // n2: offset pins on a and b plus the macro center.
+    b.add_net(
+        "n2",
+        2.0,
+        vec![(a, 0.5, -0.25), (c, -0.5, 0.25), (m, 0.0, 0.0)],
+    )
+    .unwrap();
+    let d = b.build().unwrap();
+    let mut p = d.initial_placement();
+    p.set_position(d.find_cell("a").unwrap(), Point::new(3.0, 1.5));
+    p.set_position(d.find_cell("b").unwrap(), Point::new(7.25, 4.5));
+    p.set_position(d.find_cell("c").unwrap(), Point::new(12.0, 6.0));
+    (d, p)
+}
+
+#[test]
+fn hand_computed_hpwl() {
+    let (d, p) = hpwl_fixture();
+    // n1 pins: (3, 1.5) and (7.25, 4.5)
+    //   → span = (7.25 − 3) + (4.5 − 1.5) = 4.25 + 3 = 7.25
+    // n2 pins: (3.5, 1.25), (6.75, 4.75), (12, 6)
+    //   → span = (12 − 3.5) + (6 − 1.25) = 8.5 + 4.75 = 13.25
+    // unweighted = 7.25 + 13.25 = 20.5
+    // weighted   = 1·7.25 + 2·13.25 = 33.75
+    let nets: Vec<_> = d.net_ids().collect();
+    approx(net_span(&d, &p, nets[0]), 7.25, 1e-12);
+    approx(net_span(&d, &p, nets[1]), 13.25, 1e-12);
+    approx(hpwl(&d, &p), 20.5, 1e-12);
+    approx(weighted_hpwl(&d, &p), 33.75, 1e-12);
+}
+
+#[test]
+fn kahan_survives_catastrophic_cancellation() {
+    // 1e16 + 1 − 1e16: naive f64 summation loses the 1.
+    approx(kahan_sum([1e16, 1.0, -1e16]), 1.0, 1e-12);
+}
+
+/// Overlap fixture, all areas derived on paper:
+///   a: 2×1 centered (1, 0.5)    → rect (0,0)–(2,1)
+///   b: 2×1 centered (2.5, 0.5)  → rect (1.5,0)–(3.5,1)
+///   f: 2×2 fixed at (4, 1)      → rect (3,0)–(5,2)
+///   a∩b = 0.5 wide × 1 tall = 0.5;  b∩f = 0.5 × 1 = 0.5;  total 1.0.
+#[test]
+fn hand_computed_overlap() {
+    let mut bld = DesignBuilder::new("of", Rect::new(0.0, 0.0, 10.0, 4.0), 1.0);
+    let a = bld.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+    let c = bld.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+    bld.add_fixed_cell("f", 2.0, 2.0, CellKind::Fixed, Point::new(4.0, 1.0))
+        .unwrap();
+    bld.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .unwrap();
+    let d = bld.build().unwrap();
+    let mut p = d.initial_placement();
+    p.set_position(d.find_cell("a").unwrap(), Point::new(1.0, 0.5));
+    p.set_position(d.find_cell("b").unwrap(), Point::new(2.5, 0.5));
+    let rep = audit(&d, &p);
+    approx(rep.overlap_area, 1.0, 1e-12);
+    assert_eq!(rep.overlap_pairs, 2);
+    approx(rep.worst_overlap, 0.5, 1e-12);
+    assert_eq!(rep.out_of_core, 0);
+    assert!(!rep.is_legal(1e-6));
+    assert!(rep.is_legal(1.5), "a huge tolerance forgives 1.0 overlap");
+}
+
+/// A pair spanning several row bands must be charged exactly once.
+///   macro m: 2×3 centered (10, 1.5) → rect (9,0)–(11,3), bands 0..2
+///   cell  a: 2×1 centered (10.5, 1.5) → rect (9.5,1)–(11.5,2), band 1
+///   overlap = 1.5 wide × 1 tall = 1.5
+#[test]
+fn cross_band_overlap_counted_once() {
+    let mut bld = DesignBuilder::new("cb", Rect::new(0.0, 0.0, 20.0, 4.0), 1.0);
+    let a = bld.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+    let m = bld.add_cell("m", 2.0, 3.0, CellKind::MovableMacro).unwrap();
+    bld.add_net("n", 1.0, vec![(a, 0.0, 0.0), (m, 0.0, 0.0)])
+        .unwrap();
+    let d = bld.build().unwrap();
+    let mut p = d.initial_placement();
+    p.set_position(d.find_cell("m").unwrap(), Point::new(10.0, 1.5));
+    p.set_position(d.find_cell("a").unwrap(), Point::new(10.5, 1.5));
+    let rep = audit(&d, &p);
+    assert_eq!(rep.overlap_pairs, 1);
+    approx(rep.overlap_area, 1.5, 1e-12);
+}
+
+#[test]
+fn core_breach_and_row_misalignment_measured_exactly() {
+    let mut bld = DesignBuilder::new("br", Rect::new(0.0, 0.0, 10.0, 4.0), 1.0);
+    let a = bld.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+    let c = bld.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+    bld.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .unwrap();
+    let d = bld.build().unwrap();
+    let mut p = d.initial_placement();
+    // a centered (−0.5, 2.5): rect (−1.5, 2)–(0.5, 3) → breach = 1.5.
+    p.set_position(d.find_cell("a").unwrap(), Point::new(-0.5, 2.5));
+    // b centered (5, 2.75): bottom edge 2.25 → misalign = 0.25.
+    p.set_position(d.find_cell("b").unwrap(), Point::new(5.0, 2.75));
+    let rep = audit(&d, &p);
+    assert_eq!(rep.out_of_core, 1);
+    approx(rep.max_core_breach, 1.5, 1e-12);
+    assert_eq!(rep.off_row_cells, 1);
+    approx(rep.max_row_misalign, 0.25, 1e-12);
+    // The counting tolerance moves the counters, not the maxima.
+    let loose = audit_with_tol(&d, &p, 2.0);
+    assert_eq!(loose.out_of_core, 0);
+    assert_eq!(loose.off_row_cells, 0);
+    approx(loose.max_core_breach, 1.5, 1e-12);
+}
+
+#[test]
+fn nonfinite_coordinates_fail_the_audit() {
+    let mut bld = DesignBuilder::new("nf", Rect::new(0.0, 0.0, 10.0, 4.0), 1.0);
+    let a = bld.add_cell("a", 2.0, 1.0, CellKind::Movable).unwrap();
+    let c = bld.add_cell("b", 2.0, 1.0, CellKind::Movable).unwrap();
+    bld.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .unwrap();
+    let d = bld.build().unwrap();
+    let mut p = d.initial_placement();
+    p.set_position(d.find_cell("a").unwrap(), Point::new(f64::NAN, 0.5));
+    p.set_position(d.find_cell("b").unwrap(), Point::new(5.0, 1.5));
+    let rep = audit(&d, &p);
+    assert_eq!(rep.nonfinite_cells, 1);
+    assert!(!rep.is_legal(f64::INFINITY.min(1e9)));
+}
+
+/// Density fixture on a 2×2 grid over a 4×4 core (bin area 4), γ = 0.5:
+///   cell  a: 2×2 at (1,1)       → fills bin (0,0): usage 4
+///   fixed f: 2×2 at (3,1)       → empties bin (1,0): capacity 0
+///   overflow = max(0, 4 − 0.5·4) = 2 in bin (0,0), 0 elsewhere
+///   movable area = 4 → overflow_percent = 100·2/4 = 50%.
+#[test]
+fn hand_computed_density_overflow() {
+    let mut bld = DesignBuilder::new("df", Rect::new(0.0, 0.0, 4.0, 4.0), 1.0);
+    let a = bld.add_cell("a", 2.0, 2.0, CellKind::Movable).unwrap();
+    let c = bld.add_cell("b", 0.5, 1.0, CellKind::Movable).unwrap();
+    bld.add_fixed_cell("f", 2.0, 2.0, CellKind::Fixed, Point::new(3.0, 1.0))
+        .unwrap();
+    bld.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .unwrap();
+    bld.set_target_density(0.5).unwrap();
+    let d = bld.build().unwrap();
+    let mut p = d.initial_placement();
+    p.set_position(d.find_cell("a").unwrap(), Point::new(1.0, 1.0));
+    // b (area 0.5) parked in the empty top-right bin: its own overflow is
+    // max(0, 0.5 − 0.5·4) = 0.
+    p.set_position(d.find_cell("b").unwrap(), Point::new(3.0, 3.0));
+    let audit = density_audit(&d, &p, 2);
+    // movable area = 4 + 0.5 = 4.5 → percent = 100·2/4.5 = 44.44…%
+    approx(audit.overflow_area, 2.0, 1e-12);
+    approx(audit.overflow_percent, 100.0 * 2.0 / 4.5, 1e-9);
+    approx(audit.total_usage, 4.5, 1e-12);
+    // Bin (0,0) holds 4 usage over capacity 4 → max utilization 1.0.
+    approx(audit.max_utilization, 1.0, 1e-12);
+}
+
+/// A movable macro is blockage, not demand: sitting alone in a bin it
+/// causes no overflow; sitting on a fixed obstacle it spills.
+#[test]
+fn macro_blockage_semantics() {
+    let mut bld = DesignBuilder::new("mb", Rect::new(0.0, 0.0, 4.0, 4.0), 1.0);
+    let m = bld.add_cell("m", 2.0, 2.0, CellKind::MovableMacro).unwrap();
+    let a = bld.add_cell("a", 0.5, 1.0, CellKind::Movable).unwrap();
+    bld.add_fixed_cell("f", 2.0, 2.0, CellKind::Fixed, Point::new(3.0, 1.0))
+        .unwrap();
+    bld.add_net("n", 1.0, vec![(m, 0.0, 0.0), (a, 0.0, 0.0)])
+        .unwrap();
+    bld.set_target_density(0.5).unwrap();
+    let d = bld.build().unwrap();
+    let mut p = d.initial_placement();
+    p.set_position(d.find_cell("m").unwrap(), Point::new(1.0, 1.0));
+    p.set_position(d.find_cell("a").unwrap(), Point::new(3.0, 3.0));
+    // Macro fills bin (0,0): macro_usage 4, free = max(0, 4−4) = 0, std
+    // usage 0 → no γ-overflow; macro ≤ capacity → no spill.
+    approx(density_audit(&d, &p, 2).overflow_area, 0.0, 1e-12);
+    // Macro moved onto the obstacle bin (capacity 0): spill = 4.
+    p.set_position(d.find_cell("m").unwrap(), Point::new(3.0, 1.0));
+    approx(density_audit(&d, &p, 2).overflow_area, 4.0, 1e-12);
+}
+
+#[test]
+fn anchor_weight_formula_matches_paper() {
+    // w = λ / (|x − x°| + ε), ε = 1.5·row height.
+    approx(anchor_epsilon(8.0), 12.0, 1e-12);
+    approx(anchor_weight(3.0, 10.0, 4.0, 12.0), 3.0 / 18.0, 1e-15);
+    approx(anchor_weight(3.0, 4.0, 10.0, 12.0), 3.0 / 18.0, 1e-15);
+    // At zero displacement the weight is the stiffness cap λ/ε.
+    approx(anchor_weight(3.0, 5.0, 5.0, 12.0), 0.25, 1e-15);
+}
+
+/// A deterministic jitter of the generator's initial placement, so the
+/// property exercises arbitrary (not just legal) positions.
+fn jitter(design: &Design, salt: u64) -> Placement {
+    let core = design.core();
+    let mut p = design.initial_placement();
+    for (i, &id) in design.movable_cells().iter().enumerate() {
+        let k = i as u64 + salt;
+        let fx = ((k.wrapping_mul(2654435761)) % 1009) as f64 / 1009.0;
+        let fy = ((k.wrapping_mul(40503)) % 997) as f64 / 997.0;
+        p.set_position(
+            id,
+            Point::new(core.lx + fx * core.width(), core.ly + fy * core.height()),
+        );
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Oracle HPWL agrees with the netlist crate's HPWL to 1e-9 relative
+    /// on random designs and placements — two independent implementations
+    /// of Formula 1.
+    #[test]
+    fn oracle_hpwl_matches_netlist_hpwl(seed in 0u64..200, salt in 0u64..1000) {
+        let mut cfg = GeneratorConfig::small("ph", seed);
+        cfg.num_std_cells = 180;
+        cfg.num_pads = 12;
+        let d = cfg.generate();
+        let p = jitter(&d, salt);
+        let ours = hpwl(&d, &p);
+        let theirs = complx_netlist::hpwl::hpwl(&d, &p);
+        prop_assert!((ours - theirs).abs() <= 1e-9 * theirs.abs().max(1.0),
+            "oracle {ours} vs netlist {theirs}");
+        let ours_w = weighted_hpwl(&d, &p);
+        let theirs_w = complx_netlist::hpwl::weighted_hpwl(&d, &p);
+        prop_assert!((ours_w - theirs_w).abs() <= 1e-9 * theirs_w.abs().max(1.0),
+            "oracle {ours_w} vs netlist {theirs_w}");
+    }
+
+    /// The anchor-weight formula in the oracle matches the solver's anchor
+    /// builder (dev-dependency only) for arbitrary λ and displacement.
+    #[test]
+    fn solver_anchors_match_oracle_formula(
+        lambda in 0.0f64..50.0,
+        x in -100.0f64..100.0,
+        target in -100.0f64..100.0,
+    ) {
+        let mut b = DesignBuilder::new("aw", Rect::new(-200.0, -200.0, 200.0, 200.0), 8.0);
+        let a = b.add_cell("a", 2.0, 8.0, CellKind::Movable).unwrap();
+        let c = b.add_cell("b", 2.0, 8.0, CellKind::Movable).unwrap();
+        b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)]).unwrap();
+        let d = b.build().unwrap();
+        let mut targets = d.initial_placement();
+        targets.set_position(a, Point::new(target, target / 2.0));
+        let eps = anchor_epsilon(d.row_height());
+        let anchors = complx_wirelength::Anchors::per_cell(
+            &d, targets, vec![lambda, lambda], eps);
+        let got = anchors.weight_x(a, x);
+        let want = anchor_weight(lambda, x, target, eps);
+        prop_assert!((got - want).abs() <= 1e-12 * want.abs().max(1e-12),
+            "solver {got} vs oracle {want}");
+        let got_y = anchors.weight_y(a, x / 3.0);
+        let want_y = anchor_weight(lambda, x / 3.0, target / 2.0, eps);
+        prop_assert!((got_y - want_y).abs() <= 1e-12 * want_y.abs().max(1e-12));
+    }
+}

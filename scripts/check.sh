@@ -27,6 +27,7 @@ echo "== clippy: no unwrap in solver library code =="
 cargo clippy -q --no-deps --lib \
     -p complx-place -p complx-sparse -p complx-wirelength -p complx-netlist \
     -p complx-spread -p complx-legalize -p complx-timing -p complx-par \
+    -p complx-oracle \
     -- -D clippy::unwrap_used
 
 echo "== CLI smoke run: report + events validate (4 threads) =="
@@ -41,6 +42,15 @@ aux=$(cargo run -q --release --example gen_smoke -- "$smoke_dir" 2>/dev/null)
 ./target/release/report_check "$smoke_dir/report.json" \
     --jsonl "$smoke_dir/events.jsonl" \
     --threads 4
+
+echo "== oracle: complx-verify validates the smoke artifacts =="
+# Independent recomputation: the solution must be audit-legal, the trace
+# must satisfy the paper's invariants (Formulas 4, 8, 12), and the
+# report's self-reported metrics must match the oracle's recount.
+./target/release/complx-verify "$aux" \
+    --solution "$smoke_dir/solution/smoke.aux" \
+    --trace "$smoke_dir/trace_t4.csv" \
+    --report "$smoke_dir/report.json"
 
 echo "== CLI determinism: --threads 1 matches --threads 4 =="
 ./target/release/complx "$aux" -q --max-iterations 15 --threads 1 \

@@ -12,9 +12,14 @@
 //! * [`complx_legalize`] — legalization and detailed placement
 //! * [`complx_timing`] — lightweight static timing analysis
 //! * [`complx_place`] — the ComPLx placer itself and baseline placers
+//! * [`complx_obs`] — instrumentation: spans, counters, JSON run reports
+//! * [`complx_oracle`] — the independent verification oracle (ground-truth
+//!   metrics, trace invariants, golden snapshots)
 
 pub use complx_legalize as legalize;
 pub use complx_netlist as netlist;
+pub use complx_obs as obs;
+pub use complx_oracle as oracle;
 pub use complx_par as par;
 pub use complx_place as place;
 pub use complx_sparse as sparse;

@@ -1,0 +1,88 @@
+//! The golden-baseline regression corpus.
+//!
+//! Six fixed (design, config) pairs spanning the generator's size and
+//! utilization range, each pinned to a committed JSON snapshot under
+//! `tests/golden/` with the default tolerance bands (±2% on HPWL, ±1
+//! point of overflow, ±25% on phase counters). `COMPLX_BLESS=1` re-blesses
+//! the corpus; see `tests/support/golden.rs` and DESIGN.md §13.
+
+#[path = "support/golden.rs"]
+mod support;
+
+use complx_repro::netlist::generator::GeneratorConfig;
+use complx_repro::oracle::GoldenTolerances;
+use complx_repro::place::{ComplxPlacer, PlacerConfig};
+use support::{check_against_golden, measure};
+
+fn run_case(slug: &str, gen: &GeneratorConfig, cfg: PlacerConfig, label: &str) {
+    let design = gen.generate();
+    let outcome = ComplxPlacer::new(cfg)
+        .place(&design)
+        .expect("placement failed");
+    let fresh = measure(&design, label, &outcome);
+    check_against_golden(slug, &fresh, &GoldenTolerances::default());
+}
+
+/// Quickstart scale, default utilization, fast schedule.
+#[test]
+fn small_fast() {
+    run_case(
+        "small_fast",
+        &GeneratorConfig::small("g600", 42),
+        PlacerConfig::fast(),
+        "fast",
+    );
+}
+
+/// Sparse instance: plenty of whitespace, spreading should be easy.
+#[test]
+fn small_low_utilization() {
+    let mut gen = GeneratorConfig::small("g300low", 7);
+    gen.num_std_cells = 300;
+    gen.utilization = 0.55;
+    run_case("small_low_utilization", &gen, PlacerConfig::fast(), "fast");
+}
+
+/// The same quickstart design under the SimPL special case (Section 5):
+/// arithmetic λ growth exercises a different schedule code path.
+#[test]
+fn small_simpl() {
+    run_case(
+        "small_simpl",
+        &GeneratorConfig::small("g600", 42),
+        PlacerConfig::simpl(),
+        "simpl",
+    );
+}
+
+/// Dense instance: high utilization stresses the projection.
+#[test]
+fn dense_high_utilization() {
+    let mut gen = GeneratorConfig::small("g900dense", 9);
+    gen.num_std_cells = 900;
+    gen.utilization = 0.85;
+    run_case("dense_high_utilization", &gen, PlacerConfig::fast(), "fast");
+}
+
+/// ISPD-2005-style: fixed macro obstacles, no density target.
+#[test]
+fn ispd2005_style() {
+    run_case(
+        "ispd2005_style",
+        &GeneratorConfig::ispd2005_like("g1200", 3, 1200),
+        PlacerConfig::fast(),
+        "fast",
+    );
+}
+
+/// ISPD-2006-style: movable macros and a γ = 0.8 density target, so the
+/// overflow/scaled-HPWL columns of the snapshot are non-trivial.
+#[test]
+fn ispd2006_style() {
+    run_case(
+        "ispd2006_style",
+        &GeneratorConfig::ispd2006_like("g800", 5, 800, 0.8),
+        PlacerConfig::fast(),
+        "fast",
+    );
+}

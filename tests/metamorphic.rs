@@ -1,0 +1,285 @@
+//! Metamorphic properties of the full placement pipeline.
+//!
+//! Each test transforms a design in a way with a *known* effect on the
+//! optimal placement and checks that the placer (and the oracle's metrics)
+//! commute with the transformation:
+//!
+//! * translation — same placement, shifted; HPWL identical up to fp noise
+//! * mirroring   — same HPWL distribution; oracle HPWL exactly invariant
+//! * uniform ×2 net-weight scaling — bit-identical trajectory (every
+//!   intermediate f64 scales by an exact power of two)
+//! * degenerate single-cell net — exact no-op (both pins resolve to one
+//!   cell: zero span, and the B2B stamping skips the self-edge)
+
+use complx_repro::netlist::generator::GeneratorConfig;
+use complx_repro::netlist::transform::{
+    mirror_x, mirror_x_placement, scale_net_weights, translate, translate_placement,
+};
+use complx_repro::netlist::{CellKind, Design, DesignBuilder, Rect};
+use complx_repro::oracle;
+use complx_repro::place::{ComplxPlacer, PlacerConfig};
+
+fn tiny_design(name: &str, seed: u64) -> Design {
+    let mut cfg = GeneratorConfig::small(name, seed);
+    cfg.num_std_cells = 220;
+    cfg.num_pads = 16;
+    cfg.num_fixed_macros = 2;
+    cfg.generate()
+}
+
+fn fast_cfg() -> PlacerConfig {
+    let mut cfg = PlacerConfig::fast();
+    cfg.max_iterations = 30;
+    cfg
+}
+
+#[test]
+fn translation_equivariance() {
+    let d = tiny_design("mt", 5);
+    let t = translate(&d, 230.0, -170.0).unwrap();
+    let out_d = ComplxPlacer::new(fast_cfg()).place(&d).unwrap();
+    let out_t = ComplxPlacer::new(fast_cfg()).place(&t).unwrap();
+
+    // Quality must agree tightly: the problem is identical, only the
+    // coordinate frame moved (fp rounding differs, hence the band).
+    let h_d = oracle::hpwl(&d, &out_d.legal);
+    let h_t = oracle::hpwl(&t, &out_t.legal);
+    assert!(
+        (h_d - h_t).abs() <= 0.02 * h_d,
+        "translated HPWL {h_t} vs {h_d}"
+    );
+
+    // And the oracle itself is exactly translation-invariant on the
+    // *same* placement mapped into the new frame.
+    let mapped = translate_placement(&out_d.legal, 230.0, -170.0);
+    let h_mapped = oracle::hpwl(&t, &mapped);
+    assert!(
+        (h_mapped - h_d).abs() <= 1e-9 * h_d,
+        "oracle drifted under translation: {h_mapped} vs {h_d}"
+    );
+    // The mapped placement is as legal in the shifted frame as the
+    // original was in its own.
+    let audit = oracle::audit(&t, &mapped);
+    assert!(audit.is_legal(1e-6), "{audit:?}");
+}
+
+#[test]
+fn mirror_equivariance() {
+    let d = tiny_design("mm", 8);
+    let m = mirror_x(&d).unwrap();
+    let out_d = ComplxPlacer::new(fast_cfg()).place(&d).unwrap();
+    let out_m = ComplxPlacer::new(fast_cfg()).place(&m).unwrap();
+
+    let h_d = oracle::hpwl(&d, &out_d.legal);
+    let h_m = oracle::hpwl(&m, &out_m.legal);
+    assert!(
+        (h_d - h_m).abs() <= 0.02 * h_d,
+        "mirrored HPWL {h_m} vs {h_d}"
+    );
+
+    // Mapping the original solution into the mirrored frame preserves the
+    // oracle's HPWL to fp noise and preserves legality exactly (row
+    // structure is x-symmetric).
+    let mapped = mirror_x_placement(&d, &out_d.legal);
+    let h_mapped = oracle::hpwl(&m, &mapped);
+    assert!(
+        (h_mapped - h_d).abs() <= 1e-9 * h_d,
+        "oracle drifted under mirroring: {h_mapped} vs {h_d}"
+    );
+    let audit = oracle::audit(&m, &mapped);
+    assert!(audit.is_legal(1e-6), "{audit:?}");
+}
+
+#[test]
+fn doubling_net_weights_is_an_exact_noop() {
+    // Scaling every net weight by 2 scales the objective, λ, anchors and
+    // linear systems by exact powers of two — the argmin and the whole
+    // iterate sequence are bit-identical.
+    let d = tiny_design("mw", 13);
+    let s = scale_net_weights(&d, 2.0).unwrap();
+    let out_d = ComplxPlacer::new(fast_cfg()).place(&d).unwrap();
+    let out_s = ComplxPlacer::new(fast_cfg()).place(&s).unwrap();
+    assert_eq!(
+        out_d.legal, out_s.legal,
+        "doubled weights changed the placement"
+    );
+    assert_eq!(out_d.iterations, out_s.iterations);
+    // Weighted HPWL doubles exactly; unweighted is identical.
+    assert_eq!(
+        oracle::hpwl(&d, &out_d.legal).to_bits(),
+        oracle::hpwl(&s, &out_s.legal).to_bits()
+    );
+    assert_eq!(
+        (2.0 * oracle::weighted_hpwl(&d, &out_d.legal)).to_bits(),
+        oracle::weighted_hpwl(&s, &out_s.legal).to_bits()
+    );
+}
+
+#[test]
+fn quadrupling_net_weights_is_an_exact_noop() {
+    // Same property through two doublings at once (×4): still a power of
+    // two, still bit-exact.
+    let d = tiny_design("mw4", 21);
+    let s = scale_net_weights(&d, 4.0).unwrap();
+    let out_d = ComplxPlacer::new(fast_cfg()).place(&d).unwrap();
+    let out_s = ComplxPlacer::new(fast_cfg()).place(&s).unwrap();
+    assert_eq!(out_d.legal, out_s.legal);
+}
+
+/// Rebuilds `d` with one extra 2-pin net whose pins both sit on the same
+/// cell at the same offset.
+fn with_degenerate_net(d: &Design) -> Design {
+    let mut b = DesignBuilder::new(d.name(), d.core(), d.row_height());
+    b.set_target_density(d.target_density()).unwrap();
+    for id in d.cell_ids() {
+        let cell = d.cell(id);
+        if cell.kind().is_movable() {
+            b.add_cell(cell.name(), cell.width(), cell.height(), cell.kind())
+                .unwrap();
+        } else {
+            b.add_fixed_cell(
+                cell.name(),
+                cell.width(),
+                cell.height(),
+                cell.kind(),
+                d.fixed_positions().position(id),
+            )
+            .unwrap();
+        }
+    }
+    for nid in d.net_ids() {
+        let net = d.net(nid);
+        let pins: Vec<_> = d
+            .net_pins(nid)
+            .iter()
+            .map(|p| (p.cell, p.dx, p.dy))
+            .collect();
+        b.add_net(net.name(), net.weight(), pins).unwrap();
+    }
+    let victim = d.movable_cells()[0];
+    b.add_net(
+        "degenerate",
+        1.0,
+        vec![(victim, 0.0, 0.0), (victim, 0.0, 0.0)],
+    )
+    .unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn degenerate_single_cell_net_is_an_exact_noop() {
+    // Both pins of the extra net resolve to one cell: its HPWL span is 0
+    // and the connectivity stamping skips self-edges, so the trajectory is
+    // untouched down to the last bit.
+    let d = tiny_design("md", 34);
+    let dd = with_degenerate_net(&d);
+    assert_eq!(dd.num_nets(), d.num_nets() + 1);
+    let out_d = ComplxPlacer::new(fast_cfg()).place(&d).unwrap();
+    let out_dd = ComplxPlacer::new(fast_cfg()).place(&dd).unwrap();
+    assert_eq!(out_d.legal, out_dd.legal, "degenerate net moved cells");
+    assert_eq!(
+        oracle::hpwl(&d, &out_d.legal).to_bits(),
+        oracle::hpwl(&dd, &out_dd.legal).to_bits(),
+        "degenerate net contributed wirelength"
+    );
+}
+
+#[test]
+fn reweighting_a_degenerate_net_is_an_exact_noop() {
+    // A net whose pins all resolve to one cell contributes nothing at any
+    // weight: its span is identically zero and stamping skips self-edges.
+    // Scaling just that net's weight therefore changes *no* intermediate
+    // quantity — unlike the global ×2 scaling above, this holds for any
+    // factor, not only powers of two.
+    let d = tiny_design("mdw", 55);
+    let light = with_degenerate_net(&d);
+    let heavy = {
+        let mut b = DesignBuilder::new(light.name(), light.core(), light.row_height());
+        b.set_target_density(light.target_density()).unwrap();
+        for id in light.cell_ids() {
+            let cell = light.cell(id);
+            if cell.kind().is_movable() {
+                b.add_cell(cell.name(), cell.width(), cell.height(), cell.kind())
+                    .unwrap();
+            } else {
+                b.add_fixed_cell(
+                    cell.name(),
+                    cell.width(),
+                    cell.height(),
+                    cell.kind(),
+                    light.fixed_positions().position(id),
+                )
+                .unwrap();
+            }
+        }
+        for nid in light.net_ids() {
+            let net = light.net(nid);
+            let pins: Vec<_> = light
+                .net_pins(nid)
+                .iter()
+                .map(|p| (p.cell, p.dx, p.dy))
+                .collect();
+            let w = if net.name() == "degenerate" {
+                net.weight() * 7.0
+            } else {
+                net.weight()
+            };
+            b.add_net(net.name(), w, pins).unwrap();
+        }
+        b.build().unwrap()
+    };
+    let out_light = ComplxPlacer::new(fast_cfg()).place(&light).unwrap();
+    let out_heavy = ComplxPlacer::new(fast_cfg()).place(&heavy).unwrap();
+    assert_eq!(out_light.legal, out_heavy.legal);
+    assert_eq!(
+        oracle::hpwl(&light, &out_light.legal).to_bits(),
+        oracle::hpwl(&heavy, &out_heavy.legal).to_bits()
+    );
+}
+
+#[test]
+fn oracle_overlap_is_translation_invariant() {
+    // Pure-oracle metamorphic check, no placer: the audit of a deliberately
+    // overlapping placement is unchanged when everything shifts together.
+    let mut b = DesignBuilder::new("ot", Rect::new(0.0, 0.0, 40.0, 8.0), 1.0);
+    let a = b.add_cell("a", 4.0, 1.0, CellKind::Movable).unwrap();
+    let c = b.add_cell("b", 4.0, 1.0, CellKind::Movable).unwrap();
+    b.add_net("n", 1.0, vec![(a, 0.0, 0.0), (c, 0.0, 0.0)])
+        .unwrap();
+    let d = b.build().unwrap();
+    let mut p = d.initial_placement();
+    p.set_position(a, complx_repro::netlist::Point::new(10.0, 2.5));
+    p.set_position(c, complx_repro::netlist::Point::new(12.5, 2.5));
+    let before = oracle::audit(&d, &p);
+    assert!(before.overlap_area > 1.0, "fixture should overlap");
+
+    let t = translate(&d, 7.0, 3.0).unwrap();
+    let tp = translate_placement(&p, 7.0, 3.0);
+    let after = oracle::audit(&t, &tp);
+    assert!(
+        (before.overlap_area - after.overlap_area).abs() <= 1e-9,
+        "{} vs {}",
+        before.overlap_area,
+        after.overlap_area
+    );
+    assert_eq!(before.overlap_pairs, after.overlap_pairs);
+    assert_eq!(before.off_row_cells, after.off_row_cells);
+}
+
+#[test]
+fn oracle_density_is_mirror_invariant() {
+    // Mirroring a placement about the core centerline permutes bins but
+    // cannot change total overflow.
+    let d = tiny_design("odm", 2);
+    let p = d.initial_placement();
+    let m = mirror_x(&d).unwrap();
+    let mp = mirror_x_placement(&d, &p);
+    let a = oracle::density_audit(&d, &p, 16);
+    let b = oracle::density_audit(&m, &mp, 16);
+    assert!(
+        (a.overflow_area - b.overflow_area).abs() <= 1e-9 * a.overflow_area.max(1.0),
+        "{} vs {}",
+        a.overflow_area,
+        b.overflow_area
+    );
+}

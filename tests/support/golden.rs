@@ -1,0 +1,88 @@
+//! Shared harness for the golden-baseline corpus under `tests/golden/`.
+//!
+//! Each corpus entry is one committed JSON snapshot of oracle-measured
+//! quality for a fixed (generated design, placer config) pair. Tests call
+//! [`check_against_golden`] with a fresh measurement:
+//!
+//! * normally the fresh numbers are compared against the committed file
+//!   under the given tolerance bands and any violation fails the test;
+//! * with `COMPLX_BLESS=1` in the environment the snapshot is rewritten
+//!   from the fresh measurement instead (the regeneration path — rerun
+//!   without the variable afterwards to confirm the corpus is
+//!   self-consistent, then commit the JSON).
+//!
+//! Measurements go through `complx-oracle`, not the placer's own metrics,
+//! so a bug that corrupts both the placement and its self-reported quality
+//! still trips the gate.
+
+use std::path::{Path, PathBuf};
+
+use complx_repro::netlist::Design;
+use complx_repro::oracle::{self, GoldenSnapshot, GoldenTolerances};
+use complx_repro::place::PlacementOutcome;
+
+/// The committed corpus directory (workspace-relative, editor-stable).
+pub fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Distills a finished run into the snapshot form, measuring quality with
+/// the oracle rather than trusting `outcome.metrics`.
+pub fn measure(design: &Design, config_label: &str, outcome: &PlacementOutcome) -> GoldenSnapshot {
+    GoldenSnapshot {
+        design: design.name().to_owned(),
+        config: config_label.to_owned(),
+        hpwl: oracle::hpwl(design, &outcome.legal),
+        scaled_hpwl: oracle::scaled_hpwl(design, &outcome.legal),
+        overflow_percent: oracle::overflow_percent(design, &outcome.legal),
+        iterations: outcome.iterations as i64,
+        final_lambda: outcome.final_lambda,
+        converged: outcome.converged,
+        stop_reason: outcome.stop_reason.to_string(),
+        recoveries: outcome.recoveries as i64,
+        solves: outcome.solves.len() as i64,
+    }
+}
+
+/// Compares `fresh` against `tests/golden/<slug>.json`, or re-blesses the
+/// snapshot when `COMPLX_BLESS` is set.
+///
+/// # Panics
+///
+/// Panics (failing the calling test) when the snapshot is missing,
+/// unparsable, or any metric falls outside its tolerance band.
+pub fn check_against_golden(slug: &str, fresh: &GoldenSnapshot, tol: &GoldenTolerances) {
+    let path = golden_dir().join(format!("{slug}.json"));
+    if std::env::var_os("COMPLX_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        let mut text = fresh.to_json().to_json_pretty();
+        text.push('\n');
+        std::fs::write(&path, text).expect("write golden snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {}: {e}\n\
+             regenerate the corpus with: COMPLX_BLESS=1 cargo test --test golden --test regression",
+            path.display()
+        )
+    });
+    let json = complx_repro::obs::parse(&text)
+        .unwrap_or_else(|e| panic!("unparsable golden snapshot {}: {e}", path.display()));
+    let baseline = GoldenSnapshot::from_json(&json)
+        .unwrap_or_else(|e| panic!("malformed golden snapshot {}: {e}", path.display()));
+    let violations = fresh.compare(&baseline, tol);
+    assert!(
+        violations.is_empty(),
+        "{slug}: quality drifted outside the golden band:\n{}\n\
+         fresh: {fresh:#?}\n\
+         If the drift is an intentional algorithm change, re-bless with \
+         COMPLX_BLESS=1 and note it in CHANGES.md.",
+        violations
+            .iter()
+            .map(|v| format!("  {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
