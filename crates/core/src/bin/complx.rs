@@ -16,6 +16,18 @@
 //!   --max-seconds <s>      wall-clock budget; the placer exits gracefully
 //!                          with its best feasible iterate when it expires
 //!   --max-recoveries <n>   divergence-recovery attempts before giving up
+//!   --checkpoint <file>    periodically write a crash-safe checkpoint of
+//!                          the λ-loop state (atomic tmp+rename, previous
+//!                          generation kept at `<file>.prev`)
+//!   --checkpoint-every <k> checkpoint cadence in iterations (default 5;
+//!                          requires --checkpoint)
+//!   --resume <file>        restore λ-loop state from a checkpoint and
+//!                          continue; the design and configuration must
+//!                          match the checkpointed run, and the resumed
+//!                          run's result is byte-identical to an
+//!                          uninterrupted one
+//!   --fault-kill-at <k>    fault injection: simulate a crash (SIGKILL) at
+//!                          the top of iteration k
 //!   --threads <n>          worker threads for parallel kernels (default:
 //!                          available cores, or the COMPLX_THREADS
 //!                          environment variable; `--threads 1` runs the
@@ -35,14 +47,18 @@
 //! On failure the process prints a one-line structured error
 //! (`complx: error[<kind>]: <message>`) and exits with a per-variant code:
 //! `1` usage/input errors, `3` invalid design, `4` solver breakdown,
-//! `5` diverged, `6` timed out, `7` i/o.
+//! `5` diverged, `6` timed out, `7` i/o, `8` cancelled,
+//! `9` checkpoint mismatch, `10` killed by injected fault.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use complx_netlist::bookshelf;
 use complx_obs::{JsonlSink, Level, Sink, StderrLogger};
-use complx_place::{ComplxPlacer, Interconnect, PlaceError, PlacerConfig};
+use complx_place::{
+    load_checkpoint, CheckpointConfig, CkptError, ComplxPlacer, FaultKind, FaultPlan, Interconnect,
+    PlaceError, PlacerConfig,
+};
 
 struct Options {
     aux: PathBuf,
@@ -56,6 +72,10 @@ struct Options {
     no_detail: bool,
     max_seconds: Option<f64>,
     max_recoveries: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: Option<usize>,
+    resume: Option<PathBuf>,
+    fault_kill_at: Option<usize>,
     threads: Option<usize>,
     trace: Option<PathBuf>,
     report: Option<PathBuf>,
@@ -67,7 +87,8 @@ struct Options {
 fn usage() -> &'static str {
     "usage: complx <design.aux> [-o DIR] [--target-density G] [--max-iterations N]\n\
      [--finest-grid] [--pc-dp] [--simpl] [--lse [GAMMA_ROWS]] [--no-detail]\n\
-     [--max-seconds S] [--max-recoveries N] [--threads N] [--trace FILE[.json|.csv]]\n\
+     [--max-seconds S] [--max-recoveries N] [--checkpoint FILE [--checkpoint-every K]]\n\
+     [--resume FILE] [--fault-kill-at K] [--threads N] [--trace FILE[.json|.csv]]\n\
      [--report FILE.json] [--events FILE.jsonl] [--log-level off|info|debug] [-q]"
 }
 
@@ -85,6 +106,10 @@ fn parse_args() -> Result<Options, String> {
         no_detail: false,
         max_seconds: None,
         max_recoveries: None,
+        checkpoint: None,
+        checkpoint_every: None,
+        resume: None,
+        fault_kill_at: None,
         threads: None,
         trace: None,
         report: None,
@@ -118,10 +143,19 @@ fn parse_args() -> Result<Options, String> {
             "--pc-dp" => opts.pc_dp = true,
             "--simpl" => opts.simpl = true,
             "--lse" => {
-                // Optional numeric argument.
+                // Optional numeric argument: anything that parses as a
+                // number is claimed (and must be a valid smoothing radius);
+                // a following flag like `--simpl` falls through to the
+                // default. `--lse -3` must not silently produce a
+                // nonsensical negative γ.
                 let gamma = match args.peek().and_then(|v| v.parse::<f64>().ok()) {
                     Some(g) => {
                         args.next();
+                        if !g.is_finite() || g <= 0.0 {
+                            return Err(format!(
+                                "--lse smoothing radius must be a finite positive number of row heights (got {g})"
+                            ));
+                        }
                         g
                     }
                     None => 4.0,
@@ -147,6 +181,40 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --max-recoveries value")?;
                 opts.max_recoveries = Some(v);
+            }
+            "--checkpoint" => {
+                opts.checkpoint = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --checkpoint")?,
+                ))
+            }
+            "--checkpoint-every" => {
+                let v: usize = args
+                    .next()
+                    .ok_or("missing value for --checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every value")?;
+                if v == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(v);
+            }
+            "--resume" => {
+                opts.resume = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --resume")?,
+                ))
+            }
+            "--fault-kill-at" => {
+                let v: usize = args
+                    .next()
+                    .ok_or("missing value for --fault-kill-at")?
+                    .parse()
+                    .map_err(|_| "bad --fault-kill-at value")?;
+                if v == 0 {
+                    return Err(
+                        "--fault-kill-at must be at least 1 (iterations are 1-based)".into(),
+                    );
+                }
+                opts.fault_kill_at = Some(v);
             }
             "--threads" => {
                 let v: usize = args
@@ -185,6 +253,9 @@ fn parse_args() -> Result<Options, String> {
             other if !other.starts_with('-') => positional.push(PathBuf::from(other)),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
+    }
+    if opts.checkpoint_every.is_some() && opts.checkpoint.is_none() {
+        return Err("--checkpoint-every requires --checkpoint".into());
     }
     match positional.len() {
         1 => {
@@ -291,6 +362,15 @@ fn main() -> ExitCode {
     if let Some(n) = opts.max_recoveries {
         cfg.max_recoveries = n;
     }
+    if let Some(path) = &opts.checkpoint {
+        cfg.checkpoint = Some(CheckpointConfig::new(
+            path,
+            opts.checkpoint_every.unwrap_or(5),
+        ));
+    }
+    if let Some(k) = opts.fault_kill_at {
+        cfg.faults = Some(FaultPlan::new().inject(k, FaultKind::Kill));
+    }
 
     if !opts.quiet {
         eprintln!(
@@ -328,7 +408,35 @@ fn main() -> ExitCode {
     }
 
     let started = std::time::Instant::now();
-    let outcome = match ComplxPlacer::new(cfg.clone()).place(&design) {
+    let placer = ComplxPlacer::new(cfg.clone());
+    let placed = match &opts.resume {
+        Some(resume_path) => match load_checkpoint(resume_path) {
+            Ok((state, used_prev)) => {
+                if !opts.quiet {
+                    if used_prev {
+                        eprintln!(
+                            "complx: warning: {} unreadable or corrupt; resumed from previous generation {}.prev",
+                            resume_path.display(),
+                            resume_path.display()
+                        );
+                    }
+                    eprintln!(
+                        "complx: resuming from {} (iteration {}, generation {})",
+                        resume_path.display(),
+                        state.iteration,
+                        state.generation
+                    );
+                }
+                placer.resume(&design, state)
+            }
+            Err(CkptError::Io(e)) => Err(PlaceError::from(e)),
+            Err(e) => Err(PlaceError::CheckpointMismatch {
+                reason: format!("{}: {e}", resume_path.display()),
+            }),
+        },
+        None => placer.place(&design),
+    };
+    let outcome = match placed {
         Ok(o) => o,
         Err(e) => {
             // Flush the event stream so a failed run still leaves a record.
@@ -382,7 +490,7 @@ fn main() -> ExitCode {
         } else {
             outcome.trace.to_csv()
         };
-        if let Err(e) = std::fs::write(trace_path, serialized) {
+        if let Err(e) = complx_obs::write_atomic(trace_path, serialized.as_bytes()) {
             let e = PlaceError::from(e);
             eprintln!(
                 "complx: error[{}]: cannot write trace {}: {e}",
@@ -400,7 +508,9 @@ fn main() -> ExitCode {
             eprint!("{}", report.summary_table());
         }
         if let Some(report_path) = &opts.report {
-            if let Err(e) = std::fs::write(report_path, report.to_json_string()) {
+            if let Err(e) =
+                complx_obs::write_atomic(report_path, report.to_json_string().as_bytes())
+            {
                 let e = PlaceError::from(e);
                 eprintln!(
                     "complx: error[{}]: cannot write report {}: {e}",

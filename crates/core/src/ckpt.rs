@@ -1,0 +1,1015 @@
+//! Crash-safe checkpointing of the λ-loop state (`complx-ckpt/v1`).
+//!
+//! A checkpoint captures everything the primal-dual loop needs to continue
+//! from iteration `k + 1` exactly as the uninterrupted run would: both
+//! iterates and the best feasible one, the λ schedule's internal state, the
+//! recovery state (CG tolerance, recovery and stagnation counters), and
+//! the trace/solver records accumulated so far. Because the models are
+//! stateless between `minimize` calls (they linearize against the incoming
+//! placement) and the parallel runtime is bit-deterministic for any thread
+//! count, restoring this state reproduces the remaining iterations
+//! *byte-identically* — the acceptance criterion the resume tests enforce.
+//!
+//! # On-disk format
+//!
+//! Hand-rolled and dependency-free, little-endian throughout:
+//!
+//! ```text
+//! magic   b"complx-ckpt/v1\n"                      (15 bytes)
+//! count   u32    number of sections
+//! section tag:u32  len:u64  payload:[u8; len]      (repeated `count` times)
+//! crc     u64    FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! Section tags: 1 META (design/config hash, generation, iteration),
+//! 2 SCALARS, 3 LOWER, 4 UPPER, 5 BEST (placements as `n, xs[n], ys[n]`),
+//! 6 TRACE, 7 SOLVES. All seven must appear exactly once; unknown tags,
+//! duplicates, and trailing bytes are rejected. Floats travel as IEEE-754
+//! bit patterns (`f64::to_bits`), so the round trip is exact.
+//!
+//! # Durability protocol
+//!
+//! [`CheckpointWriter`] writes to `<path>.tmp`, fsyncs, rotates the current
+//! file to `<path>.prev`, renames the temp file into place, and fsyncs the
+//! directory (best effort). A crash at any point leaves at least one
+//! complete earlier generation: [`load_checkpoint`] falls back to
+//! `<path>.prev` when the primary file is missing, truncated, or fails the
+//! checksum.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use complx_netlist::{CellKind, Design, Placement};
+
+use crate::config::{CheckpointConfig, GridSchedule, Interconnect, LambdaMode, PlacerConfig};
+use crate::faults::FaultKind;
+use crate::solves::SolveRecord;
+use crate::trace::{IterationRecord, Trace};
+
+/// The version-bearing file magic.
+pub const MAGIC: &[u8] = b"complx-ckpt/v1\n";
+
+const TAG_META: u32 = 1;
+const TAG_SCALARS: u32 = 2;
+const TAG_LOWER: u32 = 3;
+const TAG_UPPER: u32 = 4;
+const TAG_BEST: u32 = 5;
+const TAG_TRACE: u32 = 6;
+const TAG_SOLVES: u32 = 7;
+
+/// Why a checkpoint failed to load or validate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CkptError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file does not start with the `complx-ckpt/v1` magic (wrong file
+    /// or a future/incompatible format version).
+    BadMagic,
+    /// The file ends before the declared structure does.
+    Truncated,
+    /// The FNV-1a checksum does not match — torn write or bit rot.
+    Checksum,
+    /// The structure is internally inconsistent (unknown or duplicate
+    /// section, length mismatch, trailing bytes).
+    Malformed(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "i/o error reading checkpoint: {e}"),
+            CkptError::BadMagic => f.write_str("not a complx-ckpt/v1 file"),
+            CkptError::Truncated => f.write_str("checkpoint file is truncated"),
+            CkptError::Checksum => f.write_str("checkpoint checksum mismatch"),
+            CkptError::Malformed(why) => write!(f, "malformed checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The complete loop state captured at the bottom of λ-loop iteration
+/// [`Self::iteration`], after the schedule advanced for the next iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// Hash of the design the run was placing (see [`design_hash`]).
+    pub design_hash: u64,
+    /// Hash of the determinism-relevant configuration (see [`config_hash`]).
+    pub config_hash: u64,
+    /// Rotation generation (1-based, monotonically increasing per write).
+    pub generation: u64,
+    /// The completed λ-loop iteration; resume continues at `iteration + 1`.
+    pub iteration: usize,
+    /// λ after the post-iteration advance (the value iteration `k + 1`
+    /// will use).
+    pub lambda: f64,
+    /// The schedule's initial multiplier `λ_1`.
+    pub lambda_1: f64,
+    /// The schedule's Formula 12 increment scale `h`.
+    pub h: f64,
+    /// The penalty `Π_k` the next advance compares against.
+    pub pi_prev: f64,
+    /// Current CG tolerance (tightened by each divergence recovery).
+    pub cg_tol: f64,
+    /// Divergence recoveries executed so far.
+    pub recoveries: usize,
+    /// Iterations since the best feasible iterate last improved.
+    pub stale: usize,
+    /// HPWL of the best feasible iterate.
+    pub best_phi_upper: f64,
+    /// λ used by the checkpointed iteration (for reporting).
+    pub final_lambda: f64,
+    /// The lower-bound (analytic) iterate.
+    pub lower: Placement,
+    /// The upper-bound (feasible) iterate — next iteration's anchors.
+    pub upper: Placement,
+    /// The best feasible iterate seen so far.
+    pub best_upper: Placement,
+    /// The convergence trace accumulated so far.
+    pub trace: Trace,
+    /// The solver records accumulated so far.
+    pub solves: Vec<SolveRecord>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn placement(&mut self, p: &Placement) {
+        self.usize(p.len());
+        for &x in p.xs() {
+            self.f64(x);
+        }
+        for &y in p.ys() {
+            self.f64(y);
+        }
+    }
+    fn section(&mut self, tag: u32, payload: Enc) {
+        self.u32(tag);
+        self.u64(payload.buf.len() as u64);
+        self.buf.extend_from_slice(&payload.buf);
+    }
+}
+
+/// Serializes a state to the `complx-ckpt/v1` byte format (checksummed,
+/// ready to write to disk).
+pub fn encode(state: &CheckpointState) -> Vec<u8> {
+    let mut out = Enc::new();
+    out.buf.extend_from_slice(MAGIC);
+    out.u32(7); // section count
+
+    let mut meta = Enc::new();
+    meta.u64(state.design_hash);
+    meta.u64(state.config_hash);
+    meta.u64(state.generation);
+    meta.usize(state.iteration);
+    out.section(TAG_META, meta);
+
+    let mut sc = Enc::new();
+    sc.f64(state.lambda);
+    sc.f64(state.lambda_1);
+    sc.f64(state.h);
+    sc.f64(state.pi_prev);
+    sc.f64(state.cg_tol);
+    sc.f64(state.best_phi_upper);
+    sc.f64(state.final_lambda);
+    sc.usize(state.recoveries);
+    sc.usize(state.stale);
+    out.section(TAG_SCALARS, sc);
+
+    for (tag, p) in [
+        (TAG_LOWER, &state.lower),
+        (TAG_UPPER, &state.upper),
+        (TAG_BEST, &state.best_upper),
+    ] {
+        let mut e = Enc::new();
+        e.placement(p);
+        out.section(tag, e);
+    }
+
+    let mut tr = Enc::new();
+    tr.usize(state.trace.len());
+    for r in state.trace.records() {
+        tr.usize(r.iteration);
+        tr.f64(r.lambda);
+        tr.f64(r.phi_lower);
+        tr.f64(r.phi_upper);
+        tr.f64(r.pi);
+        tr.f64(r.lagrangian);
+        tr.f64(r.overflow);
+        tr.usize(r.bins);
+    }
+    out.section(TAG_TRACE, tr);
+
+    let mut sv = Enc::new();
+    sv.usize(state.solves.len());
+    for r in &state.solves {
+        sv.usize(r.iteration);
+        sv.usize(r.iterations_x);
+        sv.usize(r.iterations_y);
+        sv.f64(r.relative_residual);
+        sv.usize(r.clamped_diagonals);
+        sv.buf.push(u8::from(r.converged));
+        sv.buf.push(u8::from(r.breakdown));
+    }
+    out.section(TAG_SOLVES, sv);
+
+    let crc = fnv1a(&out.buf);
+    out.u64(crc);
+    out.buf
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+    fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self.pos.checked_add(n).ok_or(CkptError::Truncated)?;
+        if end > self.data.len() {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        let b = self.take(4)?;
+        let a: [u8; 4] = b
+            .try_into()
+            .map_err(|_| CkptError::Malformed("u32 slice".into()))?;
+        Ok(u32::from_le_bytes(a))
+    }
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        let b = self.take(8)?;
+        let a: [u8; 8] = b
+            .try_into()
+            .map_err(|_| CkptError::Malformed("u64 slice".into()))?;
+        Ok(u64::from_le_bytes(a))
+    }
+    fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    /// A count that must be representable and small enough that the
+    /// remaining bytes could hold `width` bytes per element.
+    fn count(&mut self, width: usize) -> Result<usize, CkptError> {
+        let v = self.u64()?;
+        let n = usize::try_from(v).map_err(|_| CkptError::Malformed("count overflow".into()))?;
+        if n.checked_mul(width)
+            .is_none_or(|need| need > self.remaining())
+        {
+            return Err(CkptError::Malformed(format!(
+                "count {n} exceeds remaining payload"
+            )));
+        }
+        Ok(n)
+    }
+    fn placement(&mut self) -> Result<Placement, CkptError> {
+        let n = self.count(16)?;
+        let mut xs = Vec::with_capacity(n);
+        for _ in 0..n {
+            xs.push(self.f64()?);
+        }
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            ys.push(self.f64()?);
+        }
+        Ok(Placement::from_coords(xs, ys))
+    }
+    fn finish_section(&self) -> Result<(), CkptError> {
+        if self.remaining() != 0 {
+            return Err(CkptError::Malformed(format!(
+                "{} trailing bytes in section",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parses and validates `complx-ckpt/v1` bytes.
+pub fn decode(bytes: &[u8]) -> Result<CheckpointState, CkptError> {
+    if bytes.len() < MAGIC.len() {
+        return Err(CkptError::Truncated);
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    if bytes.len() < MAGIC.len() + 4 + 8 {
+        return Err(CkptError::Truncated);
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored: [u8; 8] = crc_bytes
+        .try_into()
+        .map_err(|_| CkptError::Malformed("crc slice".into()))?;
+    if fnv1a(body) != u64::from_le_bytes(stored) {
+        return Err(CkptError::Checksum);
+    }
+
+    let mut dec = Dec::new(&body[MAGIC.len()..]);
+    let count = dec.u32()?;
+    if count != 7 {
+        return Err(CkptError::Malformed(format!(
+            "expected 7 sections, found {count}"
+        )));
+    }
+    let mut sections: [Option<&[u8]>; 7] = [None; 7];
+    for _ in 0..count {
+        let tag = dec.u32()?;
+        let len = dec.u64()?;
+        let len = usize::try_from(len).map_err(|_| CkptError::Truncated)?;
+        let payload = dec.take(len)?;
+        let idx = match tag {
+            TAG_META => 0,
+            TAG_SCALARS => 1,
+            TAG_LOWER => 2,
+            TAG_UPPER => 3,
+            TAG_BEST => 4,
+            TAG_TRACE => 5,
+            TAG_SOLVES => 6,
+            other => {
+                return Err(CkptError::Malformed(format!("unknown section tag {other}")));
+            }
+        };
+        if sections[idx].replace(payload).is_some() {
+            return Err(CkptError::Malformed(format!("duplicate section tag {tag}")));
+        }
+    }
+    dec.finish_section()?;
+    let section = |idx: usize, tag: u32| -> Result<&[u8], CkptError> {
+        sections[idx].ok_or(CkptError::Malformed(format!("missing section tag {tag}")))
+    };
+
+    let mut meta = Dec::new(section(0, TAG_META)?);
+    let design_hash = meta.u64()?;
+    let config_hash = meta.u64()?;
+    let generation = meta.u64()?;
+    let iteration =
+        usize::try_from(meta.u64()?).map_err(|_| CkptError::Malformed("iteration".into()))?;
+    meta.finish_section()?;
+
+    let mut sc = Dec::new(section(1, TAG_SCALARS)?);
+    let lambda = sc.f64()?;
+    let lambda_1 = sc.f64()?;
+    let h = sc.f64()?;
+    let pi_prev = sc.f64()?;
+    let cg_tol = sc.f64()?;
+    let best_phi_upper = sc.f64()?;
+    let final_lambda = sc.f64()?;
+    let recoveries =
+        usize::try_from(sc.u64()?).map_err(|_| CkptError::Malformed("recoveries".into()))?;
+    let stale = usize::try_from(sc.u64()?).map_err(|_| CkptError::Malformed("stale".into()))?;
+    sc.finish_section()?;
+
+    let read_placement = |idx: usize, tag: u32| -> Result<Placement, CkptError> {
+        let mut d = Dec::new(section(idx, tag)?);
+        let p = d.placement()?;
+        d.finish_section()?;
+        Ok(p)
+    };
+    let lower = read_placement(2, TAG_LOWER)?;
+    let upper = read_placement(3, TAG_UPPER)?;
+    let best_upper = read_placement(4, TAG_BEST)?;
+    if lower.len() != upper.len() || lower.len() != best_upper.len() {
+        return Err(CkptError::Malformed(format!(
+            "placement lengths disagree: {} / {} / {}",
+            lower.len(),
+            upper.len(),
+            best_upper.len()
+        )));
+    }
+
+    let mut tr = Dec::new(section(5, TAG_TRACE)?);
+    let n = tr.count(64)?;
+    let mut trace = Trace::new();
+    for _ in 0..n {
+        let iteration =
+            usize::try_from(tr.u64()?).map_err(|_| CkptError::Malformed("trace iter".into()))?;
+        let lambda = tr.f64()?;
+        let phi_lower = tr.f64()?;
+        let phi_upper = tr.f64()?;
+        let pi = tr.f64()?;
+        let lagrangian = tr.f64()?;
+        let overflow = tr.f64()?;
+        let bins =
+            usize::try_from(tr.u64()?).map_err(|_| CkptError::Malformed("trace bins".into()))?;
+        trace.push(IterationRecord {
+            iteration,
+            lambda,
+            phi_lower,
+            phi_upper,
+            pi,
+            lagrangian,
+            overflow,
+            bins,
+        });
+    }
+    tr.finish_section()?;
+
+    let mut sv = Dec::new(section(6, TAG_SOLVES)?);
+    let n = sv.count(42)?;
+    let mut solves = Vec::with_capacity(n);
+    for _ in 0..n {
+        let iteration =
+            usize::try_from(sv.u64()?).map_err(|_| CkptError::Malformed("solve iter".into()))?;
+        let iterations_x =
+            usize::try_from(sv.u64()?).map_err(|_| CkptError::Malformed("solve x".into()))?;
+        let iterations_y =
+            usize::try_from(sv.u64()?).map_err(|_| CkptError::Malformed("solve y".into()))?;
+        let relative_residual = sv.f64()?;
+        let clamped_diagonals =
+            usize::try_from(sv.u64()?).map_err(|_| CkptError::Malformed("solve clamps".into()))?;
+        let converged = sv.u8()? != 0;
+        let breakdown = sv.u8()? != 0;
+        solves.push(SolveRecord {
+            iteration,
+            iterations_x,
+            iterations_y,
+            relative_residual,
+            clamped_diagonals,
+            converged,
+            breakdown,
+        });
+    }
+    sv.finish_section()?;
+
+    Ok(CheckpointState {
+        design_hash,
+        config_hash,
+        generation,
+        iteration,
+        lambda,
+        lambda_1,
+        h,
+        pi_prev,
+        cg_tol,
+        recoveries,
+        stale,
+        best_phi_upper,
+        final_lambda,
+        lower,
+        upper,
+        best_upper,
+        trace,
+        solves,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Durable write + load
+
+/// `<path>.prev` — the previous checkpoint generation.
+pub fn prev_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".prev");
+    PathBuf::from(os)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Writes checkpoint generations with the atomic tmp + rotate + rename
+/// protocol described in the module docs. Owned by one placement run.
+#[derive(Debug)]
+pub(crate) struct CheckpointWriter {
+    path: PathBuf,
+    every: usize,
+    generation: u64,
+}
+
+impl CheckpointWriter {
+    /// A writer for `cfg`, continuing from `generation` (0 for a fresh
+    /// run; a resumed run passes the loaded state's generation so the
+    /// rotation sequence continues).
+    pub(crate) fn new(cfg: &CheckpointConfig, generation: u64) -> Self {
+        Self {
+            path: cfg.path.clone(),
+            every: cfg.every.max(1),
+            generation,
+        }
+    }
+
+    /// Whether iteration `k` is a checkpoint boundary.
+    pub(crate) fn due(&self, k: usize) -> bool {
+        k.is_multiple_of(self.every)
+    }
+
+    /// The generation number the next [`Self::write`] will commit as.
+    pub(crate) fn next_generation(&self) -> u64 {
+        self.generation + 1
+    }
+
+    /// Encodes and durably commits `state`, rotating the previous file to
+    /// `<path>.prev`. `fault` injects a checkpoint-I/O failure (see
+    /// [`FaultKind::is_checkpoint_fault`]). Returns the committed size.
+    pub(crate) fn write(
+        &mut self,
+        state: &CheckpointState,
+        fault: Option<FaultKind>,
+    ) -> std::io::Result<u64> {
+        let mut bytes = encode(state);
+        match fault {
+            Some(FaultKind::CkptShortWrite) => {
+                // A torn write committed by a stray rename: half the file.
+                bytes.truncate(bytes.len() / 2);
+            }
+            Some(FaultKind::CkptCorrupt) => {
+                // Silent media corruption after the checksum was computed.
+                if let Some(b) = bytes.get_mut(MAGIC.len() + 7) {
+                    *b ^= 0x40;
+                }
+            }
+            Some(FaultKind::CkptWriteError) => {
+                return Err(std::io::Error::other(FaultKind::CkptWriteError.describe()));
+            }
+            _ => {}
+        }
+        let tmp = tmp_path(&self.path);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        if self.path.exists() {
+            fs::rename(&self.path, prev_path(&self.path))?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        // Durability of the renames themselves: fsync the directory. Best
+        // effort — some filesystems refuse opening directories.
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.generation += 1;
+        Ok(bytes.len() as u64)
+    }
+}
+
+/// Loads the checkpoint at `path`, falling back to `<path>.prev` when the
+/// primary file is unreadable, truncated, or corrupt. The `bool` reports
+/// whether the fallback generation was used. When both generations fail,
+/// the *primary* file's error is returned (it is the actionable one).
+pub fn load_checkpoint(path: &Path) -> Result<(CheckpointState, bool), CkptError> {
+    let read = |p: &Path| -> Result<CheckpointState, CkptError> {
+        let bytes = fs::read(p).map_err(CkptError::Io)?;
+        decode(&bytes)
+    };
+    match read(path) {
+        Ok(st) => Ok((st, false)),
+        Err(primary) => match read(&prev_path(path)) {
+            Ok(st) => Ok((st, true)),
+            Err(_) => Err(primary),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+
+/// FNV-1a 64 over a byte slice (the file checksum).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Incremental FNV-1a 64 for structured hashing.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    fn bool(&mut self, v: bool) {
+        self.bytes(&[u8::from(v)]);
+    }
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// A structural fingerprint of a design: name, geometry, cells (with fixed
+/// positions), nets with their pins, and placement constraints. Two designs
+/// with equal hashes drive the placer identically, so a checkpoint taken on
+/// one resumes correctly on the other.
+pub fn design_hash(design: &Design) -> u64 {
+    let mut f = Fnv::new();
+    f.str(design.name());
+    let core = design.core();
+    for v in [core.lx, core.ly, core.hx, core.hy] {
+        f.f64(v);
+    }
+    f.f64(design.row_height());
+    f.f64(design.target_density());
+    f.usize(design.num_cells());
+    for id in design.cell_ids() {
+        let c = design.cell(id);
+        f.str(c.name());
+        f.f64(c.width());
+        f.f64(c.height());
+        f.u64(match c.kind() {
+            CellKind::Movable => 0,
+            CellKind::MovableMacro => 1,
+            CellKind::Fixed => 2,
+            CellKind::Terminal => 3,
+        });
+        if !c.is_movable() {
+            let p = design.fixed_positions().position(id);
+            f.f64(p.x);
+            f.f64(p.y);
+        }
+    }
+    f.usize(design.num_nets());
+    for nid in design.net_ids() {
+        let n = design.net(nid);
+        f.str(n.name());
+        f.f64(n.weight());
+        let pins = design.net_pins(nid);
+        f.usize(pins.len());
+        for p in pins {
+            f.usize(p.cell.index());
+            f.f64(p.dx);
+            f.f64(p.dy);
+        }
+    }
+    f.usize(design.regions().len());
+    for r in design.regions() {
+        f.str(r.name());
+        let rect = r.rect();
+        for v in [rect.lx, rect.ly, rect.hx, rect.hy] {
+            f.f64(v);
+        }
+        f.usize(r.cells().len());
+        for &c in r.cells() {
+            f.usize(c.index());
+        }
+    }
+    f.usize(design.alignments().len());
+    for a in design.alignments() {
+        f.str(a.name());
+        f.u64(matches!(a.axis(), complx_netlist::AlignmentAxis::Horizontal) as u64);
+        f.usize(a.cells().len());
+        for &c in a.cells() {
+            f.usize(c.index());
+        }
+    }
+    f.0
+}
+
+/// A fingerprint of every configuration field that influences the iterate
+/// sequence. Deliberately *excludes* `time_budget`, `faults`, and
+/// `checkpoint`: a run killed by a fault and its resume (with different
+/// fault plans and checkpoint settings) must hash identically.
+pub fn config_hash(cfg: &PlacerConfig) -> u64 {
+    let mut f = Fnv::new();
+    match cfg.interconnect {
+        Interconnect::Quadratic(nm) => {
+            f.u64(0);
+            f.u64(match nm {
+                complx_wirelength::NetModel::Bound2Bound => 0,
+                complx_wirelength::NetModel::Clique => 1,
+                complx_wirelength::NetModel::Star => 2,
+                complx_wirelength::NetModel::HybridCliqueStar => 3,
+            });
+        }
+        Interconnect::LogSumExp { gamma_rows } => {
+            f.u64(1);
+            f.f64(gamma_rows);
+        }
+        Interconnect::BetaRegularized { beta_rows2 } => {
+            f.u64(2);
+            f.f64(beta_rows2);
+        }
+        Interconnect::PNorm { p } => {
+            f.u64(3);
+            f.f64(p);
+        }
+    }
+    f.usize(cfg.max_iterations);
+    f.f64(cfg.gap_tolerance);
+    f.f64(cfg.overflow_tolerance);
+    match cfg.lambda_mode {
+        LambdaMode::Complx { h_factor } => {
+            f.u64(0);
+            f.f64(h_factor);
+        }
+        LambdaMode::Arithmetic { step } => {
+            f.u64(1);
+            f.f64(step);
+        }
+        LambdaMode::Geometric { ratio } => {
+            f.u64(2);
+            f.f64(ratio);
+        }
+    }
+    f.f64(cfg.lambda_init_divisor);
+    f.bool(cfg.lambda_inverse_ratio);
+    match cfg.grid {
+        GridSchedule::CoarseToFine {
+            start_fraction,
+            growth,
+        } => {
+            f.u64(0);
+            f.f64(start_fraction);
+            f.f64(growth);
+        }
+        GridSchedule::Fixed { fraction } => {
+            f.u64(1);
+            f.f64(fraction);
+        }
+    }
+    f.f64(cfg.cells_per_bin);
+    f.bool(cfg.per_macro_lambda);
+    f.bool(cfg.shred_macros);
+    f.bool(cfg.detail_each_iteration);
+    f.bool(cfg.final_detail);
+    f.f64(cfg.cg_tolerance);
+    f.usize(cfg.cg_max_iterations);
+    f.usize(cfg.stagnation_window);
+    match &cfg.routability {
+        None => f.bool(false),
+        Some(r) => {
+            f.bool(true);
+            f.f64(r.supply);
+            f.f64(r.alpha);
+            f.f64(r.max_inflation);
+            f.usize(r.grid_bins);
+        }
+    }
+    f.usize(cfg.max_recoveries);
+    f.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::generator::GeneratorConfig;
+
+    fn sample_state() -> CheckpointState {
+        let mut trace = Trace::new();
+        trace.push(IterationRecord {
+            iteration: 0,
+            lambda: 0.0,
+            phi_lower: 100.0,
+            phi_upper: 120.0,
+            pi: 30.0,
+            lagrangian: 100.0,
+            overflow: 0.8,
+            bins: 4,
+        });
+        trace.push(IterationRecord {
+            iteration: 1,
+            lambda: 0.033,
+            phi_lower: 101.5,
+            phi_upper: 118.25,
+            pi: 27.0,
+            lagrangian: 102.4,
+            overflow: 0.7,
+            bins: 5,
+        });
+        CheckpointState {
+            design_hash: 0xdead_beef_cafe_f00d,
+            config_hash: 0x0123_4567_89ab_cdef,
+            generation: 3,
+            iteration: 5,
+            lambda: 0.125,
+            lambda_1: 0.033,
+            h: 0.66,
+            pi_prev: 27.0,
+            cg_tol: 1e-5,
+            recoveries: 1,
+            stale: 2,
+            best_phi_upper: 118.25,
+            final_lambda: 0.1,
+            lower: Placement::from_coords(vec![1.0, 2.5, -3.0], vec![0.5, f64::MIN_POSITIVE, 9.0]),
+            upper: Placement::from_coords(vec![1.5, 2.0, -2.5], vec![1.0, 2.0, 8.5]),
+            best_upper: Placement::from_coords(vec![1.25, 2.25, -2.75], vec![0.75, 1.5, 8.75]),
+            trace,
+            solves: vec![
+                SolveRecord {
+                    iteration: 0,
+                    iterations_x: 12,
+                    iterations_y: 14,
+                    relative_residual: 3.2e-6,
+                    clamped_diagonals: 0,
+                    converged: true,
+                    breakdown: false,
+                },
+                SolveRecord {
+                    iteration: 5,
+                    iterations_x: 50,
+                    iterations_y: 48,
+                    relative_residual: 8.8e-4,
+                    clamped_diagonals: 2,
+                    converged: false,
+                    breakdown: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let st = sample_state();
+        let bytes = encode(&st);
+        assert!(bytes.starts_with(MAGIC));
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(st, back);
+        // Exact bit patterns for every float.
+        assert_eq!(st.lower.xs()[1].to_bits(), back.lower.xs()[1].to_bits());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode(&sample_state());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = encode(&sample_state());
+        // Flip one bit per byte position; each must be caught by the magic
+        // check or the checksum.
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 1 << (i % 8);
+            assert!(decode(&b).is_err(), "bit flip at byte {i} must not decode");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_bad_magic() {
+        let mut bytes = encode(&sample_state());
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn writer_rotates_generations_and_loader_falls_back() {
+        let dir = std::env::temp_dir().join(format!("complx-ckpt-rotate-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("state.ckpt");
+        let cfg = CheckpointConfig::new(&path, 2);
+        let mut w = CheckpointWriter::new(&cfg, 0);
+        assert!(w.due(2) && w.due(4) && !w.due(3));
+
+        let mut st = sample_state();
+        st.generation = w.next_generation();
+        st.iteration = 2;
+        w.write(&st, None).expect("first write");
+        st.generation = w.next_generation();
+        st.iteration = 4;
+        w.write(&st, None).expect("second write");
+
+        let (loaded, fallback) = load_checkpoint(&path).expect("load");
+        assert!(!fallback);
+        assert_eq!(loaded.iteration, 4);
+        assert_eq!(loaded.generation, 2);
+        let (prev, _) = load_checkpoint(&prev_path(&path)).expect("load prev");
+        assert_eq!(prev.iteration, 2);
+
+        // Corrupt the primary: the loader must fall back to .prev.
+        let mut bytes = fs::read(&path).expect("read");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&path, &bytes).expect("corrupt");
+        let (loaded, fallback) = load_checkpoint(&path).expect("fallback load");
+        assert!(fallback);
+        assert_eq!(loaded.iteration, 2);
+
+        // Corrupt .prev too: now loading fails with the primary's error.
+        fs::write(prev_path(&path), b"garbage").expect("corrupt prev");
+        assert!(matches!(load_checkpoint(&path), Err(CkptError::Checksum)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_io_faults_behave_as_documented() {
+        let dir = std::env::temp_dir().join(format!("complx-ckpt-faults-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("state.ckpt");
+        let cfg = CheckpointConfig::new(&path, 1);
+        let mut w = CheckpointWriter::new(&cfg, 0);
+        let mut st = sample_state();
+
+        // A good generation first.
+        st.generation = w.next_generation();
+        w.write(&st, None).expect("clean write");
+
+        // Short write: commits a truncated file; load falls back.
+        st.generation = w.next_generation();
+        w.write(&st, Some(FaultKind::CkptShortWrite))
+            .expect("short write still commits");
+        let (_, fallback) = load_checkpoint(&path).expect("fallback");
+        assert!(fallback, "short write must fail validation");
+
+        // Write error: nothing committed, primary untouched.
+        let before = fs::read(&path).expect("read");
+        assert!(w.write(&st, Some(FaultKind::CkptWriteError)).is_err());
+        assert_eq!(fs::read(&path).expect("read"), before);
+
+        // Corrupt-on-write: commits a checksum-failing file.
+        st.generation = w.next_generation();
+        w.write(&st, Some(FaultKind::CkptCorrupt)).expect("commit");
+        let bytes = fs::read(&path).expect("read");
+        assert!(matches!(decode(&bytes), Err(CkptError::Checksum)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn design_hash_distinguishes_designs_and_is_stable() {
+        let a = GeneratorConfig::small("ha", 1).generate();
+        let a2 = GeneratorConfig::small("ha", 1).generate();
+        let b = GeneratorConfig::small("hb", 2).generate();
+        assert_eq!(design_hash(&a), design_hash(&a2));
+        assert_ne!(design_hash(&a), design_hash(&b));
+    }
+
+    #[test]
+    fn config_hash_ignores_run_management_fields() {
+        let base = PlacerConfig::fast();
+        let mut managed = base.clone();
+        managed.time_budget = Some(30.0);
+        managed.faults = Some(crate::faults::FaultPlan::new().inject(3, FaultKind::Kill));
+        managed.checkpoint = Some(CheckpointConfig::new("/tmp/x.ckpt", 5));
+        assert_eq!(config_hash(&base), config_hash(&managed));
+
+        let mut different = base.clone();
+        different.cg_tolerance *= 10.0;
+        assert_ne!(config_hash(&base), config_hash(&different));
+        assert_ne!(
+            config_hash(&PlacerConfig::fast()),
+            config_hash(&PlacerConfig::simpl())
+        );
+    }
+}

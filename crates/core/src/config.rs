@@ -143,6 +143,39 @@ impl Default for RoutabilityConfig {
     }
 }
 
+/// Periodic crash-safe checkpointing of the λ-loop state.
+///
+/// Every `every` iterations the placer serializes its complete loop state
+/// (iterates, λ schedule, recovery state, trace) to `path` with an atomic
+/// tmp-file + rename protocol, rotating the previous file to
+/// `<path>.prev`. A run killed between checkpoints can then be resumed
+/// with [`crate::ComplxPlacer::resume`] and produces a final placement
+/// byte-identical to the uninterrupted run. Checkpoint writes are
+/// best-effort: an I/O failure is counted and logged but never fails the
+/// run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Destination file; the previous generation rotates to `<path>.prev`.
+    pub path: std::path::PathBuf,
+    /// Checkpoint every `every` global-placement iterations (≥ 1).
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every `every` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(path: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        assert!(every >= 1, "checkpoint interval must be at least 1");
+        Self {
+            path: path.into(),
+            every,
+        }
+    }
+}
+
 /// Full placer configuration. Start from [`PlacerConfig::default`] (the
 /// paper's "Default Config."), [`PlacerConfig::finest_grid`], or
 /// [`PlacerConfig::fast`] for tests.
@@ -202,6 +235,10 @@ pub struct PlacerConfig {
     /// Fault-injection plan exercising the recovery machinery (testing
     /// only); `None` injects nothing.
     pub faults: Option<crate::faults::FaultPlan>,
+    /// Periodic crash-safe checkpointing; `None` disables it. Excluded
+    /// (like `time_budget` and `faults`) from the config hash a resume
+    /// validates against, so a killed run and its resume match.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for PlacerConfig {
@@ -230,6 +267,7 @@ impl Default for PlacerConfig {
             max_recoveries: 3,
             time_budget: None,
             faults: None,
+            checkpoint: None,
         }
     }
 }

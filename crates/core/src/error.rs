@@ -29,6 +29,9 @@ pub enum StopReason {
     /// One or more numerical faults were detected and recovered during the
     /// run; the returned placement is the best feasible iterate.
     Recovered,
+    /// An external [`complx_par::CancelToken`] tripped; the run exited
+    /// gracefully through the best-iterate path, like a time budget.
+    Cancelled,
 }
 
 impl fmt::Display for StopReason {
@@ -39,6 +42,7 @@ impl fmt::Display for StopReason {
             StopReason::IterationCap => "iteration cap",
             StopReason::TimeBudget => "time budget",
             StopReason::Recovered => "recovered",
+            StopReason::Cancelled => "cancelled",
         };
         f.write_str(s)
     }
@@ -85,6 +89,23 @@ pub enum PlaceError {
     /// An I/O failure in the surrounding pipeline (trace or solution
     /// writing).
     Io(std::io::Error),
+    /// An external cancel token tripped before a single feasible iterate
+    /// was produced (graceful degradation needs at least one).
+    Cancelled,
+    /// A `--resume` checkpoint does not match the current design or
+    /// configuration (or is structurally unusable), so resuming would not
+    /// reproduce the original run.
+    CheckpointMismatch {
+        /// What failed to match or validate.
+        reason: String,
+    },
+    /// An injected kill fault fired (fault harness only): the run was
+    /// terminated mid-loop exactly as an external `SIGKILL` would at a
+    /// checkpoint boundary, leaving any on-disk checkpoints behind.
+    Killed {
+        /// The 1-based global-placement iteration the kill struck at.
+        iteration: usize,
+    },
 }
 
 impl PlaceError {
@@ -97,6 +118,9 @@ impl PlaceError {
             PlaceError::Diverged { .. } => "diverged",
             PlaceError::TimedOut { .. } => "timed-out",
             PlaceError::Io(_) => "io",
+            PlaceError::Cancelled => "cancelled",
+            PlaceError::CheckpointMismatch { .. } => "checkpoint-mismatch",
+            PlaceError::Killed { .. } => "killed",
         }
     }
 
@@ -110,6 +134,9 @@ impl PlaceError {
             PlaceError::Diverged { .. } => 5,
             PlaceError::TimedOut { .. } => 6,
             PlaceError::Io(_) => 7,
+            PlaceError::Cancelled => 8,
+            PlaceError::CheckpointMismatch { .. } => 9,
+            PlaceError::Killed { .. } => 10,
         }
     }
 
@@ -157,6 +184,15 @@ impl fmt::Display for PlaceError {
                 )
             }
             PlaceError::Io(e) => write!(f, "i/o error: {e}"),
+            PlaceError::Cancelled => {
+                write!(f, "cancelled before a feasible iterate existed")
+            }
+            PlaceError::CheckpointMismatch { reason } => {
+                write!(f, "checkpoint mismatch: {reason}")
+            }
+            PlaceError::Killed { iteration } => {
+                write!(f, "killed by injected fault at iteration {iteration}")
+            }
         }
     }
 }
@@ -199,6 +235,9 @@ mod tests {
                 budget_seconds: 1.0,
             },
             PlaceError::Io(io),
+            PlaceError::Cancelled,
+            PlaceError::CheckpointMismatch { reason: "r".into() },
+            PlaceError::Killed { iteration: 4 },
         ];
         let mut codes: Vec<u8> = errs.iter().map(|e| e.exit_code()).collect();
         assert!(codes.iter().all(|&c| c > 1));
@@ -238,6 +277,7 @@ mod tests {
             (StopReason::IterationCap, "iteration cap"),
             (StopReason::TimeBudget, "time budget"),
             (StopReason::Recovered, "recovered"),
+            (StopReason::Cancelled, "cancelled"),
         ] {
             assert_eq!(r.to_string(), s);
         }

@@ -27,6 +27,23 @@ pub enum FaultKind {
     /// Poison the projection (upper-bound) iterate, as a stalled or
     /// corrupted `P_C` pass would.
     ProjectionStall,
+    /// Terminate the run at the top of the iteration, exactly as an
+    /// external `SIGKILL` landing between two checkpoints would: the placer
+    /// returns [`crate::PlaceError::Killed`] and whatever checkpoints were
+    /// committed stay on disk for `--resume` to pick up.
+    Kill,
+    /// Truncate the checkpoint payload mid-write before committing it, as a
+    /// crash during `write(2)` on the temp file followed by a stray rename
+    /// would. The committed file fails checksum validation on load.
+    CkptShortWrite,
+    /// Fail the checkpoint write with an I/O error before the temp file is
+    /// committed, as a full disk would. The previous generations stay
+    /// intact; the run itself continues (checkpointing is best-effort).
+    CkptWriteError,
+    /// Flip one payload byte after the checksum is computed, as silent media
+    /// corruption would. The committed file fails checksum validation on
+    /// load and `--resume` must fall back to the previous generation.
+    CkptCorrupt,
 }
 
 impl FaultKind {
@@ -36,7 +53,20 @@ impl FaultKind {
             FaultKind::NanGradient => "injected NaN gradient in primal iterate",
             FaultKind::CgStall => "injected CG breakdown in primal solve",
             FaultKind::ProjectionStall => "injected stalled feasibility projection",
+            FaultKind::Kill => "injected kill (simulated crash mid-run)",
+            FaultKind::CkptShortWrite => "injected short write on checkpoint commit",
+            FaultKind::CkptWriteError => "injected I/O error on checkpoint write",
+            FaultKind::CkptCorrupt => "injected byte corruption on checkpoint commit",
         }
+    }
+
+    /// Whether this fault class strikes the checkpoint writer (rather than
+    /// the solve loop itself).
+    pub fn is_checkpoint_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::CkptShortWrite | FaultKind::CkptWriteError | FaultKind::CkptCorrupt
+        )
     }
 }
 
@@ -108,6 +138,27 @@ impl FaultArming {
             false
         }
     }
+
+    /// Fires (and disarms) whichever checkpoint-I/O fault is scheduled at
+    /// `iteration`, if any (see [`FaultKind::is_checkpoint_fault`]).
+    pub(crate) fn take_io_fault(&mut self, iteration: usize) -> Option<FaultKind> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|f| f.iteration == iteration && f.kind.is_checkpoint_fault())
+        {
+            Some(self.pending.swap_remove(i).kind)
+        } else {
+            None
+        }
+    }
+
+    /// Disarms every injection scheduled at or before `iteration`. A
+    /// resumed run calls this so faults that already fired (or would have
+    /// fired) in the killed run's lifetime do not fire again.
+    pub(crate) fn discard_through(&mut self, iteration: usize) {
+        self.pending.retain(|f| f.iteration > iteration);
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +198,41 @@ mod tests {
         assert!(FaultKind::NanGradient.describe().contains("NaN"));
         assert!(FaultKind::CgStall.describe().contains("CG"));
         assert!(FaultKind::ProjectionStall.describe().contains("projection"));
+        assert!(FaultKind::Kill.describe().contains("kill"));
+        assert!(FaultKind::CkptShortWrite.describe().contains("short write"));
+        assert!(FaultKind::CkptWriteError.describe().contains("I/O error"));
+        assert!(FaultKind::CkptCorrupt.describe().contains("corruption"));
+    }
+
+    #[test]
+    fn io_faults_are_taken_by_class() {
+        let plan = FaultPlan::new()
+            .inject(2, FaultKind::CkptShortWrite)
+            .inject(4, FaultKind::CkptCorrupt)
+            .inject(4, FaultKind::Kill);
+        let mut armed = FaultArming::new(Some(&plan));
+        assert_eq!(armed.take_io_fault(1), None);
+        assert_eq!(armed.take_io_fault(2), Some(FaultKind::CkptShortWrite));
+        assert_eq!(armed.take_io_fault(2), None, "fires only once");
+        // Kill at 4 is NOT a checkpoint fault; only the corruption fires.
+        assert_eq!(armed.take_io_fault(4), Some(FaultKind::CkptCorrupt));
+        assert_eq!(armed.take_io_fault(4), None);
+        assert!(armed.take(4, FaultKind::Kill));
+    }
+
+    #[test]
+    fn discard_through_disarms_past_injections() {
+        let plan = FaultPlan::new()
+            .inject(3, FaultKind::Kill)
+            .inject(5, FaultKind::NanGradient)
+            .inject(8, FaultKind::CgStall);
+        let mut armed = FaultArming::new(Some(&plan));
+        armed.discard_through(5);
+        assert!(!armed.take(3, FaultKind::Kill));
+        assert!(!armed.take(5, FaultKind::NanGradient));
+        assert!(
+            armed.take(8, FaultKind::CgStall),
+            "future faults stay armed"
+        );
     }
 }

@@ -58,6 +58,25 @@ impl LambdaSchedule {
         self.lambda_1
     }
 
+    /// The Formula 12 increment scale `h` (checkpointed so a resumed
+    /// schedule reproduces the original exactly).
+    pub fn h(&self) -> f64 {
+        self.h
+    }
+
+    /// Rebuilds a schedule from previously captured state — the checkpoint
+    /// restore path. `inverse_ratio` defaults off; apply
+    /// [`Self::with_inverse_ratio`] afterwards as the original run did.
+    pub fn restore(mode: LambdaMode, lambda: f64, lambda_1: f64, h: f64) -> Self {
+        Self {
+            mode,
+            lambda,
+            lambda_1,
+            h,
+            inverse_ratio: false,
+        }
+    }
+
     /// Scales the current multiplier by `factor` (the divergence-recovery
     /// policy backs λ off after a numerical fault; the schedule then
     /// regrows it through the usual updates).
@@ -159,5 +178,21 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_pi_rejected() {
         LambdaSchedule::new(LambdaMode::default(), 100.0, 100.0, 0.0);
+    }
+
+    #[test]
+    fn restore_reproduces_advance_sequence() {
+        let mut original = LambdaSchedule::new(LambdaMode::default(), 100.0, 5000.0, 10.0);
+        original.advance(10.0, 7.0);
+        original.advance(7.0, 3.0);
+        let mut restored = LambdaSchedule::restore(
+            LambdaMode::default(),
+            original.lambda(),
+            original.lambda_1(),
+            original.h(),
+        );
+        original.advance(3.0, 2.0);
+        restored.advance(3.0, 2.0);
+        assert_eq!(original.lambda().to_bits(), restored.lambda().to_bits());
     }
 }

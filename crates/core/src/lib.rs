@@ -44,7 +44,9 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+mod budget;
 pub mod check;
+pub mod ckpt;
 mod config;
 mod error;
 pub mod faults;
@@ -56,7 +58,11 @@ mod solves;
 pub mod timing_driven;
 mod trace;
 
-pub use config::{GridSchedule, Interconnect, LambdaMode, PlacerConfig, RoutabilityConfig};
+pub use budget::Budget;
+pub use ckpt::{load_checkpoint, CheckpointState, CkptError};
+pub use config::{
+    CheckpointConfig, GridSchedule, Interconnect, LambdaMode, PlacerConfig, RoutabilityConfig,
+};
 pub use error::{PlaceError, StopReason};
 pub use faults::{FaultInjection, FaultKind, FaultPlan};
 pub use lambda::LambdaSchedule;

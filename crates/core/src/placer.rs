@@ -4,15 +4,18 @@ use std::time::{Duration, Instant};
 
 use complx_legalize::{DetailedPlacer, Legalizer};
 use complx_netlist::{hpwl, CellKind, Design, Placement, Point};
+use complx_par::CancelToken;
 use complx_sparse::CgSolver;
 use complx_spread::rudy::CongestionMap;
-use complx_spread::FeasibilityProjection;
+use complx_spread::{FeasibilityProjection, ProjectionResult};
 use complx_wirelength::{
     Anchors, BetaRegModel, InterconnectModel, LseModel, PNormModel, QuadraticModel,
 };
 
 use complx_obs as obs;
 
+use crate::budget::Budget;
+use crate::ckpt::{self, CheckpointState, CheckpointWriter};
 use crate::config::{Interconnect, PlacerConfig};
 use crate::error::{PlaceError, StopReason};
 use crate::faults::{FaultArming, FaultKind};
@@ -70,6 +73,7 @@ impl PlacementOutcome {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComplxPlacer {
     config: PlacerConfig,
+    cancel: Option<CancelToken>,
 }
 
 impl Default for ComplxPlacer {
@@ -81,7 +85,23 @@ impl Default for ComplxPlacer {
 impl ComplxPlacer {
     /// Creates a placer with the given configuration.
     pub fn new(config: PlacerConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            cancel: None,
+        }
+    }
+
+    /// Attaches an external cancel token. When it trips, the run winds
+    /// down cooperatively: the inner kernels (CG, NLCG, projection,
+    /// detailed placement) stop at their next safe point and the loop
+    /// exits through the best-iterate path with
+    /// [`StopReason::Cancelled`] — or [`PlaceError::Cancelled`] when no
+    /// feasible iterate exists yet. An untripped token changes nothing:
+    /// the run is bit-identical to one without a token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// The active configuration.
@@ -98,7 +118,57 @@ impl ComplxPlacer {
     /// the recovery budget, or the time budget expires before any feasible
     /// iterate was produced. See [`PlaceError`] for the variants.
     pub fn place(&self, design: &Design) -> Result<PlacementOutcome, PlaceError> {
-        self.place_with_criticality(design, None)
+        self.run(design, None, None)
+    }
+
+    /// Resumes a run from a checkpoint captured by a previous (killed or
+    /// cancelled) run with the same design and configuration, continuing
+    /// at `state.iteration + 1`. The final placement is byte-identical to
+    /// the uninterrupted run's, for any thread count.
+    ///
+    /// Criticality-weighted runs are not resumable: the checkpoint does
+    /// not capture the criticality factors (see
+    /// [`Self::place_with_criticality`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::CheckpointMismatch`] when the checkpoint was
+    /// taken on a different design or a configuration whose
+    /// determinism-relevant fields differ (see [`ckpt::config_hash`]),
+    /// plus every failure mode of [`Self::place`].
+    pub fn resume(
+        &self,
+        design: &Design,
+        state: CheckpointState,
+    ) -> Result<PlacementOutcome, PlaceError> {
+        let dh = ckpt::design_hash(design);
+        if dh != state.design_hash {
+            return Err(PlaceError::CheckpointMismatch {
+                reason: format!(
+                    "design hash {dh:#018x} does not match checkpoint {:#018x}",
+                    state.design_hash
+                ),
+            });
+        }
+        let ch = ckpt::config_hash(&self.config);
+        if ch != state.config_hash {
+            return Err(PlaceError::CheckpointMismatch {
+                reason: format!(
+                    "config hash {ch:#018x} does not match checkpoint {:#018x}",
+                    state.config_hash
+                ),
+            });
+        }
+        if state.lower.len() != design.num_cells() {
+            return Err(PlaceError::CheckpointMismatch {
+                reason: format!(
+                    "checkpoint holds {} cells for a {}-cell design",
+                    state.lower.len(),
+                    design.num_cells()
+                ),
+            });
+        }
+        self.run(design, None, Some(state))
     }
 
     /// Places a design with per-cell criticality factors `γ_i` weighing the
@@ -114,6 +184,19 @@ impl ComplxPlacer {
         &self,
         design: &Design,
         criticality: Option<&[f64]>,
+    ) -> Result<PlacementOutcome, PlaceError> {
+        self.run(design, criticality, None)
+    }
+
+    /// The shared engine behind [`Self::place`],
+    /// [`Self::place_with_criticality`], and [`Self::resume`]: a fresh run
+    /// bootstraps at λ = 0, a resumed run restores the checkpointed loop
+    /// state and continues at the next iteration.
+    fn run(
+        &self,
+        design: &Design,
+        criticality: Option<&[f64]>,
+        resume: Option<CheckpointState>,
     ) -> Result<PlacementOutcome, PlaceError> {
         if let Some(c) = criticality {
             if c.len() != design.num_cells() {
@@ -142,7 +225,9 @@ impl ComplxPlacer {
             Some(s) => Some(t_global + Duration::from_secs_f64(s)),
             None => None,
         };
-        let out_of_time = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
+        // Deadline ∪ external cancellation, polled at every safe point;
+        // the token additionally reaches the cancellable kernels.
+        let budget = Budget::new(deadline, self.cancel.clone());
 
         // The CG tolerance is recovery-state: each divergence recovery
         // tightens it (sloppier solves are a prime source of breakdowns),
@@ -171,9 +256,24 @@ impl ComplxPlacer {
         let projection = FeasibilityProjection {
             shred_macros: cfg.shred_macros,
             cells_per_bin: cfg.cells_per_bin,
+            cancel: self.cancel.clone(),
             ..FeasibilityProjection::default()
         };
         let adaptive = projection.adaptive_bins(design);
+
+        // Periodic crash-safe checkpointing. Disabled for
+        // criticality-weighted runs: the checkpoint does not capture the
+        // criticality factors, so a resume could not reproduce them.
+        let mut ckpt_writer = match (&cfg.checkpoint, criticality) {
+            (Some(c), None) => Some(CheckpointWriter::new(
+                c,
+                resume.as_ref().map_or(0, |s| s.generation),
+            )),
+            _ => None,
+        };
+        let hashes = ckpt_writer
+            .as_ref()
+            .map(|_| (ckpt::design_hash(design), ckpt::config_hash(cfg)));
 
         // Per-macro λ scale factors (Section 5).
         let macro_scale: Vec<f64> = {
@@ -192,80 +292,150 @@ impl ComplxPlacer {
         };
         let crit = |i: usize| criticality.map_or(1.0, |c| c[i]);
 
-        // Bootstrap: unconstrained quadratic placement (λ = 0). A few
-        // passes let the B2B linearization settle. A breakdown here is
-        // fatal — no feasible iterate exists yet to degrade to.
-        let mut solves: Vec<SolveRecord> = Vec::new();
-        let bootstrap_span = obs::span("bootstrap");
-        let mut lower = design.initial_placement();
-        for _ in 0..3 {
-            let stats = model.minimize(design, &mut lower, None);
-            solves.push(SolveRecord::from_stats(0, &stats));
-            if stats.breakdown {
-                return Err(PlaceError::SolverBreakdown {
-                    iteration: 0,
-                    detail: "CG breakdown in the λ = 0 bootstrap solve".into(),
-                });
+        // Mutable loop state — born in the bootstrap for a fresh run,
+        // restored verbatim from the checkpoint for a resumed one.
+        let mut solves: Vec<SolveRecord>;
+        let mut trace: Trace;
+        let mut lower: Placement;
+        let mut upper: Placement;
+        let mut best_upper: Placement;
+        let mut best_phi_upper: f64;
+        let mut pi_prev: f64;
+        let mut converged: bool;
+        let mut iterations: usize;
+        let mut final_lambda: f64;
+        let mut recoveries: usize;
+        let mut stale: usize;
+        let mut stop_reason: StopReason;
+        let schedule_init: Option<LambdaSchedule>;
+        let start_k: usize;
+
+        if let Some(st) = resume {
+            // Faults scheduled inside the killed run's lifetime already
+            // fired (or died with it) — only future ones stay armed.
+            armed.discard_through(st.iteration);
+            cg_tol = st.cg_tol;
+            model = make_model(cg_tol);
+            solves = st.solves;
+            trace = st.trace;
+            lower = st.lower;
+            upper = st.upper;
+            best_upper = st.best_upper;
+            best_phi_upper = st.best_phi_upper;
+            pi_prev = st.pi_prev;
+            converged = false;
+            iterations = st.iteration;
+            final_lambda = st.final_lambda;
+            recoveries = st.recoveries;
+            stale = st.stale;
+            stop_reason = StopReason::IterationCap;
+            schedule_init = Some(
+                LambdaSchedule::restore(cfg.lambda_mode, st.lambda, st.lambda_1, st.h)
+                    .with_inverse_ratio(cfg.lambda_inverse_ratio),
+            );
+            start_k = st.iteration + 1;
+            obs::add("ckpt.resumes", 1);
+            if obs::enabled() {
+                obs::event(
+                    "resume",
+                    obs::JsonValue::object(vec![
+                        ("iteration", (st.iteration as i64).into()),
+                        ("generation", (st.generation as i64).into()),
+                    ]),
+                );
             }
-            if !placement_is_finite(design, &lower) {
-                return Err(PlaceError::SolverBreakdown {
-                    iteration: 0,
-                    detail: "non-finite iterate out of the λ = 0 bootstrap solve".into(),
-                });
+        } else {
+            // Bootstrap: unconstrained quadratic placement (λ = 0). A few
+            // passes let the B2B linearization settle. A breakdown here is
+            // fatal — no feasible iterate exists yet to degrade to.
+            solves = Vec::new();
+            let bootstrap_span = obs::span("bootstrap");
+            lower = design.initial_placement();
+            for _ in 0..3 {
+                let stats =
+                    model.minimize_with_cancel(design, &mut lower, None, budget.cancel_token());
+                solves.push(SolveRecord::from_stats(0, &stats));
+                if stats.breakdown {
+                    return Err(PlaceError::SolverBreakdown {
+                        iteration: 0,
+                        detail: "CG breakdown in the λ = 0 bootstrap solve".into(),
+                    });
+                }
+                if !placement_is_finite(design, &lower) {
+                    return Err(PlaceError::SolverBreakdown {
+                        iteration: 0,
+                        detail: "non-finite iterate out of the λ = 0 bootstrap solve".into(),
+                    });
+                }
+                if let Some(reason) = budget.stop() {
+                    // No projection has run yet, so there is no feasible
+                    // placement to exit gracefully with.
+                    return Err(match reason {
+                        StopReason::Cancelled => PlaceError::Cancelled,
+                        _ => PlaceError::TimedOut {
+                            budget_seconds: cfg.time_budget.unwrap_or(0.0),
+                        },
+                    });
+                }
             }
-            if out_of_time(deadline) {
-                // No projection has run yet, so there is no feasible
-                // placement to exit gracefully with.
-                return Err(PlaceError::TimedOut {
-                    budget_seconds: cfg.time_budget.unwrap_or(0.0),
-                });
-            }
+
+            trace = Trace::new();
+            let boot = projection.project_with_bins(design, &lower, cfg.grid.bins_at(0, adaptive));
+            drop(bootstrap_span);
+            upper = boot.placement.clone();
+            let phi0 = hpwl::weighted_hpwl(design, &lower);
+            pi_prev = boot.distance_l1;
+
+            trace.push(IterationRecord {
+                iteration: 0,
+                lambda: 0.0,
+                phi_lower: phi0,
+                phi_upper: hpwl::weighted_hpwl(design, &upper),
+                pi: pi_prev,
+                lagrangian: phi0,
+                overflow: boot.overflow_before,
+                bins: boot.bins_used,
+            });
+
+            converged = boot.overflow_before < cfg.overflow_tolerance;
+            iterations = 0;
+            final_lambda = 0.0;
+            recoveries = 0;
+            // A run that never enters the λ loop — already feasible, or the
+            // bootstrap projection left nothing to optimize — is converged.
+            // Entering the loop flips this to IterationCap, which then
+            // stands only if no break fires before `max_iterations`.
+            stop_reason = StopReason::Converged;
+            // Best feasible iterate seen so far (SimPL's "upper-bound
+            // placement"; Section 4 reads the result off a feasible
+            // iterate, so keeping the best one means extra iterations never
+            // hurt).
+            best_upper = upper.clone();
+            best_phi_upper = hpwl::weighted_hpwl(design, &upper);
+            stale = 0;
+            schedule_init = if !converged && pi_prev > 0.0 && phi0 > 0.0 {
+                Some(
+                    LambdaSchedule::new(cfg.lambda_mode, cfg.lambda_init_divisor, phi0, pi_prev)
+                        .with_inverse_ratio(cfg.lambda_inverse_ratio),
+                )
+            } else {
+                None
+            };
+            start_k = 1;
         }
 
-        let mut trace = Trace::new();
-        let mut proj = projection.project_with_bins(design, &lower, cfg.grid.bins_at(0, adaptive));
-        drop(bootstrap_span);
-        let mut upper = proj.placement.clone();
-        let phi0 = hpwl::weighted_hpwl(design, &lower);
-        let mut pi_prev = proj.distance_l1;
-
-        trace.push(IterationRecord {
-            iteration: 0,
-            lambda: 0.0,
-            phi_lower: phi0,
-            phi_upper: hpwl::weighted_hpwl(design, &upper),
-            pi: pi_prev,
-            lagrangian: phi0,
-            overflow: proj.overflow_before,
-            bins: proj.bins_used,
-        });
-
-        let mut converged = proj.overflow_before < cfg.overflow_tolerance;
-        let mut iterations = 0;
-        let mut final_lambda = 0.0;
-        let mut recoveries = 0usize;
-        // A run that never enters the λ loop — already feasible, or the
-        // bootstrap projection left nothing to optimize — is converged.
-        // Entering the loop flips this to IterationCap, which then stands
-        // only if no break fires before `max_iterations`.
-        let mut stop_reason = StopReason::Converged;
-        // Best feasible iterate seen so far (SimPL's "upper-bound
-        // placement"; Section 4 reads the result off a feasible iterate, so
-        // keeping the best one means extra iterations never hurt).
-        let mut best_upper = upper.clone();
-        let mut best_phi_upper = hpwl::weighted_hpwl(design, &upper);
-        let mut stale = 0usize;
-
-        if !converged && pi_prev > 0.0 && phi0 > 0.0 {
-            let mut schedule =
-                LambdaSchedule::new(cfg.lambda_mode, cfg.lambda_init_divisor, phi0, pi_prev)
-                    .with_inverse_ratio(cfg.lambda_inverse_ratio);
-
+        if let Some(mut schedule) = schedule_init {
             stop_reason = StopReason::IterationCap;
-            for k in 1..=cfg.max_iterations {
-                if out_of_time(deadline) {
-                    stop_reason = StopReason::TimeBudget;
+            for k in start_k..=cfg.max_iterations {
+                if let Some(reason) = budget.stop() {
+                    stop_reason = reason;
                     break;
+                }
+                if armed.take(k, FaultKind::Kill) {
+                    // Simulated crash: surface exactly what an external
+                    // SIGKILL would leave behind — committed checkpoints on
+                    // disk, nothing else.
+                    return Err(PlaceError::Killed { iteration: k });
                 }
                 let _iter_span = obs::span("iteration");
                 obs::add("place.iterations", 1);
@@ -292,8 +462,22 @@ impl ComplxPlacer {
                     .collect();
                 let anchors =
                     Anchors::per_cell(design, upper.clone(), lambdas, 1.5 * design.row_height());
-                let mstats = model.minimize(design, &mut lower, Some(&anchors));
+                let mstats = model.minimize_with_cancel(
+                    design,
+                    &mut lower,
+                    Some(&anchors),
+                    budget.cancel_token(),
+                );
                 solves.push(SolveRecord::from_stats(k, &mstats));
+
+                // A cancel (or deadline) that tripped inside the solve left
+                // a half-converged iterate; discard it and exit with the
+                // snapshot so the reported lower bound stays meaningful.
+                if let Some(reason) = budget.stop() {
+                    lower = lower_prev;
+                    stop_reason = reason;
+                    break;
+                }
 
                 // Fault detection (injected faults flow through the same
                 // checks as real numerical failures).
@@ -319,8 +503,9 @@ impl ComplxPlacer {
                 // configuration). Skipped when the primal step already
                 // faulted: projecting a poisoned iterate is meaningless.
                 let bins = cfg.grid.bins_at(k, adaptive);
+                let mut proj_result: Option<ProjectionResult> = None;
                 if fault.is_none() {
-                    proj = match &cfg.routability {
+                    let proj = match &cfg.routability {
                         Some(r) => {
                             let cbins = if r.grid_bins == 0 { bins } else { r.grid_bins };
                             let map = CongestionMap::build(design, &lower, cbins, cbins, r.supply);
@@ -341,14 +526,17 @@ impl ComplxPlacer {
                     }
                     if !placement_is_finite(design, &upper) {
                         fault = Some("non-finite feasible iterate after projection".into());
-                    } else if cfg.detail_each_iteration {
-                        let legalized = Legalizer::default().legalize(design, &upper);
-                        let refined = DetailedPlacer {
-                            max_passes: 1,
-                            ..DetailedPlacer::default()
+                    } else {
+                        if cfg.detail_each_iteration {
+                            let legalized = Legalizer::default().legalize(design, &upper);
+                            let refined = DetailedPlacer {
+                                max_passes: 1,
+                                ..DetailedPlacer::default()
+                            }
+                            .improve(design, legalized.placement);
+                            upper = refined.placement;
                         }
-                        .improve(design, legalized.placement);
-                        upper = refined.placement;
+                        proj_result = Some(proj);
                     }
                 }
 
@@ -383,6 +571,11 @@ impl ComplxPlacer {
                     model = make_model(cg_tol);
                     continue;
                 }
+                let Some(proj) = proj_result else {
+                    // Unreachable: a missing projection always set `fault`,
+                    // which the block above consumed with `continue`.
+                    continue;
+                };
 
                 let phi_lower = hpwl::weighted_hpwl(design, &lower);
                 let phi_upper = hpwl::weighted_hpwl(design, &upper);
@@ -449,6 +642,65 @@ impl ComplxPlacer {
 
                 schedule.advance(pi_prev, pi);
                 pi_prev = pi;
+
+                // Periodic checkpoint at the loop bottom, where the state
+                // is exactly "iteration k done, schedule advanced" — the
+                // precondition [`ComplxPlacer::resume`] restores. Best
+                // effort: an I/O failure is counted, not fatal.
+                if let (Some(w), Some((dh, ch))) = (ckpt_writer.as_mut(), hashes) {
+                    if w.due(k) {
+                        let _ckpt_span = obs::span("checkpoint");
+                        let state = CheckpointState {
+                            design_hash: dh,
+                            config_hash: ch,
+                            generation: w.next_generation(),
+                            iteration: k,
+                            lambda: schedule.lambda(),
+                            lambda_1: schedule.lambda_1(),
+                            h: schedule.h(),
+                            pi_prev,
+                            cg_tol,
+                            recoveries,
+                            stale,
+                            best_phi_upper,
+                            final_lambda,
+                            lower: lower.clone(),
+                            upper: upper.clone(),
+                            best_upper: best_upper.clone(),
+                            trace: trace.clone(),
+                            solves: solves.clone(),
+                        };
+                        let io_fault = armed.take_io_fault(k);
+                        match w.write(&state, io_fault) {
+                            Ok(bytes) => {
+                                obs::add("ckpt.writes", 1);
+                                obs::add("ckpt.bytes", bytes);
+                                if obs::enabled() {
+                                    obs::event(
+                                        "checkpoint",
+                                        obs::JsonValue::object(vec![
+                                            ("iteration", (k as i64).into()),
+                                            ("bytes", (bytes as i64).into()),
+                                            ("generation", (state.generation as i64).into()),
+                                        ]),
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                obs::add("ckpt.errors", 1);
+                                if obs::enabled() {
+                                    obs::event(
+                                        "checkpoint_error",
+                                        obs::JsonValue::object(vec![
+                                            ("iteration", (k as i64).into()),
+                                            ("error", e.to_string().as_str().into()),
+                                        ]),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
         let global_seconds = t_global.elapsed().as_secs_f64();
@@ -464,11 +716,11 @@ impl ComplxPlacer {
         let t_detail = Instant::now();
         let legal = if cfg.final_detail {
             let legalized = Legalizer::default().legalize(design, &upper);
-            if out_of_time(deadline) {
+            if budget.stop().is_some() {
                 legalized.placement
             } else {
                 DetailedPlacer::default()
-                    .improve(design, legalized.placement)
+                    .improve_with_cancel(design, legalized.placement, budget.cancel_token())
                     .placement
             }
         } else {
@@ -788,5 +1040,135 @@ mod tests {
             let out = ComplxPlacer::new(cfg).place(&d).unwrap();
             assert!(out.hpwl_legal > 0.0);
         }
+    }
+
+    #[test]
+    fn pre_tripped_cancel_errors_before_feasible_iterate() {
+        let d = small(1);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = ComplxPlacer::new(PlacerConfig::fast())
+            .with_cancel(token)
+            .place(&d)
+            .unwrap_err();
+        assert!(matches!(err, PlaceError::Cancelled), "got {err}");
+        assert_eq!(err.exit_code(), 8);
+    }
+
+    #[test]
+    fn untripped_token_is_bit_identical_to_no_token() {
+        let d = small(4);
+        let plain = ComplxPlacer::new(PlacerConfig::fast()).place(&d).unwrap();
+        let tokened = ComplxPlacer::new(PlacerConfig::fast())
+            .with_cancel(CancelToken::new())
+            .place(&d)
+            .unwrap();
+        assert_eq!(plain.legal, tokened.legal);
+        assert_eq!(plain.trace, tokened.trace);
+        assert_eq!(plain.iterations, tokened.iterations);
+    }
+
+    #[test]
+    fn kill_then_resume_reproduces_uninterrupted_run() {
+        use crate::config::CheckpointConfig;
+        use crate::faults::FaultPlan;
+
+        let d = small(6);
+        let dir = std::env::temp_dir().join(format!("complx-placer-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt_a = dir.join("a.ckpt");
+        let ckpt_b = dir.join("b.ckpt");
+
+        let base = PlacerConfig {
+            max_iterations: 20,
+            ..PlacerConfig::fast()
+        };
+
+        // Reference: uninterrupted checkpointed run.
+        let cfg_a = PlacerConfig {
+            checkpoint: Some(CheckpointConfig::new(&ckpt_a, 2)),
+            ..base.clone()
+        };
+        let reference = ComplxPlacer::new(cfg_a).place(&d).unwrap();
+        assert!(
+            reference.iterations >= 5,
+            "design converged too fast to test resume"
+        );
+
+        // Crash: kill at iteration 5 (checkpoints at 2 and 4 committed).
+        let cfg_b = PlacerConfig {
+            checkpoint: Some(CheckpointConfig::new(&ckpt_b, 2)),
+            faults: Some(FaultPlan::new().inject(5, FaultKind::Kill)),
+            ..base.clone()
+        };
+        let err = ComplxPlacer::new(cfg_b).place(&d).unwrap_err();
+        assert!(
+            matches!(err, PlaceError::Killed { iteration: 5 }),
+            "got {err}"
+        );
+        assert_eq!(err.exit_code(), 10);
+
+        // Resume from the killed run's checkpoint; the fault plan is gone
+        // (a real restart would not re-specify it).
+        let cfg_r = PlacerConfig {
+            checkpoint: Some(CheckpointConfig::new(&ckpt_b, 2)),
+            ..base.clone()
+        };
+        let (state, used_prev) = ckpt::load_checkpoint(&ckpt_b).unwrap();
+        assert!(!used_prev);
+        assert_eq!(state.iteration, 4);
+        let resumed = ComplxPlacer::new(cfg_r).resume(&d, state).unwrap();
+
+        assert_eq!(
+            reference.legal, resumed.legal,
+            "resume must be byte-identical"
+        );
+        assert_eq!(reference.upper, resumed.upper);
+        assert_eq!(reference.lower, resumed.lower);
+        assert_eq!(reference.trace, resumed.trace);
+        assert_eq!(reference.iterations, resumed.iterations);
+        assert_eq!(
+            reference.final_lambda.to_bits(),
+            resumed.final_lambda.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_design_and_config() {
+        use crate::config::CheckpointConfig;
+
+        let d = small(6);
+        let other = small(7);
+        let dir = std::env::temp_dir().join(format!("complx-placer-mm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.ckpt");
+        let cfg = PlacerConfig {
+            max_iterations: 20,
+            checkpoint: Some(CheckpointConfig::new(&path, 2)),
+            ..PlacerConfig::fast()
+        };
+        ComplxPlacer::new(cfg.clone()).place(&d).unwrap();
+        let (state, _) = ckpt::load_checkpoint(&path).unwrap();
+
+        let err = ComplxPlacer::new(cfg.clone())
+            .resume(&other, state.clone())
+            .unwrap_err();
+        assert!(
+            matches!(err, PlaceError::CheckpointMismatch { .. }),
+            "got {err}"
+        );
+        assert_eq!(err.exit_code(), 9);
+
+        let other_cfg = PlacerConfig {
+            max_iterations: 25,
+            ..cfg
+        };
+        let err = ComplxPlacer::new(other_cfg).resume(&d, state).unwrap_err();
+        assert!(
+            matches!(err, PlaceError::CheckpointMismatch { .. }),
+            "got {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

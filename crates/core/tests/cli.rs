@@ -249,3 +249,143 @@ fn nonpositive_max_seconds_is_a_usage_error() {
     let stderr = String::from_utf8_lossy(&output.stderr);
     assert!(stderr.contains("--max-seconds"), "{stderr}");
 }
+
+#[test]
+fn lse_rejects_nonpositive_and_nonfinite_gamma() {
+    for bad in ["-3", "0", "nan", "inf"] {
+        let output = Command::new(complx_bin())
+            .args(["in.aux", "--lse", bad])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            output.status.code(),
+            Some(1),
+            "--lse {bad} must be rejected"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(stderr.contains("finite positive"), "--lse {bad}: {stderr}");
+    }
+}
+
+#[test]
+fn lse_followed_by_flag_uses_default_gamma() {
+    // `--lse --simpl` must not claim `--simpl` as the γ argument: parsing
+    // succeeds with the default and the run proceeds to input loading.
+    let output = Command::new(complx_bin())
+        .args(["missing.aux", "--lse", "--simpl"])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cannot read"), "stderr: {stderr}");
+}
+
+#[test]
+fn checkpoint_every_requires_checkpoint() {
+    let output = Command::new(complx_bin())
+        .args(["in.aux", "--checkpoint-every", "3"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("requires --checkpoint"), "{stderr}");
+}
+
+#[test]
+fn kill_resume_workflow_end_to_end() {
+    let dir = temp_dir("resume");
+    let design = GeneratorConfig::small("cli_rsm", 21).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+    let ckpt = dir.join("run.ckpt");
+
+    // Reference: uninterrupted run with the same checkpoint cadence.
+    let ref_dir = dir.join("ref");
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["-q", "--max-iterations", "15", "--threads", "2"])
+        .arg("--checkpoint")
+        .arg(dir.join("ref.ckpt"))
+        .args(["--checkpoint-every", "2"])
+        .arg("-o")
+        .arg(&ref_dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // Crash at iteration 5 → exit 10, checkpoint left on disk.
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["-q", "--max-iterations", "15", "--threads", "2"])
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .args(["--checkpoint-every", "2", "--fault-kill-at", "5"])
+        .arg("-o")
+        .arg(dir.join("kill"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(10), "killed exit code");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error[killed]"), "{stderr}");
+    assert!(ckpt.exists(), "killed run must leave its checkpoint behind");
+
+    // Resume under a different configuration → exit 9.
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["-q", "--max-iterations", "30", "--threads", "2"])
+        .arg("--resume")
+        .arg(&ckpt)
+        .arg("-o")
+        .arg(dir.join("mm"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(9), "mismatch exit code");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error[checkpoint-mismatch]"), "{stderr}");
+
+    // Resume under the original configuration → byte-identical solution.
+    let res_dir = dir.join("res");
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .args(["-q", "--max-iterations", "15", "--threads", "2"])
+        .arg("--resume")
+        .arg(&ckpt)
+        .arg("-o")
+        .arg(&res_dir)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let ref_pl = std::fs::read(ref_dir.join("cli_rsm.pl")).expect("reference .pl");
+    let res_pl = std::fs::read(res_dir.join("cli_rsm.pl")).expect("resumed .pl");
+    assert_eq!(ref_pl, res_pl, "resumed solution must be byte-identical");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn resume_from_missing_checkpoint_is_an_io_error() {
+    let dir = temp_dir("nockpt");
+    let design = GeneratorConfig::small("cli_nc", 22).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+    let output = Command::new(complx_bin())
+        .arg(&aux)
+        .arg("-q")
+        .arg("--resume")
+        .arg(dir.join("absent.ckpt"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(7), "io exit code");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error[io]"), "{stderr}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -212,3 +212,77 @@ fn design_with_no_movable_cells_places_trivially_without_panic() {
     assert!(out.hpwl_legal.is_finite());
     assert!(placement_is_finite(&d, &out.legal));
 }
+
+#[test]
+fn kill_fault_aborts_with_exit_code_10_before_iteration_work() {
+    let d = small(13);
+    let cfg = run_with_plan(FaultPlan::new().inject(3, FaultKind::Kill), 3);
+    let err = ComplxPlacer::new(cfg)
+        .place(&d)
+        .expect_err("must be killed");
+    assert!(matches!(err, PlaceError::Killed { iteration: 3 }), "{err}");
+    assert_eq!(err.exit_code(), 10);
+    assert_eq!(err.kind(), "killed");
+}
+
+#[test]
+fn checkpoint_short_write_is_caught_at_load_and_prev_generation_survives() {
+    use complx_place::{ckpt, CheckpointConfig};
+    let dir = std::env::temp_dir().join(format!("complx-faults-short-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("c.ckpt");
+
+    let d = small(14);
+    let cfg = PlacerConfig {
+        max_iterations: 20,
+        checkpoint: Some(CheckpointConfig::new(&path, 2)),
+        // The short write lands on the generation written at iteration 6,
+        // leaving a truncated primary; the kill right after stops any later
+        // good generation from papering over it, so the iteration-4
+        // generation in `.prev` must carry the load.
+        faults: Some(
+            FaultPlan::new()
+                .inject(6, FaultKind::CkptShortWrite)
+                .inject(7, FaultKind::Kill),
+        ),
+        ..PlacerConfig::fast()
+    };
+    let err = ComplxPlacer::new(cfg)
+        .place(&d)
+        .expect_err("killed after the short write");
+    assert!(matches!(err, PlaceError::Killed { iteration: 7 }), "{err}");
+
+    assert!(ckpt::decode(&std::fs::read(&path).expect("primary exists")).is_err());
+    let (state, used_prev) = complx_place::load_checkpoint(&path).expect(".prev fallback");
+    assert!(
+        used_prev,
+        "loader must fall back to the previous generation"
+    );
+    assert_eq!(state.iteration, 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_write_error_only_counts_and_run_completes() {
+    use complx_place::CheckpointConfig;
+    let dir = std::env::temp_dir().join(format!("complx-faults-werr-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("c.ckpt");
+
+    let d = small(15);
+    let cfg = PlacerConfig {
+        max_iterations: 20,
+        checkpoint: Some(CheckpointConfig::new(&path, 2)),
+        faults: Some(FaultPlan::new().inject(4, FaultKind::CkptWriteError)),
+        ..PlacerConfig::fast()
+    };
+    let out = ComplxPlacer::new(cfg)
+        .place(&d)
+        .expect("write error must not abort the run");
+    assert!(out.hpwl_legal.is_finite());
+    // The failed generation was never committed; an earlier or later good
+    // generation is still loadable.
+    let (state, _) = complx_place::load_checkpoint(&path).expect("a good generation loads");
+    assert!(state.iteration >= 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -132,6 +132,20 @@ impl DetailedPlacer {
     /// inputs are refined on a best-effort basis but legality is only
     /// preserved, not established.
     pub fn improve(&self, design: &Design, placement: Placement) -> DetailResult {
+        self.improve_with_cancel(design, placement, None)
+    }
+
+    /// [`Self::improve`] with a cooperative cancellation point between
+    /// passes: when `cancel` trips, no further pass starts and the result is
+    /// whatever the completed passes produced — still legal, and HPWL never
+    /// worse than the input. An untripped token is bit-identical to
+    /// [`Self::improve`].
+    pub fn improve_with_cancel(
+        &self,
+        design: &Design,
+        placement: Placement,
+        cancel: Option<&complx_par::CancelToken>,
+    ) -> DetailResult {
         let _span = complx_obs::span("detail");
         let before = hpwl::weighted_hpwl(design, &placement);
         let mut state = RowState::new(design, &placement);
@@ -140,6 +154,9 @@ impl DetailedPlacer {
         let mut passes = 0usize;
         let mut last = before;
         for _ in 0..self.max_passes {
+            if cancel.is_some_and(complx_par::CancelToken::is_cancelled) {
+                break;
+            }
             passes += 1;
             let mut moves = 0usize;
             moves += global_swap_pass(&mut state, &mut tracker);

@@ -407,15 +407,20 @@ pub fn write_bundle(
     let name = design.name();
     let base = |ext: &str| dir.join(format!("{name}.{ext}"));
 
+    // Each file is rendered to memory and committed with an atomic
+    // tmp+rename so an interrupted export never leaves a torn bundle
+    // member behind (a half-written .nodes file parses as a valid but
+    // wrong design — worse than no file at all).
+
     // .aux
-    let mut aux = fs::File::create(base("aux"))?;
+    let mut aux: Vec<u8> = Vec::new();
     writeln!(
         aux,
         "RowBasedPlacement : {name}.nodes {name}.nets {name}.wts {name}.pl {name}.scl"
     )?;
 
     // .nodes
-    let mut nodes = fs::File::create(base("nodes"))?;
+    let mut nodes: Vec<u8> = Vec::new();
     writeln!(nodes, "UCLA nodes 1.0")?;
     let num_terminals = design
         .cell_ids()
@@ -434,7 +439,7 @@ pub fn write_bundle(
     }
 
     // .nets
-    let mut nets = fs::File::create(base("nets"))?;
+    let mut nets: Vec<u8> = Vec::new();
     writeln!(nets, "UCLA nets 1.0")?;
     writeln!(nets, "NumNets : {}", design.num_nets())?;
     writeln!(nets, "NumPins : {}", design.num_pins())?;
@@ -453,7 +458,7 @@ pub fn write_bundle(
     }
 
     // .wts
-    let mut wts = fs::File::create(base("wts"))?;
+    let mut wts: Vec<u8> = Vec::new();
     writeln!(wts, "UCLA wts 1.0")?;
     for nid in design.net_ids() {
         let n = design.net(nid);
@@ -465,7 +470,7 @@ pub fn write_bundle(
     }
 
     // .pl (lower-left corners)
-    let mut pl = fs::File::create(base("pl"))?;
+    let mut pl: Vec<u8> = Vec::new();
     writeln!(pl, "UCLA pl 1.0")?;
     for id in design.cell_ids() {
         let c = design.cell(id);
@@ -484,7 +489,7 @@ pub fn write_bundle(
     let core = design.core();
     let rh = design.row_height();
     let num_rows = (core.height() / rh).floor().max(1.0) as usize;
-    let mut scl = fs::File::create(base("scl"))?;
+    let mut scl: Vec<u8> = Vec::new();
     writeln!(scl, "UCLA scl 1.0")?;
     writeln!(scl, "NumRows : {num_rows}")?;
     for r in 0..num_rows {
@@ -502,6 +507,19 @@ pub fn write_bundle(
             core.width().floor() as usize
         )?;
         writeln!(scl, "End")?;
+    }
+
+    for (ext, bytes) in [
+        ("nodes", &nodes),
+        ("nets", &nets),
+        ("wts", &wts),
+        ("pl", &pl),
+        ("scl", &scl),
+        // .aux last: it names the other five, so its appearance signals a
+        // complete bundle.
+        ("aux", &aux),
+    ] {
+        complx_obs::atomicio::write_atomic(&base(ext), bytes)?;
     }
 
     Ok(base("aux"))

@@ -1,0 +1,186 @@
+//! Atomic output-file commits.
+//!
+//! Every artifact the toolchain writes (solutions, traces, reports, event
+//! streams, checkpoints) follows the same discipline: write to a sibling
+//! `<path>.tmp`, flush and fsync it, then `rename` over the destination.
+//! On POSIX filesystems the rename is atomic, so a reader — or a run
+//! killed mid-write — only ever observes the old complete file or the new
+//! complete file, never a torn one.
+//!
+//! [`write_atomic`] covers the one-shot case (the bytes are already in
+//! memory); [`AtomicFile`] covers streaming writers that produce output
+//! incrementally and commit at the end. An [`AtomicFile`] dropped without
+//! [`AtomicFile::commit`] removes its temporary and leaves the
+//! destination untouched.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temporary used while a commit is in flight.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Best-effort fsync of the containing directory so the rename itself is
+/// durable. Failure is ignored: not every filesystem supports it, and the
+/// file's own durability does not depend on it.
+fn sync_parent_dir(path: &Path) {
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+}
+
+/// Writes `bytes` to `path` atomically: tmp + fsync + rename.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing, or renaming the
+/// temporary. On error the destination is untouched (the temporary is
+/// removed best-effort).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    } else {
+        sync_parent_dir(path);
+    }
+    result
+}
+
+/// A streaming writer with atomic commit semantics.
+///
+/// Bytes go to `<path>.tmp` (buffered); [`Self::commit`] flushes, fsyncs,
+/// and renames the temporary over `path`. Dropping without committing
+/// aborts: the temporary is deleted and the destination never changes.
+#[derive(Debug)]
+pub struct AtomicFile {
+    path: PathBuf,
+    tmp: PathBuf,
+    file: Option<io::BufWriter<fs::File>>,
+}
+
+impl AtomicFile {
+    /// Opens `<path>.tmp` for writing (truncating any stale temporary).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating the temporary.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let tmp = tmp_path(path);
+        let file = fs::File::create(&tmp)?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            tmp,
+            file: Some(io::BufWriter::new(file)),
+        })
+    }
+
+    /// The destination this file will commit to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes, fsyncs, and renames the temporary over the destination.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the flush, sync, or rename; the destination is
+    /// untouched and the temporary removed when one occurs.
+    pub fn commit(mut self) -> io::Result<()> {
+        let Some(buf) = self.file.take() else {
+            return Ok(());
+        };
+        let result = (|| {
+            let file = buf.into_inner().map_err(io::IntoInnerError::into_error)?;
+            file.sync_all()?;
+            fs::rename(&self.tmp, &self.path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&self.tmp);
+        } else {
+            sync_parent_dir(&self.path);
+        }
+        result
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.file.as_mut() {
+            Some(f) => f.write(buf),
+            None => Err(io::Error::other("atomic file already committed")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.file.as_mut() {
+            Some(f) => f.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            // Not committed: abort, leaving the destination untouched.
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("complx-atomicio-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let path = scratch("w.txt");
+        fs::write(&path, b"old").unwrap();
+        write_atomic(&path, b"new contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new contents");
+        assert!(!tmp_path(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn streaming_commit_is_all_or_nothing() {
+        let path = scratch("s.txt");
+        fs::write(&path, b"previous").unwrap();
+
+        // Aborted writer (dropped uncommitted): destination unchanged.
+        {
+            let mut f = AtomicFile::create(&path).unwrap();
+            f.write_all(b"half-writ").unwrap();
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"previous");
+        assert!(!tmp_path(&path).exists());
+
+        // Committed writer: destination replaced.
+        let mut f = AtomicFile::create(&path).unwrap();
+        f.write_all(b"line 1\n").unwrap();
+        f.write_all(b"line 2\n").unwrap();
+        assert_eq!(f.path(), path.as_path());
+        f.commit().unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"line 1\nline 2\n");
+        assert!(!tmp_path(&path).exists());
+        fs::remove_file(&path).unwrap();
+    }
+}

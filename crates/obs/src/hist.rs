@@ -44,7 +44,7 @@ impl Histogram {
             return HistogramSummary::default();
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        sorted.sort_by(f64::total_cmp);
         let count = sorted.len();
         let sum: f64 = sorted.iter().sum();
         HistogramSummary {

@@ -63,6 +63,8 @@ impl JsonValue {
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             JsonValue::Int(i) => Some(*i),
+            // lint:allow(no-float-eq): zero fract is the exact definition
+            // of "integral" here; any tolerance would misclassify.
             JsonValue::Num(n) if n.fract() == 0.0 && n.abs() < 9e15 => Some(*n as i64),
             _ => None,
         }
@@ -286,7 +288,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -318,7 +320,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -329,7 +331,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -346,7 +348,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -369,7 +371,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             let start = self.pos;

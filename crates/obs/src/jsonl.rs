@@ -3,8 +3,25 @@
 use std::io::{self, Write};
 use std::path::Path;
 
+use crate::atomicio::AtomicFile;
 use crate::json::JsonValue;
 use crate::sink::Sink;
+
+/// Where the sink's lines go: an arbitrary writer, or an atomically
+/// committed file (visible at its final path only after a clean close).
+enum Output {
+    Writer(Box<dyn Write>),
+    Atomic(AtomicFile),
+}
+
+impl Output {
+    fn writer(&mut self) -> &mut dyn Write {
+        match self {
+            Self::Writer(w) => w,
+            Self::Atomic(f) => f,
+        }
+    }
+}
 
 /// A [`Sink`] that appends one JSON line per span exit and per structured
 /// event to a writer (typically the `--events FILE` stream).
@@ -20,7 +37,7 @@ use crate::sink::Sink;
 /// Write failures are reported to stderr once and further output is
 /// dropped — telemetry must never abort the run it observes.
 pub struct JsonlSink {
-    out: Option<Box<dyn Write>>,
+    out: Option<Output>,
     lines: u64,
     counters: Vec<(String, u64)>,
 }
@@ -38,16 +55,22 @@ impl JsonlSink {
     /// Wraps any writer.
     pub fn new(out: Box<dyn Write>) -> Self {
         Self {
-            out: Some(out),
+            out: Some(Output::Writer(out)),
             lines: 0,
             counters: Vec::new(),
         }
     }
 
-    /// Creates (truncating) a file and buffers writes to it.
+    /// Buffers lines into `<path>.tmp` and atomically renames it over
+    /// `path` at [`Sink::on_close`] — a crashed run leaves either the
+    /// previous complete stream or nothing, never a torn file.
     pub fn create(path: &Path) -> io::Result<Self> {
-        let file = std::fs::File::create(path)?;
-        Ok(Self::new(Box::new(io::BufWriter::new(file))))
+        let file = AtomicFile::create(path)?;
+        Ok(Self {
+            out: Some(Output::Atomic(file)),
+            lines: 0,
+            counters: Vec::new(),
+        })
     }
 
     /// Number of lines written so far.
@@ -61,7 +84,7 @@ impl JsonlSink {
         };
         let mut line = value.to_json_string();
         line.push('\n');
-        if let Err(e) = out.write_all(line.as_bytes()) {
+        if let Err(e) = out.writer().write_all(line.as_bytes()) {
             eprintln!("obs: events stream write failed ({e}); disabling stream");
             self.out = None;
             return;
@@ -109,10 +132,20 @@ impl Sink for JsonlSink {
             fields.extend(counters.into_iter().map(|(n, t)| (n, JsonValue::from(t))));
             self.write_line(&JsonValue::Obj(fields));
         }
-        if let Some(out) = self.out.as_mut() {
-            if let Err(e) = out.flush() {
-                eprintln!("obs: events stream flush failed ({e})");
+        match self.out.take() {
+            Some(Output::Writer(mut w)) => {
+                if let Err(e) = w.flush() {
+                    eprintln!("obs: events stream flush failed ({e})");
+                }
+                self.out = Some(Output::Writer(w));
             }
+            Some(Output::Atomic(f)) => {
+                // Commit: the stream appears at its final path only now.
+                if let Err(e) = f.commit() {
+                    eprintln!("obs: events stream commit failed ({e})");
+                }
+            }
+            None => {}
         }
     }
 }

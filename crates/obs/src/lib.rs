@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomicio;
 pub mod collector;
 pub mod hist;
 pub mod json;
@@ -29,6 +30,7 @@ pub mod logger;
 pub mod report;
 pub mod sink;
 
+pub use atomicio::{write_atomic, AtomicFile};
 pub use collector::{
     add, carrier, enabled, event, harvest, install, observe, span, Carrier, CarrierGuard, Harvest,
     SpanGuard,

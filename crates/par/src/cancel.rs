@@ -1,0 +1,96 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a shared atomic flag that long-running kernels poll
+//! at safe points (CG iterations, projection regions, detailed-placement
+//! passes). Cancellation is *cooperative*: tripping the token never
+//! interrupts a computation mid-step — each kernel finishes the unit of
+//! work it is on and then returns its last consistent state, so a cancelled
+//! solve still yields finite, well-formed results.
+//!
+//! Cloning a token is cheap (an `Arc` bump) and every clone observes the
+//! same flag, so one token can be handed to a watchdog thread, a service
+//! front-end, and the solve pipeline at once. The flag is one-way: once
+//! cancelled, a token stays cancelled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, clonable, one-way cancellation flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips the flag. Every clone of this token observes the cancellation;
+    /// kernels stop at their next poll point. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled. Cheap enough to poll in inner
+    /// loops (a relaxed-acquire load of one shared byte).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Two tokens compare equal when they share the same flag (clone
+/// identity), mirroring the semantics of [`CancelToken::cancel`] — equal
+/// tokens always observe each other's cancellation.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_live_and_trips_once() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert_eq!(a, b);
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn distinct_tokens_are_independent_and_unequal() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        assert_ne!(a, b);
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            t2.cancel();
+        });
+        h.join().expect("cancelling thread");
+        assert!(t.is_cancelled());
+    }
+}

@@ -17,6 +17,10 @@
 //! 3. **Chunked helpers** ([`par_for`], [`par_map`], [`par_reduce`]) that
 //!    claim chunk indices dynamically but merge results *in chunk order*.
 //!
+//! It also hosts the [`CancelToken`] cooperative-cancellation primitive the
+//! solve pipeline polls at safe points — it lives here (rather than in the
+//! placer) so every kernel crate can accept one without new dependencies.
+//!
 //! # Determinism contract
 //!
 //! Every helper here guarantees **bit-identical results for any thread
@@ -41,10 +45,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod cancel;
 mod ops;
 mod pool;
 mod scope;
 
+pub use cancel::CancelToken;
 pub use ops::{chunk_count, chunk_range, par_for, par_map, par_reduce, sum_f64};
 pub use scope::{scope, Scope};
 

@@ -122,7 +122,26 @@ impl CgSolver {
     ///
     /// Panics if `b` or `x` have length different from `a.dim()`.
     pub fn solve(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> SolveStats {
-        let stats = self.solve_inner(a, b, x);
+        self.solve_with_cancel(a, b, x, None)
+    }
+
+    /// [`Self::solve`] with a cooperative cancellation point at every CG
+    /// iteration: when `cancel` trips, the solver stops after the iteration
+    /// in flight and returns the last accepted iterate (reported as
+    /// unconverged, never as a breakdown). With `cancel: None` — or a token
+    /// that never trips — this is bit-identical to [`Self::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` or `x` have length different from `a.dim()`.
+    pub fn solve_with_cancel(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        cancel: Option<&complx_par::CancelToken>,
+    ) -> SolveStats {
+        let stats = self.solve_inner(a, b, x, cancel);
         // Feed the armed observability pipeline, if any (no-ops otherwise).
         complx_obs::add("cg.solves", 1);
         complx_obs::add("cg.iterations", stats.iterations as u64);
@@ -133,7 +152,13 @@ impl CgSolver {
         stats
     }
 
-    fn solve_inner(&self, a: &CsrMatrix, b: &[f64], x: &mut [f64]) -> SolveStats {
+    fn solve_inner(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        x: &mut [f64],
+        cancel: Option<&complx_par::CancelToken>,
+    ) -> SolveStats {
         let n = a.dim();
         assert_eq!(b.len(), n);
         assert_eq!(x.len(), n);
@@ -228,6 +253,12 @@ impl CgSolver {
         let mut iterations = 0;
         let mut breakdown = None;
         while res > self.tolerance && iterations < max_iter {
+            if cancel.is_some_and(complx_par::CancelToken::is_cancelled) {
+                // Cooperative stop: x holds the last accepted (finite)
+                // iterate; the caller sees an ordinary unconverged solve.
+                complx_obs::add("cg.cancelled", 1);
+                break;
+            }
             a.mul_vec(&p, &mut ap);
             let pap = dot(&p, &ap);
             if !pap.is_finite() {
@@ -421,6 +452,40 @@ mod tests {
         assert!(stats.converged, "stats: {stats:?}");
         assert!(stats.breakdown.is_none());
         assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn pre_cancelled_solve_stops_immediately_and_stays_finite() {
+        let n = 300;
+        let a = poisson(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let token = complx_par::CancelToken::new();
+        token.cancel();
+        let stats =
+            CgSolver::new()
+                .with_tolerance(1e-12)
+                .solve_with_cancel(&a, &b, &mut x, Some(&token));
+        assert_eq!(stats.iterations, 0);
+        assert!(!stats.converged);
+        assert!(stats.breakdown.is_none(), "cancel is not a breakdown");
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn untripped_token_is_bit_identical_to_plain_solve() {
+        let n = 120;
+        let a = poisson(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut x1 = vec![0.0; n];
+        let mut x2 = vec![0.0; n];
+        let token = complx_par::CancelToken::new();
+        let s1 = CgSolver::new().solve(&a, &b, &mut x1);
+        let s2 = CgSolver::new().solve_with_cancel(&a, &b, &mut x2, Some(&token));
+        assert_eq!(s1, s2);
+        for (a1, a2) in x1.iter().zip(&x2) {
+            assert_eq!(a1.to_bits(), a2.to_bits());
+        }
     }
 
     #[test]

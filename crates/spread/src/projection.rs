@@ -28,6 +28,10 @@ pub struct FeasibilityProjection {
     pub shred_macros: bool,
     /// Snap region-constrained cells after density spreading (Section S5).
     pub enforce_regions: bool,
+    /// Cooperative cancellation: when the token trips, regions that have not
+    /// started spreading yet are left at their pre-spread coordinates (still
+    /// a finite, consistent placement). An untripped token changes nothing.
+    pub cancel: Option<complx_par::CancelToken>,
 }
 
 impl Default for FeasibilityProjection {
@@ -38,6 +42,7 @@ impl Default for FeasibilityProjection {
             cells_per_bin: 3.0,
             shred_macros: true,
             enforce_regions: true,
+            cancel: None,
         }
     }
 }
@@ -125,6 +130,13 @@ impl FeasibilityProjection {
             complx_par::par_map(regions.len(), |ri| {
                 let _attached = car.attach();
                 let _sp = complx_obs::span("chunks");
+                if self
+                    .cancel
+                    .as_ref()
+                    .is_some_and(complx_par::CancelToken::is_cancelled)
+                {
+                    return (Vec::new(), Vec::new());
+                }
                 let rect = regions[ri].rect(&caps);
                 let mut local: Vec<Item> = Vec::new();
                 let mut ids: Vec<usize> = Vec::new();

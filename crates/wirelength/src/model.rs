@@ -48,4 +48,20 @@ pub trait InterconnectModel {
         placement: &mut Placement,
         anchors: Option<&Anchors>,
     ) -> MinimizeStats;
+
+    /// [`Self::minimize`] with a cooperative cancellation point in the
+    /// model's inner solver loop: when `cancel` trips mid-solve, the model
+    /// stops early and writes back its last consistent (finite) iterate.
+    /// The default implementation ignores the token — models without an
+    /// interruptible inner loop are simply uncancellable mid-step. With an
+    /// untripped token the result is bit-identical to [`Self::minimize`].
+    fn minimize_with_cancel(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+        _cancel: Option<&complx_par::CancelToken>,
+    ) -> MinimizeStats {
+        self.minimize(design, placement, anchors)
+    }
 }

@@ -25,12 +25,17 @@ pub trait SmoothObjective {
     fn step_scale(&self) -> f64;
 }
 
-/// Minimizes `problem` starting from `z`, in place.
-pub fn minimize(
+/// Minimizes `problem` starting from `z`, in place, with a cooperative
+/// cancellation point at every outer NLCG iteration: when `cancel` trips,
+/// the minimizer returns its last accepted iterate. Pass `None` for an
+/// uninterruptible run — the result is bit-identical either way while the
+/// token stays untripped.
+pub fn minimize_with_cancel(
     problem: &impl SmoothObjective,
     z: &mut [f64],
     max_iter: usize,
     tol: f64,
+    cancel: Option<&complx_par::CancelToken>,
 ) -> NlcgStats {
     let n = z.len();
     if n == 0 {
@@ -50,6 +55,9 @@ pub fn minimize(
     let mut grad_try = vec![0.0; n];
 
     for it in 0..max_iter {
+        if cancel.is_some_and(complx_par::CancelToken::is_cancelled) {
+            break; // z holds the last accepted iterate
+        }
         let gnorm = grad.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         stats.grad_norm = gnorm;
         if gnorm <= tol * g0_norm {
@@ -126,7 +134,7 @@ mod tests {
     #[test]
     fn minimizes_quadratic_bowl() {
         let mut z = vec![10.0; 6];
-        let stats = minimize(&Bowl, &mut z, 200, 1e-8);
+        let stats = minimize_with_cancel(&Bowl, &mut z, 200, 1e-8, None);
         assert!(stats.objective < 1e-8, "{stats:?}");
         for (i, zi) in z.iter().enumerate() {
             assert!((zi - i as f64).abs() < 1e-4);
@@ -154,14 +162,14 @@ mod tests {
         let mut z = vec![-1.2, 1.0];
         let mut g = vec![0.0; 2];
         let f0 = Rosenbrock.eval(&z, &mut g);
-        let stats = minimize(&Rosenbrock, &mut z, 500, 1e-10);
+        let stats = minimize_with_cancel(&Rosenbrock, &mut z, 500, 1e-10, None);
         assert!(stats.objective < 0.01 * f0, "{stats:?}");
     }
 
     #[test]
     fn empty_problem_is_noop() {
         let mut z: Vec<f64> = vec![];
-        let stats = minimize(&Bowl, &mut z, 10, 1e-6);
+        let stats = minimize_with_cancel(&Bowl, &mut z, 10, 1e-6, None);
         assert_eq!(stats.iterations, 0);
     }
 }

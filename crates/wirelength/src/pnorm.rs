@@ -253,6 +253,16 @@ impl InterconnectModel for PNormModel {
         placement: &mut Placement,
         anchors: Option<&Anchors>,
     ) -> MinimizeStats {
+        self.minimize_with_cancel(design, placement, anchors, None)
+    }
+
+    fn minimize_with_cancel(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+        cancel: Option<&complx_par::CancelToken>,
+    ) -> MinimizeStats {
         let index = VarIndex::new(design);
         let eps = self.beta_rows * design.row_height();
         let mut iters = [0usize; 2];
@@ -268,7 +278,13 @@ impl InterconnectModel for PNormModel {
                     }
                 })
                 .collect();
-            let stats = nlcg::minimize(&prob, &mut z, self.max_iterations, self.tolerance);
+            let stats = nlcg::minimize_with_cancel(
+                &prob,
+                &mut z,
+                self.max_iterations,
+                self.tolerance,
+                cancel,
+            );
             iters[k] = stats.iterations;
             for (v, &zi) in z.iter().enumerate() {
                 let cell = index.cell(v);

@@ -130,6 +130,7 @@ impl QuadraticModel {
         placement: &Placement,
         anchors: Option<&Anchors>,
         axis: Axis,
+        cancel: Option<&complx_par::CancelToken>,
     ) -> (Vec<f64>, complx_sparse::SolveStats) {
         let assembly_span = complx_obs::span("b2b_rebuild");
         let n_cells = index.num_vars();
@@ -323,7 +324,7 @@ impl QuadraticModel {
             Axis::X => "cg_solve_x",
             Axis::Y => "cg_solve_y",
         });
-        let stats = self.solver.solve(&a_mat, &rhs, &mut x);
+        let stats = self.solver.solve_with_cancel(&a_mat, &rhs, &mut x, cancel);
         x.truncate(n_cells);
         (x, stats)
     }
@@ -351,9 +352,19 @@ impl InterconnectModel for QuadraticModel {
         placement: &mut Placement,
         anchors: Option<&Anchors>,
     ) -> MinimizeStats {
+        self.minimize_with_cancel(design, placement, anchors, None)
+    }
+
+    fn minimize_with_cancel(
+        &self,
+        design: &Design,
+        placement: &mut Placement,
+        anchors: Option<&Anchors>,
+        cancel: Option<&complx_par::CancelToken>,
+    ) -> MinimizeStats {
         let index = VarIndex::new(design);
-        let (xs, sx) = self.solve_axis(design, &index, placement, anchors, Axis::X);
-        let (ys, sy) = self.solve_axis(design, &index, placement, anchors, Axis::Y);
+        let (xs, sx) = self.solve_axis(design, &index, placement, anchors, Axis::X, cancel);
+        let (ys, sy) = self.solve_axis(design, &index, placement, anchors, Axis::Y, cancel);
         let core = design.core();
         for v in 0..index.num_vars() {
             let cell = index.cell(v);

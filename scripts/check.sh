@@ -58,4 +58,51 @@ echo "== CLI determinism: --threads 1 matches --threads 4 =="
     --trace "$smoke_dir/trace_t1.csv"
 cmp "$smoke_dir/trace_t1.csv" "$smoke_dir/trace_t4.csv"
 
+echo "== resume: crash-safe checkpoint/restart reproduces the run =="
+rdir="$smoke_dir/resume"
+mkdir -p "$rdir"
+# Reference: uninterrupted checkpointed run.
+t0=$(date +%s.%N)
+./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
+    -o "$rdir/ref" --checkpoint "$rdir/ref.ckpt" --checkpoint-every 2 \
+    --trace "$rdir/trace_ref.csv"
+t1=$(date +%s.%N)
+# Crash at iteration 5 (exit 10 is the injected-kill contract).
+kill_rc=0
+./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
+    -o "$rdir/kill" --checkpoint "$rdir/run.ckpt" --checkpoint-every 2 \
+    --fault-kill-at 5 || kill_rc=$?
+test "$kill_rc" -eq 10
+test -f "$rdir/run.ckpt"
+# Resume: the final solution and trace must be byte-identical.
+t2=$(date +%s.%N)
+./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
+    -o "$rdir/res" --resume "$rdir/run.ckpt" \
+    --checkpoint "$rdir/run.ckpt" --checkpoint-every 2 \
+    --trace "$rdir/trace_res.csv"
+t3=$(date +%s.%N)
+cmp "$rdir/trace_ref.csv" "$rdir/trace_res.csv"
+cmp "$rdir/ref/smoke.pl" "$rdir/res/smoke.pl"
+# The resumed solution passes the independent oracle.
+./target/release/complx-verify "$aux" \
+    --solution "$rdir/res/smoke.aux" \
+    --trace "$rdir/trace_res.csv"
+# Corrupting the primary checkpoint falls back to .prev, still exit 0.
+printf '\xde\xad\xbe\xef' | dd of="$rdir/run.ckpt" bs=1 seek=64 count=4 conv=notrunc status=none
+./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
+    -o "$rdir/prev" --resume "$rdir/run.ckpt" --trace "$rdir/trace_prev.csv"
+cmp "$rdir/trace_ref.csv" "$rdir/trace_prev.csv"
+# Perf snapshot: checkpointed-run and resume wall times.
+ckpt_bytes=$(wc -c < "$rdir/ref.ckpt")
+awk -v ref="$t0 $t1" -v res="$t2 $t3" -v bytes="$ckpt_bytes" 'BEGIN {
+    split(ref, a, " "); split(res, b, " ");
+    printf "{\n  \"schema\": \"complx-bench-resume/v1\",\n";
+    printf "  \"design\": \"smoke\",\n  \"max_iterations\": 15,\n  \"threads\": 4,\n";
+    printf "  \"checkpoint_every\": 2,\n  \"checkpoint_bytes\": %d,\n", bytes;
+    printf "  \"uninterrupted_seconds\": %.3f,\n", a[2] - a[1];
+    printf "  \"resume_seconds\": %.3f,\n", b[2] - b[1];
+    printf "  \"byte_identical\": true\n}\n";
+}' > results/BENCH_resume.json
+cat results/BENCH_resume.json
+
 echo "All checks passed."
