@@ -9,6 +9,7 @@
 pub mod plot;
 pub mod report;
 pub mod runs;
+pub mod snapshot;
 pub mod svg;
 
 /// Geometric mean of positive values; `0.0` for an empty slice.
@@ -33,6 +34,8 @@ pub fn geomean(values: &[f64]) -> f64 {
 /// demand.
 pub fn artifact_dir() -> std::path::PathBuf {
     let dir = std::path::PathBuf::from("target/paper");
+    // lint:allow(no-expect): bench binaries abort loudly when the artifact
+    // tree cannot be created — there is nowhere to write results to.
     std::fs::create_dir_all(&dir).expect("artifact directory must be creatable");
     dir
 }

@@ -39,6 +39,18 @@
 //!   --report <file.json>   write the end-of-run report manifest
 //!   --events <file.jsonl>  stream instrumentation events (one JSON
 //!                          object per line) while placing
+//!   --profile <file>       write a collapsed-stack ("folded") span-time
+//!                          profile consumable by flamegraph tooling, and
+//!                          add a per-iteration `extra.timeline` section
+//!                          to the report (iteration → phase durations,
+//!                          CG iterations, λ, HPWL)
+//!   --profile-mem          arm the tracking allocator: charge allocation
+//!                          counts/bytes and the live-byte high-water
+//!                          mark to span paths, reported as
+//!                          `extra.memory` and in the summary table.
+//!                          Profiling observes and never perturbs: the
+//!                          solution and trace are byte-identical with
+//!                          the flags on or off
 //!   --log-level <level>    stderr instrumentation verbosity:
 //!                          off | info | debug (default off)
 //!   -q, --quiet            suppress progress output
@@ -54,11 +66,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use complx_netlist::bookshelf;
-use complx_obs::{JsonlSink, Level, Sink, StderrLogger};
+use complx_obs::{JsonlSink, Level, Sink, StderrLogger, TimelineSink};
 use complx_place::{
     load_checkpoint, CheckpointConfig, CkptError, ComplxPlacer, FaultKind, FaultPlan, Interconnect,
     PlaceError, PlacerConfig,
 };
+
+/// The tracking allocator behind `--profile-mem`. Until that flag arms
+/// it, every allocation costs one relaxed atomic load over the system
+/// allocator — and placement results are bit-identical either way.
+#[global_allocator]
+static ALLOC: complx_obs::prof::CountingAlloc = complx_obs::prof::CountingAlloc;
 
 struct Options {
     aux: PathBuf,
@@ -80,6 +98,8 @@ struct Options {
     trace: Option<PathBuf>,
     report: Option<PathBuf>,
     events: Option<PathBuf>,
+    profile: Option<PathBuf>,
+    profile_mem: bool,
     log_level: Level,
     quiet: bool,
 }
@@ -89,7 +109,8 @@ fn usage() -> &'static str {
      [--finest-grid] [--pc-dp] [--simpl] [--lse [GAMMA_ROWS]] [--no-detail]\n\
      [--max-seconds S] [--max-recoveries N] [--checkpoint FILE [--checkpoint-every K]]\n\
      [--resume FILE] [--fault-kill-at K] [--threads N] [--trace FILE[.json|.csv]]\n\
-     [--report FILE.json] [--events FILE.jsonl] [--log-level off|info|debug] [-q]"
+     [--report FILE.json] [--events FILE.jsonl] [--profile FILE] [--profile-mem]\n\
+     [--log-level off|info|debug] [-q]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -114,6 +135,8 @@ fn parse_args() -> Result<Options, String> {
         trace: None,
         report: None,
         events: None,
+        profile: None,
+        profile_mem: false,
         log_level: Level::Off,
         quiet: false,
     };
@@ -242,6 +265,12 @@ fn parse_args() -> Result<Options, String> {
                     args.next().ok_or("missing value for --events")?,
                 ))
             }
+            "--profile" => {
+                opts.profile = Some(PathBuf::from(
+                    args.next().ok_or("missing value for --profile")?,
+                ))
+            }
+            "--profile-mem" => opts.profile_mem = true,
             "--log-level" => {
                 opts.log_level = args
                     .next()
@@ -278,6 +307,12 @@ fn main() -> ExitCode {
 
     if let Some(n) = opts.threads {
         complx_par::set_threads(n);
+    }
+
+    // Arm memory profiling before the design loads so parse/bootstrap
+    // allocations are part of the accounting window.
+    if opts.profile_mem {
+        complx_obs::prof::set_mem_profiling(true);
     }
 
     let bundle = match bookshelf::read_aux(&opts.aux) {
@@ -402,7 +437,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    let instrument = !sinks.is_empty() || opts.report.is_some();
+    let timeline = opts.profile.as_ref().map(|_| {
+        let (sink, handle) = TimelineSink::new();
+        sinks.push(Box::new(sink) as Box<dyn Sink>);
+        handle
+    });
+    let instrument =
+        !sinks.is_empty() || opts.report.is_some() || opts.profile.is_some() || opts.profile_mem;
     if instrument {
         complx_obs::install(sinks);
     }
@@ -501,9 +542,34 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(profile_path) = &opts.profile {
+        let folded = harvest
+            .as_ref()
+            .map(complx_obs::prof::collapsed_stacks)
+            .unwrap_or_default();
+        if let Err(e) = complx_obs::write_atomic(profile_path, folded.as_bytes()) {
+            let e = PlaceError::from(e);
+            eprintln!(
+                "complx: error[{}]: cannot write profile {}: {e}",
+                e.kind(),
+                profile_path.display()
+            );
+            return ExitCode::from(e.exit_code());
+        }
+        if !opts.quiet {
+            eprintln!(
+                "complx: wrote collapsed-stack profile {}",
+                profile_path.display()
+            );
+        }
+    }
+
     if instrument {
-        let report =
+        let mut report =
             complx_place::run_report(&design, Some(&cfg), &outcome, harvest, total_seconds);
+        if let Some(handle) = &timeline {
+            complx_place::attach_extra(&mut report, "timeline", handle.to_json());
+        }
         if !opts.quiet {
             eprint!("{}", report.summary_table());
         }

@@ -68,6 +68,6 @@ pub use faults::{FaultInjection, FaultKind, FaultPlan};
 pub use lambda::LambdaSchedule;
 pub use metrics::PlacementMetrics;
 pub use placer::{ComplxPlacer, PlacementOutcome};
-pub use report::run_report;
+pub use report::{attach_extra, run_report};
 pub use solves::{SolveRecord, SolverTotals};
 pub use trace::{IterationRecord, Trace};

@@ -157,8 +157,14 @@ pub fn run_report(
             .collect(),
     );
     let totals = outcome.solver_totals();
-    report.extra = JsonValue::object(vec![
-        ("parallel", parallel_json(harvest.as_ref())),
+    let mut extra = vec![("parallel", parallel_json(harvest.as_ref()))];
+    // Memory attribution only exists while `--profile-mem` keeps the
+    // tracking allocator armed; reports from unprofiled runs stay free of
+    // a section that would be all zeros.
+    if complx_obs::prof::mem_profiling() {
+        extra.push(("memory", complx_obs::prof::memory_json(harvest.as_ref())));
+    }
+    extra.extend(vec![
         (
             "solver",
             JsonValue::object(vec![
@@ -194,10 +200,21 @@ pub fn run_report(
             ),
         ),
     ]);
+    report.extra = JsonValue::object(extra);
     if let Some(h) = harvest {
         report = report.with_harvest(h);
     }
     report
+}
+
+/// Appends a section to the report's `extra` object (used by the CLI for
+/// the `--profile` timeline, which only the caller holds).
+pub fn attach_extra(report: &mut RunReport, key: &str, value: JsonValue) {
+    if let JsonValue::Obj(fields) = &mut report.extra {
+        fields.push((key.to_string(), value));
+    } else {
+        report.extra = JsonValue::object(vec![(key, value)]);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,158 @@
+//! Profiling must observe, never perturb: a full `complx` run with
+//! `--profile` + `--profile-mem` produces byte-identical solution and
+//! trace artifacts to an unprofiled run, at 1 and 4 threads, and the
+//! profiled run's artifacts (folded stacks, `extra.memory`,
+//! `extra.timeline`) are well-formed.
+
+use std::path::Path;
+use std::process::Command;
+
+use complx_netlist::{bookshelf, generator::GeneratorConfig};
+use complx_obs::JsonValue;
+
+fn complx_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_complx")
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("complx_prof_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("temp dir");
+    d
+}
+
+struct RunArtifacts {
+    trace: String,
+    pl: Vec<u8>,
+    report: JsonValue,
+    folded: Option<String>,
+}
+
+fn run_at(aux: &Path, dir: &Path, threads: usize, profiled: bool) -> RunArtifacts {
+    let tag = format!("t{threads}_{}", if profiled { "prof" } else { "plain" });
+    let out_dir = dir.join(format!("sol_{tag}"));
+    let trace = dir.join(format!("trace_{tag}.csv"));
+    let report = dir.join(format!("report_{tag}.json"));
+    let folded = dir.join(format!("prof_{tag}.folded"));
+    let mut cmd = Command::new(complx_bin());
+    cmd.arg(aux)
+        .args(["--max-iterations", "20", "-q"])
+        .args(["--threads", &threads.to_string()])
+        .arg("-o")
+        .arg(&out_dir)
+        .arg("--trace")
+        .arg(&trace)
+        .arg("--report")
+        .arg(&report)
+        .env_remove("COMPLX_THREADS");
+    if profiled {
+        cmd.arg("--profile").arg(&folded).arg("--profile-mem");
+    }
+    let output = cmd.output().expect("binary runs");
+    assert!(
+        output.status.success(),
+        "{tag} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    RunArtifacts {
+        trace: std::fs::read_to_string(&trace).expect("trace written"),
+        pl: std::fs::read(out_dir.join("pdet.pl")).expect("solution written"),
+        report: complx_obs::parse(&std::fs::read_to_string(&report).expect("report written"))
+            .expect("report parses"),
+        folded: profiled.then(|| std::fs::read_to_string(&folded).expect("folded file written")),
+    }
+}
+
+#[test]
+fn profiling_on_vs_off_is_byte_identical_at_1_and_4_threads() {
+    let dir = temp_dir("bitid");
+    let design = GeneratorConfig::small("pdet", 21).generate();
+    let aux = bookshelf::write_bundle(&design, &design.initial_placement(), &dir)
+        .expect("bundle written");
+
+    let plain_t1 = run_at(&aux, &dir, 1, false);
+    let prof_t1 = run_at(&aux, &dir, 1, true);
+    let plain_t4 = run_at(&aux, &dir, 4, false);
+    let prof_t4 = run_at(&aux, &dir, 4, true);
+
+    for (plain, prof, threads) in [(&plain_t1, &prof_t1, 1), (&plain_t4, &prof_t4, 4)] {
+        assert_eq!(
+            plain.trace, prof.trace,
+            "--profile/--profile-mem perturbed the trace at {threads} threads"
+        );
+        assert_eq!(
+            plain.pl, prof.pl,
+            "--profile/--profile-mem perturbed the solution at {threads} threads"
+        );
+    }
+    // And across thread counts, profiled or not.
+    assert_eq!(prof_t1.pl, prof_t4.pl);
+    assert_eq!(prof_t1.trace, plain_t4.trace);
+
+    // The profiled run's artifacts are present and well-formed.
+    for (prof, threads) in [(&prof_t1, 1), (&prof_t4, 4)] {
+        let folded = prof.folded.as_deref().expect("folded output");
+        assert!(
+            folded.lines().any(|l| l.starts_with("place;iteration ")),
+            "collapsed stacks at {threads} threads miss the iteration phase:\n{folded}"
+        );
+        for line in folded.lines() {
+            let (stack, us) = line.rsplit_once(' ').expect("`stack us` shape");
+            assert!(!stack.contains('/'));
+            us.parse::<u64>().expect("integer microseconds");
+        }
+        let extra = prof.report.get("extra").expect("extra section");
+        let mem = extra.get("memory").expect("extra.memory present");
+        assert_eq!(
+            mem.get("tracked").and_then(JsonValue::as_bool),
+            Some(true),
+            "the CLI installs the tracking allocator"
+        );
+        let tracked_allocs = mem
+            .get("totals")
+            .and_then(|t| t.get("allocs"))
+            .and_then(JsonValue::as_i64)
+            .expect("totals.allocs");
+        assert!(tracked_allocs > 0, "allocations were counted");
+        let buckets = extra
+            .get("timeline")
+            .and_then(|t| t.get("iterations"))
+            .and_then(JsonValue::as_array)
+            .expect("extra.timeline.iterations");
+        assert!(
+            !buckets.is_empty(),
+            "timeline recorded iteration buckets at {threads} threads"
+        );
+        let first = &buckets[0];
+        assert_eq!(
+            first.get("iteration").and_then(JsonValue::as_i64),
+            Some(1),
+            "first bucket is iteration 1"
+        );
+        assert!(first
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .is_some_and(|p| !p.is_empty()));
+    }
+
+    // The unprofiled run carries neither profiling section.
+    let extra = plain_t1.report.get("extra").expect("extra section");
+    assert!(extra.get("memory").is_none());
+    assert!(extra.get("timeline").is_none());
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn profile_flag_requires_a_path() {
+    let output = Command::new(complx_bin())
+        .args(["input.aux", "--profile"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !output.status.success(),
+        "--profile without a path must fail"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--profile"), "stderr: {stderr}");
+}

@@ -82,6 +82,14 @@ fn safety_comment_fixture() {
 }
 
 #[test]
+fn allocator_unsafe_blocks_need_safety_comments() {
+    // The `unsafe impl` / `unsafe fn` tokens themselves are not findings
+    // (that is unsafe_op_in_unsafe_fn's business); the undocumented inner
+    // forwarding block is.
+    expect(lint_fixture("alloc.rs"), &[("safety-comment", 18, 9)]);
+}
+
+#[test]
 fn unordered_container_fixture() {
     expect(
         lint_fixture("unordered.rs"),

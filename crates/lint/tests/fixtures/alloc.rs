@@ -1,0 +1,22 @@
+//! Fixture: the tracking-allocator shape — forwarding `GlobalAlloc`
+//! methods still needs a SAFETY comment on every inner unsafe block.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+pub struct CountingShim;
+
+unsafe impl GlobalAlloc for CountingShim {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: the caller's layout contract is forwarded unchanged.
+        let p = unsafe { System.alloc(layout) };
+        record(layout.size());
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        record(layout.size());
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+fn record(_n: usize) {}

@@ -137,6 +137,10 @@ impl DensityGrid {
     /// Standard cells feed the demand array; movable macros feed the
     /// blockage array (see the field docs on `macro_usage`).
     pub fn accumulate(&mut self, design: &Design, placement: &Placement) {
+        // One span per grid rebuild (not per cell): separates density
+        // accumulation from the rest of projection in profiles, so the
+        // planned FFT density backend has a baseline to beat.
+        let _span = complx_obs::span("density");
         let cells = design.movable_cells();
         let nparts = if cells.len() < PAR_MIN_CELLS {
             1

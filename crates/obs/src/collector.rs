@@ -29,7 +29,8 @@ use std::time::Instant;
 
 use crate::hist::{Histogram, HistogramSummary};
 use crate::json::JsonValue;
-use crate::report::PhaseStat;
+use crate::prof::MemMark;
+use crate::report::{MemPhaseStat, PhaseStat};
 use crate::sink::Sink;
 
 thread_local! {
@@ -51,16 +52,35 @@ struct PhaseAgg {
     total: f64,
     min: f64,
     max: f64,
+    /// Whether any span charged memory here (memory profiling armed).
+    mem_armed: bool,
+    allocs: u64,
+    alloc_bytes: u64,
+    peak_bytes: i64,
 }
 
-/// Folds one span sample into a phase aggregate list.
-fn merge_phase(phases: &mut Vec<PhaseAgg>, path: &str, depth: usize, seconds: f64) {
+/// Folds one span sample into a phase aggregate list. `mem` is the span's
+/// allocation delta `(allocs, bytes, peak)` when memory profiling was
+/// armed for it.
+fn merge_phase(
+    phases: &mut Vec<PhaseAgg>,
+    path: &str,
+    depth: usize,
+    seconds: f64,
+    mem: Option<(u64, u64, i64)>,
+) {
     match phases.iter_mut().find(|p| p.path == path) {
         Some(p) => {
             p.count += 1;
             p.total += seconds;
             p.min = p.min.min(seconds);
             p.max = p.max.max(seconds);
+            if let Some((allocs, bytes, peak)) = mem {
+                p.mem_armed = true;
+                p.allocs += allocs;
+                p.alloc_bytes += bytes;
+                p.peak_bytes = p.peak_bytes.max(peak);
+            }
         }
         None => phases.push(PhaseAgg {
             path: path.to_string(),
@@ -69,6 +89,10 @@ fn merge_phase(phases: &mut Vec<PhaseAgg>, path: &str, depth: usize, seconds: f6
             total: seconds,
             min: seconds,
             max: seconds,
+            mem_armed: mem.is_some(),
+            allocs: mem.map_or(0, |m| m.0),
+            alloc_bytes: mem.map_or(0, |m| m.1),
+            peak_bytes: mem.map_or(0, |m| m.2),
         }),
     }
 }
@@ -91,6 +115,10 @@ impl SharedState {
                     q.total += p.total;
                     q.min = q.min.min(p.min);
                     q.max = q.max.max(p.max);
+                    q.mem_armed |= p.mem_armed;
+                    q.allocs += p.allocs;
+                    q.alloc_bytes += p.alloc_bytes;
+                    q.peak_bytes = q.peak_bytes.max(p.peak_bytes);
                 }
                 None => self.phases.push(p),
             }
@@ -124,15 +152,16 @@ struct WorkerCtx {
     prefix: String,
     /// Depth of the deepest open span behind `prefix`.
     base_depth: usize,
-    /// Open worker-side spans: `(name, start)`, innermost last.
-    stack: Vec<(&'static str, Instant)>,
+    /// Open worker-side spans: `(name, start, memory mark)`, innermost
+    /// last.
+    stack: Vec<(&'static str, Instant, MemMark)>,
     local: SharedState,
 }
 
 struct Collector {
     sinks: Vec<Box<dyn Sink>>,
-    /// Open spans: `(name, start)`, innermost last.
-    stack: Vec<(&'static str, Instant)>,
+    /// Open spans: `(name, start, memory mark)`, innermost last.
+    stack: Vec<(&'static str, Instant, MemMark)>,
     phases: Vec<PhaseAgg>,
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Histogram)>,
@@ -151,6 +180,10 @@ pub struct Harvest {
     pub counters: Vec<(String, u64)>,
     /// Histogram summaries, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Per-span-path memory attribution, sorted by path. Empty unless
+    /// memory profiling ([`crate::prof::set_mem_profiling`]) was armed
+    /// while spans ran.
+    pub memory: Vec<MemPhaseStat>,
 }
 
 impl Harvest {
@@ -221,6 +254,18 @@ pub fn harvest() -> Option<Harvest> {
         mut counters,
         mut histograms,
     } = main;
+    let mut memory: Vec<MemPhaseStat> = phases
+        .iter()
+        .filter(|p| p.mem_armed)
+        .map(|p| MemPhaseStat {
+            path: p.path.clone(),
+            depth: p.depth,
+            allocs: p.allocs,
+            alloc_bytes: p.alloc_bytes,
+            peak_bytes: p.peak_bytes,
+        })
+        .collect();
+    memory.sort_by(|a, b| a.path.cmp(&b.path));
     let mut phases: Vec<PhaseStat> = phases
         .into_iter()
         .map(|p| PhaseStat {
@@ -242,6 +287,7 @@ pub fn harvest() -> Option<Harvest> {
             .into_iter()
             .map(|(n, h)| (n, h.summary()))
             .collect(),
+        memory,
     })
 }
 
@@ -272,7 +318,7 @@ pub fn span(name: &'static str) -> SpanGuard {
     if enabled() {
         COLLECTOR.with(|c| {
             if let Some(col) = c.borrow_mut().as_mut() {
-                col.stack.push((name, Instant::now()));
+                col.stack.push((name, Instant::now(), MemMark::take()));
             }
         });
         return SpanGuard {
@@ -282,7 +328,7 @@ pub fn span(name: &'static str) -> SpanGuard {
     if worker_enabled() {
         WORKER.with(|w| {
             if let Some(ctx) = w.borrow_mut().as_mut() {
-                ctx.stack.push((name, Instant::now()));
+                ctx.stack.push((name, Instant::now(), MemMark::take()));
             }
         });
         return SpanGuard {
@@ -305,18 +351,18 @@ impl Drop for SpanGuard {
                     // early-return error path): nothing left to record into.
                     return;
                 };
-                let Some((name, start)) = col.stack.pop() else {
+                let Some((name, start, mark)) = col.stack.pop() else {
                     return;
                 };
                 let seconds = start.elapsed().as_secs_f64();
                 let depth = col.stack.len();
                 let mut path = String::with_capacity(16 * (depth + 1));
-                for (ancestor, _) in &col.stack {
+                for (ancestor, _, _) in &col.stack {
                     path.push_str(ancestor);
                     path.push('/');
                 }
                 path.push_str(name);
-                merge_phase(&mut col.phases, &path, depth, seconds);
+                merge_phase(&mut col.phases, &path, depth, seconds, mark.delta());
                 let seq = col.seq;
                 col.seq += 1;
                 for sink in &mut col.sinks {
@@ -328,7 +374,7 @@ impl Drop for SpanGuard {
                 let Some(ctx) = borrow.as_mut() else {
                     return;
                 };
-                let Some((name, start)) = ctx.stack.pop() else {
+                let Some((name, start, mark)) = ctx.stack.pop() else {
                     return;
                 };
                 let seconds = start.elapsed().as_secs_f64();
@@ -338,12 +384,12 @@ impl Drop for SpanGuard {
                 if !path.is_empty() {
                     path.push('/');
                 }
-                for (ancestor, _) in &ctx.stack {
+                for (ancestor, _, _) in &ctx.stack {
                     path.push_str(ancestor);
                     path.push('/');
                 }
                 path.push_str(name);
-                merge_phase(&mut ctx.local.phases, &path, depth, seconds);
+                merge_phase(&mut ctx.local.phases, &path, depth, seconds, mark.delta());
                 // No sink notifications from workers: sinks are owned by
                 // the armed thread and are not thread-safe.
             }),
@@ -487,7 +533,7 @@ pub fn carrier() -> Carrier {
             return Carrier { inner: None };
         };
         let mut prefix = String::new();
-        for (i, (name, _)) in col.stack.iter().enumerate() {
+        for (i, (name, _, _)) in col.stack.iter().enumerate() {
             if i > 0 {
                 prefix.push('/');
             }

@@ -17,8 +17,15 @@
 //!    design/config/metrics sections, serialized with the in-crate
 //!    [`json`] module and rendered as a phase-time table by
 //!    [`RunReport::summary_table`].
+//! 4. A deep-profiling layer ([`prof`]): an opt-in tracking global
+//!    allocator that charges allocations to span paths, a per-iteration
+//!    [`TimelineSink`], and a collapsed-stack renderer for flamegraph
+//!    tooling.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the [`prof`] module's global-allocator
+// wrapper is the single sanctioned `unsafe` surface (each block carries a
+// SAFETY comment enforced by complx-lint); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomicio;
@@ -27,6 +34,7 @@ pub mod hist;
 pub mod json;
 pub mod jsonl;
 pub mod logger;
+pub mod prof;
 pub mod report;
 pub mod sink;
 
@@ -39,5 +47,6 @@ pub use hist::{Histogram, HistogramSummary};
 pub use json::{parse, JsonValue, ParseError};
 pub use jsonl::JsonlSink;
 pub use logger::{Level, StderrLogger};
-pub use report::{PhaseStat, RunReport, REPORT_SCHEMA};
+pub use prof::{CountingAlloc, MemTotals, TimelineHandle, TimelineSink};
+pub use report::{MemPhaseStat, PhaseStat, RunReport, REPORT_SCHEMA};
 pub use sink::Sink;

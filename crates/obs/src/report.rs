@@ -64,6 +64,46 @@ impl PhaseStat {
     }
 }
 
+/// Aggregated memory attribution for one span path (memory profiling
+/// only; see [`crate::prof`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemPhaseStat {
+    /// `/`-joined span-name chain, e.g. `place/iteration/cg_solve_x`.
+    pub path: String,
+    /// Nesting depth (0 = root span).
+    pub depth: usize,
+    /// Allocations performed while the span was open on its thread.
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+    /// High-water mark of global live bytes observed over the span.
+    pub peak_bytes: i64,
+}
+
+impl MemPhaseStat {
+    /// The stat as a JSON object (one entry of `extra.memory.phases`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("path", self.path.as_str().into()),
+            ("depth", self.depth.into()),
+            ("allocs", self.allocs.into()),
+            ("alloc_bytes", self.alloc_bytes.into()),
+            ("peak_bytes", self.peak_bytes.into()),
+        ])
+    }
+
+    /// Reads a stat back from [`Self::to_json`] output.
+    pub fn from_json(v: &JsonValue) -> Option<Self> {
+        Some(Self {
+            path: v.get("path")?.as_str()?.to_string(),
+            depth: v.get("depth")?.as_i64()? as usize,
+            allocs: v.get("allocs")?.as_i64()? as u64,
+            alloc_bytes: v.get("alloc_bytes")?.as_i64()? as u64,
+            peak_bytes: v.get("peak_bytes")?.as_i64()?,
+        })
+    }
+}
+
 /// The schema identifier written into every report.
 pub const REPORT_SCHEMA: &str = "complx-run-report/v1";
 
@@ -299,6 +339,42 @@ impl RunReport {
             let _ = writeln!(out, "--- counters ---");
             for (name, value) in &self.counters {
                 let _ = writeln!(out, "{name:<40} {value:>8}");
+            }
+        }
+        if let Some(mem) = self.extra.get("memory") {
+            let phases: Vec<MemPhaseStat> = mem
+                .get("phases")
+                .and_then(JsonValue::as_array)
+                .map(|a| a.iter().filter_map(MemPhaseStat::from_json).collect())
+                .unwrap_or_default();
+            if !phases.is_empty() {
+                let _ = writeln!(out, "--- memory (allocations charged to spans) ---");
+                let _ = writeln!(
+                    out,
+                    "{:<40} {:>10} {:>14} {:>14}",
+                    "phase", "allocs", "bytes", "peak(B)"
+                );
+                for m in &phases {
+                    let name = m.path.rsplit('/').next().unwrap_or(&m.path);
+                    let label = format!("{:indent$}{}", "", name, indent = 2 * m.depth);
+                    let _ = writeln!(
+                        out,
+                        "{:<40} {:>10} {:>14} {:>14}",
+                        label, m.allocs, m.alloc_bytes, m.peak_bytes
+                    );
+                }
+            }
+            if let Some(totals) = mem.get("totals") {
+                let field = |k: &str| totals.get(k).and_then(JsonValue::as_i64).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "memory totals: {} allocs / {} B allocated, {} frees / {} B freed, peak {} B",
+                    field("allocs"),
+                    field("alloc_bytes"),
+                    field("frees"),
+                    field("freed_bytes"),
+                    field("peak_bytes"),
+                );
             }
         }
         out

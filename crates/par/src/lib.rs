@@ -144,6 +144,18 @@ pub fn with_threads(n: usize) -> ThreadsGuard {
     ThreadsGuard { prev }
 }
 
+/// Spawns the worker threads a run at `n` threads will use, ahead of the
+/// first parallel call.
+///
+/// [`scope`] sizes the pool lazily, so without prewarming the first
+/// parallel region of a process pays thread creation — and its
+/// allocations are charged to whatever profiling span happens to be
+/// active. Benchmarks call this before the measured window so thread
+/// startup cost lands outside it; results are bit-identical either way.
+pub fn prewarm(n: usize) {
+    pool::Pool::global().ensure_workers(n.clamp(1, MAX_THREADS).saturating_sub(1));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

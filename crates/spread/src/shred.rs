@@ -34,6 +34,7 @@ pub fn build_items_inflated(
     if let Some(f) = inflation {
         assert_eq!(f.len(), design.num_cells(), "one factor per cell");
     }
+    let _span = complx_obs::span("shred");
     let gamma = design.target_density();
     let shrink = gamma.sqrt();
     let shred_side = 2.0 * design.row_height();

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Perf trajectory: (re)generates the committed placer benchmark snapshot.
+#
+#   scripts/bench.sh           # refresh results/BENCH_placer.json (re-bless)
+#   scripts/bench.sh --check   # gate only: compare a fresh run against the
+#                              # committed snapshot, touch nothing
+#
+# The snapshot is the `complx-bench/v1` trajectory `bench_check` gates
+# `scripts/check.sh` against: three generated scales x {1,4,8} threads,
+# recording per-kernel wall/busy/parallelism, allocation totals, peak
+# memory, iteration counts and final scaled HPWL. After an *intentional*
+# performance change, run this script with no arguments and commit the
+# refreshed results/BENCH_placer.json together with the change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p complx-bench --bins
+
+if [[ "${1:-}" == "--check" ]]; then
+    ./target/release/bench_check --against results/BENCH_placer.json
+else
+    ./target/release/complx-bench-snapshot results/BENCH_placer.json
+    echo "Re-blessed results/BENCH_placer.json — review the diff and commit it."
+fi

@@ -30,18 +30,24 @@ cargo clippy -q --no-deps --lib \
     -p complx-oracle \
     -- -D clippy::unwrap_used
 
-echo "== CLI smoke run: report + events validate (4 threads) =="
+echo "== CLI smoke run: report + events + profiling validate (4 threads) =="
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
 aux=$(cargo run -q --release --example gen_smoke -- "$smoke_dir" 2>/dev/null)
+# Profiling is on for this run (and off for the --threads 1 run below):
+# the later trace comparison doubles as the observe-never-perturb check.
 ./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
     -o "$smoke_dir/solution" \
     --report "$smoke_dir/report.json" \
     --events "$smoke_dir/events.jsonl" \
-    --trace "$smoke_dir/trace_t4.csv"
+    --trace "$smoke_dir/trace_t4.csv" \
+    --profile "$smoke_dir/prof.folded" \
+    --profile-mem
 ./target/release/report_check "$smoke_dir/report.json" \
     --jsonl "$smoke_dir/events.jsonl" \
-    --threads 4
+    --threads 4 --memory --timeline
+# The collapsed-stack file must hold `stack us` lines for flamegraph tools.
+grep -Eq '^place(;[a-z_2]+)* [0-9]+$' "$smoke_dir/prof.folded"
 
 echo "== oracle: complx-verify validates the smoke artifacts =="
 # Independent recomputation: the solution must be audit-legal, the trace
@@ -52,11 +58,12 @@ echo "== oracle: complx-verify validates the smoke artifacts =="
     --trace "$smoke_dir/trace_t4.csv" \
     --report "$smoke_dir/report.json"
 
-echo "== CLI determinism: --threads 1 matches --threads 4 =="
+echo "== CLI determinism: --threads 1 (unprofiled) matches --threads 4 (profiled) =="
 ./target/release/complx "$aux" -q --max-iterations 15 --threads 1 \
     -o "$smoke_dir/solution_t1" \
     --trace "$smoke_dir/trace_t1.csv"
 cmp "$smoke_dir/trace_t1.csv" "$smoke_dir/trace_t4.csv"
+cmp "$smoke_dir/solution/smoke.pl" "$smoke_dir/solution_t1/smoke.pl"
 
 echo "== resume: crash-safe checkpoint/restart reproduces the run =="
 rdir="$smoke_dir/resume"
@@ -92,17 +99,30 @@ printf '\xde\xad\xbe\xef' | dd of="$rdir/run.ckpt" bs=1 seek=64 count=4 conv=not
 ./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
     -o "$rdir/prev" --resume "$rdir/run.ckpt" --trace "$rdir/trace_prev.csv"
 cmp "$rdir/trace_ref.csv" "$rdir/trace_prev.csv"
-# Perf snapshot: checkpointed-run and resume wall times.
+# Perf snapshot: checkpointed-run and resume wall times, in the same
+# complx-bench/v1 schema the placer trajectory uses (validated below).
 ckpt_bytes=$(wc -c < "$rdir/ref.ckpt")
 awk -v ref="$t0 $t1" -v res="$t2 $t3" -v bytes="$ckpt_bytes" 'BEGIN {
     split(ref, a, " "); split(res, b, " ");
-    printf "{\n  \"schema\": \"complx-bench-resume/v1\",\n";
-    printf "  \"design\": \"smoke\",\n  \"max_iterations\": 15,\n  \"threads\": 4,\n";
-    printf "  \"checkpoint_every\": 2,\n  \"checkpoint_bytes\": %d,\n", bytes;
-    printf "  \"uninterrupted_seconds\": %.3f,\n", a[2] - a[1];
-    printf "  \"resume_seconds\": %.3f,\n", b[2] - b[1];
-    printf "  \"byte_identical\": true\n}\n";
+    printf "{\n  \"schema\": \"complx-bench/v1\",\n  \"suite\": \"resume\",\n";
+    printf "  \"cases\": [\n";
+    printf "    {\n      \"name\": \"checkpointed\",\n      \"threads\": 4,\n";
+    printf "      \"wall_seconds\": %.3f,\n      \"iterations\": 15,\n", a[2] - a[1];
+    printf "      \"extra\": {\"design\": \"smoke\", \"checkpoint_every\": 2, \"checkpoint_bytes\": %d}\n    },\n", bytes;
+    printf "    {\n      \"name\": \"resumed\",\n      \"threads\": 4,\n";
+    printf "      \"wall_seconds\": %.3f,\n      \"iterations\": 15,\n", b[2] - b[1];
+    printf "      \"extra\": {\"design\": \"smoke\", \"resumed_from_iteration\": 5, \"byte_identical\": true}\n    }\n";
+    printf "  ]\n}\n";
 }' > results/BENCH_resume.json
 cat results/BENCH_resume.json
+
+echo "== bench: perf trajectory gate =="
+# Every committed snapshot must be valid complx-bench/v1, and a fresh run
+# of the placer matrix must stay inside the committed tolerance bands
+# (iterations / scaled HPWL / kernel counts exact, allocations tight,
+# wall-clock generous). Re-bless with scripts/bench.sh after intentional
+# performance changes.
+./target/release/bench_check --schema-only results/BENCH_*.json
+./target/release/bench_check --against results/BENCH_placer.json
 
 echo "All checks passed."
