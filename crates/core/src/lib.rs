@@ -50,10 +50,12 @@ pub mod ckpt;
 mod config;
 mod error;
 pub mod faults;
+pub mod idhash;
 mod lambda;
 mod metrics;
 mod placer;
 pub mod report;
+pub mod service;
 mod solves;
 pub mod timing_driven;
 mod trace;
@@ -65,9 +67,11 @@ pub use config::{
 };
 pub use error::{PlaceError, StopReason};
 pub use faults::{FaultInjection, FaultKind, FaultPlan};
+pub use idhash::{config_hash, design_hash};
 pub use lambda::LambdaSchedule;
 pub use metrics::PlacementMetrics;
 pub use placer::{ComplxPlacer, PlacementOutcome};
 pub use report::{attach_extra, run_report};
+pub use service::{solve, SolveArtifacts, SolveRequest};
 pub use solves::{SolveRecord, SolverTotals};
 pub use trace::{IterationRecord, Trace};

@@ -1,0 +1,157 @@
+//! Library-shaped solve entry point: one call that runs the full
+//! instrumented pipeline the `complx` CLI drives by hand.
+//!
+//! The CLI wires its pieces — thread budget, observability sinks, cancel
+//! token, placement, report assembly — inline in `main`. A long-lived
+//! consumer (the `complx-serve` daemon runs one of these per job, on its
+//! own worker thread) needs the same pipeline as a function: give it a
+//! design, a configuration, and an optional event sink, get back the
+//! outcome and the finished `complx-run-report/v1` manifest.
+//!
+//! The observability pipeline is thread-local, so concurrent
+//! [`solve`] calls on different threads keep fully independent event
+//! streams and harvests — the property that lets a job server run K
+//! placements at once with one JSONL stream per job.
+
+use complx_netlist::Design;
+use complx_obs::{RunReport, Sink};
+use complx_par::CancelToken;
+
+use crate::config::PlacerConfig;
+use crate::error::PlaceError;
+use crate::placer::{ComplxPlacer, PlacementOutcome};
+use crate::report::run_report;
+
+/// Everything one solve needs beyond the design itself.
+pub struct SolveRequest {
+    /// Placer configuration (hashed by [`crate::idhash::config_hash`]
+    /// for result-cache identity).
+    pub config: PlacerConfig,
+    /// Worker-thread budget for this solve's parallel kernels, applied as
+    /// a thread-local override for the duration of the call (`None` =
+    /// process default). Budgets only change speed, never results.
+    pub threads: Option<usize>,
+    /// Cooperative cancellation; an untripped token changes nothing.
+    pub cancel: Option<CancelToken>,
+    /// Event sinks for this solve (for example a line-buffered JSONL
+    /// stream). The aggregator behind the report always runs.
+    pub sinks: Vec<Box<dyn Sink>>,
+}
+
+impl SolveRequest {
+    /// A request with the given configuration and all extras defaulted.
+    pub fn new(config: PlacerConfig) -> Self {
+        Self {
+            config,
+            threads: None,
+            cancel: None,
+            sinks: Vec::new(),
+        }
+    }
+}
+
+/// A completed solve: the placement outcome plus its run manifest.
+pub struct SolveArtifacts {
+    /// The placer's structured result (placements, trace, metrics).
+    pub outcome: PlacementOutcome,
+    /// The `complx-run-report/v1` manifest, phase timings included.
+    pub report: RunReport,
+}
+
+/// Runs one fully instrumented placement: installs the request's sinks on
+/// this thread, applies the thread budget, places under the cancel token,
+/// then harvests and assembles the report manifest.
+///
+/// # Errors
+///
+/// Every failure mode of [`ComplxPlacer::place`], plus
+/// [`PlaceError::Cancelled`] when the token trips before a feasible
+/// iterate exists. The pipeline is harvested (sinks flushed and closed)
+/// on the error path too, so a cancelled job still leaves a complete
+/// event stream.
+pub fn solve(design: &Design, request: SolveRequest) -> Result<SolveArtifacts, PlaceError> {
+    let SolveRequest {
+        config,
+        threads,
+        cancel,
+        sinks,
+    } = request;
+    // Guard-scoped: the budget must cover the report assembly too, so
+    // `extra.parallel.threads` records the thread count the job ran at.
+    let _budget = threads.map(complx_par::with_threads);
+    complx_obs::install(sinks);
+    let mut placer = ComplxPlacer::new(config.clone());
+    if let Some(token) = cancel {
+        placer = placer.with_cancel(token);
+    }
+    let started = std::time::Instant::now();
+    let outcome = match placer.place(design) {
+        Ok(o) => o,
+        Err(e) => {
+            // Flush the event stream so a failed run still leaves a record.
+            drop(complx_obs::harvest());
+            return Err(e);
+        }
+    };
+    let total_seconds = started.elapsed().as_secs_f64();
+    let harvest = complx_obs::harvest();
+    let report = run_report(design, Some(&config), &outcome, harvest, total_seconds);
+    Ok(SolveArtifacts { outcome, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::generator::GeneratorConfig;
+
+    #[test]
+    fn solve_produces_outcome_and_report() {
+        let design = GeneratorConfig::small("svc", 3).generate();
+        let mut req = SolveRequest::new(PlacerConfig::fast());
+        req.threads = Some(2);
+        let arts = solve(&design, req).expect("solve succeeds");
+        assert!(arts.outcome.hpwl_legal > 0.0);
+        assert_eq!(arts.report.tool, "complx");
+        let threads = arts
+            .report
+            .extra
+            .get("parallel")
+            .and_then(|p| p.get("threads"))
+            .and_then(complx_obs::JsonValue::as_i64);
+        assert_eq!(threads, Some(2), "report records the per-job budget");
+    }
+
+    #[test]
+    fn solve_matches_direct_place_bit_for_bit() {
+        let design = GeneratorConfig::small("svc_eq", 5).generate();
+        let direct = ComplxPlacer::new(PlacerConfig::fast())
+            .place(&design)
+            .expect("direct place");
+        let served =
+            solve(&design, SolveRequest::new(PlacerConfig::fast())).expect("service solve");
+        assert_eq!(
+            direct.legal.xs(),
+            served.outcome.legal.xs(),
+            "instrumentation observes, never perturbs"
+        );
+        assert_eq!(direct.legal.ys(), served.outcome.legal.ys());
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels() {
+        let design = GeneratorConfig::small("svc_cancel", 7).generate();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut req = SolveRequest::new(PlacerConfig::fast());
+        req.cancel = Some(token);
+        match solve(&design, req) {
+            Err(PlaceError::Cancelled) => {}
+            Err(other) => panic!("expected Cancelled, got {other}"),
+            Ok(arts) => assert_eq!(
+                arts.outcome.stop_reason,
+                crate::error::StopReason::Cancelled,
+                "a feasible iterate may exist before the first poll"
+            ),
+        }
+    }
+}

@@ -84,7 +84,13 @@ impl JsonlSink {
         };
         let mut line = value.to_json_string();
         line.push('\n');
-        if let Err(e) = out.writer().write_all(line.as_bytes()) {
+        // Write-then-flush per event: consumers tailing the stream (a
+        // file watcher, or `complx-serve`'s live `GET /jobs/{id}/events`
+        // endpoint) must see every event the moment it happens, as one
+        // complete line — never a partial line stuck on a BufWriter
+        // boundary until the next event pushes it out.
+        let w = out.writer();
+        if let Err(e) = w.write_all(line.as_bytes()).and_then(|()| w.flush()) {
             eprintln!("obs: events stream write failed ({e}); disabling stream");
             self.out = None;
             return;
@@ -154,6 +160,69 @@ impl Sink for JsonlSink {
 mod tests {
     use super::*;
     use crate::json::parse;
+    use std::sync::{Arc, Mutex};
+
+    /// Records the byte positions at which `flush` was observed, so a test
+    /// can assert what a live reader of the stream would have seen.
+    struct FlushProbe {
+        buf: Arc<Mutex<Vec<u8>>>,
+        flushed_at: Arc<Mutex<Vec<usize>>>,
+    }
+
+    impl Write for FlushProbe {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.buf.lock().expect("probe lock").extend_from_slice(data);
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            let len = self.buf.lock().expect("probe lock").len();
+            self.flushed_at.lock().expect("probe lock").push(len);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn each_event_is_flushed_as_one_complete_line() {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let flushed_at = Arc::new(Mutex::new(Vec::new()));
+        let mut sink = JsonlSink::new(Box::new(FlushProbe {
+            buf: Arc::clone(&buf),
+            flushed_at: Arc::clone(&flushed_at),
+        }));
+        sink.on_span_exit("place/iteration", 1, 0.5, 1);
+        sink.on_event(
+            "iteration",
+            &JsonValue::object(vec![("iteration", 1i64.into())]),
+        );
+        sink.on_event(
+            "iteration",
+            &JsonValue::object(vec![("iteration", 2i64.into())]),
+        );
+
+        // One flush per event, before the next event begins — a live
+        // reader is never left waiting on a buffered tail.
+        let flushes = flushed_at.lock().expect("probe lock").clone();
+        assert_eq!(flushes.len(), 3, "one flush per emitted event");
+        let bytes = buf.lock().expect("probe lock").clone();
+        assert_eq!(
+            *flushes.last().expect("non-empty"),
+            bytes.len(),
+            "the final flush covers every byte written"
+        );
+        // Every flush boundary falls exactly on a line boundary, so each
+        // flushed prefix is a whole number of complete JSONL events.
+        let text = String::from_utf8(bytes).expect("utf-8 stream");
+        for &pos in &flushes {
+            assert!(
+                pos > 0 && text.as_bytes()[pos - 1] == b'\n',
+                "flush at byte {pos} must land on a newline"
+            );
+            for line in text[..pos].lines() {
+                parse(line).expect("each flushed line is complete JSON");
+            }
+        }
+        assert_eq!(text.lines().count(), 3);
+    }
 
     #[test]
     fn emits_parseable_lines_and_counter_summary() {

@@ -1,0 +1,165 @@
+//! Result cache keyed on `(design_hash, config_hash)`.
+//!
+//! The determinism contract makes results interchangeable: two
+//! submissions with equal canonical hashes (see `core::idhash`) produce
+//! byte-identical artifacts, so the second can be answered from the
+//! first's spool directory without running at all. Suboptimality sweeps
+//! and RL-style parameter searches resubmit near-identical bundles by the
+//! thousand — this cache is what turns that traffic into constant work.
+//!
+//! Eviction is deterministic least-recently-used: every hit or insert
+//! advances a logical tick, and overflow evicts the entry with the
+//! smallest last-used tick (ticks are unique, so there are no ties).
+//! Evicting an entry only forgets the dedup mapping — the producing job's
+//! spooled artifacts stay fetchable by job id.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use complx_obs::JsonValue;
+
+/// A cached result: where the artifacts live and the status summary to
+/// stamp onto cache-hit jobs.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The job that produced the result.
+    pub producer_job: u64,
+    /// Spool directory holding `report.json`, `solution/`, `events.jsonl`.
+    pub spool_dir: PathBuf,
+    /// Result summary (the `result` section of the status JSON).
+    pub result: JsonValue,
+    last_used: u64,
+}
+
+/// Bounded LRU map from `(design_hash, config_hash)` to spooled results.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: BTreeMap<(u64, u64), CacheEntry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries (`0` disables
+    /// caching entirely — every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn lookup(&mut self, design_hash: u64, config_hash: u64) -> Option<CacheEntry> {
+        self.tick += 1;
+        match self.entries.get_mut(&(design_hash, config_hash)) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(entry.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a result, evicting the least-recently-used
+    /// entry on overflow.
+    pub fn insert(&mut self, design_hash: u64, config_hash: u64, mut entry: CacheEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        entry.last_used = self.tick;
+        self.entries.insert((design_hash, config_hash), entry);
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k);
+            match oldest {
+                Some(k) => {
+                    self.entries.remove(&k);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses, evictions, capacity)` counters for `/stats`.
+    pub fn counters(&self) -> (u64, u64, u64, usize) {
+        (self.hits, self.misses, self.evictions, self.capacity)
+    }
+}
+
+/// Builds the entry-construction helper used by the scheduler.
+pub fn entry(producer_job: u64, spool_dir: PathBuf, result: JsonValue) -> CacheEntry {
+    CacheEntry {
+        producer_job,
+        spool_dir,
+        result,
+        last_used: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(job: u64) -> CacheEntry {
+        entry(job, PathBuf::from(format!("/spool/{job}")), JsonValue::Null)
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c = ResultCache::new(4);
+        assert!(c.lookup(1, 1).is_none());
+        c.insert(1, 1, e(10));
+        let hit = c.lookup(1, 1).expect("hit");
+        assert_eq!(hit.producer_job, 10);
+        let (hits, misses, evictions, capacity) = c.counters();
+        assert_eq!((hits, misses, evictions, capacity), (1, 1, 0, 4));
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let mut c = ResultCache::new(2);
+        c.insert(1, 0, e(1));
+        c.insert(2, 0, e(2));
+        c.lookup(1, 0); // refresh 1 → 2 is now least recent
+        c.insert(3, 0, e(3)); // evicts 2
+        assert!(c.lookup(2, 0).is_none(), "2 was evicted");
+        assert!(c.lookup(1, 0).is_some());
+        assert!(c.lookup(3, 0).is_some());
+        assert_eq!(c.counters().2, 1, "one eviction");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        c.insert(1, 1, e(9));
+        assert!(c.is_empty());
+        assert!(c.lookup(1, 1).is_none());
+    }
+}

@@ -1,0 +1,131 @@
+//! A minimal HTTP/1.1 client for the daemon's own protocol.
+//!
+//! Exists so `complx-loadgen` and the end-to-end tests exercise the
+//! server over a real socket without pulling in an HTTP dependency. Only
+//! what the protocol needs: one request per connection
+//! (`Connection: close`), `Content-Length` bodies, and chunked
+//! transfer decoding for the live events stream.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use complx_obs::{json, JsonValue};
+
+/// A decoded response: status code plus the fully-read body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body, de-chunked when the server streamed it.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Parses the body as JSON (most endpoints speak it).
+    pub fn json(&self) -> Result<JsonValue, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| e.to_string())?;
+        json::parse(text).map_err(|e| format!("{e:?}"))
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Sends one request and reads the full response. `body` may be empty
+/// (GET/DELETE). The connection closes afterwards, matching the server's
+/// `Connection: close` policy.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(Duration::from_secs(600)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    write!(
+        stream,
+        "{method} {path_and_query} HTTP/1.1\r\nHost: complx\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line `{status_line}`")))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value.parse().ok();
+        } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+            chunked = true;
+        }
+    }
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_line(&mut reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| io::Error::other(format!("bad chunk size `{size_line}`")))?;
+            if size == 0 {
+                let _ = read_line(&mut reader); // trailing CRLF after last chunk
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok(Response { status, body })
+}
+
+/// Polls `GET /jobs/{id}` until the job reaches a terminal state, then
+/// returns the final status JSON. `patience` bounds the total wait.
+pub fn wait_terminal(addr: SocketAddr, job_id: u64, patience: Duration) -> io::Result<JsonValue> {
+    let deadline = std::time::Instant::now() + patience;
+    loop {
+        let resp = request(addr, "GET", &format!("/jobs/{job_id}"), &[])?;
+        let status = resp.json().map_err(io::Error::other)?;
+        let state = status.get("state").and_then(|s| s.as_str()).unwrap_or("");
+        if matches!(state, "done" | "failed" | "cancelled") {
+            return Ok(status);
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(io::Error::other(format!(
+                "job {job_id} still `{state}` after {patience:?}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,254 @@
+//! `complx-bundle/v1` — length-prefixed file framing for job bodies.
+//!
+//! A submitted job is a whole Bookshelf bundle (`.aux` plus the component
+//! files it names); a served result is a report manifest plus a solution
+//! bundle. Both travel as one byte string in this framing — hand-rolled,
+//! little-endian, and checksummed by construction via strict decoding
+//! (truncation, duplicate names, and trailing bytes are all rejected):
+//!
+//! ```text
+//! magic   b"complx-bundle/v1\n"                    (17 bytes)
+//! count   u32    number of entries
+//! entry   name_len:u32  name:[u8]  data_len:u64  data:[u8]   (repeated)
+//! ```
+//!
+//! Entry names are relative file names (`smoke.aux`, `solution/smoke.pl`);
+//! decoding rejects absolute names and `..` components so a spooled bundle
+//! can never escape its job directory.
+
+/// The version-bearing frame magic.
+pub const MAGIC: &[u8] = b"complx-bundle/v1\n";
+
+/// Per-entry name length cap (sanity bound, not a protocol constant).
+const MAX_NAME: usize = 4096;
+/// Entry-count cap: a Bookshelf bundle has 6 files and a result bundle
+/// adds a report; 64 leaves headroom without letting a hostile count
+/// drive allocation.
+const MAX_ENTRIES: u32 = 64;
+
+/// One named file in a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Relative file name.
+    pub name: String,
+    /// Raw file bytes.
+    pub data: Vec<u8>,
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Missing or wrong magic (not a `complx-bundle/v1` frame).
+    BadMagic,
+    /// The frame ends before its declared structure does.
+    Truncated,
+    /// Structurally invalid (bad name, duplicate entry, trailing bytes).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => f.write_str("not a complx-bundle/v1 frame"),
+            FrameError::Truncated => f.write_str("frame is truncated"),
+            FrameError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+/// Serializes entries into a frame.
+pub fn encode(entries: &[Entry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        MAGIC.len()
+            + 4
+            + entries
+                .iter()
+                .map(|e| 12 + e.name.len() + e.data.len())
+                .sum::<usize>(),
+    );
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&(e.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(e.name.as_bytes());
+        out.extend_from_slice(&(e.data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&e.data);
+    }
+    out
+}
+
+fn safe_name(name: &str) -> Result<(), FrameError> {
+    if name.is_empty() || name.len() > MAX_NAME {
+        return Err(FrameError::Malformed("entry name empty or too long".into()));
+    }
+    if name.starts_with('/') || name.contains('\\') || name.contains('\0') {
+        return Err(FrameError::Malformed(format!("unsafe entry name `{name}`")));
+    }
+    if name
+        .split('/')
+        .any(|part| part.is_empty() || part == "." || part == "..")
+    {
+        return Err(FrameError::Malformed(format!("unsafe entry name `{name}`")));
+    }
+    Ok(())
+}
+
+/// Parses a frame, strictly: unknown magic, truncation, oversized counts,
+/// unsafe or duplicate names, and trailing bytes are all errors.
+pub fn decode(bytes: &[u8]) -> Result<Vec<Entry>, FrameError> {
+    let rest = bytes.strip_prefix(MAGIC).ok_or(FrameError::BadMagic)?;
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], FrameError> {
+        let end = pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        let slice = rest.get(*pos..end).ok_or(FrameError::Truncated)?;
+        *pos = end;
+        Ok(slice)
+    };
+    let count_bytes: [u8; 4] = take(&mut pos, 4)?
+        .try_into()
+        .map_err(|_| FrameError::Truncated)?;
+    let count = u32::from_le_bytes(count_bytes);
+    if count > MAX_ENTRIES {
+        return Err(FrameError::Malformed(format!(
+            "{count} entries (cap {MAX_ENTRIES})"
+        )));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut seen: Vec<&str> = Vec::new();
+    for _ in 0..count {
+        let name_len_bytes: [u8; 4] = take(&mut pos, 4)?
+            .try_into()
+            .map_err(|_| FrameError::Truncated)?;
+        let name_len = u32::from_le_bytes(name_len_bytes) as usize;
+        if name_len > MAX_NAME {
+            return Err(FrameError::Malformed("entry name too long".into()));
+        }
+        let name = std::str::from_utf8(take(&mut pos, name_len)?)
+            .map_err(|_| FrameError::Malformed("entry name is not utf-8".into()))?
+            .to_string();
+        safe_name(&name)?;
+        let data_len_bytes: [u8; 8] = take(&mut pos, 8)?
+            .try_into()
+            .map_err(|_| FrameError::Truncated)?;
+        let data_len = u64::from_le_bytes(data_len_bytes);
+        let data_len = usize::try_from(data_len).map_err(|_| FrameError::Truncated)?;
+        let data = take(&mut pos, data_len)?.to_vec();
+        entries.push(Entry { name, data });
+    }
+    for e in &entries {
+        if seen.contains(&e.name.as_str()) {
+            return Err(FrameError::Malformed(format!(
+                "duplicate entry `{}`",
+                e.name
+            )));
+        }
+        seen.push(&e.name);
+    }
+    if pos != rest.len() {
+        return Err(FrameError::Malformed(format!(
+            "{} trailing bytes after the last entry",
+            rest.len() - pos
+        )));
+    }
+    Ok(entries)
+}
+
+/// The entry whose name ends in `.aux` (a submitted Bookshelf bundle must
+/// hold exactly one).
+pub fn aux_entry(entries: &[Entry]) -> Result<&Entry, FrameError> {
+    let mut auxes = entries.iter().filter(|e| e.name.ends_with(".aux"));
+    let first = auxes
+        .next()
+        .ok_or_else(|| FrameError::Malformed("bundle holds no .aux entry".into()))?;
+    if auxes.next().is_some() {
+        return Err(FrameError::Malformed(
+            "bundle holds more than one .aux entry".into(),
+        ));
+    }
+    Ok(first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Entry> {
+        vec![
+            Entry {
+                name: "smoke.aux".into(),
+                data: b"RowBasedPlacement : smoke.nodes".to_vec(),
+            },
+            Entry {
+                name: "smoke.nodes".into(),
+                data: vec![0, 1, 2, 255],
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let entries = sample();
+        assert_eq!(decode(&encode(&entries)).expect("decode"), entries);
+    }
+
+    #[test]
+    fn rejects_bad_magic_truncation_and_trailing() {
+        assert_eq!(decode(b"nope"), Err(FrameError::BadMagic));
+        let full = encode(&sample());
+        for cut in [MAGIC.len(), full.len() - 1, MAGIC.len() + 2] {
+            assert!(
+                matches!(decode(&full[..cut]), Err(FrameError::Truncated)),
+                "cut at {cut} must be Truncated"
+            );
+        }
+        let mut trailing = full.clone();
+        trailing.push(0);
+        assert!(matches!(decode(&trailing), Err(FrameError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_unsafe_and_duplicate_names() {
+        for name in ["/etc/passwd", "../up", "a/../b", "a//b", ""] {
+            let e = vec![Entry {
+                name: name.into(),
+                data: Vec::new(),
+            }];
+            assert!(
+                matches!(decode(&encode(&e)), Err(FrameError::Malformed(_))),
+                "name `{name}` must be rejected"
+            );
+        }
+        let dup = vec![
+            Entry {
+                name: "x".into(),
+                data: vec![1],
+            },
+            Entry {
+                name: "x".into(),
+                data: vec![2],
+            },
+        ];
+        assert!(matches!(
+            decode(&encode(&dup)),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn aux_entry_must_be_unique() {
+        let entries = sample();
+        assert_eq!(aux_entry(&entries).expect("one aux").name, "smoke.aux");
+        assert!(aux_entry(&entries[1..]).is_err(), "no aux");
+        let two = vec![
+            Entry {
+                name: "a.aux".into(),
+                data: Vec::new(),
+            },
+            Entry {
+                name: "b.aux".into(),
+                data: Vec::new(),
+            },
+        ];
+        assert!(aux_entry(&two).is_err(), "two auxes");
+    }
+}

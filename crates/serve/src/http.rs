@@ -1,0 +1,302 @@
+//! Hand-rolled HTTP/1.1, just enough for the job API.
+//!
+//! Zero-dependency by workspace policy: requests are parsed straight off
+//! a [`TcpStream`]-shaped reader (request line, headers, `Content-Length`
+//! body), responses are written with explicit lengths, and long-lived
+//! progress streams use `Transfer-Encoding: chunked`. Every connection is
+//! single-request (`Connection: close`) — the clients this serves submit
+//! hundreds of short exchanges, not pipelines.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on one header line (request line included).
+const MAX_LINE: usize = 16 * 1024;
+/// Upper bound on the header count.
+const MAX_HEADERS: usize = 64;
+/// Default upper bound on a request body (a submitted Bookshelf bundle).
+pub const MAX_BODY: usize = 256 * 1024 * 1024;
+
+/// A parsed request: method, decoded path + query, headers, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET` / `POST` / `DELETE` (uppercase).
+    pub method: String,
+    /// Path without the query string (`/jobs/12/events`).
+    pub path: String,
+    /// Query parameters in request order (`?a=1&b=2`).
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in request order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; maps onto a 4xx response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before sending a full request.
+    Io(io::Error),
+    /// Malformed request line, header, or framing.
+    Bad(String),
+    /// The declared body exceeds the limit (413).
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Bad(why) => write!(f, "bad request: {why}"),
+            HttpError::TooLarge(n) => write!(f, "body too large ({n} bytes)"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => break,
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE {
+                    return Err(HttpError::Bad("header line too long".into()));
+                }
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Bad("non-utf8 header".into()))
+}
+
+/// Reads one request off the wire. `Ok(None)` means the peer closed
+/// cleanly before sending anything (an idle keep-alive probe).
+pub fn read_request(
+    reader: &mut impl BufRead,
+    max_body: usize,
+) -> Result<Option<Request>, HttpError> {
+    let request_line = read_line(reader)?;
+    if request_line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Bad(format!("unsupported version {version}")));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (kv.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Bad("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Bad(format!("malformed header `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Bad(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes it.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Starts a chunked response; follow with [`write_chunk`] calls and a
+/// final [`finish_chunked`].
+pub fn start_chunked(w: &mut impl Write, status: u16, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+    )?;
+    w.flush()
+}
+
+/// Writes one chunk (no-op for empty data — an empty chunk would
+/// terminate the stream).
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked response.
+pub fn finish_chunked(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_with_query_headers_and_body() {
+        let raw = b"POST /jobs?priority=high&max_iterations=9 HTTP/1.1\r\n\
+                    Host: x\r\nContent-Length: 5\r\nX-Custom: v\r\n\r\nhello";
+        let req = read_request(&mut BufReader::new(&raw[..]), MAX_BODY)
+            .expect("parse")
+            .expect("non-empty");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query_param("priority"), Some("high"));
+        assert_eq!(req.query_param("max_iterations"), Some("9"));
+        assert_eq!(req.header("x-custom"), Some("v"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn empty_connection_yields_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(raw), MAX_BODY)
+            .expect("parse")
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        match read_request(&mut BufReader::new(&raw[..]), 10) {
+            Err(HttpError::TooLarge(100)) => {}
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_has_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}").expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn chunked_stream_roundtrip_shape() {
+        let mut out = Vec::new();
+        start_chunked(&mut out, 200, "application/x-ndjson").expect("start");
+        write_chunk(&mut out, b"abc\n").expect("chunk");
+        write_chunk(&mut out, b"").expect("empty chunk is a no-op");
+        finish_chunked(&mut out).expect("finish");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("4\r\nabc\n\r\n0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Job model: identifiers, priorities, the state machine, and the table.
+//!
+//! ```text
+//!            ┌──────────┐   scheduler pops   ┌─────────┐
+//!  submit →  │  queued  │ ─────────────────→ │ running │ ──→ done
+//!            └──────────┘                    └─────────┘ ──→ failed
+//!                 │  DELETE (dequeue)             │  DELETE (token trips)
+//!                 └──────────→ cancelled ←────────┘
+//! ```
+//!
+//! A duplicate submission whose `(design_hash, config_hash)` key is in the
+//! result cache skips the queue entirely and is born `done` with
+//! `cached = true`. Terminal states (`done`, `failed`, `cancelled`) never
+//! transition again.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use complx_netlist::Design;
+use complx_obs::JsonValue;
+use complx_par::CancelToken;
+use complx_place::PlacerConfig;
+
+use crate::events::EventBuf;
+
+/// Scheduling priority; higher drains first, FIFO within a class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Drains before everything else.
+    High,
+    /// The default.
+    Normal,
+    /// Drains last.
+    Low,
+}
+
+impl Priority {
+    /// Scheduler rank: lower drains first.
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Parses a query-parameter value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!("unknown priority `{other}` (high|normal|low)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        })
+    }
+}
+
+/// The job state machine (see the module diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a scheduler slot.
+    Queued,
+    /// A scheduler worker is solving it.
+    Running,
+    /// Finished; the result bundle is spooled and servable.
+    Done,
+    /// The solve failed (the error string says why).
+    Failed,
+    /// Cancelled while queued or mid-solve.
+    Cancelled,
+}
+
+impl JobState {
+    /// Whether the state can never change again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        })
+    }
+}
+
+/// One submitted job and everything the scheduler needs to run it.
+#[derive(Debug)]
+pub struct Job {
+    /// Monotonic identifier (also the spool directory name).
+    pub id: u64,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Current state.
+    pub state: JobState,
+    /// Design name from the submitted bundle.
+    pub design_name: String,
+    /// Canonical design fingerprint (`core::idhash::design_hash`).
+    pub design_hash: u64,
+    /// Canonical configuration fingerprint (`core::idhash::config_hash`).
+    pub config_hash: u64,
+    /// Whether the result came from the cache (born `done`).
+    pub cached: bool,
+    /// The parsed design, kept until the solve runs.
+    pub design: Option<Arc<Design>>,
+    /// The placer configuration resolved from the submit parameters.
+    pub config: PlacerConfig,
+    /// Cooperative cancellation for this job's solve.
+    pub cancel: CancelToken,
+    /// Live JSONL progress stream (written by the solve's sink, read by
+    /// `GET /jobs/{id}/events`).
+    pub events: Arc<EventBuf>,
+    /// This job's own spool directory (input bundle, status manifest).
+    pub spool_dir: PathBuf,
+    /// Directory holding the servable result artifacts — the job's own
+    /// directory, or the *producing* job's directory for cache hits.
+    pub result_dir: PathBuf,
+    /// Error message for `failed` jobs.
+    pub error: Option<String>,
+    /// Result summary (metrics subset), present once `done`.
+    pub result: Option<JsonValue>,
+}
+
+impl Job {
+    /// Renders the status JSON served by `GET /jobs/{id}`.
+    pub fn status_json(&self) -> JsonValue {
+        let mut fields = vec![
+            ("id", JsonValue::from(self.id as i64)),
+            ("state", self.state.to_string().into()),
+            ("priority", self.priority.to_string().into()),
+            ("design", self.design_name.clone().into()),
+            ("design_hash", format!("{:016x}", self.design_hash).into()),
+            ("config_hash", format!("{:016x}", self.config_hash).into()),
+            ("cached", self.cached.into()),
+        ];
+        if let Some(err) = &self.error {
+            fields.push(("error", err.clone().into()));
+        }
+        if let Some(result) = &self.result {
+            fields.push(("result", result.clone()));
+        }
+        JsonValue::object(fields)
+    }
+}
+
+/// The id-ordered job table (a `BTreeMap` so listings are deterministic).
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: BTreeMap<u64, Job>,
+}
+
+impl JobTable {
+    /// Inserts a new job.
+    pub fn insert(&mut self, job: Job) {
+        self.jobs.insert(job.id, job);
+    }
+
+    /// Removes a job (admission rollback after a full queue).
+    pub fn remove(&mut self, id: u64) -> Option<Job> {
+        self.jobs.remove(&id)
+    }
+
+    /// Immutable job lookup.
+    pub fn get(&self, id: u64) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// Mutable job lookup.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut Job> {
+        self.jobs.get_mut(&id)
+    }
+
+    /// Number of jobs currently in `state`.
+    pub fn count_in(&self, state: JobState) -> usize {
+        self.jobs.values().filter(|j| j.state == state).count()
+    }
+
+    /// Iterates all jobs in id order.
+    pub fn values(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ranks_and_parses() {
+        assert!(Priority::High.rank() < Priority::Normal.rank());
+        assert!(Priority::Normal.rank() < Priority::Low.rank());
+        assert_eq!(Priority::parse("high"), Ok(Priority::High));
+        assert!(Priority::parse("urgent").is_err());
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+    }
+}

@@ -1,0 +1,139 @@
+//! Bounded priority job queue with admission control.
+//!
+//! Deterministic by construction: entries are keyed on
+//! `(priority rank, submission sequence)` in a `BTreeMap`, so the pop
+//! order is a pure function of the submission history — high before
+//! normal before low, FIFO within a class. When the queue is full,
+//! [`JobQueue::push`] refuses and the server answers `429 Too Many
+//! Requests`; shedding at admission keeps every accepted job's latency
+//! bounded instead of letting the backlog grow without limit.
+
+use std::collections::BTreeMap;
+
+use crate::job::Priority;
+
+/// Refusal reason: the queue is at capacity.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity the push would have exceeded.
+    pub capacity: usize,
+}
+
+/// The scheduler's bounded priority queue of job ids.
+#[derive(Debug)]
+pub struct JobQueue {
+    entries: BTreeMap<(u8, u64), u64>,
+    capacity: usize,
+    seq: u64,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` jobs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            capacity,
+            seq: 0,
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a job, or refuses when full.
+    pub fn push(&mut self, priority: Priority, job_id: u64) -> Result<(), QueueFull> {
+        if self.entries.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        self.seq += 1;
+        self.entries.insert((priority.rank(), self.seq), job_id);
+        Ok(())
+    }
+
+    /// Pops the next job: highest priority first, FIFO within a class.
+    pub fn pop(&mut self) -> Option<u64> {
+        let key = *self.entries.keys().next()?;
+        self.entries.remove(&key)
+    }
+
+    /// Removes a specific queued job (cancellation while queued).
+    /// Returns whether it was present.
+    pub fn remove(&mut self, job_id: u64) -> bool {
+        let key = self
+            .entries
+            .iter()
+            .find(|(_, &id)| id == job_id)
+            .map(|(&k, _)| k);
+        match key {
+            Some(k) => {
+                self.entries.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains every queued job id in pop order (shutdown).
+    pub fn drain(&mut self) -> Vec<u64> {
+        let ids = self.entries.values().copied().collect();
+        self.entries.clear();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let mut q = JobQueue::new(10);
+        q.push(Priority::Low, 1).expect("admit");
+        q.push(Priority::Normal, 2).expect("admit");
+        q.push(Priority::High, 3).expect("admit");
+        q.push(Priority::Normal, 4).expect("admit");
+        q.push(Priority::High, 5).expect("admit");
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![3, 5, 2, 4, 1]);
+    }
+
+    #[test]
+    fn admission_control_refuses_at_capacity() {
+        let mut q = JobQueue::new(2);
+        q.push(Priority::Normal, 1).expect("admit");
+        q.push(Priority::Normal, 2).expect("admit");
+        assert_eq!(
+            q.push(Priority::High, 3),
+            Err(QueueFull { capacity: 2 }),
+            "even high priority is shed at capacity"
+        );
+        q.pop();
+        q.push(Priority::High, 3).expect("slot freed");
+    }
+
+    #[test]
+    fn remove_and_drain() {
+        let mut q = JobQueue::new(10);
+        q.push(Priority::Normal, 1).expect("admit");
+        q.push(Priority::Normal, 2).expect("admit");
+        assert!(q.remove(1));
+        assert!(!q.remove(1), "already gone");
+        q.push(Priority::High, 3).expect("admit");
+        assert_eq!(q.drain(), vec![3, 2]);
+        assert!(q.is_empty());
+    }
+}

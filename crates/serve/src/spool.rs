@@ -1,0 +1,130 @@
+//! Crash-safe on-disk spooling of job artifacts.
+//!
+//! Layout, one directory per job id under the server's `--spool` root:
+//!
+//! ```text
+//! <spool>/<id>/input/<name>.{aux,nodes,nets,pl,scl,wts}   submitted bundle
+//! <spool>/<id>/solution/<name>.{aux,pl,...}               solved bundle
+//! <spool>/<id>/report.json                                complx-run-report/v1
+//! <spool>/<id>/events.jsonl                               full progress stream
+//! <spool>/<id>/job.json                                   status manifest (last)
+//! ```
+//!
+//! Every file commits through `obs::atomicio` (tmp + fsync + rename), and
+//! `job.json` is written *last* — its presence is the signal that every
+//! other artifact in the directory is complete, exactly like the `.aux`
+//! file in a written Bookshelf bundle. A crash mid-spool leaves a
+//! directory without `job.json`, never a torn result.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use complx_netlist::{bookshelf, Design, Placement};
+use complx_obs::{write_atomic, JsonValue};
+
+use crate::framing::Entry;
+
+/// The spool directory for a job id.
+pub fn job_dir(spool: &Path, id: u64) -> PathBuf {
+    spool.join(id.to_string())
+}
+
+/// Writes the submitted bundle under `<dir>/input/` and returns the path
+/// of its `.aux` member (the bundle is parsed back from disk — the
+/// Bookshelf reader is path-based, and the spooled input doubles as the
+/// crash-forensics record of what the job was asked to place).
+pub fn write_input(dir: &Path, entries: &[Entry], aux_name: &str) -> io::Result<PathBuf> {
+    let input = dir.join("input");
+    std::fs::create_dir_all(&input)?;
+    for e in entries {
+        let path = input.join(&e.name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        write_atomic(&path, &e.data)?;
+    }
+    Ok(input.join(aux_name))
+}
+
+/// Spools a completed solve: solution bundle, report manifest, and the
+/// full event stream. `job.json` is *not* written here — the scheduler
+/// commits it last, after the job record reflects the final state.
+pub fn write_result(
+    dir: &Path,
+    design: &Design,
+    legal: &Placement,
+    report_json: &str,
+    events: &[u8],
+) -> io::Result<PathBuf> {
+    let solution_dir = dir.join("solution");
+    let aux = bookshelf::write_bundle(design, legal, &solution_dir)
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    write_atomic(&dir.join("report.json"), report_json.as_bytes())?;
+    write_atomic(&dir.join("events.jsonl"), events)?;
+    Ok(aux)
+}
+
+/// Commits the status manifest — the last write of a job's lifecycle.
+pub fn write_manifest(dir: &Path, status: &JsonValue) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    write_atomic(&dir.join("job.json"), status.to_json_string().as_bytes())
+}
+
+/// Reads a spooled result back as a served frame: `report.json` plus
+/// every `solution/` member, names relative to the job directory.
+pub fn read_result_frame(dir: &Path) -> io::Result<Vec<Entry>> {
+    let mut entries = Vec::new();
+    entries.push(Entry {
+        name: "report.json".to_string(),
+        data: std::fs::read(dir.join("report.json"))?,
+    });
+    let solution_dir = dir.join("solution");
+    let mut names: Vec<String> = std::fs::read_dir(&solution_dir)?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .filter_map(|e| e.file_name().into_string().ok())
+        .collect();
+    names.sort(); // deterministic frame order regardless of readdir order
+    for name in names {
+        entries.push(Entry {
+            data: std::fs::read(solution_dir.join(&name))?,
+            name: format!("solution/{name}"),
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::generator::GeneratorConfig;
+
+    #[test]
+    fn spool_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("complx_spool_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let design = GeneratorConfig::small("sp", 1).generate();
+        let placement = design.initial_placement();
+
+        let job = job_dir(&dir, 7);
+        std::fs::create_dir_all(&job).expect("mkdir");
+        let aux = write_result(
+            &job,
+            &design,
+            &placement,
+            "{\"ok\":true}",
+            b"{\"type\":\"x\"}\n",
+        )
+        .expect("spool result");
+        assert!(aux.ends_with("sp.aux"));
+        write_manifest(&job, &JsonValue::object(vec![("state", "done".into())])).expect("manifest");
+
+        let frame = read_result_frame(&job).expect("read back");
+        assert_eq!(frame[0].name, "report.json");
+        assert_eq!(frame[0].data, b"{\"ok\":true}");
+        assert!(frame.iter().any(|e| e.name == "solution/sp.pl"));
+        assert!(frame.iter().any(|e| e.name == "solution/sp.aux"));
+        assert!(job.join("job.json").is_file());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -27,7 +27,7 @@ echo "== clippy: no unwrap in solver library code =="
 cargo clippy -q --no-deps --lib \
     -p complx-place -p complx-sparse -p complx-wirelength -p complx-netlist \
     -p complx-spread -p complx-legalize -p complx-timing -p complx-par \
-    -p complx-oracle \
+    -p complx-oracle -p complx-serve \
     -- -D clippy::unwrap_used
 
 echo "== CLI smoke run: report + events + profiling validate (4 threads) =="
@@ -115,6 +115,33 @@ awk -v ref="$t0 $t1" -v res="$t2 $t3" -v bytes="$ckpt_bytes" 'BEGIN {
     printf "  ]\n}\n";
 }' > results/BENCH_resume.json
 cat results/BENCH_resume.json
+
+echo "== serve: placement-as-a-service load test =="
+# A live daemon on an ephemeral port takes ~200 jobs (8 designs x varied
+# iteration caps, cycled priorities), a full duplicate wave that must be
+# answered from the result cache, and 4 mid-solve cancels — then drains
+# cleanly on POST /shutdown. The served solution must be byte-identical
+# to a CLI run of the same bundle and configuration.
+sdir="$smoke_dir/serve"
+mkdir -p "$sdir"
+./target/release/complx-serve --spool "$sdir/spool" --port 0 --port-file "$sdir/port" \
+    --jobs 2 --threads-per-job 2 --queue-capacity 256 --cache-entries 64 &
+serve_pid=$!
+for _ in $(seq 1 100); do test -s "$sdir/port" && break; sleep 0.1; done
+test -s "$sdir/port"
+./target/release/complx-loadgen --port "$(cat "$sdir/port")" \
+    --jobs 200 --designs 8 --cancels 4 --duplicates 40 --max-iterations 8 \
+    --fetch-dir "$sdir/served" --snapshot results/BENCH_serve.json \
+    --expect-cache-hits --shutdown
+wait "$serve_pid"
+# The served run report is a valid complx-run-report/v1 manifest.
+./target/release/report_check "$sdir/served/report.json"
+# Byte-identity: replay the served input bundle through the CLI (different
+# process, different thread count) and compare the solutions.
+./target/release/complx "$sdir/served/input/lg0.aux" -q --max-iterations 8 --threads 1 \
+    -o "$sdir/cli"
+cmp "$sdir/cli/lg0.pl" "$sdir/served/solution/lg0.pl"
+cat results/BENCH_serve.json
 
 echo "== bench: perf trajectory gate =="
 # Every committed snapshot must be valid complx-bench/v1, and a fresh run
