@@ -75,6 +75,8 @@ fn main() {
     let mut path_lengths = Vec::new();
     let mut totals = Vec::new();
     for &w in &[1.0f64, 20.0, 40.0] {
+        // lint:allow(no-float-eq): w ranges over exact literals; 1.0 is
+        // the unweighted sentinel, not a computed value
         let d = if w == 1.0 {
             design.clone()
         } else {

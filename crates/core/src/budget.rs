@@ -38,6 +38,9 @@ impl Budget {
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             return Some(StopReason::Cancelled);
         }
+        // lint:allow(nondet-taint): the deadline watchdog is the explicit
+        // --max-seconds opt-out of bit-determinism; without a budget this
+        // read never gates an iteration
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             return Some(StopReason::TimeBudget);
         }

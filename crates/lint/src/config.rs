@@ -17,6 +17,10 @@ pub struct Config {
     pub scan_crates: Vec<String>,
     /// Rule id -> policy. Rules absent from the file do not run.
     pub rules: BTreeMap<String, RulePolicy>,
+    /// Interprocedural analysis id (`nondet-taint`, `panic-path`,
+    /// `lock-order`) -> its configuration. Analyses absent from the file
+    /// do not run.
+    pub analyses: BTreeMap<String, AnalysisPolicy>,
 }
 
 /// Per-rule scoping.
@@ -26,6 +30,27 @@ pub struct RulePolicy {
     pub crates: Vec<String>,
     /// When true the rule also fires inside `#[cfg(test)]` modules.
     pub include_tests: bool,
+    /// When true the rule also fires in `src/bin/` files (exempt by
+    /// default: CLI entry points legitimately print, time, and exit).
+    pub include_bins: bool,
+}
+
+/// Configuration for one interprocedural analysis ([analysis.<id>]).
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisPolicy {
+    /// Call-graph entry points, as node paths (`core::service::solve`) or
+    /// unique path suffixes (`ComplxPlacer::place`). Used by
+    /// `nondet-taint` and `panic-path`.
+    pub entry_points: Vec<String>,
+    /// Crates whose functions are never treated as source sites even when
+    /// reachable (e.g. `obs`, whose determinism is enforced end-to-end by
+    /// the trace-comparison gate). Used by `nondet-taint`.
+    pub exempt_crates: Vec<String>,
+    /// Crates the analysis is scoped to. Used by `lock-order`.
+    pub crates: Vec<String>,
+    /// The lock-acquisition choke-point function name. Used by
+    /// `lock-order`.
+    pub helper: String,
 }
 
 impl Config {
@@ -39,6 +64,21 @@ impl Config {
     /// True when `rule` also runs in test code for `krate`.
     pub fn rule_in_tests(&self, rule: &str) -> bool {
         self.rules.get(rule).is_some_and(|p| p.include_tests)
+    }
+
+    /// True when `rule` also runs in `src/bin/` files.
+    pub fn rule_in_bins(&self, rule: &str) -> bool {
+        self.rules.get(rule).is_some_and(|p| p.include_bins)
+    }
+
+    /// True when the interprocedural analysis `id` could anchor findings
+    /// in `krate` — used by waiver hygiene to decide whether an unused
+    /// analysis waiver is a finding.
+    pub fn analysis_applies(&self, id: &str, krate: &str) -> bool {
+        self.analyses.get(id).is_some_and(|a| match id {
+            "lock-order" => a.crates.iter().any(|c| c == krate),
+            _ => !a.exempt_crates.iter().any(|c| c == krate),
+        })
     }
 }
 
@@ -82,11 +122,20 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 .strip_suffix(']')
                 .ok_or_else(|| err(lineno, "unterminated section header"))?;
             section = name.trim().to_string();
-            if section != "scan" && !section.starts_with("rules.") {
+            if section != "scan"
+                && !section.starts_with("rules.")
+                && !section.starts_with("analysis.")
+            {
                 return Err(err(lineno, format!("unknown section [{section}]")));
             }
             if let Some(rule) = section.strip_prefix("rules.") {
                 cfg.rules.entry(rule.to_string()).or_default();
+            }
+            if let Some(id) = section.strip_prefix("analysis.") {
+                if !matches!(id, "nondet-taint" | "panic-path" | "lock-order") {
+                    return Err(err(lineno, format!("unknown analysis `{id}`")));
+                }
+                cfg.analyses.entry(id.to_string()).or_default();
             }
             continue;
         }
@@ -102,7 +151,19 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                 match k {
                     "crates" => policy.crates = parse_array(value, lineno)?,
                     "include-tests" => policy.include_tests = parse_bool(value, lineno)?,
+                    "include-bins" => policy.include_bins = parse_bool(value, lineno)?,
                     other => return Err(err(lineno, format!("unknown rule key `{other}`"))),
+                }
+            }
+            (s, k) if s.starts_with("analysis.") => {
+                let id = s.trim_start_matches("analysis.").to_string();
+                let policy = cfg.analyses.entry(id).or_default();
+                match k {
+                    "entry-points" => policy.entry_points = parse_array(value, lineno)?,
+                    "exempt-crates" => policy.exempt_crates = parse_array(value, lineno)?,
+                    "crates" => policy.crates = parse_array(value, lineno)?,
+                    "helper" => policy.helper = parse_string(value, lineno)?,
+                    other => return Err(err(lineno, format!("unknown analysis key `{other}`"))),
                 }
             }
             (s, k) => {
@@ -127,6 +188,14 @@ fn strip_comment(line: &str) -> &str {
         }
     }
     line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, ConfigError> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(lineno, format!("expected quoted string, got `{value}`")))
 }
 
 fn parse_bool(value: &str, lineno: usize) -> Result<bool, ConfigError> {
@@ -193,5 +262,40 @@ include-tests = true
         assert!(parse("[rules.no-unwrap]\ncrates = \"*\"").is_err());
         assert!(parse("[unknown]\nx = 1").is_err());
         assert!(parse("").is_err());
+        assert!(parse("[scan]\ncrates = [\"a\"]\n[analysis.bogus]\n").is_err());
+        assert!(parse("[scan]\ncrates = [\"a\"]\n[analysis.lock-order]\nhelpers = \"x\"").is_err());
+    }
+
+    #[test]
+    fn parses_analysis_sections_and_bins() {
+        let cfg = parse(
+            r#"
+[scan]
+crates = ["serve", "core", "obs"]
+
+[rules.safety-comment]
+crates = ["*"]
+include-bins = true
+
+[analysis.nondet-taint]
+entry-points = ["ComplxPlacer::place", "core::service::solve"]
+exempt-crates = ["obs"]
+
+[analysis.lock-order]
+crates = ["serve"]
+helper = "lock_or_recover"
+"#,
+        )
+        .expect("parses");
+        assert!(cfg.rule_in_bins("safety-comment"));
+        assert!(!cfg.rule_in_bins("no-unwrap"));
+        let taint = &cfg.analyses["nondet-taint"];
+        assert_eq!(taint.entry_points.len(), 2);
+        assert_eq!(taint.exempt_crates, vec!["obs"]);
+        assert_eq!(cfg.analyses["lock-order"].helper, "lock_or_recover");
+        assert!(cfg.analysis_applies("nondet-taint", "core"));
+        assert!(!cfg.analysis_applies("nondet-taint", "obs"));
+        assert!(cfg.analysis_applies("lock-order", "serve"));
+        assert!(!cfg.analysis_applies("lock-order", "core"));
     }
 }

@@ -33,8 +33,13 @@
 
 pub mod config;
 pub mod lexer;
+pub mod locks;
+pub mod parser;
+pub mod report;
+pub mod resolve;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
 pub use config::{parse as parse_config, Config};
 pub use rules::ALL_RULES;

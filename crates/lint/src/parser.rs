@@ -1,0 +1,648 @@
+//! Recursive-descent *item* parser over [`crate::lexer`] output.
+//!
+//! The interprocedural analyses (DESIGN.md §17) need to know which
+//! function each token belongs to and which names each module imports —
+//! nothing more. So this parser recognizes exactly four item shapes:
+//! `mod name { … }`, `impl … Type … { … }` (and `trait Name { … }`, which
+//! scopes default methods the same way), `fn name(…) { … }`, and
+//! `use path::{…};`. Function bodies stay opaque token ranges; there is
+//! deliberately no expression AST.
+//!
+//! The parser is total: any token stream the lexer can produce parses
+//! without panicking (property-tested), degrading to "fewer recognized
+//! items" on malformed input rather than failing. Items covered by an
+//! outer `#[cfg(test)]` attribute are marked so the analyses can skip
+//! test-only code.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One `fn` item: its dotted path, source position, and body token range.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Fully qualified path, `crate_dir::module::…::[Type::]name`.
+    pub path: String,
+    /// Simple function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub self_type: Option<String>,
+    /// Module path segments (crate dir first), without type or name.
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Half-open token-index range of the body, braces included.
+    /// `body.0 == body.1` for bodyless trait-method declarations.
+    pub body: (usize, usize),
+    /// True when the item sits under an outer `#[cfg(test)]`.
+    pub in_tests: bool,
+}
+
+/// One resolved-at-parse-time `use` binding: `alias` names `target` (a
+/// `::`-joined path whose first segment is still unnormalized — `crate`,
+/// `self`, `super`, an extern-crate name, or a workspace module).
+#[derive(Debug, Clone)]
+pub struct UseBinding {
+    /// Module the `use` appears in (crate dir first).
+    pub module: Vec<String>,
+    /// The name the binding introduces.
+    pub alias: String,
+    /// Target path segments, unnormalized.
+    pub target: Vec<String>,
+}
+
+/// A glob import: `use target::*;` in `module`.
+#[derive(Debug, Clone)]
+pub struct GlobImport {
+    /// Module the glob appears in (crate dir first).
+    pub module: Vec<String>,
+    /// The globbed path, unnormalized.
+    pub target: Vec<String>,
+}
+
+/// Everything the resolver needs from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Functions in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` aliases in source order.
+    pub uses: Vec<UseBinding>,
+    /// Glob imports in source order.
+    pub globs: Vec<GlobImport>,
+}
+
+fn is_punct(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == s
+}
+
+fn is_kw(t: &Tok, s: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == s
+}
+
+/// Skips a balanced `#[…]` attribute starting at `i` (which points at
+/// `#`). Returns the index just past the closing `]`, and whether the
+/// attribute is a `cfg(…)` whose arguments mention `test`.
+fn skip_attribute(toks: &[Tok], i: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    let mut idents: Vec<&str> = Vec::new();
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return (j + 1, attr_is_cfg_test(&idents));
+                    }
+                }
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident {
+            idents.push(&t.text);
+        }
+        j += 1;
+    }
+    (toks.len(), attr_is_cfg_test(&idents))
+}
+
+fn attr_is_cfg_test(idents: &[&str]) -> bool {
+    idents.first() == Some(&"cfg") && idents.iter().any(|s| *s == "test")
+}
+
+/// Returns the index just past the `}` matching the `{` at `open`, or
+/// `toks.len()` when unbalanced.
+fn skip_braced(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct {
+            match toks[i].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Extracts the `Self`-type name from an `impl`/`trait` header spanning
+/// `toks[start..end]` (`end` points at the body `{`). For
+/// `impl Trait for Type` the segment after the last top-level `for` wins;
+/// generics and `where` clauses are ignored.
+fn impl_type_name(toks: &[Tok], start: usize, end: usize) -> Option<String> {
+    let mut angle = 0i32;
+    let mut after_for: Option<usize> = None;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+        } else if angle <= 0 && is_kw(t, "for") {
+            after_for = Some(i + 1);
+        } else if angle <= 0 && is_kw(t, "where") {
+            // The type path is complete before any `where` clause.
+            break;
+        }
+        i += 1;
+    }
+    let scan_from = after_for.unwrap_or(start);
+    // Last top-level ident of the (possibly qualified) type path, skipping
+    // generic arguments: `a::b::Name<T>` → `Name`.
+    let mut angle = 0i32;
+    let mut name: Option<String> = None;
+    let mut i = scan_from;
+    while i < end {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "<<" => angle += 2,
+                ">>" => angle -= 2,
+                _ => {}
+            }
+        } else if angle <= 0 && t.kind == TokKind::Ident {
+            if is_kw(t, "where") {
+                break;
+            }
+            name = Some(t.text.clone());
+        }
+        i += 1;
+    }
+    name
+}
+
+/// Collects one `use` tree rooted at `prefix`, starting at `i` (the first
+/// path token). Returns the index just past the tree.
+fn parse_use_tree(
+    toks: &[Tok],
+    mut i: usize,
+    prefix: &[String],
+    module: &[String],
+    out: &mut ParsedFile,
+) -> usize {
+    let mut path: Vec<String> = prefix.to_vec();
+    loop {
+        let Some(t) = toks.get(i) else { return i };
+        if t.kind == TokKind::Ident {
+            if t.text == "as" {
+                // `path as alias`
+                if let Some(alias) = toks.get(i + 1) {
+                    if alias.kind == TokKind::Ident {
+                        out.uses.push(UseBinding {
+                            module: module.to_vec(),
+                            alias: alias.text.clone(),
+                            target: path.clone(),
+                        });
+                        return i + 2;
+                    }
+                }
+                return i + 1;
+            }
+            path.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if is_punct(t, "::") {
+            match toks.get(i + 1) {
+                Some(n) if is_punct(n, "{") => {
+                    // Brace group: recurse per comma-separated subtree.
+                    let mut j = i + 2;
+                    loop {
+                        match toks.get(j) {
+                            None => return j,
+                            Some(t) if is_punct(t, "}") => return j + 1,
+                            Some(t) if is_punct(t, ",") => {
+                                j += 1;
+                            }
+                            _ => {
+                                j = parse_use_tree(toks, j, &path, module, out);
+                            }
+                        }
+                    }
+                }
+                Some(n) if is_punct(n, "*") => {
+                    out.globs.push(GlobImport {
+                        module: module.to_vec(),
+                        target: path.clone(),
+                    });
+                    return i + 2;
+                }
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        // End of this tree (`,`, `;`, `}` or anything unexpected): bind
+        // the final segment as its own alias. `use a::{self, b}` binds the
+        // parent segment `a` instead of the literal `self`.
+        if path.last().is_some_and(|s| s == "self") && path.len() > 1 {
+            path.pop();
+        }
+        if let Some(last) = path.last() {
+            if path.len() > prefix.len() || !prefix.is_empty() {
+                out.uses.push(UseBinding {
+                    module: module.to_vec(),
+                    alias: last.clone(),
+                    target: path.clone(),
+                });
+            }
+        }
+        return i;
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    out: ParsedFile,
+}
+
+impl<'a> Parser<'a> {
+    /// Parses the item stream between `lo` and `hi` with the given module
+    /// path, impl-type context, and test-scope flag.
+    fn items(
+        &mut self,
+        lo: usize,
+        hi: usize,
+        module: &[String],
+        self_type: Option<&str>,
+        in_tests: bool,
+    ) {
+        let mut i = lo;
+        let mut pending_cfg_test = false;
+        while i < hi {
+            let t = &self.toks[i];
+            // Attributes: remember an outer #[cfg(test)].
+            if is_punct(t, "#") && self.toks.get(i + 1).is_some_and(|n| is_punct(n, "[")) {
+                let (next, is_test) = skip_attribute(self.toks, i);
+                pending_cfg_test = pending_cfg_test || is_test;
+                i = next;
+                continue;
+            }
+            if t.kind != TokKind::Ident {
+                // Stray brace groups (e.g. const initializers reached via
+                // the lossy scan) are skipped wholesale.
+                if is_punct(t, "{") {
+                    i = skip_braced(self.toks, i);
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match t.text.as_str() {
+                "mod" => {
+                    let name = self.toks.get(i + 1).filter(|n| n.kind == TokKind::Ident);
+                    match (name, self.toks.get(i + 2)) {
+                        (Some(name), Some(open)) if is_punct(open, "{") => {
+                            let end = skip_braced(self.toks, i + 2);
+                            let mut inner = module.to_vec();
+                            inner.push(name.text.clone());
+                            let tests = in_tests || pending_cfg_test;
+                            self.items(i + 3, end.saturating_sub(1), &inner, None, tests);
+                            i = end;
+                        }
+                        _ => i += 1, // `mod name;` — the file walker maps it
+                    }
+                    pending_cfg_test = false;
+                }
+                "impl" | "trait" => {
+                    // Find the body `{` at paren depth 0 (or a `;`).
+                    let mut j = i + 1;
+                    let mut paren = 0usize;
+                    let mut open = None;
+                    while j < hi {
+                        let u = &self.toks[j];
+                        if u.kind == TokKind::Punct {
+                            match u.text.as_str() {
+                                "(" | "[" => paren += 1,
+                                ")" | "]" => paren = paren.saturating_sub(1),
+                                "{" if paren == 0 => {
+                                    open = Some(j);
+                                    break;
+                                }
+                                ";" if paren == 0 => break,
+                                _ => {}
+                            }
+                        }
+                        j += 1;
+                    }
+                    match open {
+                        Some(open) => {
+                            let end = skip_braced(self.toks, open);
+                            let ty = impl_type_name(self.toks, i + 1, open);
+                            let tests = in_tests || pending_cfg_test;
+                            self.items(
+                                open + 1,
+                                end.saturating_sub(1),
+                                module,
+                                ty.as_deref(),
+                                tests,
+                            );
+                            i = end;
+                        }
+                        None => i = j + 1,
+                    }
+                    pending_cfg_test = false;
+                }
+                "fn" => {
+                    let (next, item) =
+                        self.parse_fn(i, hi, module, self_type, in_tests || pending_cfg_test);
+                    if let Some(item) = item {
+                        self.out.fns.push(item);
+                    }
+                    i = next;
+                    pending_cfg_test = false;
+                }
+                "use" => {
+                    let i0 = i + 1;
+                    // Skip a leading `::` (global paths).
+                    let i0 = if self.toks.get(i0).is_some_and(|t| is_punct(t, "::")) {
+                        i0 + 1
+                    } else {
+                        i0
+                    };
+                    let next = parse_use_tree(self.toks, i0, &[], module, &mut self.out);
+                    // Consume through the terminating `;` if present.
+                    i = next.max(i + 1);
+                    while i < hi && !is_punct(&self.toks[i], ";") {
+                        i += 1;
+                    }
+                    i += 1;
+                    pending_cfg_test = false;
+                }
+                _ => {
+                    i += 1;
+                    // Any other ident (struct/enum/const/static/let/…)
+                    // leaves a pending cfg(test) attached until the next
+                    // recognizable item boundary; clearing it here keeps
+                    // attributes local to the item they precede.
+                    if matches!(
+                        t.text.as_str(),
+                        "struct" | "enum" | "const" | "static" | "type" | "macro_rules"
+                    ) {
+                        pending_cfg_test = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses one `fn` starting at `kw` (the `fn` token). Returns the
+    /// index to continue at and the item, if well-formed enough.
+    fn parse_fn(
+        &mut self,
+        kw: usize,
+        hi: usize,
+        module: &[String],
+        self_type: Option<&str>,
+        in_tests: bool,
+    ) -> (usize, Option<FnItem>) {
+        let Some(name_tok) = self.toks.get(kw + 1).filter(|t| t.kind == TokKind::Ident) else {
+            return (kw + 1, None);
+        };
+        // Scan the signature for the body `{` at bracket depth 0, or a
+        // terminating `;` (trait declaration / extern fn).
+        let mut j = kw + 2;
+        let mut depth = 0usize;
+        let mut open = None;
+        while j < hi {
+            let t = &self.toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let (body, next) = match open {
+            Some(open) => {
+                let end = skip_braced(self.toks, open);
+                ((open, end), end)
+            }
+            None => ((j, j), j + 1),
+        };
+        let mut path_segs: Vec<String> = module.to_vec();
+        if let Some(ty) = self_type {
+            path_segs.push(ty.to_string());
+        }
+        path_segs.push(name_tok.text.clone());
+        let item = FnItem {
+            path: path_segs.join("::"),
+            name: name_tok.text.clone(),
+            self_type: self_type.map(str::to_string),
+            module: module.to_vec(),
+            line: self.toks[kw].line,
+            col: self.toks[kw].col,
+            body,
+            in_tests,
+        };
+        // Nested fns inside this body are not re-registered: their tokens
+        // charge to this item, which is the conservative direction for
+        // every analysis built on top.
+        (next, Some(item))
+    }
+}
+
+/// Parses one lexed file. `module` is the file's module path, crate
+/// directory name first (e.g. `["serve", "server"]`).
+pub fn parse_file(lexed: &Lexed, module: &[String]) -> ParsedFile {
+    let mut p = Parser {
+        toks: &lexed.toks,
+        out: ParsedFile::default(),
+    };
+    p.items(0, lexed.toks.len(), module, None, false);
+    p.out
+}
+
+/// Derives the module path for a crate source file. `krate` is the crate
+/// directory name; `rel` is the path under `src/` using `/` separators
+/// (e.g. `server.rs`, `baselines/rql.rs`, `bin/complx.rs`).
+pub fn module_path(krate: &str, rel: &str) -> Vec<String> {
+    let mut out = vec![krate.to_string()];
+    let trimmed = rel.strip_suffix(".rs").unwrap_or(rel);
+    for seg in trimmed.split('/') {
+        if seg.is_empty() {
+            continue;
+        }
+        if seg == "lib" && out.len() == 1 {
+            continue; // src/lib.rs is the crate root
+        }
+        if seg == "mod" {
+            continue; // src/a/mod.rs is module `a`
+        }
+        out.push(seg.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src), &["demo".to_string()])
+    }
+
+    #[test]
+    fn fns_mods_impls_and_paths() {
+        let src = "\
+pub fn top() { helper(); }
+mod inner {
+    pub fn helper() {}
+    impl Widget {
+        fn method(&self) -> u32 { 0 }
+    }
+    impl std::fmt::Display for Widget {
+        fn fmt(&self, f: &mut Fmt<'_>) -> Result { write!(f, \"\") }
+    }
+}
+trait Doer {
+    fn act(&self);
+    fn act_default(&self) { self.act(); }
+}
+";
+        let p = parse(src);
+        let paths: Vec<&str> = p.fns.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "demo::top",
+                "demo::inner::helper",
+                "demo::inner::Widget::method",
+                "demo::inner::Widget::fmt",
+                "demo::Doer::act",
+                "demo::Doer::act_default",
+            ]
+        );
+        // `act` is bodyless; `act_default` has a body.
+        let act = &p.fns[4];
+        assert_eq!(act.body.0, act.body.1);
+        let act_default = &p.fns[5];
+        assert!(act_default.body.1 > act_default.body.0);
+    }
+
+    #[test]
+    fn cfg_test_items_are_marked() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+    #[test]
+    fn case() {}
+}
+#[cfg(test)]
+fn lone() {}
+";
+        let p = parse(src);
+        let flags: Vec<(&str, bool)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.in_tests))
+            .collect();
+        assert_eq!(
+            flags,
+            vec![
+                ("real", false),
+                ("helper", true),
+                ("case", true),
+                ("lone", true)
+            ]
+        );
+    }
+
+    #[test]
+    fn use_trees_expand() {
+        let src = "\
+use std::collections::BTreeMap;
+use crate::events::{EventBuf, EventBufWriter};
+use complx_par::CancelToken as Token;
+use crate::spool;
+use super::helpers::*;
+";
+        let p = parse(src);
+        let binds: Vec<(String, String)> = p
+            .uses
+            .iter()
+            .map(|u| (u.alias.clone(), u.target.join("::")))
+            .collect();
+        assert_eq!(
+            binds,
+            vec![
+                ("BTreeMap".to_string(), "std::collections::BTreeMap".into()),
+                ("EventBuf".to_string(), "crate::events::EventBuf".into()),
+                (
+                    "EventBufWriter".to_string(),
+                    "crate::events::EventBufWriter".into()
+                ),
+                ("Token".to_string(), "complx_par::CancelToken".into()),
+                ("spool".to_string(), "crate::spool".into()),
+            ]
+        );
+        assert_eq!(p.globs.len(), 1);
+        assert_eq!(p.globs[0].target.join("::"), "super::helpers");
+    }
+
+    #[test]
+    fn module_paths_from_files() {
+        assert_eq!(module_path("core", "lib.rs"), vec!["core"]);
+        assert_eq!(module_path("core", "placer.rs"), vec!["core", "placer"]);
+        assert_eq!(
+            module_path("core", "baselines/rql.rs"),
+            vec!["core", "baselines", "rql"]
+        );
+        assert_eq!(
+            module_path("core", "baselines/mod.rs"),
+            vec!["core", "baselines"]
+        );
+        assert_eq!(
+            module_path("core", "bin/complx.rs"),
+            vec!["core", "bin", "complx"]
+        );
+        assert_eq!(module_path("lint", "main.rs"), vec!["lint", "main"]);
+    }
+
+    #[test]
+    fn malformed_input_degrades_without_panicking() {
+        for src in [
+            "fn",
+            "fn {",
+            "impl {",
+            "mod",
+            "use ::;",
+            "fn f(",
+            "impl X for {",
+            "{{{{",
+            "}}}}",
+            "use a::{b, c",
+            "#[cfg(test)",
+            "trait T { fn",
+        ] {
+            let _ = parse(src);
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! Two-pass symbol resolution and workspace call-graph construction.
+//!
+//! Pass 1 registers every parsed `fn` (see [`crate::parser`]) in a symbol
+//! table under its fully qualified path. Pass 2 walks each function body's
+//! token stream, extracts call sites, and resolves them against the
+//! table. Resolution is deliberately approximate in the directions that
+//! keep the analyses *sound* (a missed edge can hide a bug, a spurious
+//! edge only costs a waiver), with one documented exception: method calls
+//! whose names are ubiquitous `std` vocabulary (`len`, `push`, `clone`, …)
+//! are not linked at all, because name-only linking would wire every
+//! `Vec::push` in the workspace to any type that happens to define `push`.
+//!
+//! Resolution rules, in order:
+//!
+//! 1. `crate::`/`self::`/`super::`/`Self::` prefixes normalize against the
+//!    calling function's crate, module, and `impl` type.
+//! 2. A first segment naming a workspace crate (`complx_par`, …) maps to
+//!    that crate's directory name via the extern-name map.
+//! 3. A first segment bound by a `use` in the calling module (or an
+//!    ancestor module in the same file) expands to its target.
+//! 4. Otherwise the path is tried relative to the calling module, then
+//!    the crate root, then as a unique path *suffix* across the table.
+//! 5. Bare calls (`helper()`) try the use-map, the calling module, its
+//!    ancestors, then glob imports.
+//! 6. Method calls (`.m()`) link to every in-workspace `Type::m` unless
+//!    `m` is on the std-vocabulary denylist.
+//!
+//! Test-scoped functions (`#[cfg(test)]`) are excluded from the graph.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::parser::{FnItem, ParsedFile};
+
+/// Method names too generic to link by name alone: linking them would
+/// connect every `Vec::push`/`Option::take`/… call site to unrelated
+/// workspace types that share the name.
+const METHOD_DENYLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "clone_from",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "clear",
+    "drain",
+    "extend",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "collect",
+    "join",
+    "split",
+    "parse",
+    "to_string",
+    "to_owned",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "as_bytes",
+    "as_slice",
+    "min",
+    "max",
+    "abs",
+    "map",
+    "and_then",
+    "or_else",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "expect",
+    "take",
+    "replace",
+    "lock",
+    "read",
+    "write",
+    "flush",
+    "send",
+    "recv",
+    "wait",
+    "load",
+    "store",
+    "swap",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "from",
+    "into",
+    "drop",
+    "start",
+    "finish",
+    "get_or_init",
+    "name",
+    "path",
+    "keys",
+    "values",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "retain",
+    "resize",
+    "reserve",
+    "last",
+    "first",
+    "find",
+    "position",
+    "count",
+    "sum",
+    "any",
+    "all",
+    "filter",
+    "rev",
+    "zip",
+    "chain",
+    "enumerate",
+    "id",
+    "kind",
+];
+
+/// Keywords that can directly precede `(` without being a call.
+const NON_CALL_IDENTS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "in", "as", "move", "break", "continue",
+    "else", "let", "ref", "mut", "unsafe", "dyn", "box", "await", "yield", "fn", "where", "impl",
+];
+
+/// One function node in the workspace call graph.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Fully qualified path (`crate_dir::module::…::[Type::]name`).
+    pub path: String,
+    /// Simple name.
+    pub name: String,
+    /// `impl`/`trait` type, if a method.
+    pub self_type: Option<String>,
+    /// Crate directory name.
+    pub krate: String,
+    /// Index into the scanned-file list.
+    pub file: usize,
+    /// Whether the file lives under `src/bin/`.
+    pub is_bin: bool,
+    /// Half-open token range of the body (braces included).
+    pub body: (usize, usize),
+    /// 1-based position of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+}
+
+/// One resolved call edge with its source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Callee node index.
+    pub callee: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// 1-based column of the call site.
+    pub col: u32,
+    /// Token index of the call site (callee name token).
+    pub tok: usize,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Non-test functions, in scan order.
+    pub nodes: Vec<FnNode>,
+    /// Outgoing edges per node, deduped, in token order.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Total resolved call edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Node indices whose path equals `pat` or ends with `::{pat}`.
+    pub fn find(&self, pat: &str) -> Vec<usize> {
+        let suffix = format!("::{pat}");
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.path == pat || n.path.ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// BFS from `starts`, returning per-node the predecessor index
+    /// (`usize::MAX` marks a start node, `None` unreachable).
+    pub fn bfs_parents(&self, starts: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in starts {
+            if s < self.nodes.len() && parent[s].is_none() {
+                parent[s] = Some(usize::MAX);
+                queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for e in &self.edges[u] {
+                if parent[e.callee].is_none() {
+                    parent[e.callee] = Some(u);
+                    queue.push(e.callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain from a BFS start down to `target`, as node paths.
+    pub fn chain(&self, parents: &[Option<usize>], target: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = target;
+        // The graph is finite; the bound guards against a malformed
+        // parent table rather than expected input.
+        for _ in 0..=self.nodes.len() {
+            rev.push(self.nodes[cur].path.clone());
+            match parents.get(cur).copied().flatten() {
+                Some(p) if p != usize::MAX => cur = p,
+                _ => break,
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Per-file resolver input.
+pub struct FileInput<'a> {
+    /// Crate directory name.
+    pub krate: &'a str,
+    /// Whether the file lives under `src/bin/`.
+    pub is_bin: bool,
+    /// Lexer output.
+    pub lexed: &'a Lexed,
+    /// Parser output.
+    pub parsed: &'a ParsedFile,
+}
+
+/// Builds the call graph over every non-test function in `files`.
+/// `extern_map` maps crate code names (`complx_par`) to directory names
+/// (`par`).
+pub fn build_graph(files: &[FileInput<'_>], extern_map: &BTreeMap<String, String>) -> CallGraph {
+    // Pass 1: the symbol table.
+    let mut nodes: Vec<FnNode> = Vec::new();
+    let mut by_path: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut by_method: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut by_suffix: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (fi, file) in files.iter().enumerate() {
+        for item in &file.parsed.fns {
+            if item.in_tests {
+                continue;
+            }
+            let idx = nodes.len();
+            nodes.push(FnNode {
+                path: item.path.clone(),
+                name: item.name.clone(),
+                self_type: item.self_type.clone(),
+                krate: file.krate.to_string(),
+                file: fi,
+                is_bin: file.is_bin,
+                body: item.body,
+                line: item.line,
+                col: item.col,
+            });
+            by_path.entry(item.path.clone()).or_default().push(idx);
+            by_suffix.entry(item.name.clone()).or_default().push(idx);
+        }
+    }
+    for (idx, node) in nodes.iter().enumerate() {
+        if node.self_type.is_some() {
+            by_method
+                .entry(nodes[idx].name.as_str())
+                .or_default()
+                .push(idx);
+        }
+    }
+
+    // Pass 2: resolve call sites per function body. Self-recursion edges
+    // are dropped: they add nothing to reachability and only clutter
+    // --graph output.
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); nodes.len()];
+    for (idx, item) in fn_items_by_node(files, &nodes) {
+        let file = &files[nodes[idx].file];
+        let resolver = ScopeResolver {
+            krate: file.krate,
+            module: &item.module,
+            self_type: item.self_type.as_deref(),
+            parsed: file.parsed,
+            extern_map,
+            by_path: &by_path,
+            by_method: &by_method,
+            by_suffix: &by_suffix,
+            nodes: &nodes,
+        };
+        let (lo, hi) = item.body;
+        let toks = &file.lexed.toks;
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut i = lo;
+        while i < hi.min(toks.len()) {
+            if let Some(site) = call_site_shape(toks, i, hi) {
+                for callee in resolver.resolve(&site) {
+                    if callee != idx && seen.insert(callee) {
+                        edges[idx].push(Edge {
+                            callee,
+                            line: toks[site.at].line,
+                            col: toks[site.at].col,
+                            tok: site.at,
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    CallGraph { nodes, edges }
+}
+
+/// Pairs each graph node with its originating [`FnItem`] (same filtering
+/// and order as pass 1).
+fn fn_items_by_node<'a>(files: &'a [FileInput<'a>], nodes: &[FnNode]) -> Vec<(usize, &'a FnItem)> {
+    let mut out = Vec::with_capacity(nodes.len());
+    let mut idx = 0usize;
+    for file in files {
+        for item in &file.parsed.fns {
+            if item.in_tests {
+                continue;
+            }
+            out.push((idx, item));
+            idx += 1;
+        }
+    }
+    out
+}
+
+/// The syntactic shape of one call site.
+struct CallShape {
+    /// Path segments, caller-spelled (`["spool", "write_input"]`); a
+    /// single segment is a bare or method call.
+    segments: Vec<String>,
+    /// Whether this is a `.name(` method call.
+    is_method: bool,
+    /// Token index of the name token (diagnostic anchor).
+    at: usize,
+}
+
+/// Recognizes a call whose *name token* sits at `i`: the token is an
+/// ident directly followed by `(`. Returns the segments walked back
+/// through `::` separators.
+fn call_site_shape(toks: &[Tok], i: usize, hi: usize) -> Option<CallShape> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let next = toks.get(i + 1)?;
+    if !(next.kind == TokKind::Punct && next.text == "(") || i + 1 >= hi {
+        return None;
+    }
+    // Method call?
+    if i > 0 && toks[i - 1].kind == TokKind::Punct && toks[i - 1].text == "." {
+        return Some(CallShape {
+            segments: vec![t.text.clone()],
+            is_method: true,
+            at: i,
+        });
+    }
+    // Walk back `ident ::` pairs.
+    let mut segments = vec![t.text.clone()];
+    let mut j = i;
+    while j >= 2
+        && toks[j - 1].kind == TokKind::Punct
+        && toks[j - 1].text == "::"
+        && toks[j - 2].kind == TokKind::Ident
+    {
+        segments.insert(0, toks[j - 2].text.clone());
+        j -= 2;
+    }
+    if segments.len() == 1 {
+        // Bare call: skip keyword-shaped identifiers and definitions.
+        if NON_CALL_IDENTS.contains(&t.text.as_str()) {
+            return None;
+        }
+        if j > 0 && toks[j - 1].kind == TokKind::Ident && toks[j - 1].text == "fn" {
+            return None;
+        }
+    }
+    Some(CallShape {
+        segments,
+        is_method: false,
+        at: i,
+    })
+}
+
+/// Everything needed to resolve call shapes inside one function.
+struct ScopeResolver<'a> {
+    krate: &'a str,
+    module: &'a [String],
+    self_type: Option<&'a str>,
+    parsed: &'a ParsedFile,
+    extern_map: &'a BTreeMap<String, String>,
+    by_path: &'a BTreeMap<String, Vec<usize>>,
+    by_method: &'a BTreeMap<&'a str, Vec<usize>>,
+    by_suffix: &'a BTreeMap<String, Vec<usize>>,
+    nodes: &'a [FnNode],
+}
+
+impl ScopeResolver<'_> {
+    fn resolve(&self, site: &CallShape) -> Vec<usize> {
+        if site.is_method {
+            return self.resolve_method(&site.segments[0]);
+        }
+        if site.segments.len() == 1 {
+            return self.resolve_bare(&site.segments[0]);
+        }
+        self.resolve_path(&site.segments)
+    }
+
+    fn resolve_method(&self, name: &str) -> Vec<usize> {
+        if METHOD_DENYLIST.contains(&name) {
+            return Vec::new();
+        }
+        self.by_method.get(name).cloned().unwrap_or_default()
+    }
+
+    fn lookup(&self, segs: &[String]) -> Vec<usize> {
+        self.by_path
+            .get(&segs.join("::"))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Normalizes a path's head (`crate`/`self`/`super`/`Self`/extern
+    /// crate/use alias) into absolute segments, or `None` for paths known
+    /// to leave the workspace (`std::…`).
+    fn normalize(&self, segs: &[String], depth: usize) -> Option<Vec<String>> {
+        if depth > 8 {
+            return None; // alias cycles cannot recurse forever
+        }
+        let head = segs.first()?;
+        let rest = &segs[1..];
+        match head.as_str() {
+            "crate" => {
+                let mut out = vec![self.krate.to_string()];
+                out.extend(rest.iter().cloned());
+                Some(out)
+            }
+            "self" => {
+                let mut out = self.module.to_vec();
+                out.extend(rest.iter().cloned());
+                Some(out)
+            }
+            "super" => {
+                let mut base = self.module.to_vec();
+                base.pop();
+                let mut rest = rest;
+                while rest.first().is_some_and(|s| s == "super") {
+                    base.pop();
+                    rest = &rest[1..];
+                }
+                base.extend(rest.iter().cloned());
+                Some(base)
+            }
+            "Self" => {
+                let ty = self.self_type?;
+                let mut out = self.module.to_vec();
+                out.push(ty.to_string());
+                out.extend(rest.iter().cloned());
+                Some(out)
+            }
+            "std" | "core" | "alloc" | "proc_macro" => None,
+            other => {
+                if let Some(dir) = self.extern_map.get(other) {
+                    let mut out = vec![dir.clone()];
+                    out.extend(rest.iter().cloned());
+                    return Some(out);
+                }
+                if let Some(binding) = self.binding_for(other) {
+                    let mut expanded = binding.to_vec();
+                    expanded.extend(rest.iter().cloned());
+                    return self.normalize(&expanded, depth + 1);
+                }
+                // Unknown head: leave as-is; callers try module-relative
+                // and crate-root placements.
+                let mut out = Vec::with_capacity(segs.len());
+                out.extend(segs.iter().cloned());
+                Some(out)
+            }
+        }
+    }
+
+    /// The `use` target bound to `alias` in this module or an ancestor
+    /// module of the same file.
+    fn binding_for(&self, alias: &str) -> Option<&[String]> {
+        // Prefer the deepest (closest) module's binding.
+        let mut best: Option<(&[String], usize)> = None;
+        for u in &self.parsed.uses {
+            if u.alias != alias {
+                continue;
+            }
+            if self.module.starts_with(&u.module) {
+                let depth = u.module.len();
+                if best.is_none_or(|(_, d)| depth >= d) {
+                    best = Some((&u.target, depth));
+                }
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    fn resolve_path(&self, segs: &[String]) -> Vec<usize> {
+        if let Some(norm) = self.normalize(segs, 0) {
+            let hit = self.lookup(&norm);
+            if !hit.is_empty() {
+                return hit;
+            }
+            // Module-relative: `helpers::f()` for a sibling module.
+            let mut rel = self.module.to_vec();
+            rel.extend(norm.iter().cloned());
+            let hit = self.lookup(&rel);
+            if !hit.is_empty() {
+                return hit;
+            }
+            // Crate-root-relative.
+            let mut root = vec![self.krate.to_string()];
+            root.extend(norm.iter().cloned());
+            let hit = self.lookup(&root);
+            if !hit.is_empty() {
+                return hit;
+            }
+            // Suffix match (2+ segments only): `Type::assoc` spelled with
+            // the type imported by `use`.
+            if norm.len() >= 2 {
+                let suffix = format!("::{}", norm.join("::"));
+                if let Some(cands) = self.by_suffix.get(&norm[norm.len() - 1]) {
+                    return cands
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.nodes[c].path.ends_with(&suffix))
+                        .collect();
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn resolve_bare(&self, name: &str) -> Vec<usize> {
+        // A `use` binding pointing directly at a fn.
+        if let Some(binding) = self.binding_for(name) {
+            if let Some(norm) = self.normalize(binding, 0) {
+                let hit = self.lookup(&norm);
+                if !hit.is_empty() {
+                    return hit;
+                }
+            }
+        }
+        // Same module, then ancestors up to the crate root.
+        let mut scope = self.module.to_vec();
+        loop {
+            let mut candidate = scope.clone();
+            candidate.push(name.to_string());
+            let hit = self.lookup(&candidate);
+            if !hit.is_empty() {
+                return hit;
+            }
+            if scope.pop().is_none() || scope.is_empty() {
+                break;
+            }
+        }
+        let mut root = vec![self.krate.to_string(), name.to_string()];
+        let hit = self.lookup(&root);
+        if !hit.is_empty() {
+            return hit;
+        }
+        root.clear();
+        // Glob imports in scope.
+        for g in &self.parsed.globs {
+            if !self.module.starts_with(&g.module) {
+                continue;
+            }
+            if let Some(norm) = self.normalize(&g.target, 0) {
+                let mut candidate = norm;
+                candidate.push(name.to_string());
+                let hit = self.lookup(&candidate);
+                if !hit.is_empty() {
+                    return hit;
+                }
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn graph(sources: &[(&str, &str, &str)]) -> CallGraph {
+        // (krate, rel-file, source)
+        let lexed: Vec<Lexed> = sources.iter().map(|(_, _, s)| lex(s)).collect();
+        let parsed: Vec<ParsedFile> = sources
+            .iter()
+            .zip(&lexed)
+            .map(|((k, rel, _), l)| {
+                let module = crate::parser::module_path(k, rel);
+                parse_file(l, &module)
+            })
+            .collect();
+        let files: Vec<FileInput<'_>> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, (k, rel, _))| FileInput {
+                krate: k,
+                is_bin: rel.starts_with("bin/"),
+                lexed: &lexed[i],
+                parsed: &parsed[i],
+            })
+            .collect();
+        let mut extern_map = BTreeMap::new();
+        extern_map.insert("complx_app".to_string(), "app".to_string());
+        extern_map.insert("complx_helper".to_string(), "helper".to_string());
+        build_graph(&files, &extern_map)
+    }
+
+    fn edge_paths(g: &CallGraph, from: &str) -> Vec<String> {
+        let idx = g.find(from);
+        assert_eq!(idx.len(), 1, "unique node for {from}");
+        g.edges[idx[0]]
+            .iter()
+            .map(|e| g.nodes[e.callee].path.clone())
+            .collect()
+    }
+
+    #[test]
+    fn cross_crate_and_local_resolution() {
+        let g = graph(&[
+            (
+                "app",
+                "lib.rs",
+                "use complx_helper::deep;\n\
+                 pub fn entry() { local(); deep(); complx_helper::other(); }\n\
+                 fn local() { sub::inner(); }\n\
+                 mod sub { pub fn inner() { super::local2(); } }\n\
+                 fn local2() {}\n",
+            ),
+            (
+                "helper",
+                "lib.rs",
+                "pub fn deep() { aux(); }\npub fn other() {}\nfn aux() {}\n",
+            ),
+        ]);
+        assert_eq!(
+            edge_paths(&g, "app::entry"),
+            vec!["app::local", "helper::deep", "helper::other"]
+        );
+        assert_eq!(edge_paths(&g, "app::local"), vec!["app::sub::inner"]);
+        assert_eq!(edge_paths(&g, "app::sub::inner"), vec!["app::local2"]);
+        assert_eq!(edge_paths(&g, "helper::deep"), vec!["helper::aux"]);
+    }
+
+    #[test]
+    fn methods_link_by_name_except_denylist() {
+        let g = graph(&[(
+            "app",
+            "lib.rs",
+            "impl Buf { pub fn close_all(&self) {} pub fn push(&self, _x: u8) {} }\n\
+             fn caller(b: &Buf, v: &mut Vec<u8>) { b.close_all(); v.push(1); }\n",
+        )]);
+        // `close_all` links; `push` is denylisted (std vocabulary).
+        assert_eq!(edge_paths(&g, "app::caller"), vec!["app::Buf::close_all"]);
+    }
+
+    #[test]
+    fn self_and_assoc_paths() {
+        let g = graph(&[(
+            "app",
+            "lib.rs",
+            "impl Engine {\n\
+               pub fn run(&self) { Self::boot(); Engine::tick(); }\n\
+               fn boot() {}\n\
+               fn tick() {}\n\
+             }\n",
+        )]);
+        assert_eq!(
+            edge_paths(&g, "Engine::run"),
+            vec!["app::Engine::boot", "app::Engine::tick"]
+        );
+    }
+
+    #[test]
+    fn test_functions_stay_out_of_the_graph() {
+        let g = graph(&[(
+            "app",
+            "lib.rs",
+            "pub fn real() {}\n#[cfg(test)]\nmod tests { fn helper() { super::real(); } }\n",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].path, "app::real");
+    }
+
+    #[test]
+    fn bfs_chain_reconstruction() {
+        let g = graph(&[(
+            "app",
+            "lib.rs",
+            "pub fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn lonely() {}\n",
+        )]);
+        let start = g.find("app::a");
+        let parents = g.bfs_parents(&start);
+        let c = g.find("app::c")[0];
+        assert_eq!(g.chain(&parents, c), vec!["app::a", "app::b", "app::c"]);
+        let lonely = g.find("app::lonely")[0];
+        assert!(parents[lonely].is_none());
+    }
+}

@@ -17,6 +17,12 @@ pub const ALL_RULES: &[&str] = &[
     "no-unordered-iter",
     "no-wallclock-in-kernel",
     "no-float-eq",
+    // Interprocedural analyses (crate::taint, crate::locks). Listed here
+    // so waivers may name them; they are driven by [analysis.*] config
+    // sections, not per-crate [rules.*] policies.
+    "nondet-taint",
+    "panic-path",
+    "lock-order",
 ];
 
 /// Rule id used for waiver-hygiene findings (always enabled).

@@ -1,12 +1,26 @@
 //! Scoping and orchestration: which files are scanned, which findings
 //! survive `#[cfg(test)]` scoping and inline waivers, and how a whole
 //! workspace run is assembled.
+//!
+//! A workspace run proceeds in three passes:
+//!
+//! 1. every file of every configured crate (including `src/bin/`) is
+//!    lexed, item-parsed, and its waivers extracted into a [`FileUnit`];
+//! 2. the token rules run per file (with `src/bin/` exempt unless a rule
+//!    sets `include-bins = true`);
+//! 3. the interprocedural analyses ([`crate::taint`], [`crate::locks`])
+//!    run over the workspace call graph built by [`crate::resolve`].
+//!
+//! Waiver hygiene runs last so analysis waivers count as used.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 use crate::config::Config;
 use crate::lexer::{lex, Lexed, TokKind};
+use crate::parser::{module_path, parse_file, ParsedFile};
+use crate::resolve::{build_graph, CallGraph, FileInput};
 use crate::rules::{run_all, ALL_RULES, WAIVER_RULE};
 
 /// A finalized diagnostic, printable as `file:line:col: rule: message`.
@@ -123,14 +137,14 @@ fn test_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
 
 /// One parsed `// lint:allow(<rule>): <reason>` directive.
 #[derive(Debug)]
-struct Waiver {
-    rule: String,
-    reason: String,
-    line: u32,
-    col: u32,
+pub(crate) struct Waiver {
+    pub(crate) rule: String,
+    pub(crate) reason: String,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
     /// The single source line whose findings this waiver covers.
-    target: u32,
-    used: bool,
+    pub(crate) target: u32,
+    pub(crate) used: bool,
 }
 
 /// Extracts waivers from comments. A trailing waiver covers its own line;
@@ -176,47 +190,120 @@ fn waivers(lexed: &Lexed) -> Vec<Waiver> {
     out
 }
 
-/// Lints one file's source under the given policy. `krate` selects which
-/// rules apply; `file` is the label used in diagnostics.
-pub fn lint_source(file: &str, krate: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
-    let lexed = lex(source);
-    let ranges = test_ranges(&lexed);
-    let in_tests = |line: u32| ranges.iter().any(|&(s, e)| s <= line && line <= e);
-    let mut ws = waivers(&lexed);
-    let mut out = Vec::new();
-    for f in run_all(&lexed) {
-        if !cfg.rule_applies(f.rule, krate) {
-            continue;
+/// One scanned source file with everything the passes need.
+pub(crate) struct FileUnit {
+    /// Crate directory name.
+    pub(crate) krate: String,
+    /// Workspace-relative path, used in diagnostics.
+    pub(crate) label: String,
+    /// Whether the file lives under `src/bin/`.
+    pub(crate) is_bin: bool,
+    /// Lexer output.
+    pub(crate) lexed: Lexed,
+    /// Item-parser output.
+    pub(crate) parsed: ParsedFile,
+    tests: Vec<(u32, u32)>,
+    waivers: Vec<Waiver>,
+}
+
+impl FileUnit {
+    pub(crate) fn new(krate: &str, label: &str, rel: &str, source: &str) -> Self {
+        let lexed = lex(source);
+        let module = module_path(krate, rel);
+        let parsed = parse_file(&lexed, &module);
+        let tests = test_ranges(&lexed);
+        let ws = waivers(&lexed);
+        FileUnit {
+            krate: krate.to_string(),
+            label: label.to_string(),
+            is_bin: rel.starts_with("bin/"),
+            lexed,
+            parsed,
+            tests,
+            waivers: ws,
         }
-        if in_tests(f.line) && !cfg.rule_in_tests(f.rule) {
-            continue;
-        }
-        if let Some(w) = ws
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` item.
+    pub(crate) fn in_tests(&self, line: u32) -> bool {
+        self.tests.iter().any(|&(s, e)| s <= line && line <= e)
+    }
+
+    /// Consumes a reasoned waiver for exactly (`rule`, `line`), marking it
+    /// used. Returns true when one exists.
+    fn try_waive(&mut self, rule: &str, line: u32) -> bool {
+        if let Some(w) = self
+            .waivers
             .iter_mut()
-            .find(|w| w.rule == f.rule && w.target == f.line && !w.reason.is_empty())
+            .find(|w| w.rule == rule && w.target == line && !w.reason.is_empty())
         {
             w.used = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when a reasoned waiver naming *any* of `rules` targets `line`.
+    /// Only waivers naming `rules[0]` — the calling analysis' own id — are
+    /// marked used; a token-rule waiver doing double duty is already
+    /// accounted for by its own rule pass.
+    pub(crate) fn waived_by_any(&mut self, rules: &[&str], line: u32) -> bool {
+        let mut hit = false;
+        for w in &mut self.waivers {
+            if w.target == line && !w.reason.is_empty() && rules.iter().any(|r| *r == w.rule) {
+                if Some(w.rule.as_str()) == rules.first().copied() {
+                    w.used = true;
+                }
+                hit = true;
+            }
+        }
+        hit
+    }
+}
+
+/// Token-rule pass over one file.
+fn token_findings(unit: &mut FileUnit, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in run_all(&unit.lexed) {
+        if !cfg.rule_applies(f.rule, &unit.krate) {
+            continue;
+        }
+        if unit.is_bin && !cfg.rule_in_bins(f.rule) {
+            continue;
+        }
+        if unit.in_tests(f.line) && !cfg.rule_in_tests(f.rule) {
+            continue;
+        }
+        if unit.try_waive(f.rule, f.line) {
             continue;
         }
         out.push(Diagnostic {
-            file: file.to_string(),
+            file: unit.label.clone(),
             line: f.line,
             col: f.col,
             rule: f.rule.to_string(),
             message: f.message,
         });
     }
-    // Waiver hygiene: unknown rules, missing reasons, and waivers that
-    // suppress nothing are findings themselves, so the escape hatch cannot
-    // quietly rot.
-    for w in &ws {
+    out
+}
+
+/// Waiver hygiene: unknown rules, missing reasons, and waivers that
+/// suppress nothing are findings themselves, so the escape hatch cannot
+/// quietly rot.
+fn hygiene_findings(unit: &FileUnit, cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for w in &unit.waivers {
         let diag = |message: String| Diagnostic {
-            file: file.to_string(),
+            file: unit.label.clone(),
             line: w.line,
             col: w.col,
             rule: WAIVER_RULE.to_string(),
             message,
         };
+        let active =
+            cfg.rule_applies(&w.rule, &unit.krate) || cfg.analysis_applies(&w.rule, &unit.krate);
         if !ALL_RULES.contains(&w.rule.as_str()) {
             out.push(diag(format!("waiver names unknown rule `{}`", w.rule)));
         } else if w.reason.is_empty() {
@@ -225,13 +312,24 @@ pub fn lint_source(file: &str, krate: &str, source: &str, cfg: &Config) -> Vec<D
                  `// lint:allow({}): <why this site is exempt>`",
                 w.rule, w.rule
             )));
-        } else if !w.used && cfg.rule_applies(&w.rule, krate) {
+        } else if !w.used && active {
             out.push(diag(format!(
                 "waiver for `{}` suppresses nothing on line {} — remove it",
                 w.rule, w.target
             )));
         }
     }
+    out
+}
+
+/// Lints one file's source under the given policy. `krate` selects which
+/// rules apply; `file` is the label used in diagnostics. This single-file
+/// path runs the token rules only — the interprocedural analyses need the
+/// whole workspace and run in [`analyze_workspace`].
+pub fn lint_source(file: &str, krate: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let mut unit = FileUnit::new(krate, file, file, source);
+    let mut out = token_findings(&mut unit, cfg);
+    out.extend(hygiene_findings(&unit, cfg));
     out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
     out
 }
@@ -248,10 +346,10 @@ impl fmt::Display for ScanError {
 
 impl std::error::Error for ScanError {}
 
-/// Collects the `.rs` files of one crate's library tree: everything under
-/// `src/` except `src/bin/` (CLI entry points are not library code).
-/// Integration tests, benches, and examples live outside `src/` and are
-/// never scanned.
+/// Collects the `.rs` files of one crate's `src/` tree, including
+/// `src/bin/` (bin files are flagged so per-rule `include-bins` policy can
+/// exempt them). Integration tests, benches, and examples live outside
+/// `src/` and are never scanned.
 fn crate_files(src_dir: &Path) -> Result<Vec<PathBuf>, ScanError> {
     let mut out = Vec::new();
     let mut stack = vec![src_dir.to_path_buf()];
@@ -262,9 +360,6 @@ fn crate_files(src_dir: &Path) -> Result<Vec<PathBuf>, ScanError> {
             let entry = entry.map_err(|e| ScanError(format!("read_dir entry: {e}")))?;
             let path = entry.path();
             if path.is_dir() {
-                if path.file_name().is_some_and(|n| n == "bin") {
-                    continue;
-                }
                 stack.push(path);
             } else if path.extension().is_some_and(|e| e == "rs") {
                 out.push(path);
@@ -275,10 +370,74 @@ fn crate_files(src_dir: &Path) -> Result<Vec<PathBuf>, ScanError> {
     Ok(out)
 }
 
-/// Lints every configured crate under `root/crates/`, returning the full
-/// diagnostic list sorted by (file, line, col).
-pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, ScanError> {
-    let mut out = Vec::new();
+/// Maps crate *code* names (`complx_place`) to crate directory names
+/// (`core`) by reading each `crates/<dir>/Cargo.toml` `[package] name`.
+/// The resolver uses this to normalize cross-crate paths.
+fn extern_name_map(root: &Path) -> Result<BTreeMap<String, String>, ScanError> {
+    let crates_dir = root.join("crates");
+    let mut map = BTreeMap::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| ScanError(format!("read_dir {}: {e}", crates_dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| ScanError(format!("read_dir entry: {e}")))?;
+        let dir = entry.path();
+        let manifest = dir.join("Cargo.toml");
+        if !manifest.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&manifest)
+            .map_err(|e| ScanError(format!("read {}: {e}", manifest.display())))?;
+        let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    let value = value.trim().trim_matches('"');
+                    map.insert(value.replace('-', "_"), dir_name.to_string());
+                    break;
+                }
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// One waiver with its location and liveness, for the `--waivers`
+/// inventory and the JSON report.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+    /// Rule the waiver names.
+    pub rule: String,
+    /// The stated reason (may be empty for malformed waivers).
+    pub reason: String,
+    /// Whether the waiver suppressed at least one finding this run.
+    pub used: bool,
+}
+
+/// The full result of a workspace run: diagnostics plus the call graph
+/// and waiver inventory the CLI surfaces (`--graph`, `--waivers`, `--json`).
+pub struct WorkspaceRun {
+    /// All findings, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The interprocedural call graph.
+    pub graph: CallGraph,
+    /// Every waiver encountered, in file order.
+    pub waivers: Vec<WaiverRecord>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scans every configured crate, runs the token rules and the
+/// interprocedural analyses, and returns the assembled [`WorkspaceRun`].
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> Result<WorkspaceRun, ScanError> {
+    let mut units: Vec<FileUnit> = Vec::new();
     for krate in &cfg.scan_crates {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
@@ -295,11 +454,68 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, Scan
                 .unwrap_or(&path)
                 .display()
                 .to_string();
-            out.extend(lint_source(&label, krate, &source, cfg));
+            let rel = path
+                .strip_prefix(&src)
+                .unwrap_or(&path)
+                .display()
+                .to_string();
+            units.push(FileUnit::new(krate, &label, &rel, &source));
         }
     }
-    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    Ok(out)
+
+    // Pass 2: token rules.
+    let mut diagnostics = Vec::new();
+    for unit in &mut units {
+        diagnostics.extend(token_findings(unit, cfg));
+    }
+
+    // Pass 3: the interprocedural analyses over the workspace call graph.
+    let extern_map = extern_name_map(root)?;
+    let inputs: Vec<FileInput<'_>> = units
+        .iter()
+        .map(|u| FileInput {
+            krate: &u.krate,
+            is_bin: u.is_bin,
+            lexed: &u.lexed,
+            parsed: &u.parsed,
+        })
+        .collect();
+    let graph = build_graph(&inputs, &extern_map);
+    diagnostics.extend(crate::taint::nondet_findings(&graph, &mut units, cfg)?);
+    diagnostics.extend(crate::taint::panic_findings(&graph, &mut units, cfg)?);
+    diagnostics.extend(crate::locks::lock_order_findings(&graph, &mut units, cfg));
+
+    // Hygiene last, so analysis waivers count as used.
+    for unit in &units {
+        diagnostics.extend(hygiene_findings(unit, cfg));
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+
+    let waivers = units
+        .iter()
+        .flat_map(|u| {
+            u.waivers.iter().map(|w| WaiverRecord {
+                file: u.label.clone(),
+                line: w.line,
+                rule: w.rule.clone(),
+                reason: w.reason.clone(),
+                used: w.used,
+            })
+        })
+        .collect();
+    Ok(WorkspaceRun {
+        diagnostics,
+        graph,
+        waivers,
+        files_scanned: units.len(),
+    })
+}
+
+/// Lints every configured crate under `root/crates/`, returning the full
+/// diagnostic list sorted by (file, line, col).
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, ScanError> {
+    analyze_workspace(root, cfg).map(|run| run.diagnostics)
 }
 
 #[cfg(test)]
@@ -364,5 +580,24 @@ pub fn d() {}
                 ("waiver", 7)
             ]
         );
+    }
+
+    #[test]
+    fn bin_files_are_exempt_unless_included() {
+        let cfg = config::parse(
+            "[scan]\ncrates = [\"demo\"]\n\
+             [rules.no-unwrap]\ncrates = [\"*\"]\n\
+             [rules.no-float-eq]\ncrates = [\"*\"]\ninclude-bins = true\n",
+        )
+        .expect("parses");
+        let src = "fn main() { let x: Option<u32> = None; x.unwrap(); let b = 1.0 == w; }";
+        let mut unit = FileUnit::new("demo", "crates/demo/src/bin/t.rs", "bin/t.rs", src);
+        assert!(unit.is_bin);
+        let rules: Vec<String> = token_findings(&mut unit, &cfg)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        // no-unwrap stays exempt in bins; no-float-eq opted in.
+        assert_eq!(rules, vec!["no-float-eq"]);
     }
 }

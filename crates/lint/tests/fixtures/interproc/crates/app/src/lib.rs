@@ -1,0 +1,49 @@
+// Fixture: seeded interprocedural defects. Line/column positions are
+// asserted exactly by tests/interproc.rs — edit with care.
+use std::sync::{Mutex, MutexGuard};
+
+pub struct Shared {
+    pub alpha: Mutex<u32>,
+    pub beta: Mutex<u32>,
+}
+
+// The lock-order choke point; its own raw .lock() is exempt.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// Entry point for the taint and panic analyses.
+pub fn entry(s: &Shared) -> u32 {
+    let x = fix_helper::leak();
+    first(s) + second(s) + deep(x)
+}
+
+// Acquires alpha then beta ...
+fn first(s: &Shared) -> u32 {
+    let ga = lock_or_recover(&s.alpha);
+    let gb = lock_or_recover(&s.beta);
+    *ga + *gb
+}
+
+// ... while this acquires beta then alpha: an ABBA deadlock.
+fn second(s: &Shared) -> u32 {
+    let gb = lock_or_recover(&s.beta);
+    let ga = lock_or_recover(&s.alpha);
+    *ga + *gb
+}
+
+// A helper-hidden unwrap: `entry` never spells `.unwrap()` itself, but
+// reaches one two calls down.
+fn deep(x: Option<u32>) -> u32 {
+    hidden(x)
+}
+
+fn hidden(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+// A raw .lock() outside the choke point (not even reachable from entry —
+// the choke-point rule is per-file, not reachability-based).
+pub fn bypass(s: &Shared) -> u32 {
+    *s.alpha.lock().unwrap_or_else(|p| p.into_inner())
+}

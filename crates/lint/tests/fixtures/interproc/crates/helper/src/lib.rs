@@ -1,0 +1,12 @@
+// Fixture: a cross-crate nondeterminism leak. fix_app::entry reaches
+// this function, which builds a HashMap.
+pub fn leak() -> Option<u32> {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.get(&0).copied()
+}
+
+// Not reachable from the entry point: its HashMap must NOT be reported.
+pub fn unreachable_nondet() -> usize {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.len()
+}

@@ -223,6 +223,9 @@ impl DesignBuilder {
             fixed_pos: Vec::new(),
             regions: Vec::new(),
             alignments: Vec::new(),
+            // lint:allow(nondet-taint): name->id parse-time lookup; its
+            // iteration order never reaches an f64 accumulation (hot-path
+            // iteration is over Vec-ordered ids)
             names: HashMap::new(),
         }
     }

@@ -8,18 +8,10 @@
 //! progress reaches the socket the moment the placer emits it.
 
 use std::io::{self, Write};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-pub(crate) fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    // A poisoned buffer only means a writer panicked mid-append; the bytes
-    // already written are still well-formed lines, so serving them beats
-    // taking the whole connection handler down.
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
+use crate::sync::lock_or_recover;
 
 #[derive(Debug, Default)]
 struct BufState {

@@ -19,6 +19,8 @@
 //! * [`queue`] — bounded priority queue with 429 admission control
 //! * [`cache`] — deterministic LRU result cache
 //! * [`events`] — live per-job progress buffers (chunked JSONL tails)
+//! * [`sync`] — the poison-recovering lock helper every `.lock()` routes
+//!   through (the lock-order analysis' single choke point)
 //! * [`spool`] — crash-safe on-disk artifact layout
 //! * [`server`] — the daemon: accept loop, workers, endpoints
 //! * [`client`] — minimal client used by `complx-loadgen` and the tests
@@ -35,6 +37,7 @@ pub mod job;
 pub mod queue;
 pub mod server;
 pub mod spool;
+pub mod sync;
 
 pub use cache::ResultCache;
 pub use client::{request, wait_terminal, Response};

@@ -40,12 +40,13 @@ use complx_par::CancelToken;
 use complx_place::{config_hash, design_hash, solve, PlaceError, PlacerConfig, SolveRequest};
 
 use crate::cache::{self, ResultCache};
-use crate::events::{lock_or_recover, EventBuf, EventBufWriter};
+use crate::events::{EventBuf, EventBufWriter};
 use crate::framing;
 use crate::http::{self, HttpError, Request};
 use crate::job::{Job, JobState, JobTable, Priority};
 use crate::queue::JobQueue;
 use crate::spool;
+use crate::sync::lock_or_recover;
 
 /// How long a silent events streamer waits between liveness ticks.
 const STREAM_PATIENCE: Duration = Duration::from_millis(200);
@@ -411,7 +412,10 @@ fn handle_submit(shared: &Arc<Shared>, req: &Request) -> (u16, JsonValue) {
     let ch = config_hash(&config);
     let design_name = bundle.design.name().to_string();
 
-    if let Some(entry) = lock_or_recover(&shared.cache).lookup(dh, ch) {
+    // Bind the lookup result so the cache guard (a scrutinee temporary)
+    // drops at this statement instead of living across the whole hit path.
+    let cache_hit = lock_or_recover(&shared.cache).lookup(dh, ch);
+    if let Some(entry) = cache_hit {
         // Born done: the determinism contract makes the producer's spooled
         // artifacts this submission's result, byte for byte.
         let events = EventBuf::new();

@@ -1,0 +1,27 @@
+//! Shared locking primitives for the daemon.
+//!
+//! Every mutex acquisition in `complx-serve` goes through
+//! [`lock_or_recover`] — never a raw `.lock()`. Two reasons:
+//!
+//! 1. **Poison recovery.** A panicking holder only means one update was
+//!    interrupted; the protected state (job table, queue, cache, stats,
+//!    event buffers) is either structurally intact or about to be
+//!    overwritten by a terminal transition, so serving it beats taking
+//!    the whole daemon down.
+//! 2. **A single choke point for static analysis.** `complx-lint`'s
+//!    lock-order analysis (DESIGN.md §17) recognizes
+//!    `lock_or_recover(&<path>.<name>)` call sites, names the lock after
+//!    the final path segment, and propagates held-lock sets through the
+//!    workspace call graph to reject acquisition-order cycles. A raw
+//!    `.lock()` inside this crate is itself a lint finding, so the
+//!    analysis cannot silently go blind.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Acquires `m`, recovering the guard when the mutex is poisoned.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

@@ -21,7 +21,16 @@ echo "== tests (COMPLX_THREADS=4) =="
 COMPLX_THREADS=4 cargo test -q --workspace
 
 echo "== lint: complx-lint static analysis (lint.toml policy) =="
-./target/release/complx-lint
+# One run gates the token rules AND the three interprocedural analyses
+# (nondet-taint, panic-path, lock-order) while emitting the machine-
+# readable complx-lint-report/v1 artifact; the --check-report pass
+# round-trips the artifact through the schema validator, and --waivers
+# prints the active-waiver inventory for the log.
+lint_report=$(mktemp /tmp/complx-lint-report.XXXXXX.json)
+./target/release/complx-lint --json "$lint_report"
+./target/release/complx-lint --check-report "$lint_report"
+rm -f "$lint_report"
+./target/release/complx-lint --waivers -q | sed 's/^/  waiver: /'
 
 echo "== clippy: no unwrap in solver library code =="
 cargo clippy -q --no-deps --lib \
