@@ -18,7 +18,7 @@ use std::time::Instant;
 use complx_netlist::generator::GeneratorConfig;
 use complx_netlist::Design;
 use complx_obs::{prof, JsonValue};
-use complx_place::{ComplxPlacer, PlacerConfig};
+use complx_place::{ComplxPlacer, PlacerConfig, ProjectionBackend};
 
 /// Schema identifier every committed benchmark snapshot must carry.
 pub const BENCH_SCHEMA: &str = "complx-bench/v1";
@@ -309,27 +309,44 @@ pub const MATRIX_THREADS: [usize; 3] = [1, 4, 8];
 /// One cell of the benchmark matrix.
 #[derive(Debug, Clone)]
 pub struct MatrixSpec {
-    /// Case name (`s`, `m`, `l`).
+    /// Case name (`s`, `m`, `l`, `s_electro`, `m_electro`).
     pub name: &'static str,
     /// Movable standard cells in the generated design.
     pub cells: usize,
     /// Thread count.
     pub threads: usize,
+    /// Projection backend `P_C` runs through.
+    pub projection: ProjectionBackend,
 }
 
-/// The full placer matrix: three generated scales × [`MATRIX_THREADS`].
-/// Sizes are deliberately modest — the gate runs inside `check.sh` on
-/// whatever machine CI gives it, so the whole matrix must finish in
-/// seconds, not minutes.
+/// The full placer matrix: three generated scales × [`MATRIX_THREADS`]
+/// under the geometric projection, plus the electrostatic counterparts of
+/// the two smaller scales at 1 and 4 threads — same designs, same configs,
+/// only `P_C` swapped, so the `place/iteration/projection` kernel rows are
+/// a direct geometric-vs-electro comparison. Sizes are deliberately
+/// modest — the gate runs inside `check.sh` on whatever machine CI gives
+/// it, so the whole matrix must finish in seconds, not minutes.
 pub fn placer_matrix() -> Vec<MatrixSpec> {
     let scales: [(&'static str, usize); 3] = [("s", 600), ("m", 1200), ("l", 2400)];
-    let mut specs = Vec::with_capacity(scales.len() * MATRIX_THREADS.len());
+    let mut specs = Vec::with_capacity(scales.len() * MATRIX_THREADS.len() + 4);
     for (name, cells) in scales {
         for threads in MATRIX_THREADS {
             specs.push(MatrixSpec {
                 name,
                 cells,
                 threads,
+                projection: ProjectionBackend::Geometric,
+            });
+        }
+    }
+    let electro: [(&'static str, usize); 2] = [("s_electro", 600), ("m_electro", 1200)];
+    for (name, cells) in electro {
+        for threads in [1usize, 4] {
+            specs.push(MatrixSpec {
+                name,
+                cells,
+                threads,
+                projection: ProjectionBackend::Electro,
             });
         }
     }
@@ -349,10 +366,13 @@ const KERNEL_PATHS: [&str; 7] = [
 ];
 
 fn bench_design(spec: &MatrixSpec) -> Design {
+    // The electro cases strip their suffix so each backend pair runs on a
+    // byte-identical design and differs in the projection alone.
+    let base = spec.name.trim_end_matches("_electro");
     if spec.cells <= 600 {
-        GeneratorConfig::small(format!("bench_{}", spec.name), 7).generate()
+        GeneratorConfig::small(format!("bench_{base}"), 7).generate()
     } else {
-        GeneratorConfig::ispd2005_like(format!("bench_{}", spec.name), 7, spec.cells).generate()
+        GeneratorConfig::ispd2005_like(format!("bench_{base}"), 7, spec.cells).generate()
     }
 }
 
@@ -374,7 +394,9 @@ fn bench_config() -> PlacerConfig {
 /// the run and disarmed again before returning.
 pub fn run_case(spec: &MatrixSpec) -> BenchCase {
     let design = bench_design(spec);
-    let cfg = bench_config();
+    let mut cfg = bench_config();
+    cfg.projection = spec.projection;
+    let projection_label = cfg.projection.to_string();
     let _threads = complx_par::with_threads(spec.threads);
     prof::set_mem_profiling(true);
     prof::reset_mem_counters();
@@ -430,7 +452,7 @@ pub fn run_case(spec: &MatrixSpec) -> BenchCase {
         ],
         memory,
         kernels,
-        extra: JsonValue::Obj(Vec::new()),
+        extra: JsonValue::object(vec![("projection", projection_label.into())]),
     }
 }
 
@@ -753,11 +775,25 @@ mod tests {
     }
 
     #[test]
-    fn matrix_is_three_scales_by_three_thread_counts() {
+    fn matrix_is_geometric_grid_plus_electro_counterparts() {
         let m = placer_matrix();
-        assert_eq!(m.len(), 9);
+        // 3 geometric scales × 3 thread counts + 2 electro scales × 2.
+        assert_eq!(m.len(), 13);
         let mut names: Vec<&str> = m.iter().map(|s| s.name).collect();
         names.dedup();
-        assert_eq!(names.len(), 3);
+        assert_eq!(names.len(), 5);
+        let electro = m
+            .iter()
+            .filter(|s| matches!(s.projection, ProjectionBackend::Electro))
+            .count();
+        assert_eq!(electro, 4);
+        for spec in &m {
+            assert_eq!(
+                spec.name.ends_with("_electro"),
+                matches!(spec.projection, ProjectionBackend::Electro),
+                "case {} projection/name mismatch",
+                spec.name
+            );
+        }
     }
 }

@@ -11,6 +11,10 @@
 //!   --finest-grid          use the finest P_C grid in all iterations
 //!   --pc-dp                run detailed placement after every projection
 //!   --simpl                use the SimPL special-case configuration
+//!   --projection <b>       feasibility-projection backend: `geometric`
+//!                          (SimPL-style look-ahead legalization, the
+//!                          default) or `electro` (FFT electrostatic
+//!                          density equalization)
 //!   --lse [gamma_rows]     log-sum-exp interconnect model (default γ = 4)
 //!   --no-detail            skip final legalization refinement
 //!   --max-seconds <s>      wall-clock budget; the placer exits gracefully
@@ -69,7 +73,7 @@ use complx_netlist::bookshelf;
 use complx_obs::{JsonlSink, Level, Sink, StderrLogger, TimelineSink};
 use complx_place::{
     load_checkpoint, CheckpointConfig, CkptError, ComplxPlacer, FaultKind, FaultPlan, Interconnect,
-    PlaceError, PlacerConfig,
+    PlaceError, PlacerConfig, ProjectionBackend,
 };
 
 /// The tracking allocator behind `--profile-mem`. Until that flag arms
@@ -86,6 +90,7 @@ struct Options {
     finest_grid: bool,
     pc_dp: bool,
     simpl: bool,
+    projection: Option<ProjectionBackend>,
     lse: Option<f64>,
     no_detail: bool,
     max_seconds: Option<f64>,
@@ -106,7 +111,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: complx <design.aux> [-o DIR] [--target-density G] [--max-iterations N]\n\
-     [--finest-grid] [--pc-dp] [--simpl] [--lse [GAMMA_ROWS]] [--no-detail]\n\
+     [--finest-grid] [--pc-dp] [--simpl] [--projection geometric|electro]\n\
+     [--lse [GAMMA_ROWS]] [--no-detail]\n\
      [--max-seconds S] [--max-recoveries N] [--checkpoint FILE [--checkpoint-every K]]\n\
      [--resume FILE] [--fault-kill-at K] [--threads N] [--trace FILE[.json|.csv]]\n\
      [--report FILE.json] [--events FILE.jsonl] [--profile FILE] [--profile-mem]\n\
@@ -123,6 +129,7 @@ fn parse_args() -> Result<Options, String> {
         finest_grid: false,
         pc_dp: false,
         simpl: false,
+        projection: None,
         lse: None,
         no_detail: false,
         max_seconds: None,
@@ -165,6 +172,10 @@ fn parse_args() -> Result<Options, String> {
             "--finest-grid" => opts.finest_grid = true,
             "--pc-dp" => opts.pc_dp = true,
             "--simpl" => opts.simpl = true,
+            "--projection" => {
+                let v = args.next().ok_or("missing value for --projection")?;
+                opts.projection = Some(v.parse()?);
+            }
             "--lse" => {
                 // Optional numeric argument: anything that parses as a
                 // number is claimed (and must be a valid smoothing radius);
@@ -386,6 +397,9 @@ fn main() -> ExitCode {
     };
     if let Some(n) = opts.max_iterations {
         cfg.max_iterations = n;
+    }
+    if let Some(backend) = opts.projection {
+        cfg.projection = backend;
     }
     if let Some(gamma_rows) = opts.lse {
         cfg.interconnect = Interconnect::LogSumExp { gamma_rows };

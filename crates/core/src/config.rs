@@ -117,6 +117,46 @@ impl GridSchedule {
     }
 }
 
+/// Which feasibility-projection backend implements `P_C`.
+///
+/// The paper treats `P_C` as a black box (Section 4); the repo ships two
+/// interchangeable implementations behind `complx_spread::Projection`:
+/// the geometric SimPL-style engine and the FFT electrostatic engine
+/// (FFTPL-style Poisson density equalization; ROADMAP item 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProjectionBackend {
+    /// Geometric look-ahead legalization (clustering + bisection
+    /// spreading) — the paper's reference implementation.
+    #[default]
+    Geometric,
+    /// Electrostatic density equalization: charge density on a
+    /// power-of-two grid, spectral Poisson solve, field-driven drift.
+    Electro,
+}
+
+impl std::fmt::Display for ProjectionBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ProjectionBackend::Geometric => "geometric",
+            ProjectionBackend::Electro => "electro",
+        })
+    }
+}
+
+impl std::str::FromStr for ProjectionBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "geometric" => Ok(ProjectionBackend::Geometric),
+            "electro" => Ok(ProjectionBackend::Electro),
+            other => Err(format!(
+                "unknown projection backend '{other}' (expected geometric|electro)"
+            )),
+        }
+    }
+}
+
 /// Routability-driven extension (SimPLR-lite, paper Section 5): estimate
 /// congestion with a RUDY map each iteration and inflate cells in
 /// congested bins before the feasibility projection.
@@ -196,6 +236,8 @@ pub struct PlacerConfig {
     /// Interpret Formula 12's Π ratio as `Π_k/Π_{k+1}` (accelerate while Π
     /// falls) instead of `Π_{k+1}/Π_k`.
     pub lambda_inverse_ratio: bool,
+    /// Which `P_C` implementation to call each iteration.
+    pub projection: ProjectionBackend,
     /// Grid-resolution schedule for `P_C`.
     pub grid: GridSchedule,
     /// Adaptive-resolution target (movable items per bin at the finest
@@ -254,6 +296,7 @@ impl Default for PlacerConfig {
             // the accelerate-while-Π-falls reading (Π_k/Π_{k+1}) gives
             // better quality on the synthetic suite; see DESIGN.md §6.
             lambda_inverse_ratio: true,
+            projection: ProjectionBackend::default(),
             grid: GridSchedule::default(),
             cells_per_bin: 3.0,
             per_macro_lambda: true,
@@ -298,6 +341,15 @@ impl PlacerConfig {
             max_iterations: 60,
             gap_tolerance: 0.1,
             overflow_tolerance: 0.08,
+            ..Self::default()
+        }
+    }
+
+    /// The electrostatic-projection configuration: identical to the
+    /// default except `P_C` runs the FFT Poisson backend.
+    pub fn electro() -> Self {
+        Self {
+            projection: ProjectionBackend::Electro,
             ..Self::default()
         }
     }

@@ -224,5 +224,9 @@ pub fn config_hash(cfg: &PlacerConfig) -> u64 {
         }
     }
     f.usize(cfg.max_recoveries);
+    f.u64(match cfg.projection {
+        crate::config::ProjectionBackend::Geometric => 0,
+        crate::config::ProjectionBackend::Electro => 1,
+    });
     f.0
 }

@@ -63,7 +63,8 @@ mod trace;
 pub use budget::Budget;
 pub use ckpt::{load_checkpoint, CheckpointState, CkptError};
 pub use config::{
-    CheckpointConfig, GridSchedule, Interconnect, LambdaMode, PlacerConfig, RoutabilityConfig,
+    CheckpointConfig, GridSchedule, Interconnect, LambdaMode, PlacerConfig, ProjectionBackend,
+    RoutabilityConfig,
 };
 pub use error::{PlaceError, StopReason};
 pub use faults::{FaultInjection, FaultKind, FaultPlan};

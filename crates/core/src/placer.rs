@@ -7,7 +7,7 @@ use complx_netlist::{hpwl, CellKind, Design, Placement, Point};
 use complx_par::CancelToken;
 use complx_sparse::CgSolver;
 use complx_spread::rudy::CongestionMap;
-use complx_spread::{FeasibilityProjection, ProjectionResult};
+use complx_spread::{ElectroProjection, FeasibilityProjection, Projection, ProjectionResult};
 use complx_wirelength::{
     Anchors, BetaRegModel, InterconnectModel, LseModel, PNormModel, QuadraticModel,
 };
@@ -16,7 +16,7 @@ use complx_obs as obs;
 
 use crate::budget::Budget;
 use crate::ckpt::{self, CheckpointState, CheckpointWriter};
-use crate::config::{Interconnect, PlacerConfig};
+use crate::config::{Interconnect, PlacerConfig, ProjectionBackend};
 use crate::error::{PlaceError, StopReason};
 use crate::faults::{FaultArming, FaultKind};
 use crate::lambda::LambdaSchedule;
@@ -253,11 +253,20 @@ impl ComplxPlacer {
         let mut cg_tol = cfg.cg_tolerance;
         let mut model = make_model(cg_tol);
         let mut armed = FaultArming::new(cfg.faults.as_ref());
-        let projection = FeasibilityProjection {
-            shred_macros: cfg.shred_macros,
-            cells_per_bin: cfg.cells_per_bin,
-            cancel: self.cancel.clone(),
-            ..FeasibilityProjection::default()
+        // The paper treats `P_C` as a black box; the backend is picked at
+        // runtime behind the object-safe `Projection` trait.
+        let projection: Box<dyn Projection> = match cfg.projection {
+            ProjectionBackend::Geometric => Box::new(FeasibilityProjection {
+                shred_macros: cfg.shred_macros,
+                cells_per_bin: cfg.cells_per_bin,
+                cancel: self.cancel.clone(),
+                ..FeasibilityProjection::default()
+            }),
+            ProjectionBackend::Electro => Box::new(ElectroProjection {
+                cells_per_bin: cfg.cells_per_bin,
+                cancel: self.cancel.clone(),
+                ..ElectroProjection::default()
+            }),
         };
         let adaptive = projection.adaptive_bins(design);
 
@@ -596,7 +605,9 @@ impl ComplxPlacer {
                     pi,
                     lagrangian: phi_lower + lambda * pi,
                     overflow: proj.overflow_before,
-                    bins,
+                    // The grid the projection actually used (the electro
+                    // backend rounds the request to a power of two).
+                    bins: proj.bins_used,
                 });
                 if obs::enabled() {
                     obs::event(

@@ -52,6 +52,7 @@ pub fn config_json(cfg: &PlacerConfig) -> JsonValue {
     JsonValue::object(vec![
         ("interconnect", interconnect.into()),
         ("lambda_mode", lambda_mode.into()),
+        ("projection", cfg.projection.to_string().into()),
         ("grid", grid.into()),
         ("max_iterations", cfg.max_iterations.into()),
         ("gap_tolerance", cfg.gap_tolerance.into()),

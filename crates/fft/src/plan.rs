@@ -1,0 +1,205 @@
+//! Iterative radix-2 complex FFT with precomputed tables.
+
+use crate::complex::Complex;
+
+/// Element count below which a transform always runs on the calling thread;
+/// above it, butterfly stages fan out over [`complx_par::scope`] in
+/// fixed-size chunks. The chunk geometry depends only on the transform
+/// length, never on the thread count, and every butterfly writes a disjoint
+/// element pair, so results are bit-identical at 1, 2 or 8 threads.
+const PAR_MIN_POINTS: usize = 1 << 13;
+
+/// Elements handed to one spawned job in a parallel butterfly stage.
+const CHUNK_ELEMS: usize = 1 << 12;
+
+/// Precomputed machinery for in-place radix-2 transforms of one length.
+///
+/// Holds the bit-reversal permutation and the twiddle table
+/// `tw[k] = e^{-2πik/n}` for `k < n/2`; a stage with half-size `m` reads
+/// the table at stride `n / 2m`.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    rev: Vec<u32>,
+    tw: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two (lengths up to `u32::MAX`
+    /// elements; bin grids cap far below that).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && n <= u32::MAX as usize,
+            "FFT length must be a power of two, got {n}"
+        );
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        if bits > 0 {
+            for (i, r) in rev.iter_mut().enumerate() {
+                *r = (i as u32).reverse_bits() >> (32 - bits);
+            }
+        }
+        let mut tw = Vec::with_capacity(n / 2);
+        for k in 0..n / 2 {
+            // -2πk/n: forward transforms use the negative-exponent
+            // convention X_k = Σ x_j e^{-2πijk/n}.
+            tw.push(Complex::cis(
+                -2.0 * std::f64::consts::PI * k as f64 / n as f64,
+            ));
+        }
+        Self { n, rev, tw }
+    }
+
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is the degenerate length-zero plan (never true:
+    /// lengths are powers of two, so ≥ 1; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT: `a_k ← Σ_j a_j e^{-2πijk/n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the planned length.
+    pub fn fft(&self, a: &mut [Complex]) {
+        assert_eq!(a.len(), self.n, "buffer length must match the plan");
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                a.swap(i, j);
+            }
+        }
+        let parallel = self.n >= PAR_MIN_POINTS && complx_par::threads() > 1;
+        let mut m = 1;
+        while m < self.n {
+            let stride = self.n / (2 * m);
+            if parallel {
+                self.stage_parallel(a, m, stride);
+            } else {
+                for block in a.chunks_mut(2 * m) {
+                    self.butterflies(block, stride);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse DFT: `a_j ← (1/n) Σ_k a_k e^{+2πijk/n}`, via the
+    /// conjugation identity so the forward tables are reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len()` differs from the planned length.
+    pub fn ifft(&self, a: &mut [Complex]) {
+        for z in a.iter_mut() {
+            *z = z.conj();
+        }
+        self.fft(a);
+        let s = 1.0 / self.n as f64;
+        for z in a.iter_mut() {
+            *z = z.conj().scale(s);
+        }
+    }
+
+    /// Runs the butterflies for one block: `block[..m]` holds the
+    /// even-index sub-DFT, `block[m..]` the odd one (`m = block.len() / 2`).
+    fn butterflies(&self, block: &mut [Complex], stride: usize) {
+        let (lo, hi) = block.split_at_mut(block.len() / 2);
+        for (j, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            let w = self.tw[j * stride];
+            let t = w * *h;
+            let u = *l;
+            *l = u + t;
+            *h = u - t;
+        }
+    }
+
+    /// One butterfly stage fanned out over the pool. Early stages (many
+    /// small blocks) group whole blocks into jobs of ~[`CHUNK_ELEMS`]
+    /// elements; late stages (few big blocks) split each block's lower and
+    /// upper halves into matched sub-chunks. Both chunkings are functions
+    /// of `n` and `m` only.
+    fn stage_parallel(&self, a: &mut [Complex], m: usize, stride: usize) {
+        let bs = 2 * m;
+        if bs <= CHUNK_ELEMS {
+            let job_elems = (CHUNK_ELEMS / bs).max(1) * bs;
+            complx_par::scope(|s| {
+                for group in a.chunks_mut(job_elems) {
+                    s.spawn(move || {
+                        for block in group.chunks_mut(bs) {
+                            self.butterflies(block, stride);
+                        }
+                    });
+                }
+            });
+        } else {
+            // Few large blocks: parallelize inside each block by pairing
+            // equal sub-ranges of the lower and upper halves.
+            let sub = CHUNK_ELEMS / 2;
+            for block in a.chunks_mut(bs) {
+                let (lo, hi) = block.split_at_mut(m);
+                complx_par::scope(|s| {
+                    for (ci, (lc, hc)) in lo.chunks_mut(sub).zip(hi.chunks_mut(sub)).enumerate() {
+                        let j0 = ci * sub;
+                        s.spawn(move || {
+                            for (j, (l, h)) in lc.iter_mut().zip(hc.iter_mut()).enumerate() {
+                                let w = self.tw[(j0 + j) * stride];
+                                let t = w * *h;
+                                let u = *l;
+                                *l = u + t;
+                                *h = u - t;
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impulse_transforms_to_all_ones() {
+        let plan = FftPlan::new(8);
+        let mut a = [Complex::ZERO; 8];
+        a[0] = Complex::new(1.0, 0.0);
+        plan.fft(&mut a);
+        for z in &a {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_stages_match_sequential() {
+        let n = 1 << 14; // above PAR_MIN_POINTS
+        let plan = FftPlan::new(n);
+        let mut a: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut b = a.clone();
+        {
+            let _g = complx_par::with_threads(1);
+            plan.fft(&mut a);
+        }
+        {
+            let _g = complx_par::with_threads(8);
+            plan.fft(&mut b);
+        }
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
+    }
+}

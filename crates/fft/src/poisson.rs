@@ -1,0 +1,175 @@
+//! Spectral Poisson solve and differentiation on a bin grid.
+//!
+//! Given a charge density `ρ` sampled at the centers of an `nx × ny` grid
+//! over a `width × height` region, the solver removes the mean (so the
+//! Neumann problem is solvable and a uniform density yields a zero field),
+//! expands `ρ̃ = ρ − ρ̄` in the cosine basis
+//! `cos(w_u x)·cos(w_v y)` with `w_u = πu/width`, `w_v = πv/height`
+//! (cosines ⇒ zero normal derivative at the boundary, i.e. no field
+//! pushing cells out of the core), and solves
+//!
+//! ```text
+//! ∇²ψ = ρ̃   ⇒   ψ_uv = −ρ̃_uv / (w_u² + w_v²),   ψ_00 = 0
+//! ```
+//!
+//! The equalizing displacement field is `E = ∇ψ`: differentiating the
+//! cosine series term-by-term turns the x-axis (resp. y-axis) factor into
+//! a sine series, which [`crate::Spectral2d`] evaluates directly. By
+//! construction `div E = ρ̃`, so following `E` transports density from
+//! overfull toward underfull bins (the FFTPL / ePlace electrostatic
+//! analogy).
+
+use crate::spectral::Spectral2d;
+
+/// Potential and field sampled at the bin centers, row-major (`x` fastest).
+#[derive(Debug, Clone)]
+pub struct FieldSolution {
+    /// Grid width in bins.
+    pub nx: usize,
+    /// Grid height in bins.
+    pub ny: usize,
+    /// The potential `ψ`.
+    pub potential: Vec<f64>,
+    /// `E_x = ∂ψ/∂x`.
+    pub ex: Vec<f64>,
+    /// `E_y = ∂ψ/∂y`.
+    pub ey: Vec<f64>,
+}
+
+/// Reusable spectral Poisson solver for one grid shape.
+#[derive(Debug, Clone)]
+pub struct PoissonSolver {
+    spec: Spectral2d,
+}
+
+impl PoissonSolver {
+    /// Builds a solver for an `nx × ny` grid (both powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sides are powers of two.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        Self {
+            spec: Spectral2d::new(nx, ny),
+        }
+    }
+
+    /// Solves for the potential and field of `rho` over a `width × height`
+    /// region. The mean of `rho` is removed internally, so any uniform
+    /// density produces an (exactly representable) zero field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho.len()` mismatches the grid or a dimension is not a
+    /// positive finite number.
+    pub fn solve(&self, rho: &[f64], width: f64, height: f64) -> FieldSolution {
+        let (nx, ny) = (self.spec.nx(), self.spec.ny());
+        let n = nx * ny;
+        assert_eq!(rho.len(), n, "density grid must be nx × ny");
+        assert!(
+            width > 0.0 && height > 0.0 && width.is_finite() && height.is_finite(),
+            "region dimensions must be positive and finite"
+        );
+        let mean = rho.iter().sum::<f64>() / n as f64;
+        let mut coef: Vec<f64> = rho.iter().map(|r| r - mean).collect();
+        self.spec.cos_forward_2d(&mut coef);
+
+        // Raw DCT coefficients → interpolation coefficients → spectral
+        // division by −(w_u² + w_v²) and term-wise differentiation.
+        let base = 4.0 / n as f64;
+        let mut potential = vec![0.0; n];
+        let mut ex = vec![0.0; n];
+        let mut ey = vec![0.0; n];
+        for v in 0..ny {
+            let wv = std::f64::consts::PI * v as f64 / height;
+            for u in 0..nx {
+                if u == 0 && v == 0 {
+                    continue; // ψ_00 = 0: the potential's gauge freedom
+                }
+                let wu = std::f64::consts::PI * u as f64 / width;
+                let mut s = base;
+                if u == 0 {
+                    s *= 0.5;
+                }
+                if v == 0 {
+                    s *= 0.5;
+                }
+                let idx = v * nx + u;
+                let p = -coef[idx] * s / (wu * wu + wv * wv);
+                potential[idx] = p;
+                // ∂/∂x[cos(w_u x)] = −w_u sin(w_u x); likewise along y.
+                ex[idx] = -wu * p;
+                ey[idx] = -wv * p;
+            }
+        }
+        self.spec.eval_cos_cos(&mut potential);
+        self.spec.eval_sin_cos(&mut ex);
+        self.spec.eval_cos_sin(&mut ey);
+        FieldSolution {
+            nx,
+            ny,
+            potential,
+            ex,
+            ey,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_density_has_zero_field() {
+        let solver = PoissonSolver::new(16, 8);
+        let rho = vec![0.73; 16 * 8];
+        let f = solver.solve(&rho, 32.0, 16.0);
+        for i in 0..rho.len() {
+            assert!(f.ex[i].abs() < 1e-12 && f.ey[i].abs() < 1e-12);
+            assert!(f.potential[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_mode_matches_analytic_solution() {
+        // ρ = cos(w₁x) with w₁ = π/W ⇒ ψ = −ρ/w₁², E_x = sin(w₁x)/w₁.
+        let (nx, ny) = (32, 16);
+        let (w, h) = (64.0, 32.0);
+        let solver = PoissonSolver::new(nx, ny);
+        let w1 = std::f64::consts::PI / w;
+        let rho: Vec<f64> = (0..nx * ny)
+            .map(|idx| {
+                let i = idx % nx;
+                let x = (i as f64 + 0.5) * (w / nx as f64);
+                (w1 * x).cos()
+            })
+            .collect();
+        let f = solver.solve(&rho, w, h);
+        for idx in 0..nx * ny {
+            let i = idx % nx;
+            let x = (i as f64 + 0.5) * (w / nx as f64);
+            let want_ex = (w1 * x).sin() / w1;
+            assert!(
+                (f.ex[idx] - want_ex).abs() < 1e-9 * (1.0 / w1),
+                "idx={idx}: {} vs {want_ex}",
+                f.ex[idx]
+            );
+            assert!(f.ey[idx].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn field_pushes_away_from_a_density_bump() {
+        let (nx, ny) = (16, 16);
+        let solver = PoissonSolver::new(nx, ny);
+        let mut rho = vec![0.1; nx * ny];
+        rho[8 * nx + 8] = 5.0; // bump near the center
+        let f = solver.solve(&rho, 16.0, 16.0);
+        // Left of the bump the field points left (negative), right of it
+        // it points right: density flows outward.
+        assert!(f.ex[8 * nx + 6] < 0.0);
+        assert!(f.ex[8 * nx + 10] > 0.0);
+        assert!(f.ey[6 * nx + 8] < 0.0);
+        assert!(f.ey[10 * nx + 8] > 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based correctness battery for the complex FFT and the
+//! real trigonometric transforms.
+//!
+//! Every property runs over random power-of-two sizes (2..=256 for the
+//! complex transform, 2..=128 for the real ones) with inputs confined to
+//! `[-1, 1]`, which keeps the achievable round-trip accuracy well inside
+//! the 1e-12 bands asserted below.
+
+use complx_fft::{Complex, FftPlan, RealPlan};
+use proptest::prelude::*;
+
+/// A random complex signal whose length is `2^lg` for `lg in 1..=max_log`.
+fn signal(max_log: u32) -> impl Strategy<Value = Vec<Complex>> {
+    (1u32..=max_log).prop_flat_map(|lg| {
+        proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 1usize << lg)
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+    })
+}
+
+/// A random real signal whose length is `2^lg` for `lg in 1..=max_log`.
+fn real_signal(max_log: u32) -> impl Strategy<Value = Vec<f64>> {
+    (1u32..=max_log).prop_flat_map(|lg| proptest::collection::vec(-1.0f64..1.0, 1usize << lg))
+}
+
+/// Two random complex signals of one shared power-of-two length, plus a
+/// pair of real mixing weights — the linearity fixture.
+fn signal_pair(max_log: u32) -> impl Strategy<Value = (Vec<Complex>, Vec<Complex>, f64, f64)> {
+    (1u32..=max_log).prop_flat_map(|lg| {
+        let n = 1usize << lg;
+        let make = move || {
+            proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n).prop_map(|v| {
+                v.into_iter()
+                    .map(|(re, im)| Complex::new(re, im))
+                    .collect::<Vec<_>>()
+            })
+        };
+        (make(), make(), -2.0f64..2.0, -2.0f64..2.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `ifft(fft(x))` recovers the input to 1e-12 at every size.
+    #[test]
+    fn round_trip_is_identity(x in signal(8)) {
+        let plan = FftPlan::new(x.len());
+        let mut buf = x.clone();
+        plan.fft(&mut buf);
+        plan.ifft(&mut buf);
+        for (i, (got, want)) in buf.iter().zip(&x).enumerate() {
+            prop_assert!(
+                (got.re - want.re).abs() < 1e-12 && (got.im - want.im).abs() < 1e-12,
+                "i={i}: ({}, {}) vs ({}, {})", got.re, got.im, want.re, want.im,
+            );
+        }
+    }
+
+    /// The transform is linear: `FFT(αx + βy) = α·FFT(x) + β·FFT(y)`.
+    #[test]
+    fn transform_is_linear((x, y, alpha, beta) in signal_pair(8)) {
+        let plan = FftPlan::new(x.len());
+        let mut mixed: Vec<Complex> = x
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| a.scale(alpha) + b.scale(beta))
+            .collect();
+        plan.fft(&mut mixed);
+        let mut fx = x;
+        let mut fy = y;
+        plan.fft(&mut fx);
+        plan.fft(&mut fy);
+        for (k, (got, (a, b))) in mixed.iter().zip(fx.iter().zip(&fy)).enumerate() {
+            let want = a.scale(alpha) + b.scale(beta);
+            prop_assert!(
+                (got.re - want.re).abs() < 1e-11 && (got.im - want.im).abs() < 1e-11,
+                "k={k}: ({}, {}) vs ({}, {})", got.re, got.im, want.re, want.im,
+            );
+        }
+    }
+
+    /// Parseval's identity: `Σ|x_i|² = (1/n)·Σ|X_k|²`.
+    #[test]
+    fn parseval_energy_identity(x in signal(8)) {
+        let plan = FftPlan::new(x.len());
+        let time_energy: f64 = x.iter().map(|c| c.abs_sq()).sum();
+        let mut buf = x.clone();
+        plan.fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|c| c.abs_sq()).sum();
+        let got = freq_energy / x.len() as f64;
+        prop_assert!(
+            (got - time_energy).abs() < 1e-10 * (1.0 + time_energy),
+            "time {time_energy} vs freq/n {got}",
+        );
+    }
+
+    /// DCT-II forward followed by the scaled cosine evaluation is the
+    /// identity: `x_i = c_0/n + (2/n)·Σ_{k≥1} c_k·cos(πk(2i+1)/2n)`.
+    #[test]
+    fn cosine_round_trip_recovers_input(x in real_signal(7)) {
+        let n = x.len();
+        let plan = RealPlan::new(n);
+        let mut c = vec![0.0; n];
+        let mut scratch = Vec::new();
+        plan.cos_forward(&x, &mut c, &mut scratch);
+        let a: Vec<f64> = c
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| if k == 0 { v / n as f64 } else { 2.0 * v / n as f64 })
+            .collect();
+        let mut y = vec![0.0; n];
+        plan.cos_eval(&a, &mut y, &mut scratch);
+        for (i, (got, want)) in y.iter().zip(&x).enumerate() {
+            prop_assert!((got - want).abs() < 1e-12, "i={i}: {got} vs {want}");
+        }
+    }
+
+    /// DST-II forward followed by the scaled sine evaluation is the
+    /// identity, up to the Nyquist term the evaluation basis cannot carry:
+    /// `x_i = (2/n)·Σ_{k=1}^{n-1} s_{k-1}·sin(πk(2i+1)/2n) + (-1)^i·s_{n-1}/n`.
+    #[test]
+    fn sine_round_trip_recovers_input(x in real_signal(7)) {
+        let n = x.len();
+        let plan = RealPlan::new(n);
+        let mut s = vec![0.0; n];
+        let mut scratch = Vec::new();
+        plan.sin_forward(&x, &mut s, &mut scratch);
+        let mut a = vec![0.0; n];
+        for k in 1..n {
+            a[k] = 2.0 * s[k - 1] / n as f64;
+        }
+        let mut y = vec![0.0; n];
+        plan.sin_eval(&a, &mut y, &mut scratch);
+        for (i, (got, want)) in y.iter().zip(&x).enumerate() {
+            let nyquist = if i % 2 == 0 { s[n - 1] } else { -s[n - 1] } / n as f64;
+            let full = got + nyquist;
+            prop_assert!((full - want).abs() < 1e-11, "i={i}: {full} vs {want}");
+        }
+    }
+}

@@ -14,8 +14,9 @@
 //! | POST   | `/shutdown`         | graceful drain and exit                      |
 //!
 //! Submit query parameters: `priority=high|normal|low`,
-//! `preset=default|fast|simpl|finest-grid|detail|stress`, and
-//! `max_iterations=N`. The `stress` preset disables every convergence
+//! `preset=default|fast|simpl|finest-grid|detail|stress`,
+//! `projection=geometric|electro` (which `P_C` backend the solve uses),
+//! and `max_iterations=N`. The `stress` preset disables every convergence
 //! criterion so the solve runs to its iteration cap — the deterministic
 //! way to keep a job busy for cancellation and overload tests.
 //!
@@ -372,6 +373,11 @@ fn resolve_config(req: &Request) -> Result<PlacerConfig, String> {
             return Err("max_iterations must be at least 1".to_string());
         }
         config.max_iterations = n;
+    }
+    if let Some(b) = req.query_param("projection") {
+        config.projection = b
+            .parse()
+            .map_err(|_| format!("bad projection `{b}` (geometric|electro)"))?;
     }
     Ok(config)
 }

@@ -1,0 +1,503 @@
+//! The electrostatic feasibility projection (FFTPL-style, ROADMAP item 2).
+//!
+//! An independent second implementation of `P_C`: instead of geometric
+//! clustering and bisection spreading, cell areas become *charge* on a
+//! power-of-two bin grid, an FFT Poisson solve yields the potential of the
+//! excess density, and cells drift along the resulting field
+//! `E = ∇ψ` (which satisfies `div E = ρ̃`, the linearized
+//! density-equalization condition). A few damped passes per projection
+//! call spread overfull regions toward free space; fixed obstacles
+//! contribute charge too, so cells flee blockages.
+//!
+//! The backend deliberately shares *no* spreading machinery with the
+//! geometric engine — that independence is what makes the cross-backend
+//! differential tests in `tests/projection_differential.rs` meaningful —
+//! while emitting the same spans, counters and [`ProjectionResult`]
+//! diagnostics so the placer, bench and oracle layers are agnostic.
+
+use complx_fft::PoissonSolver;
+use complx_netlist::{density::DensityGrid, CellKind, Design, Placement, Rect};
+
+use crate::projection::{Projection, ProjectionResult};
+use crate::regions::{snap_to_alignments, snap_to_regions};
+
+/// Cells below this count gather their charge on the calling thread.
+const PAR_MIN_CELLS: usize = 4096;
+
+/// Cells per spawned gather/displace job (fixed chunk boundaries: the
+/// chunking is a function of the cell count only, and per-chunk updates are
+/// replayed in chunk order, reproducing the sequential result bit-exactly).
+const CELLS_PER_JOB: usize = 4096;
+
+/// An overflow ratio this small counts as density-converged for a pass.
+const PASS_OVERFLOW_GOAL: f64 = 0.01;
+
+/// The electrostatic projection backend.
+///
+/// Mirrors the configuration surface of
+/// [`crate::FeasibilityProjection`] where the knobs are shared (target
+/// density, grid sizing, regions, cancellation) and adds the two knobs
+/// specific to field-driven displacement: the pass count and the damping
+/// step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectroProjection {
+    /// Overrides the design's target density γ when set.
+    pub target_density: Option<f64>,
+    /// Explicit grid resolution request; `None` selects adaptively. The
+    /// actual grid side is the next power of two (the FFT's domain).
+    pub bins: Option<usize>,
+    /// Adaptive resolution target: average movable cells per bin.
+    pub cells_per_bin: f64,
+    /// Snap region-constrained cells after spreading (Section S5).
+    pub enforce_regions: bool,
+    /// Maximum field-displacement passes per projection call.
+    pub max_passes: usize,
+    /// Damping factor applied to the equalizing displacement field.
+    pub step: f64,
+    /// Cooperative cancellation: passes that have not started when the
+    /// token trips are skipped; the best placement so far is returned.
+    pub cancel: Option<complx_par::CancelToken>,
+}
+
+impl Default for ElectroProjection {
+    fn default() -> Self {
+        Self {
+            target_density: None,
+            bins: None,
+            cells_per_bin: 3.0,
+            enforce_regions: true,
+            max_passes: 6,
+            step: 0.85,
+            cancel: None,
+        }
+    }
+}
+
+/// The equalizing field sampled at bin centers, plus the grid geometry
+/// needed to interpolate it at arbitrary core coordinates. Public so the
+/// metamorphic tests can probe symmetry properties directly.
+#[derive(Debug, Clone)]
+pub struct ElectroField {
+    /// Grid side in bins (square, power of two).
+    pub nx: usize,
+    /// Grid side in bins (equal to `nx`).
+    pub ny: usize,
+    /// Core origin x.
+    pub lx: f64,
+    /// Core origin y.
+    pub ly: f64,
+    /// Bin width.
+    pub bin_w: f64,
+    /// Bin height.
+    pub bin_h: f64,
+    /// Potential ψ at bin centers, row-major (x fastest).
+    pub potential: Vec<f64>,
+    /// `E_x = ∂ψ/∂x` at bin centers.
+    pub ex: Vec<f64>,
+    /// `E_y = ∂ψ/∂y` at bin centers.
+    pub ey: Vec<f64>,
+}
+
+impl ElectroField {
+    /// Bilinearly interpolates `(E_x, E_y)` at a core coordinate. Points
+    /// outside the bin-center lattice clamp to the boundary cells.
+    pub fn sample(&self, x: f64, y: f64) -> (f64, f64) {
+        let gx = (x - self.lx) / self.bin_w - 0.5;
+        let gy = (y - self.ly) / self.bin_h - 0.5;
+        let i0 = (gx.floor().max(0.0) as usize).min(self.nx.saturating_sub(2));
+        let j0 = (gy.floor().max(0.0) as usize).min(self.ny.saturating_sub(2));
+        let fx = (gx - i0 as f64).clamp(0.0, 1.0);
+        let fy = (gy - j0 as f64).clamp(0.0, 1.0);
+        let at = |g: &[f64], i: usize, j: usize| g[j * self.nx + i];
+        let lerp2 = |g: &[f64]| {
+            let a = at(g, i0, j0) * (1.0 - fx) + at(g, i0 + 1, j0) * fx;
+            let b = at(g, i0, j0 + 1) * (1.0 - fx) + at(g, i0 + 1, j0 + 1) * fx;
+            a * (1.0 - fy) + b * fy
+        };
+        (lerp2(&self.ex), lerp2(&self.ey))
+    }
+}
+
+/// The FFT grid side for a requested resolution: the next power of two,
+/// kept within the same 2048-bin cap the geometric grids use.
+fn grid_side(bins: usize) -> usize {
+    bins.next_power_of_two().clamp(4, 2048)
+}
+
+impl ElectroProjection {
+    /// Creates the default electrostatic projection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the equalizing field of a placement at (the power-of-two
+    /// rounding of) `bins` — the raw engine output, exposed for the
+    /// metamorphic test battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the placement length mismatches the design.
+    pub fn field(&self, design: &Design, placement: &Placement, bins: usize) -> ElectroField {
+        assert!(bins > 0, "grid must have at least one bin");
+        assert_eq!(placement.len(), design.num_cells());
+        self.field_inflated(design, placement, grid_side(bins), None)
+    }
+
+    /// Charge density in utilization units on the `side × side` grid:
+    /// movable area (optionally width-inflated) plus fixed-obstacle area,
+    /// per bin, divided by the bin area.
+    fn charge_grid(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        side: usize,
+        inflation: Option<&[f64]>,
+    ) -> Vec<f64> {
+        let _sp = complx_obs::span("charge");
+        let core = design.core();
+        let bin_w = core.width() / side as f64;
+        let bin_h = core.height() / side as f64;
+        let bin_area = bin_w * bin_h;
+        let mut rho = vec![0.0; side * side];
+
+        // Fixed obstacles: whatever an empty grid's free capacity is
+        // missing relative to the bin area is blocked and acts as charge.
+        let empty = DensityGrid::new(design, side, side);
+        for iy in 0..side {
+            for ix in 0..side {
+                rho[iy * side + ix] = (bin_area - empty.capacity(ix, iy)).max(0.0);
+            }
+        }
+
+        let bin_span = |r: &Rect| -> (usize, usize, usize, usize) {
+            let hi = side as isize - 1;
+            let x0 = (((r.lx - core.lx) / bin_w).floor() as isize).clamp(0, hi) as usize;
+            let x1 = (((r.hx - core.lx) / bin_w).ceil() as isize - 1).clamp(0, hi) as usize;
+            let y0 = (((r.ly - core.ly) / bin_h).floor() as isize).clamp(0, hi) as usize;
+            let y1 = (((r.hy - core.ly) / bin_h).ceil() as isize - 1).clamp(0, hi) as usize;
+            (x0, x1.max(x0), y0, y1.max(y0))
+        };
+        let bin_rect = |ix: usize, iy: usize| -> Rect {
+            Rect::new(
+                core.lx + ix as f64 * bin_w,
+                core.ly + iy as f64 * bin_h,
+                core.lx + (ix + 1) as f64 * bin_w,
+                core.ly + (iy + 1) as f64 * bin_h,
+            )
+        };
+        let cell_charge_rect = |id: complx_netlist::CellId| -> Rect {
+            let cell = design.cell(id);
+            let mut w = cell.width();
+            // Inflation applies to standard cells only, matching the
+            // geometric backend's routability contract.
+            if cell.kind() == CellKind::Movable {
+                if let Some(f) = inflation {
+                    w *= f[id.index()];
+                }
+            }
+            placement.cell_rect(id, w, cell.height())
+        };
+
+        let cells = design.movable_cells();
+        if cells.len() < PAR_MIN_CELLS || complx_par::threads() <= 1 {
+            for &id in cells {
+                let r = cell_charge_rect(id);
+                let (x0, x1, y0, y1) = bin_span(&r);
+                for iy in y0..=y1 {
+                    for ix in x0..=x1 {
+                        rho[iy * side + ix] += bin_rect(ix, iy).overlap_area(&r);
+                    }
+                }
+            }
+        } else {
+            // Fixed-size cell chunks produce per-chunk update lists that
+            // are replayed in chunk order — the same additions in the same
+            // order as the sequential loop, for any thread count.
+            let njobs = complx_par::chunk_count(cells.len(), CELLS_PER_JOB);
+            let car = complx_obs::carrier();
+            let lists = complx_par::par_map(njobs, |k| {
+                let _attached = car.attach();
+                let _sp = complx_obs::span("chunks");
+                let range = complx_par::chunk_range(cells.len(), CELLS_PER_JOB, k);
+                let mut ups: Vec<(u32, f64)> = Vec::new();
+                for &id in &cells[range] {
+                    let r = cell_charge_rect(id);
+                    let (x0, x1, y0, y1) = bin_span(&r);
+                    for iy in y0..=y1 {
+                        for ix in x0..=x1 {
+                            ups.push(((iy * side + ix) as u32, bin_rect(ix, iy).overlap_area(&r)));
+                        }
+                    }
+                }
+                ups
+            });
+            for ups in &lists {
+                for &(bin, a) in ups {
+                    rho[bin as usize] += a;
+                }
+            }
+        }
+
+        let inv = 1.0 / bin_area;
+        for r in &mut rho {
+            *r *= inv;
+        }
+        rho
+    }
+
+    fn field_inflated(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        side: usize,
+        inflation: Option<&[f64]>,
+    ) -> ElectroField {
+        let core = design.core();
+        let rho = self.charge_grid(design, placement, side, inflation);
+        let sol = {
+            let _sp = complx_obs::span("poisson");
+            complx_obs::add("projection.fft_points", (side * side) as u64);
+            PoissonSolver::new(side, side).solve(&rho, core.width(), core.height())
+        };
+        ElectroField {
+            nx: side,
+            ny: side,
+            lx: core.lx,
+            ly: core.ly,
+            bin_w: core.width() / side as f64,
+            bin_h: core.height() / side as f64,
+            potential: sol.potential,
+            ex: sol.ex,
+            ey: sol.ey,
+        }
+    }
+
+    /// Moves every movable cell along the interpolated field, damped by
+    /// [`Self::step`] and clamped so the cell stays inside the core.
+    fn displace(&self, design: &Design, out: &mut Placement, field: &ElectroField) {
+        let _sp = complx_obs::span("displace");
+        let core = design.core();
+        let cells = design.movable_cells();
+        let target = |id: complx_netlist::CellId| -> (f64, f64) {
+            let cell = design.cell(id);
+            let p = out.position(id);
+            let (ex, ey) = field.sample(p.x, p.y);
+            let clamp_axis = |v: f64, lo: f64, hi: f64| {
+                if lo <= hi {
+                    v.clamp(lo, hi)
+                } else {
+                    0.5 * (lo + hi) // cell wider than the core: center it
+                }
+            };
+            (
+                clamp_axis(
+                    p.x + self.step * ex,
+                    core.lx + 0.5 * cell.width(),
+                    core.hx - 0.5 * cell.width(),
+                ),
+                clamp_axis(
+                    p.y + self.step * ey,
+                    core.ly + 0.5 * cell.height(),
+                    core.hy - 0.5 * cell.height(),
+                ),
+            )
+        };
+        let moved: Vec<(f64, f64)> = if cells.len() < PAR_MIN_CELLS || complx_par::threads() <= 1 {
+            cells.iter().map(|&id| target(id)).collect()
+        } else {
+            let njobs = complx_par::chunk_count(cells.len(), CELLS_PER_JOB);
+            let car = complx_obs::carrier();
+            let chunks = complx_par::par_map(njobs, |k| {
+                let _attached = car.attach();
+                let _sp = complx_obs::span("chunks");
+                let range = complx_par::chunk_range(cells.len(), CELLS_PER_JOB, k);
+                cells[range]
+                    .iter()
+                    .map(|&id| target(id))
+                    .collect::<Vec<_>>()
+            });
+            chunks.into_iter().flatten().collect()
+        };
+        for (&id, &(x, y)) in cells.iter().zip(&moved) {
+            out.set_position(id, complx_netlist::Point { x, y });
+        }
+    }
+}
+
+impl Projection for ElectroProjection {
+    fn name(&self) -> &'static str {
+        "electro"
+    }
+
+    fn adaptive_bins(&self, design: &Design) -> usize {
+        if let Some(b) = self.bins {
+            return b;
+        }
+        let n = design.movable_cells().len().max(1) as f64;
+        ((n / self.cells_per_bin).sqrt().ceil() as usize).clamp(2, 1024)
+    }
+
+    fn project_with_bins_inflated(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        bins: usize,
+        inflation: Option<&[f64]>,
+    ) -> ProjectionResult {
+        assert!(bins > 0, "grid must have at least one bin");
+        assert_eq!(placement.len(), design.num_cells());
+        let _span = complx_obs::span("projection");
+        let gamma = self
+            .target_density
+            .unwrap_or_else(|| design.target_density());
+        let side = grid_side(bins);
+        let overflow_at =
+            |p: &Placement| DensityGrid::build(design, p, side, side).overflow_ratio(gamma);
+
+        let overflow_before = overflow_at(placement);
+        let mut out = placement.clone();
+        let mut best = out.clone();
+        let mut best_overflow = overflow_before;
+        let mut passes = 0usize;
+        for _ in 0..self.max_passes {
+            if self
+                .cancel
+                .as_ref()
+                .is_some_and(complx_par::CancelToken::is_cancelled)
+            {
+                break;
+            }
+            let field = self.field_inflated(design, &out, side, inflation);
+            self.displace(design, &mut out, &field);
+            passes += 1;
+            let of = overflow_at(&out);
+            if of < best_overflow {
+                best_overflow = of;
+                best = out.clone();
+            }
+            if of <= PASS_OVERFLOW_GOAL {
+                break;
+            }
+        }
+        let mut out = best;
+        if self.enforce_regions {
+            snap_to_regions(design, &mut out);
+            snap_to_alignments(design, &mut out);
+        }
+
+        let overflow_after = overflow_at(&out);
+        let distance_l1 = placement.l1_distance(&out);
+        complx_obs::add("projection.calls", 1);
+        complx_obs::add("projection.passes", passes as u64);
+        complx_obs::add("projection.bins_rebuilt", (side * side) as u64);
+        ProjectionResult {
+            placement: out,
+            distance_l1,
+            overflow_before,
+            overflow_after,
+            num_regions: passes,
+            bins_used: side,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complx_netlist::generator::GeneratorConfig;
+
+    /// A placement with cells fanned out a little around the core center,
+    /// mimicking an early lower-bound iterate (coincident points carry no
+    /// density gradient for a field method, just as in ePlace).
+    fn jittered_start(d: &Design) -> Placement {
+        let mut p = d.initial_placement();
+        let core = d.core();
+        for (k, &id) in d.movable_cells().iter().enumerate() {
+            let t = k as f64 / d.movable_cells().len().max(1) as f64;
+            let ang = 12.9898 * (k as f64);
+            let r = 0.18 * core.width().min(core.height()) * t;
+            let q = p.position(id);
+            p.set_position(
+                id,
+                complx_netlist::Point {
+                    x: (q.x + r * ang.cos()).clamp(core.lx, core.hx),
+                    y: (q.y + r * ang.sin()).clamp(core.ly, core.hy),
+                },
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn electro_reduces_overflow() {
+        let d = GeneratorConfig::small("e", 1).generate();
+        let p = jittered_start(&d);
+        let proj = ElectroProjection::default();
+        let r = proj.project(&d, &p);
+        assert!(r.overflow_before > 0.3, "clustered start should overflow");
+        assert!(
+            r.overflow_after < 0.6 * r.overflow_before,
+            "overflow {} -> {}",
+            r.overflow_before,
+            r.overflow_after
+        );
+        assert!(r.distance_l1 > 0.0);
+        assert!(r.bins_used.is_power_of_two());
+    }
+
+    #[test]
+    fn electro_never_worse_than_input() {
+        // Best-pass tracking guarantees the pre-snap output is no worse
+        // than the input at the projection's own grid.
+        let d = GeneratorConfig::ispd2006_like("ew", 7, 500, 0.6).generate();
+        let p = jittered_start(&d);
+        let proj = ElectroProjection {
+            enforce_regions: false,
+            ..ElectroProjection::default()
+        };
+        let r = proj.project(&d, &p);
+        assert!(
+            r.overflow_after <= r.overflow_before + 1e-12,
+            "{} -> {}",
+            r.overflow_before,
+            r.overflow_after
+        );
+    }
+
+    #[test]
+    fn electro_deterministic_across_threads() {
+        let d = GeneratorConfig::ispd2005_like("ed", 9, 6000).generate();
+        let p = jittered_start(&d);
+        let proj = ElectroProjection::default();
+        let reference = {
+            let _g = complx_par::with_threads(1);
+            proj.project(&d, &p).placement
+        };
+        for t in [2, 8] {
+            let _g = complx_par::with_threads(t);
+            let got = proj.project(&d, &p).placement;
+            for i in 0..got.len() {
+                assert_eq!(got.xs()[i].to_bits(), reference.xs()[i].to_bits());
+                assert_eq!(got.ys()[i].to_bits(), reference.ys()[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn field_is_finite_and_centered() {
+        let d = GeneratorConfig::small("ef", 3).generate();
+        let p = jittered_start(&d);
+        let proj = ElectroProjection::default();
+        let f = proj.field(&d, &p, 16);
+        assert_eq!(f.nx, 16);
+        assert!(f.ex.iter().chain(&f.ey).all(|v| v.is_finite()));
+        // The mean-free Poisson solve makes the potential mean-free too.
+        let mean: f64 = f.potential.iter().sum::<f64>() / f.potential.len() as f64;
+        let scale = f
+            .potential
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-30);
+        assert!(mean.abs() < 1e-9 * scale, "mean {mean} vs scale {scale}");
+    }
+}

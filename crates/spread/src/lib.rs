@@ -43,6 +43,7 @@
 mod bisect;
 mod capacity;
 mod cluster;
+mod electro;
 mod items;
 mod projection;
 pub mod regions;
@@ -53,5 +54,6 @@ pub mod shred;
 pub use bisect::spread_in_rect;
 pub use capacity::CapacityMap;
 pub use cluster::{cluster, SpreadRegion};
+pub use electro::{ElectroField, ElectroProjection};
 pub use items::Item;
-pub use projection::{FeasibilityProjection, ProjectionResult};
+pub use projection::{FeasibilityProjection, Projection, ProjectionResult};

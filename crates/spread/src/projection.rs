@@ -9,6 +9,50 @@ use crate::items::Item;
 use crate::regions::{snap_to_alignments, snap_to_regions};
 use crate::shred::{apply_items, build_items_inflated};
 
+/// A pluggable feasibility-projection backend — the `P_C` the primal-dual
+/// loop calls once per iteration (paper Section 4 treats it as a black
+/// box, and Section 5 derives rival placers by swapping it).
+///
+/// The trait is object-safe so the placer can select a backend at runtime
+/// from configuration: the geometric engine ([`FeasibilityProjection`],
+/// SimPL-style look-ahead legalization) and the electrostatic engine
+/// ([`crate::ElectroProjection`], FFT Poisson density equalization) both
+/// implement it. Implementations must be deterministic for any thread
+/// count and honor their cancel token cooperatively.
+pub trait Projection: std::fmt::Debug + Send + Sync {
+    /// A short stable backend name (reports and diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// The adaptive square-grid resolution for a design.
+    fn adaptive_bins(&self, design: &Design) -> usize;
+
+    /// Projects with an explicit square grid resolution and optional
+    /// per-cell width-inflation factors (indexed by cell id; SimPLR's
+    /// routability preprocessing).
+    fn project_with_bins_inflated(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        bins: usize,
+        inflation: Option<&[f64]>,
+    ) -> ProjectionResult;
+
+    /// Projects with an explicit square grid resolution.
+    fn project_with_bins(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        bins: usize,
+    ) -> ProjectionResult {
+        self.project_with_bins_inflated(design, placement, bins, None)
+    }
+
+    /// Projects at the backend's adaptive resolution.
+    fn project(&self, design: &Design, placement: &Placement) -> ProjectionResult {
+        self.project_with_bins(design, placement, self.adaptive_bins(design))
+    }
+}
+
 /// Configuration and entry point for the feasibility projection.
 ///
 /// The default configuration shreds macros, enforces region constraints and
@@ -185,6 +229,32 @@ impl FeasibilityProjection {
     pub fn adaptive_bins(&self, design: &Design) -> usize {
         let n = design.movable_cells().len().max(1) as f64;
         ((n / self.cells_per_bin).sqrt().ceil() as usize).clamp(2, 1024)
+    }
+}
+
+impl Projection for FeasibilityProjection {
+    fn name(&self) -> &'static str {
+        "geometric"
+    }
+
+    fn adaptive_bins(&self, design: &Design) -> usize {
+        FeasibilityProjection::adaptive_bins(self, design)
+    }
+
+    fn project_with_bins_inflated(
+        &self,
+        design: &Design,
+        placement: &Placement,
+        bins: usize,
+        inflation: Option<&[f64]>,
+    ) -> ProjectionResult {
+        FeasibilityProjection::project_with_bins_inflated(self, design, placement, bins, inflation)
+    }
+
+    fn project(&self, design: &Design, placement: &Placement) -> ProjectionResult {
+        // Honor the inherent behavior: an explicit `bins` override wins
+        // over the adaptive choice.
+        FeasibilityProjection::project(self, design, placement)
     }
 }
 

@@ -36,7 +36,7 @@ echo "== clippy: no unwrap in solver library code =="
 cargo clippy -q --no-deps --lib \
     -p complx-place -p complx-sparse -p complx-wirelength -p complx-netlist \
     -p complx-spread -p complx-legalize -p complx-timing -p complx-par \
-    -p complx-oracle -p complx-serve \
+    -p complx-fft -p complx-oracle -p complx-serve \
     -- -D clippy::unwrap_used
 
 echo "== CLI smoke run: report + events + profiling validate (4 threads) =="
@@ -66,6 +66,26 @@ echo "== oracle: complx-verify validates the smoke artifacts =="
     --solution "$smoke_dir/solution/smoke.aux" \
     --trace "$smoke_dir/trace_t4.csv" \
     --report "$smoke_dir/report.json"
+
+echo "== electro: FFT projection backend solves, verifies, and is thread-deterministic =="
+# The same smoke bundle through --projection electro: the run must pass
+# the independent oracle (audit-legal solution + paper invariants on the
+# trace), and the 1-thread and 4-thread runs must produce byte-identical
+# traces and solutions (parallel butterflies, spectral rows and the
+# charge gather all use size-derived chunk boundaries).
+./target/release/complx "$aux" -q --max-iterations 15 --threads 4 \
+    --projection electro \
+    -o "$smoke_dir/electro_t4" \
+    --trace "$smoke_dir/trace_electro_t4.csv"
+./target/release/complx-verify "$aux" \
+    --solution "$smoke_dir/electro_t4/smoke.aux" \
+    --trace "$smoke_dir/trace_electro_t4.csv"
+./target/release/complx "$aux" -q --max-iterations 15 --threads 1 \
+    --projection electro \
+    -o "$smoke_dir/electro_t1" \
+    --trace "$smoke_dir/trace_electro_t1.csv"
+cmp "$smoke_dir/trace_electro_t1.csv" "$smoke_dir/trace_electro_t4.csv"
+cmp "$smoke_dir/electro_t4/smoke.pl" "$smoke_dir/electro_t1/smoke.pl"
 
 echo "== CLI determinism: --threads 1 (unprofiled) matches --threads 4 (profiled) =="
 ./target/release/complx "$aux" -q --max-iterations 15 --threads 1 \

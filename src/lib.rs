@@ -8,7 +8,10 @@
 //! * [`complx_netlist`] — netlist model, Bookshelf I/O, benchmark generator
 //! * [`complx_sparse`] — sparse matrices and conjugate-gradient solvers
 //! * [`complx_wirelength`] — interconnect models (B2B, star, clique, LSE)
-//! * [`complx_spread`] — the feasibility projection `P_C`
+//! * [`complx_spread`] — the feasibility projection `P_C` (geometric and
+//!   electrostatic backends)
+//! * [`complx_fft`] — radix-2 FFT, trigonometric transforms and the
+//!   spectral Poisson solver behind the electrostatic projection
 //! * [`complx_legalize`] — legalization and detailed placement
 //! * [`complx_timing`] — lightweight static timing analysis
 //! * [`complx_place`] — the ComPLx placer itself and baseline placers
@@ -16,6 +19,7 @@
 //! * [`complx_oracle`] — the independent verification oracle (ground-truth
 //!   metrics, trace invariants, golden snapshots)
 
+pub use complx_fft as fft;
 pub use complx_legalize as legalize;
 pub use complx_netlist as netlist;
 pub use complx_obs as obs;

@@ -1,10 +1,12 @@
 //! The golden-baseline regression corpus.
 //!
-//! Six fixed (design, config) pairs spanning the generator's size and
-//! utilization range, each pinned to a committed JSON snapshot under
-//! `tests/golden/` with the default tolerance bands (±2% on HPWL, ±1
-//! point of overflow, ±25% on phase counters). `COMPLX_BLESS=1` re-blesses
-//! the corpus; see `tests/support/golden.rs` and DESIGN.md §13.
+//! Eight fixed (design, config) pairs spanning the generator's size and
+//! utilization range — six under the geometric projection and two under
+//! the electrostatic FFT backend — each pinned to a committed JSON
+//! snapshot under `tests/golden/` with the default tolerance bands (±2%
+//! on HPWL, ±1 point of overflow, ±25% on phase counters).
+//! `COMPLX_BLESS=1` re-blesses the corpus; see `tests/support/golden.rs`
+//! and DESIGN.md §13.
 
 #[path = "support/golden.rs"]
 mod support;
@@ -84,5 +86,34 @@ fn ispd2006_style() {
         &GeneratorConfig::ispd2006_like("g800", 5, 800, 0.8),
         PlacerConfig::fast(),
         "fast",
+    );
+}
+
+/// The electrostatic-projection config (`--projection electro`) tracks its
+/// own quickstart-scale snapshot.
+#[test]
+fn small_electro() {
+    let mut cfg = PlacerConfig::fast();
+    cfg.projection = complx_repro::place::ProjectionBackend::Electro;
+    run_case(
+        "small_electro",
+        &GeneratorConfig::small("g600", 42),
+        cfg,
+        "electro",
+    );
+}
+
+/// The FFT backend on the density-targeted ISPD-2006-style instance: the
+/// Poisson solve must hold its quality on the case where overflow is
+/// non-trivial, not only on the open quickstart design.
+#[test]
+fn ispd2006_electro() {
+    let mut cfg = PlacerConfig::fast();
+    cfg.projection = complx_repro::place::ProjectionBackend::Electro;
+    run_case(
+        "ispd2006_electro",
+        &GeneratorConfig::ispd2006_like("g800", 5, 800, 0.8),
+        cfg,
+        "electro",
     );
 }

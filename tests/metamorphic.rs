@@ -10,14 +10,19 @@
 //!   intermediate f64 scales by an exact power of two)
 //! * degenerate single-cell net — exact no-op (both pins resolve to one
 //!   cell: zero span, and the B2B stamping skips the self-edge)
+//!
+//! The electrostatic field engine gets its own metamorphic block at the
+//! bottom: translation equivariance, mirror antisymmetry of `E_x`, and the
+//! vanishing of the field on a perfectly uniform charge distribution.
 
 use complx_repro::netlist::generator::GeneratorConfig;
 use complx_repro::netlist::transform::{
     mirror_x, mirror_x_placement, scale_net_weights, translate, translate_placement,
 };
-use complx_repro::netlist::{CellKind, Design, DesignBuilder, Rect};
+use complx_repro::netlist::{CellKind, Design, DesignBuilder, Placement, Point, Rect};
 use complx_repro::oracle;
 use complx_repro::place::{ComplxPlacer, PlacerConfig};
+use complx_repro::spread::ElectroProjection;
 
 fn tiny_design(name: &str, seed: u64) -> Design {
     let mut cfg = GeneratorConfig::small(name, seed);
@@ -264,6 +269,135 @@ fn oracle_overlap_is_translation_invariant() {
     );
     assert_eq!(before.overlap_pairs, after.overlap_pairs);
     assert_eq!(before.off_row_cells, after.off_row_cells);
+}
+
+/// A deterministic low-discrepancy scatter of the movable cells over the
+/// core (the generator's initial placement stacks everything at the core
+/// center, where every field probe would read the same value).
+fn scattered(d: &Design) -> Placement {
+    let core = d.core();
+    let mut p = d.initial_placement();
+    for (k, &id) in d.movable_cells().iter().enumerate() {
+        let fx = (k as f64 * 0.618_033_988_749_894_9).fract();
+        let fy = (k as f64 * 0.754_877_666_246_692_8).fract();
+        p.set_position(
+            id,
+            Point::new(
+                core.lx + (0.05 + 0.9 * fx) * core.width(),
+                core.ly + (0.05 + 0.9 * fy) * core.height(),
+            ),
+        );
+    }
+    p
+}
+
+/// Largest field magnitude on the grid — the scale the tolerance bands
+/// below are relative to.
+fn field_scale(f: &complx_repro::spread::ElectroField) -> f64 {
+    f.ex.iter()
+        .chain(&f.ey)
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+#[test]
+fn electro_field_translation_equivariance() {
+    // Shifting the design and the placement together shifts the charge
+    // distribution rigidly, so the field at corresponding bin centers is
+    // unchanged (up to fp noise from re-binning in the shifted frame).
+    let d = tiny_design("ef_t", 3);
+    let p = scattered(&d);
+    let proj = ElectroProjection::new();
+    let f0 = proj.field(&d, &p, 32);
+
+    let t = translate(&d, 230.0, -170.0).unwrap();
+    let tp = translate_placement(&p, 230.0, -170.0);
+    let f1 = proj.field(&t, &tp, 32);
+
+    assert_eq!(f0.nx, f1.nx);
+    assert_eq!(f0.ny, f1.ny);
+    let tol = 1e-8 * field_scale(&f0).max(1e-12);
+    for i in 0..f0.ex.len() {
+        assert!(
+            (f0.ex[i] - f1.ex[i]).abs() <= tol && (f0.ey[i] - f1.ey[i]).abs() <= tol,
+            "bin {i}: E=({}, {}) vs translated E=({}, {})",
+            f0.ex[i],
+            f0.ey[i],
+            f1.ex[i],
+            f1.ey[i]
+        );
+    }
+}
+
+#[test]
+fn electro_field_mirror_antisymmetry() {
+    // Mirroring the charge about the core's vertical centerline negates
+    // the x-component of the field at the mirrored bin and preserves the
+    // y-component: E_x'(i, j) = −E_x(nx−1−i, j), E_y'(i, j) = E_y(nx−1−i, j).
+    let d = tiny_design("ef_m", 6);
+    let p = scattered(&d);
+    let proj = ElectroProjection::new();
+    let f0 = proj.field(&d, &p, 32);
+
+    let m = mirror_x(&d).unwrap();
+    let mp = mirror_x_placement(&d, &p);
+    let f1 = proj.field(&m, &mp, 32);
+
+    let (nx, ny) = (f0.nx, f0.ny);
+    let tol = 1e-8 * field_scale(&f0).max(1e-12);
+    for j in 0..ny {
+        for i in 0..nx {
+            let a = j * nx + i;
+            let b = j * nx + (nx - 1 - i);
+            assert!(
+                (f1.ex[a] + f0.ex[b]).abs() <= tol,
+                "E_x not antisymmetric at ({i}, {j}): {} vs {}",
+                f1.ex[a],
+                -f0.ex[b]
+            );
+            assert!(
+                (f1.ey[a] - f0.ey[b]).abs() <= tol,
+                "E_y not symmetric at ({i}, {j}): {} vs {}",
+                f1.ey[a],
+                f0.ey[b]
+            );
+        }
+    }
+}
+
+#[test]
+fn electro_field_vanishes_on_uniform_density() {
+    // A 16×16 lattice of identical cells, one per bin of the 16×16 field
+    // grid: the charge is the same in every bin, mean removal cancels it
+    // exactly, and the equalizing field is (numerically) zero everywhere.
+    let mut b = DesignBuilder::new("ef_u", Rect::new(0.0, 0.0, 32.0, 32.0), 1.0);
+    let mut ids = Vec::new();
+    for j in 0..16 {
+        for i in 0..16 {
+            let id = b
+                .add_cell(&format!("u{i}_{j}"), 1.0, 1.0, CellKind::Movable)
+                .unwrap();
+            ids.push(id);
+        }
+    }
+    b.add_net("n", 1.0, vec![(ids[0], 0.0, 0.0), (ids[1], 0.0, 0.0)])
+        .unwrap();
+    let d = b.build().unwrap();
+
+    let mut p = d.initial_placement();
+    for (k, &id) in ids.iter().enumerate() {
+        let (i, j) = (k % 16, k / 16);
+        p.set_position(id, Point::new(2.0 * i as f64 + 1.0, 2.0 * j as f64 + 1.0));
+    }
+
+    let f = ElectroProjection::new().field(&d, &p, 16);
+    for idx in 0..f.ex.len() {
+        assert!(
+            f.ex[idx].abs() <= 1e-12 && f.ey[idx].abs() <= 1e-12,
+            "uniform charge produced a field at bin {idx}: ({}, {})",
+            f.ex[idx],
+            f.ey[idx]
+        );
+    }
 }
 
 #[test]

@@ -9,16 +9,23 @@
 
 use complx_repro::netlist::generator::GeneratorConfig;
 use complx_repro::par;
-use complx_repro::place::{ComplxPlacer, PlacementOutcome, PlacerConfig};
+use complx_repro::place::{ComplxPlacer, PlacementOutcome, PlacerConfig, ProjectionBackend};
 
-fn place_at(threads: usize) -> PlacementOutcome {
+fn place_with(threads: usize, backend: ProjectionBackend) -> PlacementOutcome {
     let _g = par::with_threads(threads);
     // 10k cells: movable count clears the vector gate (8192), the B2B net
-    // gate (512), the CSR nnz gate (8192) and the density cell gate (4096).
+    // gate (512), the CSR nnz gate (8192), the density cell gate (4096)
+    // and the electro charge-gather gate (4096); the FFT grids the electro
+    // backend picks at this size clear the butterfly/row gates too.
     let design = GeneratorConfig::ispd2005_like("pardet", 17, 10_000).generate();
     let mut cfg = PlacerConfig::fast();
     cfg.max_iterations = 6;
+    cfg.projection = backend;
     ComplxPlacer::new(cfg).place(&design).expect("placement")
+}
+
+fn place_at(threads: usize) -> PlacementOutcome {
+    place_with(threads, ProjectionBackend::Geometric)
 }
 
 fn assert_bits_equal(a: &[f64], b: &[f64], what: &str, threads: usize) {
@@ -54,6 +61,33 @@ fn full_placement_bit_identical_across_1_2_8_threads() {
             got.trace.to_csv(),
             reference.trace.to_csv(),
             "iteration traces differ at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn electro_placement_bit_identical_across_1_2_8_threads() {
+    // The same contract for the FFT electrostatic projection: parallel
+    // butterfly passes, spectral row transforms and the charge gather all
+    // use chunk boundaries that are functions of the problem size only.
+    let reference = place_with(1, ProjectionBackend::Electro);
+    for threads in [2, 8] {
+        let got = place_with(threads, ProjectionBackend::Electro);
+        assert_eq!(
+            got.metrics.hpwl.to_bits(),
+            reference.metrics.hpwl.to_bits(),
+            "electro HPWL differs at {threads} threads: {} vs {}",
+            got.metrics.hpwl,
+            reference.metrics.hpwl
+        );
+        assert_eq!(got.iterations, reference.iterations);
+        assert_eq!(got.stop_reason, reference.stop_reason);
+        assert_bits_equal(got.legal.xs(), reference.legal.xs(), "legal.x", threads);
+        assert_bits_equal(got.legal.ys(), reference.legal.ys(), "legal.y", threads);
+        assert_eq!(
+            got.trace.to_csv(),
+            reference.trace.to_csv(),
+            "electro iteration traces differ at {threads} threads"
         );
     }
 }

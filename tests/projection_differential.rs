@@ -1,0 +1,144 @@
+//! Cross-backend differential battery: the geometric feasibility
+//! projection versus the FFT electrostatic projection.
+//!
+//! Both backends drive the *same* primal-dual loop on the *same* designs;
+//! everything that is a property of the algorithm (overflow driven down
+//! over the run, legal output, sane quality) must hold for both, and the
+//! two final placements must agree on first-principles density measured
+//! by the oracle at several resolutions. Tolerances are deliberately
+//! loose — the backends are different algorithms and land on different
+//! placements; the suite pins the *contract*, not the iterate sequence.
+
+use complx_repro::netlist::generator::GeneratorConfig;
+use complx_repro::netlist::Design;
+use complx_repro::oracle;
+use complx_repro::place::{ComplxPlacer, PlacementOutcome, PlacerConfig, ProjectionBackend};
+
+/// The shared differential fixture: ISPD-2006 style with a γ = 0.8
+/// density target, so overflow (the quantity the projections exist to
+/// eliminate) is non-trivial for both backends.
+fn fixture() -> Design {
+    GeneratorConfig::ispd2006_like("diff_proj", 11, 700, 0.8).generate()
+}
+
+fn run(design: &Design, backend: ProjectionBackend) -> PlacementOutcome {
+    let mut cfg = PlacerConfig::fast();
+    cfg.projection = backend;
+    ComplxPlacer::new(cfg)
+        .place(design)
+        .unwrap_or_else(|e| panic!("{backend:?} placement failed: {e}"))
+}
+
+const BACKENDS: [ProjectionBackend; 2] = [ProjectionBackend::Geometric, ProjectionBackend::Electro];
+
+/// Each backend drives lower-bound overflow down over the run: the best
+/// late-window overflow sits well below the first constrained iteration's
+/// (the trajectory need not be monotone — λ growth and grid refinement
+/// both bounce it — so the assertion is a trend, not per-step descent).
+#[test]
+fn overflow_trend_decreases_for_both_backends() {
+    let design = fixture();
+    for backend in BACKENDS {
+        let out = run(&design, backend);
+        let recs = out.trace.records();
+        let constrained: Vec<f64> = recs
+            .iter()
+            .filter(|r| r.iteration >= 1)
+            .map(|r| r.overflow)
+            .collect();
+        assert!(
+            constrained.len() >= 6,
+            "{backend:?}: too few constrained iterations ({})",
+            constrained.len()
+        );
+        let first = constrained[0];
+        let tail = &constrained[constrained.len() - constrained.len() / 3..];
+        let tail_min = tail.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            tail_min <= 0.6 * first + 1e-9,
+            "{backend:?}: overflow never came down (first {first}, late-window min {tail_min})"
+        );
+    }
+}
+
+/// Both backends end with a legal placement (the legalizer's contract is
+/// backend-independent).
+#[test]
+fn both_backends_produce_legal_placements() {
+    let design = fixture();
+    for backend in BACKENDS {
+        let out = run(&design, backend);
+        let audit = oracle::audit(&design, &out.legal);
+        assert!(audit.is_legal(1e-6), "{backend:?}: {audit:?}");
+    }
+}
+
+/// Final quality agrees within a loose band: the electrostatic backend is
+/// a different projection, not a different problem, so its oracle HPWL and
+/// scaled HPWL stay within a small factor of the geometric backend's.
+#[test]
+fn final_quality_within_loose_band() {
+    let design = fixture();
+    let geo = run(&design, ProjectionBackend::Geometric);
+    let ele = run(&design, ProjectionBackend::Electro);
+    let h_g = oracle::hpwl(&design, &geo.legal);
+    let h_e = oracle::hpwl(&design, &ele.legal);
+    let ratio = h_e / h_g;
+    assert!(
+        (0.4..=2.5).contains(&ratio),
+        "HPWL ratio electro/geometric out of band: {h_e} / {h_g} = {ratio}"
+    );
+    let s_g = oracle::scaled_hpwl(&design, &geo.legal);
+    let s_e = oracle::scaled_hpwl(&design, &ele.legal);
+    let s_ratio = s_e / s_g;
+    assert!(
+        (0.4..=2.5).contains(&s_ratio),
+        "scaled-HPWL ratio out of band: {s_e} / {s_g} = {s_ratio}"
+    );
+}
+
+/// The two converged placements agree on first-principles bin overflow at
+/// every audit resolution from 8 to 64 bins: both backends spread to the
+/// same density target, so the oracle must see comparably (and nearly
+/// fully) resolved density from each, no matter the grid it checks with.
+#[test]
+fn bin_overflow_agreement_across_resolutions() {
+    let design = fixture();
+    let geo = run(&design, ProjectionBackend::Geometric);
+    let ele = run(&design, ProjectionBackend::Electro);
+    for bins in [8usize, 16, 32, 64] {
+        let a_g = oracle::density_audit(&design, &geo.legal, bins);
+        let a_e = oracle::density_audit(&design, &ele.legal, bins);
+        assert!(
+            a_g.overflow_percent.is_finite() && a_e.overflow_percent.is_finite(),
+            "non-finite overflow at {bins} bins"
+        );
+        let diff = (a_g.overflow_percent - a_e.overflow_percent).abs();
+        assert!(
+            diff <= 10.0,
+            "backends disagree on overflow at {bins} bins: \
+             geometric {:.3}% vs electro {:.3}%",
+            a_g.overflow_percent,
+            a_e.overflow_percent
+        );
+    }
+}
+
+/// The trace reports the grid `P_C` actually used: the electrostatic
+/// backend rounds every requested resolution up to the FFT's power-of-two
+/// domain, and that rounding must be visible in the per-iteration records.
+#[test]
+fn electro_trace_reports_power_of_two_grids() {
+    let design = fixture();
+    let out = run(&design, ProjectionBackend::Electro);
+    for r in out.trace.records() {
+        if r.iteration >= 1 {
+            assert!(
+                r.bins.is_power_of_two(),
+                "iteration {}: electro grid side {} not a power of two",
+                r.iteration,
+                r.bins
+            );
+        }
+    }
+}
